@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+section 6 (see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` lets the paper-style report tables print alongside the timings.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def representative_result():
+    """The seed-7 representative run, shared by E1/E2/E3/E5/E6."""
+    from repro.experiments import CrowdFillExperiment, ExperimentConfig
+
+    return CrowdFillExperiment(ExperimentConfig(seed=7)).run()

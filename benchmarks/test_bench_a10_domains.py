@@ -1,0 +1,27 @@
+"""A10 — domain and table-size sweep (paper section 8).
+
+Paper: "larger-scale evaluations are in order, including larger table
+sizes ... and a variety of data domains."  This bench runs the same
+machinery over three data domains (the section 6 soccer players, city
+facts, movie facts) at two table sizes each and checks that completion
+and accuracy are domain-independent.
+"""
+
+from repro.experiments.domains import run_domain_sweep
+
+
+def test_bench_a10_domain_sweep(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_domain_sweep(seed=7, table_sizes=(10, 20)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.format_table())
+    assert report.all_complete_and_accurate(accuracy_floor=0.9)
+    # Larger tables cost more time within every domain.
+    by_domain = {}
+    for point in report.points:
+        by_domain.setdefault(point.domain, []).append(point)
+    for domain, points in by_domain.items():
+        small, large = sorted(points, key=lambda p: p.target_rows)
+        assert large.worker_actions > small.worker_actions

@@ -1,0 +1,111 @@
+"""A1 — ablation: replace-on-fill vs fill-in-place (section 2.4.1).
+
+The paper's key design choice: a fill *replaces* the row under a fresh
+identifier instead of mutating it in place.  This ablation implements
+the rejected in-place alternative and drives both through the same
+concurrent-fill workload, reporting (a) how many corrupted rows — rows
+with value combinations *neither* client intended — each strategy
+produces, and (b) the processing cost.
+
+Paper's prediction: in-place merging silently fabricates rows whenever
+two workers extend the same row with values for different entities; the
+replace model never does.
+"""
+
+from repro.core import Replica, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+
+SCORING = ThresholdScoring(2)
+SCHEMA = soccer_player_schema()
+
+
+class InPlaceTable:
+    """The rejected alternative: fills mutate rows in place."""
+
+    def __init__(self):
+        self.rows: dict[str, dict] = {}
+
+    def apply_insert(self, row_id):
+        self.rows[row_id] = {}
+
+    def apply_fill(self, row_id, column, value):
+        # Last-writer-wins on the same cell; different columns merge.
+        self.rows.setdefault(row_id, {})[column] = value
+
+
+def concurrent_pairs(n):
+    """n rows; on each, client A writes the name of player A_i while
+    client B writes the nationality of a different player B_i."""
+    pairs = []
+    for i in range(n):
+        pairs.append((f"row{i}",
+                      ("name", f"Player A{i}"),
+                      ("nationality", f"Country B{i}")))
+    return pairs
+
+
+def run_replace_model(pairs):
+    """The paper's model: one table per client + the server, message
+    exchange, count rows mixing A's and B's values."""
+    server = Replica("server", SCHEMA, SCORING)
+    alice = Replica("alice", SCHEMA, SCORING)
+    bob = Replica("bob", SCHEMA, SCORING)
+    for row_id, _, _ in pairs:
+        message_source = Replica(f"cc-{row_id}", SCHEMA, SCORING)
+        insert = message_source.insert()
+        for replica in (server, alice, bob):
+            replica.receive(insert)
+        # Concurrent fills from the shared pre-state:
+        a_message = alice.fill(insert.row_id, *_cell(pairs, row_id, 0))
+        b_message = bob.fill(insert.row_id, *_cell(pairs, row_id, 1))
+        server.receive(a_message)
+        server.receive(b_message)
+        alice.receive(b_message)
+        bob.receive(a_message)
+    corrupted = sum(
+        1
+        for row in server.table.rows()
+        if "name" in row.value.filled_columns()
+        and "nationality" in row.value.filled_columns()
+    )
+    return server, corrupted
+
+
+def run_in_place_model(pairs):
+    table = InPlaceTable()
+    for row_id, cell_a, cell_b in pairs:
+        table.apply_insert(row_id)
+        table.apply_fill(row_id, *cell_a)
+        table.apply_fill(row_id, *cell_b)
+    corrupted = sum(
+        1
+        for value in table.rows.values()
+        if "name" in value and "nationality" in value
+    )
+    return table, corrupted
+
+
+def _cell(pairs, row_id, index):
+    for rid, cell_a, cell_b in pairs:
+        if rid == row_id:
+            return (cell_a, cell_b)[index]
+    raise KeyError(row_id)
+
+
+def test_bench_a1_replace_model(benchmark):
+    pairs = concurrent_pairs(50)
+    server, corrupted = benchmark(lambda: run_replace_model(pairs))
+    print(f"\nA1 replace-on-fill: {len(pairs)} concurrent column pairs -> "
+          f"{corrupted} corrupted rows, "
+          f"{len(server.table)} rows total")
+    assert corrupted == 0  # the model never merges unintended values
+    assert len(server.table) == 2 * len(pairs)
+
+
+def test_bench_a1_in_place_ablation(benchmark):
+    pairs = concurrent_pairs(50)
+    table, corrupted = benchmark(lambda: run_in_place_model(pairs))
+    print(f"\nA1 fill-in-place ablation: {len(pairs)} concurrent column "
+          f"pairs -> {corrupted} corrupted rows (rows neither client "
+          f"intended), {len(table.rows)} rows total")
+    assert corrupted == len(pairs)  # every pair fabricates a row

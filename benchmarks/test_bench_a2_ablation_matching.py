@@ -1,0 +1,85 @@
+"""A2 — ablation: incremental augmenting-path repair vs full rebuild.
+
+The Central Client repairs its bipartite matching incrementally (one
+BFS per freed template row, Berge's theorem).  The obvious alternative
+recomputes a maximum matching from scratch after every change.  This
+bench runs the same removal/insertion churn through both and compares
+cost; correctness is cross-checked (both must maintain |T| matched).
+"""
+
+import pytest
+
+from repro.constraints import IncrementalMatching, maximum_matching_size
+
+
+def make_world(num_templates, num_probable, fanout=4):
+    """Template rows t_i each connect to a window of probable rows."""
+    lefts = [f"t{i}" for i in range(num_templates)]
+    rights = [f"p{i}" for i in range(num_probable)]
+    edges = {
+        left: [
+            rights[(i * 2 + k) % num_probable] for k in range(fanout)
+        ]
+        for i, left in enumerate(lefts)
+    }
+    churn = [rights[(7 * i) % num_probable] for i in range(num_probable // 2)]
+    return lefts, rights, edges, churn
+
+
+def run_incremental(lefts, rights, edges, churn):
+    matching = IncrementalMatching(lefts)
+    reverse = {}
+    for left, neighbors in edges.items():
+        for right in neighbors:
+            reverse.setdefault(right, []).append(left)
+    for right in rights:
+        matching.add_right(right, reverse.get(right, []))
+    matching.maximize()
+    sizes = [matching.size]
+    alive = set(rights)
+    for right in churn:
+        if right not in alive:
+            continue
+        alive.discard(right)
+        matching.remove_right(right)
+        matching.maximize()  # repairs only from freed lefts
+        sizes.append(matching.size)
+    return sizes
+
+
+def run_rebuild(lefts, rights, edges, churn):
+    alive = set(rights)
+    sizes = [maximum_matching_size(lefts, sorted(alive), edges)]
+    for right in churn:
+        if right not in alive:
+            continue
+        alive.discard(right)
+        pruned = {
+            left: [r for r in neighbors if r in alive]
+            for left, neighbors in edges.items()
+        }
+        sizes.append(maximum_matching_size(lefts, sorted(alive), pruned))
+    return sizes
+
+
+@pytest.mark.parametrize("scale", [(20, 60), (60, 200)])
+def test_bench_a2_incremental_repair(benchmark, scale):
+    lefts, rights, edges, churn = make_world(*scale)
+    sizes = benchmark(lambda: run_incremental(lefts, rights, edges, churn))
+    print(f"\nA2 incremental |T|={scale[0]} |P|={scale[1]}: "
+          f"matching sizes {sizes[0]} -> {sizes[-1]} over {len(churn)} removals")
+
+
+@pytest.mark.parametrize("scale", [(20, 60), (60, 200)])
+def test_bench_a2_full_rebuild_ablation(benchmark, scale):
+    lefts, rights, edges, churn = make_world(*scale)
+    sizes = benchmark(lambda: run_rebuild(lefts, rights, edges, churn))
+    print(f"\nA2 rebuild |T|={scale[0]} |P|={scale[1]}: "
+          f"matching sizes {sizes[0]} -> {sizes[-1]} over {len(churn)} removals")
+
+
+def test_a2_strategies_agree():
+    lefts, rights, edges, churn = make_world(30, 100)
+    assert run_incremental(lefts, rights, edges, churn) == run_rebuild(
+        lefts, rights, edges, churn
+    )

@@ -1,0 +1,75 @@
+"""A3 — scalability: synchronization cost vs number of clients.
+
+The paper's broadcast design sends every message to every other client;
+traffic grows with the client count.  This bench drives a fixed
+operation workload through 2..16 clients and reports messages sent and
+convergence wall time — the quantitative side of the paper's remark
+that "scaling the number of workers may be more effective in the
+microtask-based approach".
+"""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+OPS_PER_CLIENT = 12
+
+
+def run_broadcast_workload(num_clients):
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.05),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING,
+        Template.cardinality(num_clients * OPS_PER_CLIENT),
+    )
+    clients = []
+    for i in range(num_clients):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    backend.start()
+    sim.run()
+
+    # Each client fills its own slice of rows (no conflicts: the cost
+    # being measured is pure synchronization fan-out).
+    for index, client in enumerate(clients):
+        row_ids = client.replica.table.row_ids()
+        for k in range(OPS_PER_CLIENT):
+            row_id = row_ids[index * OPS_PER_CLIENT + k]
+            sim.schedule(
+                k * 1.0,
+                lambda c=client, r=row_id, i=index, k=k: c.fill(
+                    r, "name", f"Player {i}-{k}"
+                ),
+            )
+    sim.run()
+
+    snapshots = {client.snapshot() for client in clients}
+    snapshots.add(backend.replica.snapshot())
+    assert len(snapshots) == 1, "replicas must converge"
+    return network.stats.messages_sent
+
+
+@pytest.mark.parametrize("num_clients", [2, 4, 8, 16])
+def test_bench_a3_broadcast_scaling(benchmark, num_clients):
+    messages = benchmark.pedantic(
+        lambda: run_broadcast_workload(num_clients), rounds=2, iterations=1
+    )
+    total_ops = num_clients * OPS_PER_CLIENT
+    print(f"\nA3 clients={num_clients:>2}: {total_ops} worker ops -> "
+          f"{messages} network messages "
+          f"({messages / total_ops:.1f} per op)")
+    # Broadcast fan-out: message count grows ~linearly with client count.
+    assert messages >= total_ops * (num_clients - 1)

@@ -1,0 +1,49 @@
+"""A7 — adversarial workers vs the compensation scheme (section 8).
+
+Paper: "Our compensation scheme discourages incorrect answers, but the
+transparent nature of our table-filling approach may enable spammers to
+hinder data collection ... and to steal credit by copying potentially
+correct answers from other workers."
+
+Measured claims:
+- spammers earn (almost) nothing per action — the scheme's defence
+  works — yet they *do* slow collection down (the hindrance concern);
+- blind-upvoting credit copiers earn MORE per action than diligent
+  workers — the exact unsolved vulnerability the paper flags for
+  future work.
+"""
+
+from repro.experiments.adversarial import run_adversary_sweep
+
+
+def test_bench_a7_spammers(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_adversary_sweep("spammer", seed=7, adversary_counts=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.format_table())
+    assert report.scheme_discourages_adversary()
+    # Every configuration still completes with high accuracy.
+    for outcome in report.outcomes:
+        assert outcome.completed
+        assert outcome.accuracy >= 0.9
+    # ... but spam load costs time (the paper's hindrance concern).
+    assert report.outcomes[-1].duration >= report.outcomes[0].duration
+
+
+def test_bench_a7_credit_copiers(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_adversary_sweep("copier", seed=7, adversary_counts=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.format_table())
+    # The open problem, reproduced: blind endorsement of others' correct
+    # work pays better per action than doing the work.
+    with_copiers = [o for o in report.outcomes if o.num_adversaries]
+    assert any(
+        o.adversary_rate > o.diligent_rate for o in with_copiers
+    )
+    for outcome in report.outcomes:
+        assert outcome.completed

@@ -1,0 +1,42 @@
+"""A8 — completion time vs crew size, table-filling vs microtask.
+
+Paper introduction: "scaling the number of workers may be more
+effective in the microtask-based approach, since conflicting actions
+can often be avoided."  This bench sweeps the crew size through both
+systems and checks each half of that sentence:
+
+- table-filling conflicts grow with the number of concurrent workers;
+- the microtask baseline's *relative* speedup from extra workers is at
+  least as large as table-filling's (it parallelizes without interfering);
+- table-filling remains absolutely faster at every measured size.
+"""
+
+from repro.experiments.comparison import run_worker_scaling
+
+WORKER_COUNTS = (3, 5, 8, 12)
+
+
+def test_bench_a8_worker_scaling(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_worker_scaling(seed=7, worker_counts=WORKER_COUNTS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.format_table())
+
+    table_times = report.table_filling_times
+    microtask_times = report.microtask_times
+    conflicts = report.table_filling_conflicts
+
+    # Conflicts grow with concurrency (compare smallest vs largest crew).
+    assert conflicts[-1] > conflicts[0]
+    # Microtasks benefit relatively at least as much from extra workers.
+    table_speedup = table_times[0] / table_times[-1]
+    microtask_speedup = microtask_times[0] / microtask_times[-1]
+    print(f"  relative speedup 3->{WORKER_COUNTS[-1]} workers: "
+          f"table-filling {table_speedup:.2f}x, "
+          f"microtask {microtask_speedup:.2f}x")
+    assert microtask_speedup >= table_speedup * 0.9
+    # ... while table-filling stays absolutely faster everywhere.
+    for table_time, microtask_time in zip(table_times, microtask_times):
+        assert table_time < microtask_time

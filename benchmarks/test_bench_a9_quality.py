@@ -1,0 +1,53 @@
+"""A9 — the cost-latency-quality trade-off (paper section 1 framing).
+
+Sweeps verification stringency (accept on the completer's word alone vs
+the paper's majority-of-three) against worker reliability, over several
+seeds.
+
+Measured finding: final-table *accuracy* is insensitive to the
+acceptance threshold in this crowd model — quality is policed by
+row-level downvoting, which both configurations share — while the
+majority scheme's cost is real: substantially more contributing (paid)
+endorsement votes.  The scoring threshold buys evidence; refutation
+does the error-catching.
+"""
+
+from repro.experiments.quality import run_quality_tradeoff
+
+SEEDS = (3, 7, 19)
+
+
+def test_bench_a9_quality_tradeoff(benchmark):
+    reports = benchmark.pedantic(
+        lambda: [run_quality_tradeoff(seed=seed) for seed in SEEDS],
+        rounds=1, iterations=1,
+    )
+    print()
+    for report in reports:
+        print(report.format_table())
+        print()
+
+    solo = [r.point(1, 0.90).accuracy for r in reports]
+    majority = [r.point(2, 0.90).accuracy for r in reports]
+    print(f"  mean accuracy @0.90 reliability: solo "
+          f"{sum(solo) / len(solo):.3f}, majority "
+          f"{sum(majority) / len(majority):.3f}")
+
+    # Quality: both schemes deliver high-accuracy tables; the threshold
+    # does not move accuracy materially (downvote policing dominates).
+    for report in reports:
+        for point in report.points:
+            assert point.completed
+            assert point.accuracy >= 0.9
+        assert report.accuracy_insensitive_to_threshold(0.90)
+        assert report.accuracy_insensitive_to_threshold(0.98)
+
+    # Cost: the majority scheme demands more contributing endorsement
+    # votes overall (per-seed counts are noisy).
+    solo_votes = sum(r.point(1, 0.98).contributing_votes for r in reports)
+    majority_votes = sum(
+        r.point(2, 0.98).contributing_votes for r in reports
+    )
+    print(f"  total contributing votes @0.98: solo {solo_votes}, "
+          f"majority {majority_votes}")
+    assert majority_votes > solo_votes

@@ -1,0 +1,87 @@
+"""Core-operation throughput: the substrate costs everything rides on.
+
+Not a paper artefact — standard microbenchmarks for the hot paths:
+message application against large vote histories, probable-row
+classification, and document-store queries with/without indexes.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.probable import probable_rows
+from repro.core import CandidateTable, RowValue, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.docstore import Collection
+
+SCHEMA = soccer_player_schema()
+
+
+def loaded_table(rows=200, history=200):
+    table = CandidateTable(SCHEMA, ThresholdScoring(2))
+    rng = random.Random(0)
+    for i in range(rows):
+        table.apply_replace(
+            f"old{i}",
+            f"r{i}",
+            RowValue({
+                "name": f"Player {i}",
+                "nationality": f"Country {i % 20}",
+                "position": ["GK", "DF", "MF", "FW"][i % 4],
+                "caps": 80 + i % 20,
+                "goals": i % 40,
+            }),
+        )
+    for i in range(history):
+        table.apply_downvote(
+            RowValue({"name": f"Player {rng.randrange(rows)}"})
+        )
+        table.apply_upvote(
+            table.row(f"r{rng.randrange(rows)}").value
+        )
+    return table
+
+
+def test_bench_apply_replace_with_large_history(benchmark):
+    table = loaded_table()
+    counter = [0]
+
+    def replace_once():
+        counter[0] += 1
+        table.apply_replace(
+            "nonexistent",
+            f"fresh{counter[0]}",
+            RowValue({"name": "Fresh", "caps": 80 + counter[0] % 20}),
+        )
+
+    benchmark(replace_once)
+    table.check_vote_invariants()
+
+
+def test_bench_apply_downvote_superset_scan(benchmark):
+    table = loaded_table()
+    value = RowValue({"nationality": "Country 3"})
+    benchmark(lambda: table.apply_downvote(value))
+
+
+def test_bench_probable_rows_classification(benchmark):
+    table = loaded_table()
+    result = benchmark(lambda: probable_rows(table))
+    assert result is not None
+
+
+def test_bench_final_table_with_votes(benchmark):
+    table = loaded_table()
+    final = benchmark(table.final_table)
+    assert isinstance(final, list)
+
+
+@pytest.mark.parametrize("indexed", [False, True])
+def test_bench_docstore_point_query(benchmark, indexed):
+    coll = Collection("players")
+    for i in range(2000):
+        coll.insert_one({"name": f"p{i}", "country": f"c{i % 50}", "n": i})
+    if indexed:
+        coll.create_index("country")
+    result = benchmark(lambda: coll.find({"country": "c7"}))
+    assert len(result) == 40

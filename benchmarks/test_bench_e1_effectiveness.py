@@ -1,0 +1,32 @@
+"""E1 — overall effectiveness (paper section 6, prose table).
+
+Paper: 5 workers, 10m44s to a 20-row final table; 23 candidate rows (2
+downvoted >= 2x, 1 conflict extra); all final rows accurate.  The bench
+times one full representative collection and prints the same row.
+"""
+
+from repro.experiments import CrowdFillExperiment, ExperimentConfig
+from repro.experiments.effectiveness import report_from_result
+
+
+def run_collection():
+    return CrowdFillExperiment(ExperimentConfig(seed=7)).run()
+
+
+def test_bench_e1_effectiveness(benchmark):
+    result = benchmark.pedantic(run_collection, rounds=3, iterations=1)
+    report = report_from_result(result)
+    print()
+    print(report.format_table())
+    benchmark.extra_info.update(
+        {
+            "completed": report.completed,
+            "duration_s": report.duration,
+            "final_rows": report.final_rows,
+            "candidate_rows": report.candidate_rows,
+            "accuracy": report.accuracy,
+        }
+    )
+    assert report.completed
+    assert report.final_rows == 20
+    assert report.accuracy >= 0.9

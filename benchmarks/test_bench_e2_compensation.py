@@ -1,0 +1,47 @@
+"""E2 — worker compensation under dual-weighted allocation.
+
+Paper: $10 budget, payouts $0.51 / $1.68 / $2.08 / $2.24 / $3.49; the
+54-action worker earned the most, the 9-action worker the least.  The
+bench times the full section 5.2 pipeline (contribution analysis +
+dual-weighted allocation) over the representative trace and prints the
+per-worker table.
+"""
+
+from repro.experiments.compensation import report_from_result
+from repro.pay import AllocationScheme, allocate, analyze_contributions
+
+
+def test_bench_e2_dual_weighted_allocation(representative_result, benchmark):
+    result = representative_result
+    final_rows = [
+        row
+        for row in _final_rows(result)
+    ]
+
+    def analyze_and_allocate():
+        analysis = analyze_contributions(result.schema, final_rows, result.trace)
+        return allocate(
+            result.schema, result.trace, analysis, result.config.budget,
+            AllocationScheme.DUAL_WEIGHTED,
+        )
+
+    allocation = benchmark(analyze_and_allocate)
+    report = report_from_result(result, AllocationScheme.DUAL_WEIGHTED)
+    print()
+    print(report.format_table())
+    benchmark.extra_info["payouts"] = {
+        p.worker_id: round(p.amount, 2) for p in report.payouts
+    }
+    assert report.payouts_track_actions()
+    assert report.spread() >= 3
+    assert 0 <= allocation.unspent <= result.config.budget
+
+
+def _final_rows(result):
+    """Reconstruct final Row objects from the result's id/value lists."""
+    from repro.core.row import Row
+
+    return [
+        Row(row_id, value, 0, 0)
+        for row_id, value in zip(result.final_row_ids, result.final_values)
+    ]

@@ -1,0 +1,41 @@
+"""E5 — uniform vs dual-weighted allocation, per worker.
+
+Paper: "some, but not all, values are quite different"; the third
+worker — who never voted — differs by more than 25% because uniform
+allocation prices cheap votes the same as expensive fills.  The bench
+times both allocations over the representative trace and prints the
+side-by-side table.
+"""
+
+from repro.experiments.compensation import comparison_from_result
+from repro.pay import AllocationScheme, allocate, analyze_contributions
+from repro.core.row import Row
+
+
+def test_bench_e5_uniform_vs_dual(representative_result, benchmark):
+    result = representative_result
+    final_rows = [
+        Row(row_id, value, 0, 0)
+        for row_id, value in zip(result.final_row_ids, result.final_values)
+    ]
+
+    def both_allocations():
+        analysis = analyze_contributions(result.schema, final_rows, result.trace)
+        uniform = allocate(result.schema, result.trace, analysis,
+                           result.config.budget, AllocationScheme.UNIFORM)
+        dual = allocate(result.schema, result.trace, analysis,
+                        result.config.budget, AllocationScheme.DUAL_WEIGHTED)
+        return uniform, dual
+
+    benchmark(both_allocations)
+    comparison = comparison_from_result(result)
+    print()
+    print(comparison.format_table())
+    worker, pct = comparison.max_pct_difference()
+    benchmark.extra_info.update({"largest_shift_worker": worker,
+                                 "largest_shift_pct": round(pct, 1)})
+    # The never-voting worker is penalized by uniform allocation.
+    non_voters = [row for row in comparison.rows if row[3] == 0]
+    assert non_voters
+    _, dual_amount, uniform_amount, _ = non_voters[0]
+    assert uniform_amount < dual_amount

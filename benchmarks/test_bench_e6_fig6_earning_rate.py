@@ -1,0 +1,31 @@
+"""E6 / Figure 6 — earning rates under uniform vs weighted allocation.
+
+Paper: for two representative workers, cumulative earnings (% of the
+eventual total) against elapsed time track a straighter line under
+weighted allocation than under uniform — a steadier earning rate.  The
+bench times the timeline construction and prints both curves' data
+series plus the RMS-deviation stability metric.
+"""
+
+from repro.experiments.earning_rate import earning_report_from_result
+
+
+def test_bench_e6_earning_rate_curves(representative_result, benchmark):
+    result = representative_result
+
+    report = benchmark(lambda: earning_report_from_result(result, 2))
+    print()
+    print(report.format_table())
+
+    # Print the actual Figure 6 series (downsampled for readability).
+    for curve in report.curves:
+        points = curve.points
+        step = max(1, len(points) // 8)
+        series = ", ".join(
+            f"({t:.0f}s, {pct:.0f}%)" for t, pct in points[::step]
+        )
+        print(f"  {curve.worker_id}/{curve.scheme.value}: {series}")
+
+    verdicts = report.weighted_more_stable()
+    benchmark.extra_info["weighted_steadier"] = verdicts
+    assert all(verdicts.values())

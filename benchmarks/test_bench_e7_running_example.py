@@ -1,0 +1,69 @@
+"""E7 — the section 2.2 running example (candidate -> final derivation).
+
+Regenerates the paper's example tables: the 10-row SoccerPlayer
+candidate table with its vote counts, and the 3-row final table
+{Messi, Ronaldinho-MF, Casillas}.  The bench times the final-table
+derivation at the example's size and at a scaled-up size.
+"""
+
+import pytest
+
+from repro.core import CandidateTable, RowValue, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+
+
+def full(name, nationality, position, caps, goals):
+    return RowValue({
+        "name": name, "nationality": nationality, "position": position,
+        "caps": caps, "goals": goals,
+    })
+
+
+def build_paper_table():
+    table = CandidateTable(soccer_player_schema(), ThresholdScoring(2))
+    rows = [
+        ("r1", full("Lionel Messi", "Argentina", "FW", 83, 37), 2, 0),
+        ("r2", full("Ronaldinho", "Brazil", "MF", 97, 33), 3, 0),
+        ("r3", full("Ronaldinho", "Brazil", "FW", 97, 33), 2, 1),
+        ("r4", full("Iker Casillas", "Spain", "GK", 150, 0), 2, 0),
+        ("r5", full("David Beckham", "England", "MF", 115, 17), 1, 1),
+        ("r6", RowValue({"name": "Neymar", "nationality": "Brazil",
+                         "position": "FW"}), 0, 1),
+        ("r7", RowValue({"name": "Zinedine Zidane", "nationality": "France",
+                         "position": "DF"}), 0, 0),
+        ("r8", RowValue(), 0, 0),
+        ("r9", RowValue(), 0, 0),
+        ("r10", RowValue(), 0, 0),
+    ]
+    for row_id, value, up, down in rows:
+        table.load_row(row_id, value, up, down)
+    return table
+
+
+def test_bench_e7_final_table_derivation(benchmark):
+    table = build_paper_table()
+    final = benchmark(table.final_table)
+    print()
+    print("Candidate table (section 2.2):")
+    print(table.render())
+    print("\nDerived final table:")
+    for value in final:
+        print(" ", dict(value))
+    assert [dict(v)["name"] for v in final] == [
+        "Lionel Messi", "Ronaldinho", "Iker Casillas",
+    ]
+    assert dict(final[1])["position"] == "MF"  # the higher-scored copy
+
+
+@pytest.mark.parametrize("size", [100, 1000])
+def test_bench_e7_derivation_scales(benchmark, size):
+    table = CandidateTable(soccer_player_schema(), ThresholdScoring(2))
+    for i in range(size):
+        table.load_row(
+            f"r{i:05d}",
+            full(f"Player {i}", "Anywhere", "FW", 80 + i % 20, i % 40),
+            2 + i % 3, i % 2,
+        )
+    final = benchmark(table.final_table)
+    print(f"\n  {size} candidate rows -> {len(final)} final rows")
+    assert len(final) == size

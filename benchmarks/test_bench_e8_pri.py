@@ -1,0 +1,108 @@
+"""E8 — Probable Rows Invariant maintenance (section 4.2/4.3).
+
+Regenerates the Figure 4 repair sequence and times the Central Client's
+incremental maintenance under a stream of probable-set changes, at the
+paper's scale and beyond (the paper gives the worst-case bound
+O(|P| |T|) per repair BFS; this measures the practical cost).
+"""
+
+import pytest
+
+from repro.constraints import CentralClient, Template
+from repro.core import Replica, ThresholdScoring
+from repro.core.messages import DownvoteMessage
+from repro.core.schema import soccer_player_schema
+
+SCORING = ThresholdScoring(2)
+
+
+def test_bench_e8_figure4_repair(benchmark):
+    """Time the two Figure 4 repairs (augment, then insert)."""
+
+    def scenario():
+        schema = soccer_player_schema()
+        sent = []
+        template = Template.from_values(
+            [{"position": "FW"}, {"nationality": "Brazil"},
+             {"nationality": "Spain"}]
+        )
+        cc = CentralClient(schema, SCORING, template, send=sent.append)
+        cc.initialize()
+        worker = Replica("w", schema, SCORING)
+        lagging = Replica("lag", schema, SCORING)
+        for message in list(sent):
+            worker.receive(message)
+            lagging.receive(message)
+
+        def fill(replica, row_id, column, value):
+            message = replica.fill(row_id, column, value)
+            cc.on_message(message)
+            return message.new_id
+
+        rows = {r.row_id: dict(r.value) for r in worker.table.rows()}
+        fw = next(i for i, v in rows.items() if v.get("position") == "FW")
+        brazil = next(i for i, v in rows.items()
+                      if v.get("nationality") == "Brazil")
+        row1 = fill(worker, brazil, "name", "Neymar")
+        row1 = fill(worker, row1, "position", "FW")
+        row2 = fill(worker, fw, "name", "Ronaldinho")
+        row2 = fill(worker, row2, "nationality", "Brazil")
+        row4 = fill(lagging, fw, "name", "Messi")
+        # Repair 1: augmenting path, no insert.
+        value2 = cc.replica.table.row(row2).value
+        cc.on_message(DownvoteMessage(value=value2))
+        cc.on_message(DownvoteMessage(value=value2))
+        # Repair 2: row 4' dies; CC must insert row 5.
+        row4p = fill(lagging, row4, "caps", 82)
+        value4 = cc.replica.table.row(row4p).value
+        cc.on_message(DownvoteMessage(value=value4))
+        cc.on_message(DownvoteMessage(value=value4))
+        return cc
+
+    cc = benchmark.pedantic(scenario, rounds=20, iterations=1)
+    print()
+    print("Figure 4 outcome: PRI holds =", cc.pri_holds())
+    print("  inserts:", cc.stats.inserts, " shuffles:", cc.stats.shuffles,
+          " drops:", cc.stats.drops)
+    assert cc.pri_holds()
+    assert cc.stats.drops == 0
+
+
+@pytest.mark.parametrize("template_size", [10, 40])
+def test_bench_e8_pri_maintenance_scales(benchmark, template_size):
+    """Throughput of PRI repairs as the template grows."""
+
+    def churn():
+        schema = soccer_player_schema()
+        sent = []
+        cc = CentralClient(
+            schema, SCORING, Template.cardinality(template_size),
+            send=sent.append,
+        )
+        cc.initialize()
+        worker = Replica("w", schema, SCORING)
+        for message in list(sent):
+            worker.receive(message)
+        cursor = len(sent)
+        # Kill rows one by one; every death forces an insert repair.
+        repairs = 0
+        for _ in range(template_size // 2):
+            target = next(
+                row for row in worker.table.rows()
+                if not row.value.is_empty or True
+            )
+            message = worker.fill(target.row_id, "name", f"X{repairs}")
+            cc.on_message(message)
+            value = cc.replica.table.row(message.new_id).value
+            cc.on_message(DownvoteMessage(value=value))
+            cc.on_message(DownvoteMessage(value=value))
+            repairs += 1
+            while cursor < len(sent):
+                worker.receive(sent[cursor])
+                cursor += 1
+        return cc
+
+    cc = benchmark.pedantic(churn, rounds=3, iterations=1)
+    print(f"\n  |T|={template_size}: {cc.stats.inserts} inserts, "
+          f"{cc.stats.refreshes} refreshes")
+    assert cc.pri_holds()

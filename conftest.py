@@ -1,0 +1,23 @@
+"""Repo-level pytest configuration.
+
+Makes ``src/`` importable when the package is not pip-installed and
+registers a hypothesis profile tolerant of the simulator-heavy tests
+(first-call imports and dataset generation can trip the default
+``too_slow`` health check on cold caches).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from hypothesis import HealthCheck, settings  # noqa: E402
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

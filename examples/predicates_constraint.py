@@ -1,0 +1,116 @@
+"""Predicates constraints: the section 2.3 extension, live.
+
+The paper describes — but did not implement — templates whose cells are
+predicates rather than values ("the Spanish player must have >= 100
+caps").  This reproduction implements them end to end: the Central
+Client seeds only the equality cells, keeps edges to rows that can
+still satisfy each predicate, and repairs the matching the moment a
+fill forecloses one.
+
+This demo drives the model directly (scripted fills, no simulated
+crowd) so each PRI repair is visible.
+
+Run:  python examples/predicates_constraint.py
+"""
+
+from repro.constraints import CentralClient, Template, satisfies_template
+from repro.core import Replica, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+
+
+def main() -> None:
+    schema = soccer_player_schema()
+    scoring = ThresholdScoring(2)
+    # The paper's refined section 2.3 template: a forward with >= 30
+    # goals, a Brazilian with >= 30 goals, a Spaniard with >= 100 caps.
+    template = Template.from_predicates(
+        [
+            {"position": "=FW", "goals": ">=30"},
+            {"nationality": "=Brazil", "goals": ">=30"},
+            {"nationality": "=Spain", "caps": ">=100"},
+        ]
+    )
+    template.validate_against(schema)
+
+    outbox = []
+    cc = CentralClient(schema, scoring, template, send=outbox.append)
+    cc.initialize()
+    print("After initialization (only equality cells pre-filled):")
+    print(cc.replica.table.render())
+
+    # A worker replica mirroring the table; sync() relays CC's newly
+    # generated messages (the broadcast a real server would perform).
+    worker = Replica("worker", schema, scoring)
+    cursor = 0
+
+    def sync():
+        nonlocal cursor
+        while cursor < len(outbox):
+            worker.receive(outbox[cursor])
+            cursor += 1
+
+    sync()
+
+    def fill(row_id, column, value):
+        message = worker.fill(row_id, column, value)
+        cc.on_message(message)
+        sync()
+        return message.new_id
+
+    def vote(row_id, up=True):
+        message = worker.upvote(row_id) if up else worker.downvote(row_id)
+        cc.on_message(message)
+        sync()
+
+    rows = {r.row_id: dict(r.value) for r in worker.table.rows()}
+    spain = next(i for i, v in rows.items() if v.get("nationality") == "Spain")
+
+    # A worker fills the Spanish row with caps=85 — which can never
+    # satisfy ">= 100".  Watch CC insert a replacement row immediately.
+    inserts_before = cc.stats.inserts
+    print("\nWorker fills the Spanish row with caps=85 (violates >=100)...")
+    fill(spain, "caps", 85)
+    print(f"Central Client inserted {cc.stats.inserts - inserts_before} "
+          f"replacement row(s); PRI holds: {cc.pri_holds()}")
+
+    # Now complete three satisfying rows and endorse them.
+    print("\nCompleting three rows that satisfy the predicates...")
+    players = [
+        {"name": "Lionel Messi", "nationality": "Argentina",
+         "position": "FW", "caps": 83, "goals": 37},
+        {"name": "Ronaldinho", "nationality": "Brazil",
+         "position": "MF", "caps": 97, "goals": 33},
+        {"name": "Iker Casillas", "nationality": "Spain",
+         "position": "GK", "caps": 150, "goals": 0},
+    ]
+    for player in players:
+        # Find a probable row this player can extend.
+        target = None
+        for row in worker.table.rows():
+            if row.value.is_complete(schema.column_names):
+                continue
+            if all(
+                row.value[c] == player[c]
+                for c in row.value.filled_columns()
+            ):
+                target = row.row_id
+                break
+        assert target is not None, f"no open row for {player['name']}"
+        row_id = target
+        for column in schema.column_names:
+            current = worker.table.row(row_id).value
+            if column not in current.filled_columns():
+                row_id = fill(row_id, column, player[column])
+        vote(row_id)  # the completing worker's endorsement
+        vote(row_id)  # a second worker agrees
+
+    final = cc.replica.table.final_table()
+    print("\nFinal table:")
+    for value in final:
+        print(" ", dict(value))
+    print("\nPredicates constraint satisfied:",
+          satisfies_template(final, Template(cc.template_rows)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Values constraints: completing a partially-filled table.
+
+Section 2.3's common scenario: the user already has key values (player
+names and nationalities) and asks the crowd to fill in the missing
+attributes — plus some extra blank rows for players of the crowd's
+choosing.  The Central Client seeds the table from the template and
+keeps the Probable Rows Invariant while workers fill and vote.
+
+Run:  python examples/prefilled_table.py
+"""
+
+from repro.datasets import SoccerPlayerUniverse
+from repro.experiments import CrowdFillExperiment, ExperimentConfig
+
+
+def main() -> None:
+    # Pick four real players whose keys the user already has.
+    universe = SoccerPlayerUniverse(seed=7, size=600, include_dob=True)
+    known_players = universe.caps_band(80, 99).rows[:4]
+    template_values = tuple(
+        {"name": row["name"], "nationality": row["nationality"]}
+        for row in known_players
+    )
+    print("Prefilled template rows (crowd completes the rest):")
+    for values in template_values:
+        print(" ", values)
+
+    config = ExperimentConfig(
+        seed=7,
+        num_workers=4,
+        target_rows=8,  # 4 prefilled + 4 blank rows to be invented
+        template_values=template_values,
+    )
+    result = CrowdFillExperiment(config).run()
+
+    print(f"\nCompleted: {result.completed} "
+          f"({result.duration and round(result.duration)}s simulated), "
+          f"accuracy {result.accuracy:.0%}")
+    print("\nFinal table:")
+    for record in result.final_table_records():
+        marker = (
+            "*" if any(
+                record["name"] == v["name"]
+                and record["nationality"] == v["nationality"]
+                for v in template_values
+            ) else " "
+        )
+        print(f" {marker}", record)
+    print("\n(* = row completing a prefilled template key)")
+    print(f"\nCentral Client inserted {result.pri_inserts} rows; "
+          f"{result.dropped_template_rows} template rows dropped.")
+
+
+if __name__ == "__main__":
+    main()

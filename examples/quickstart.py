@@ -1,0 +1,75 @@
+"""Quickstart: the CrowdFill model in five minutes.
+
+Builds the paper's running-example SoccerPlayer table (section 2),
+shows primitive operations on replicated candidate tables, the
+final-table derivation, and then runs a tiny end-to-end crowd
+collection with simulated workers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Replica,
+    RowValue,
+    ThresholdScoring,
+    soccer_player_schema,
+)
+from repro.experiments import CrowdFillExperiment, ExperimentConfig
+
+
+def model_tour() -> None:
+    """Sections 2.1-2.2: schema, operations, candidate and final tables."""
+    schema = soccer_player_schema()
+    scoring = ThresholdScoring(2)  # "majority of three, with shortcutting"
+    print("Schema:", schema.name, schema.column_names)
+    print("Primary key:", schema.key_columns)
+
+    # A replica is one copy of the evolving candidate table.  Workers'
+    # fill operations *replace* rows (fresh identifier per fill) — the
+    # key ingredient that makes concurrent edits merge cleanly.
+    replica = Replica("demo", schema, scoring)
+    row = replica.insert().row_id
+    row = replica.fill(row, "name", "Lionel Messi").new_id
+    row = replica.fill(row, "nationality", "Argentina").new_id
+    row = replica.fill(row, "position", "FW").new_id
+    row = replica.fill(row, "caps", 83).new_id
+    row = replica.fill(row, "goals", 37).new_id
+    replica.upvote(row)          # a worker endorses the complete row
+    replica.upvote_value(
+        RowValue({
+            "name": "Lionel Messi", "nationality": "Argentina",
+            "position": "FW", "caps": 83, "goals": 37,
+        })
+    )                            # ... and another agrees
+
+    # A second, conflicting row for the same player:
+    other = replica.insert().row_id
+    other = replica.fill(other, "name", "Lionel Messi").new_id
+    other = replica.fill(other, "nationality", "Argentina").new_id
+    other = replica.fill(other, "position", "MF").new_id  # wrong
+    other = replica.fill(other, "caps", 83).new_id
+    other = replica.fill(other, "goals", 37).new_id
+    replica.downvote(other)
+    replica.downvote(other)
+
+    print("\nCandidate table:")
+    print(replica.table.render())
+    print("\nFinal table (positive score, best per key):")
+    for value in replica.table.final_table():
+        print(" ", dict(value))
+
+
+def tiny_collection() -> None:
+    """An end-to-end simulated collection: 5 rows, 3 workers."""
+    config = ExperimentConfig(seed=42, num_workers=3, target_rows=5)
+    result = CrowdFillExperiment(config).run()
+    print(f"\nCollected {len(result.final_values)} rows "
+          f"in {result.duration:.0f} simulated seconds "
+          f"(accuracy {result.accuracy:.0%}):")
+    for record in result.final_table_records():
+        print(" ", record)
+
+
+if __name__ == "__main__":
+    model_tour()
+    tiny_collection()

@@ -1,0 +1,71 @@
+"""repro — a full reproduction of CrowdFill (Park & Widom, SIGMOD 2014).
+
+CrowdFill collects structured data from a crowd by showing an evolving,
+partially-filled table to every participating worker at once.  Workers
+fill empty cells and up/down-vote rows; a central server merges the
+concurrent operations (with a provably convergent model), a Central
+Client keeps the table able to satisfy the user's constraints, and a
+budget-based compensation scheme pays workers for contributions to the
+final table.
+
+Quickstart::
+
+    from repro import CrowdFillExperiment, ExperimentConfig
+
+    config = ExperimentConfig(seed=7, num_workers=5, target_rows=20)
+    result = CrowdFillExperiment(config).run()
+    print(result.final_table_records())
+
+Package map (see DESIGN.md for the full inventory):
+
+- ``repro.core``        — the formal model (section 2)
+- ``repro.constraints`` — templates, probable rows, PRI (sections 2.3, 4)
+- ``repro.server`` / ``repro.client`` — back/front-end and worker clients
+  (section 3)
+- ``repro.pay``         — compensation and live estimates (section 5)
+- ``repro.sim`` / ``repro.net`` / ``repro.docstore`` /
+  ``repro.marketplace`` / ``repro.workers`` / ``repro.datasets`` —
+  substrates replacing Node.js+Socket.IO, MongoDB, Mechanical Turk, and
+  the human crowd (see DESIGN.md "Substitutions")
+- ``repro.experiments`` — drivers reproducing every table and figure of
+  section 6
+"""
+
+from repro.core import (
+    CandidateTable,
+    Column,
+    DataType,
+    DefaultScoring,
+    Replica,
+    Row,
+    RowValue,
+    Schema,
+    ThresholdScoring,
+)
+from repro.core.schema import soccer_player_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateTable",
+    "Column",
+    "DataType",
+    "DefaultScoring",
+    "Replica",
+    "Row",
+    "RowValue",
+    "Schema",
+    "ThresholdScoring",
+    "soccer_player_schema",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` light while still exposing the
+    # experiment entry points at top level.
+    if name in ("CrowdFillExperiment", "ExperimentConfig", "ExperimentResult"):
+        from repro import experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,15 @@
+"""The worker client (paper section 3.4).
+
+A headless equivalent of CrowdFill's browser data-entry interface: it
+keeps a local replica of the candidate table, performs fill / upvote /
+downvote actions (sending the corresponding messages to the back-end
+server), and enforces the interface-level vote policies — one vote per
+row per worker (directly or indirectly), at most one upvote per primary
+key per worker, the automatic upvote on row completion, and the
+optional maximum-votes-per-row cap.
+"""
+
+from repro.client.worker_client import VotePolicyError, WorkerClient
+from repro.client.view import render_worker_view
+
+__all__ = ["WorkerClient", "VotePolicyError", "render_worker_view"]

@@ -1,0 +1,75 @@
+"""A textual rendering of the worker's data-entry interface (Figure 1).
+
+The browser UI shows: the evolving table in the client's randomized
+row order, per-column estimated compensation in the headers, vote
+up/down affordances (greyed out where the section 3.4 policies forbid
+them), and each row's vote tally.  This renderer produces the same
+information as text — used by the examples and handy when debugging
+worker behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.client.worker_client import WorkerClient
+from repro.pay.estimator import CompensationEstimator
+
+
+def render_worker_view(
+    client: WorkerClient,
+    estimator: CompensationEstimator | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """The table as this worker sees it right now.
+
+    Args:
+        client: the worker's client (supplies the randomized order and
+            the vote-policy state).
+        estimator: when given, column headers carry the live estimated
+            compensation for filling a cell there, and the vote column
+            header carries the vote estimates (Figure 1's dollar hints).
+        max_rows: truncate the rendering (None = all rows).
+    """
+    schema = client.schema
+    columns = list(schema.column_names)
+
+    headers = []
+    for column in columns:
+        if estimator is not None:
+            estimates = estimator.current_cell_estimates(client.replica.table)
+            headers.append(f"{column} (${estimates[column]:.3f})")
+        else:
+            headers.append(column)
+    if estimator is not None:
+        up_estimate, down_estimate = estimator.current_vote_estimates(
+            client.replica.table
+        )
+        vote_header = f"votes (+${up_estimate:.3f}/-${down_estimate:.3f})"
+    else:
+        vote_header = "votes"
+    headers.append(vote_header)
+
+    rows_out: list[list[str]] = []
+    for row in client.visible_rows():
+        if max_rows is not None and len(rows_out) >= max_rows:
+            break
+        cells = [
+            str(dict(row.value).get(column, "·")) for column in columns
+        ]
+        up = "▲" if client.can_upvote(row.row_id) else " "
+        down = "▼" if client.can_vote(row.row_id) else " "
+        cells.append(f"{up}{row.upvotes} {down}{row.downvotes}")
+        rows_out.append(cells)
+
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows_out))
+        if rows_out
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for cells in rows_out:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)

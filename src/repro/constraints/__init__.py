@@ -1,0 +1,39 @@
+"""Constraints on the collected data (paper sections 2.3 and 4).
+
+- :mod:`repro.constraints.template` — cardinality, values, and
+  predicates constraints expressed as templates of predicate rows.
+- :mod:`repro.constraints.probable` — the probable-row classification
+  of section 4.1.
+- :mod:`repro.constraints.matching` — incremental maximum bipartite
+  matching (BFS augmenting paths, Berge's theorem) between template
+  rows and probable rows.
+- :mod:`repro.constraints.central` — the Central Client that maintains
+  the Probable Rows Invariant by inserting rows.
+"""
+
+from repro.constraints.matching import IncrementalMatching, maximum_matching_size
+from repro.constraints.probable import is_probable, probable_rows
+from repro.constraints.template import (
+    Predicate,
+    PredicateOp,
+    Template,
+    TemplateError,
+    TemplateRow,
+    satisfies_template,
+)
+from repro.constraints.central import CentralClient, UnsatisfiableTemplateError
+
+__all__ = [
+    "Predicate",
+    "PredicateOp",
+    "Template",
+    "TemplateError",
+    "TemplateRow",
+    "satisfies_template",
+    "is_probable",
+    "probable_rows",
+    "IncrementalMatching",
+    "maximum_matching_size",
+    "CentralClient",
+    "UnsatisfiableTemplateError",
+]

@@ -1,0 +1,258 @@
+"""The Central Client (paper section 4.2).
+
+Only one client may insert rows into the candidate table: the Central
+Client CC, colocated with the back-end server.  Its job is to keep the
+Probable Rows Invariant (PRI):
+
+    each template row t corresponds to a unique probable row r with
+    r ⊇ t (values constraints) / r compatible with t (predicates
+    extension — see :meth:`TemplateRow.connects`).
+
+CC maintains an incremental maximum bipartite matching between template
+rows and probable rows.  When a change to the probable set drops the
+matching below |T|, CC first searches for an augmenting path; only when
+none exists does it insert a new row carrying the free template row's
+values.  When even that row would not be probable (its value was
+downvoted into a negative score, or its complete key is already owned
+by a higher-scoring probable row), CC shuffles the matching to free a
+different template row; as a last resort it drops the template row
+(configurably raising instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+from repro.constraints.matching import IncrementalMatching
+from repro.constraints.probable import hypothetical_row_probable, probable_rows
+from repro.constraints.template import Template, TemplateRow
+from repro.core.messages import Message
+from repro.core.replica import Replica
+from repro.core.row import Row
+from repro.core.schema import Schema
+from repro.core.scoring import ScoringFunction
+
+CENTRAL_CLIENT_ID = "__central__"
+"""Worker identifier carried by CC's messages; excluded from payment."""
+
+
+class UnsatisfiableTemplateError(RuntimeError):
+    """Raised (when configured) if a template row cannot stay satisfiable."""
+
+    def __init__(self, row: TemplateRow) -> None:
+        super().__init__(
+            f"template row {row.label!r} can no longer be satisfied: "
+            f"{row}"
+        )
+        self.template_row = row
+
+
+@dataclass
+class PriEvent:
+    """One observable PRI-maintenance action (for tests and experiments)."""
+
+    kind: Literal["augment", "insert", "shuffle", "drop"]
+    template_label: str
+    detail: str = ""
+    time: float = 0.0
+
+
+@dataclass
+class PriStats:
+    """Counters over the Central Client's lifetime."""
+
+    refreshes: int = 0
+    augmentations: int = 0
+    inserts: int = 0
+    shuffles: int = 0
+    drops: int = 0
+    events: list[PriEvent] = field(default_factory=list)
+
+
+class CentralClient:
+    """Maintains the PRI by inserting rows via its own replica.
+
+    CC behaves exactly like a worker client from the model's point of
+    view: it applies operations to its local copy and emits the
+    corresponding messages through *send* (wired to the back-end
+    server).  The server forwards every other client's messages to CC
+    via :meth:`on_message`.
+
+    Args:
+        schema: the collected table's schema.
+        scoring: the vote-aggregation function.
+        template: constraint template (cardinality already absorbed).
+        send: callback delivering CC's messages to the server.
+        on_unsatisfiable: ``"drop"`` removes a hopeless template row and
+            continues (the paper's current system); ``"error"`` raises
+            :class:`UnsatisfiableTemplateError`.
+        clock: returns the current simulated time (for event records).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        scoring: ScoringFunction,
+        template: Template,
+        send: Callable[[Message], None],
+        on_unsatisfiable: Literal["drop", "error"] = "drop",
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.replica = Replica("CC", schema, scoring)
+        self.template_rows: list[TemplateRow] = list(template.rows)
+        self.dropped_rows: list[TemplateRow] = []
+        self.on_unsatisfiable = on_unsatisfiable
+        self._send = send
+        self._clock = clock or (lambda: 0.0)
+        self.matching = IncrementalMatching(row.label for row in self.template_rows)
+        self.stats = PriStats()
+        self._known_probable: set[str] = set()
+        self._initialized = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Populate the candidate table with the template rows.
+
+        Each template row becomes one inserted row pre-filled with its
+        equality values; complete template rows are upvoted as if a
+        worker had completed them (section 4.2).
+        """
+        if self._initialized:
+            raise RuntimeError("central client already initialized")
+        self._initialized = True
+        for template_row in self.template_rows:
+            row_id = self._insert_row_for(template_row)
+            row = self.replica.row(row_id)
+            if row.value.is_complete(self.schema.column_names):
+                self._send(self.replica.upvote(row_id, auto=True))
+        self.refresh()
+
+    def on_message(self, message: Message) -> None:
+        """Process a message forwarded by the server, then repair the PRI."""
+        self.replica.receive(message)
+        self.refresh()
+
+    # -- PRI maintenance -------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-derive the probable set and repair the matching/PRI."""
+        if not self._initialized:
+            return
+        self.stats.refreshes += 1
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10 * (len(self.template_rows) + 2):
+                raise RuntimeError("PRI repair did not converge")
+            self._sync_probable_set()
+            self.matching.maximize()
+            free = self.matching.free_lefts()
+            if not free:
+                return
+            self._handle_free_row(str(free[0]))
+
+    def pri_holds(self) -> bool:
+        """Is the PRI currently satisfied (on CC's copy of the table)?"""
+        return not self.matching.free_lefts()
+
+    def correspondence(self) -> dict[str, str]:
+        """The current template-label → probable-row-id matching."""
+        return {str(k): str(v) for k, v in self.matching.pairs().items()}
+
+    def probable_now(self) -> list[Row]:
+        """Probable rows of CC's current table copy."""
+        return probable_rows(self.replica.table)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _template_row(self, label: str) -> TemplateRow:
+        for row in self.template_rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+    def _sync_probable_set(self) -> None:
+        """Diff the probable set into the bipartite matching.
+
+        Row values never change (fills replace rows), so surviving
+        probable rows keep their edges; only additions and removals
+        need processing.
+        """
+        current = {row.row_id: row for row in probable_rows(self.replica.table)}
+        removed = self._known_probable - current.keys()
+        added = current.keys() - self._known_probable
+        for row_id in sorted(removed):
+            freed = self.matching.remove_right(row_id)
+            self.stats.augmentations += 0 if not freed else 0
+        for row_id in sorted(added):
+            value = current[row_id].value
+            neighbors = [
+                t.label for t in self.template_rows if t.connects(value)
+            ]
+            self.matching.add_right(row_id, neighbors)
+        self._known_probable = set(current)
+
+    def _handle_free_row(self, label: str) -> None:
+        """A template row stayed free after augmentation: insert or shuffle."""
+        template_row = self._template_row(label)
+        candidate_value = template_row.equality_values()
+        if hypothetical_row_probable(self.replica.table, candidate_value):
+            row_id = self._insert_row_for(template_row)
+            self._record("insert", label, f"row {row_id}")
+            return
+        # Shuffle: maybe another template row can give up its probable row.
+        for other in self.template_rows:
+            if other.label == label:
+                continue
+            if self.matching.matched_right(other.label) is None:
+                continue
+            other_value = other.equality_values()
+            if not hypothetical_row_probable(self.replica.table, other_value):
+                continue
+            if self.matching.try_free_instead(label, other.label):
+                row_id = self._insert_row_for(other)
+                self._record("shuffle", label, f"freed {other.label}, row {row_id}")
+                return
+        # Last resort: drop the template row (or error out).
+        if self.on_unsatisfiable == "error":
+            raise UnsatisfiableTemplateError(template_row)
+        self.template_rows = [
+            row for row in self.template_rows if row.label != label
+        ]
+        self.dropped_rows.append(template_row)
+        self.matching.remove_left(label)
+        self._record("drop", label, str(template_row))
+
+    def _insert_row_for(self, template_row: TemplateRow) -> str:
+        """Insert a row pre-filled with the template row's equality values.
+
+        Returns the identifier of the resulting (possibly partial) row.
+        """
+        insert_message = self.replica.insert()
+        self._send(insert_message)
+        self.stats.inserts += 1
+        row_id = insert_message.row_id
+        for column in self.schema.column_names:
+            predicate = template_row.predicate_for(column)
+            if predicate is not None and predicate.is_equality:
+                replace_message = self.replica.fill(
+                    row_id, column, predicate.operand
+                )
+                self._send(replace_message)
+                row_id = replace_message.new_id
+        return row_id
+
+    def _record(self, kind: str, label: str, detail: str) -> None:
+        if kind == "insert":
+            pass  # insert count tracked in _insert_row_for
+        elif kind == "shuffle":
+            self.stats.shuffles += 1
+        elif kind == "drop":
+            self.stats.drops += 1
+        self.stats.events.append(
+            PriEvent(kind=kind, template_label=label, detail=detail,
+                     time=self._clock())
+        )

@@ -1,0 +1,122 @@
+"""Probable-row classification (paper section 4.1).
+
+A row r of the candidate table is *probable* — it may still contribute
+to the final table — when one of three conditions holds:
+
+1. r has empty values for some primary-key columns and a zero score;
+2. r's primary key is complete, r has a zero score, and no other row
+   with the same key has a positive score;
+3. r is complete with a positive score, and no other row with the same
+   key has a greater score (score ties within a key group make exactly
+   one row probable, chosen deterministically — smallest identifier,
+   consistent with the final-table tie-break).
+"""
+
+from __future__ import annotations
+
+from repro.core.row import Row
+from repro.core.table import CandidateTable
+
+
+def probable_rows(table: CandidateTable) -> list[Row]:
+    """All probable rows of *table*, in this copy's insertion order."""
+    key_columns = table.schema.key_columns
+    all_columns = table.schema.column_names
+
+    # Per-key bookkeeping for conditions 2 and 3.
+    positive_score_keys: set[tuple] = set()
+    best_complete: dict[tuple, Row] = {}
+    for row in table.rows():
+        key = row.value.key(key_columns)
+        if key is None:
+            continue
+        score = table.score(row)
+        if score > 0:
+            positive_score_keys.add(key)
+        if row.value.is_complete(all_columns) and score > 0:
+            incumbent = best_complete.get(key)
+            if incumbent is None or _beats(table, row, incumbent):
+                best_complete[key] = row
+
+    result: list[Row] = []
+    for row in table.rows():
+        score = table.score(row)
+        key = row.value.key(key_columns)
+        if key is None:
+            # Condition 1: incomplete key, zero score.
+            if score == 0:
+                result.append(row)
+            continue
+        if row.value.is_complete(all_columns) and score > 0:
+            # Condition 3: the key group's unique best complete row.
+            if best_complete[key] is row:
+                result.append(row)
+            continue
+        if score == 0 and key not in positive_score_keys:
+            # Condition 2: complete key, zero score, no positive sibling.
+            result.append(row)
+    return result
+
+
+def is_probable(table: CandidateTable, row_id: str) -> bool:
+    """Is the row with *row_id* probable in *table*?"""
+    target = table.get(row_id)
+    if target is None:
+        return False
+    return any(row is target for row in probable_rows(table))
+
+
+def hypothetical_row_probable(table: CandidateTable, value) -> bool:
+    """Would a freshly inserted row with value *value* be probable?
+
+    Used by the Central Client (section 4.2) before inserting a row for
+    a free template row: the insert can fail to help when the value has
+    been downvoted into a negative score, or when its complete key is
+    already held by a probable row with a higher score.
+
+    The hypothetical row's vote counts follow the replace-message rule:
+    u = UH[value] if complete else 0, d = Σ_{w ⊆ value} DH[w].
+    """
+    upvotes = (
+        table.upvote_history.get(value, 0)
+        if value.is_complete(table.schema.column_names)
+        else 0
+    )
+    downvotes = sum(
+        count
+        for voted, count in table.downvote_history.items()
+        if voted.issubset(value)
+    )
+    score = table.scoring.score(upvotes, downvotes)
+
+    key = value.key(table.schema.key_columns)
+    if key is None:
+        return score == 0  # condition 1
+
+    if value.is_complete(table.schema.column_names) and score > 0:
+        # Condition 3: must beat every existing complete row on this key.
+        # A new row's identifier is larger than existing ones, so a score
+        # tie goes to the incumbent.
+        for row in table.rows():
+            if row.value.key(table.schema.key_columns) == key:
+                if table.score(row) >= score and row.value.is_complete(
+                    table.schema.column_names
+                ):
+                    return False
+        return True
+
+    if score != 0:
+        return False
+    # Condition 2: no positive-score sibling on this key.
+    for row in table.rows():
+        if row.value.key(table.schema.key_columns) == key and table.score(row) > 0:
+            return False
+    return True
+
+
+def _beats(table: CandidateTable, challenger: Row, incumbent: Row) -> bool:
+    challenger_score = table.score(challenger)
+    incumbent_score = table.score(incumbent)
+    if challenger_score != incumbent_score:
+        return challenger_score > incumbent_score
+    return challenger.row_id < incumbent.row_id

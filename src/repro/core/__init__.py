@@ -1,0 +1,62 @@
+"""CrowdFill's formal model (paper section 2).
+
+This package implements the table model exactly as specified:
+
+- :mod:`repro.core.schema` — column definitions, data types, domains,
+  and the primary key (section 2.1).
+- :mod:`repro.core.scoring` — vote-aggregation scoring functions with
+  the paper's monotonicity requirements (section 2.1).
+- :mod:`repro.core.row` — row values as partial tuples, with the
+  subsumption order used throughout the paper (sections 2.2-2.3).
+- :mod:`repro.core.table` — candidate tables, vote histories UH/DH,
+  message application, and final-table derivation (sections 2.2, 2.4).
+- :mod:`repro.core.messages` — the wire messages insert / replace /
+  upvote / downvote and the timestamped trace records kept for the
+  compensation scheme (sections 2.4, 5.2).
+- :mod:`repro.core.replica` — one copy of the candidate table (the
+  server's master or a client's local copy) generating and applying
+  operations per section 2.4.
+"""
+
+from repro.core.messages import (
+    DownvoteMessage,
+    InsertMessage,
+    Message,
+    ReplaceMessage,
+    TraceRecord,
+    UpvoteMessage,
+)
+from repro.core.row import Row, RowValue
+from repro.core.replica import OperationError, Replica
+from repro.core.schema import Column, DataType, Schema, SchemaError
+from repro.core.scoring import (
+    DefaultScoring,
+    ScoringError,
+    ScoringFunction,
+    ThresholdScoring,
+    validate_scoring,
+)
+from repro.core.table import CandidateTable
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Schema",
+    "SchemaError",
+    "Row",
+    "RowValue",
+    "DefaultScoring",
+    "ThresholdScoring",
+    "ScoringFunction",
+    "ScoringError",
+    "validate_scoring",
+    "CandidateTable",
+    "Message",
+    "InsertMessage",
+    "ReplaceMessage",
+    "UpvoteMessage",
+    "DownvoteMessage",
+    "TraceRecord",
+    "Replica",
+    "OperationError",
+]

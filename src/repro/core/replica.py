@@ -1,0 +1,151 @@
+"""A replica: one copy of the candidate table that generates operations.
+
+Section 2.4's "Applying locally-generated operations": when the local
+worker performs a primitive operation, the replica applies it to its own
+copy and emits the corresponding message for the server.  The paper
+observes that applying a local operation is *equivalent* to processing
+its message, so this implementation constructs the message first and
+applies it — one code path, by construction equivalent.
+
+Local operations validate preconditions (fill targets an existing row's
+empty cell; upvote needs a complete row; downvote needs a partial row);
+remote messages are applied unconditionally per the specification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.core.messages import (
+    DownvoteMessage,
+    InsertMessage,
+    Message,
+    ReplaceMessage,
+    UpvoteMessage,
+)
+from repro.core.row import Row, RowValue
+from repro.core.schema import Schema, SchemaError
+from repro.core.scoring import ScoringFunction
+from repro.core.table import CandidateTable
+
+
+class OperationError(ValueError):
+    """A primitive operation's precondition is violated."""
+
+
+class Replica:
+    """One copy of the candidate table with operation generation.
+
+    Attributes:
+        name: globally-unique replica name; row identifiers generated
+            here are prefixed with it, which realizes the model's
+            assumption of globally-unique identifiers.
+        table: this replica's :class:`CandidateTable` copy.
+    """
+
+    def __init__(
+        self, name: str, schema: Schema, scoring: ScoringFunction
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.table = CandidateTable(schema, scoring)
+        self._row_counter = itertools.count(1)
+        self.messages_processed = 0
+
+    def _fresh_row_id(self) -> str:
+        return f"{self.name}#{next(self._row_counter)}"
+
+    # -- locally-generated operations -----------------------------------------
+
+    def insert(self) -> InsertMessage:
+        """insert(r): add a new empty row locally; return the message."""
+        message = InsertMessage(row_id=self._fresh_row_id())
+        message.apply(self.table)
+        return message
+
+    def fill(self, row_id: str, column: str, value: Any) -> ReplaceMessage:
+        """fill(r, A, v): fill an empty cell; returns replace(r, q, v̄).
+
+        Raises:
+            OperationError: unknown row, already-filled column, or a
+                value violating the column's type/domain.
+        """
+        row = self.table.get(row_id)
+        if row is None:
+            raise OperationError(f"no row {row_id!r} in replica {self.name!r}")
+        if column in row.value.filled_columns():
+            raise OperationError(
+                f"column {column!r} of row {row_id!r} is already filled"
+            )
+        try:
+            self.schema.validate_value(column, value)
+        except SchemaError as exc:
+            raise OperationError(str(exc)) from exc
+        new_value = row.value.with_value(column, value)
+        message = ReplaceMessage(
+            old_id=row_id,
+            new_id=self._fresh_row_id(),
+            value=new_value,
+            column=column,
+            filled_value=value,
+        )
+        message.apply(self.table)
+        return message
+
+    def upvote(self, row_id: str, auto: bool = False) -> UpvoteMessage:
+        """upvote(r): endorse a complete row.
+
+        Raises:
+            OperationError: unknown row or incomplete row.
+        """
+        row = self.table.get(row_id)
+        if row is None:
+            raise OperationError(f"no row {row_id!r} in replica {self.name!r}")
+        if not row.value.is_complete(self.schema.column_names):
+            raise OperationError(f"row {row_id!r} is not complete; cannot upvote")
+        message = UpvoteMessage(value=row.value, auto=auto)
+        message.apply(self.table)
+        return message
+
+    def downvote(self, row_id: str) -> DownvoteMessage:
+        """downvote(r): refute a partial row (one or more values).
+
+        Raises:
+            OperationError: unknown row or empty row.
+        """
+        row = self.table.get(row_id)
+        if row is None:
+            raise OperationError(f"no row {row_id!r} in replica {self.name!r}")
+        if row.value.is_empty:
+            raise OperationError(f"row {row_id!r} is empty; cannot downvote")
+        message = DownvoteMessage(value=row.value)
+        message.apply(self.table)
+        return message
+
+    def upvote_value(self, value: RowValue, auto: bool = False) -> UpvoteMessage:
+        """Upvote by value-vector (used by the Central Client when it
+        endorses complete template rows during initialization)."""
+        if not value.is_complete(self.schema.column_names):
+            raise OperationError("can only upvote complete value-vectors")
+        message = UpvoteMessage(value=value, auto=auto)
+        message.apply(self.table)
+        return message
+
+    # -- remote messages -------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Process a message forwarded by the server (or, at the server,
+        received from a client)."""
+        message.apply(self.table)
+        self.messages_processed += 1
+
+    # -- convenience -----------------------------------------------------------
+
+    def row(self, row_id: str) -> Row:
+        """This replica's copy of row *row_id* (KeyError on miss)."""
+        return self.table.row(row_id)
+
+    def snapshot(self) -> frozenset:
+        """Hashable table snapshot (rows + vote counts)."""
+        return self.table.snapshot()

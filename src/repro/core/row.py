@@ -1,0 +1,197 @@
+"""Row values and rows.
+
+The paper distinguishes a row's *identifier* r from its *value* r̄ — a
+partial assignment of columns to values (section 2.3).  Value-vectors
+are the unit of comparison everywhere: vote histories UH/DH are keyed by
+them, downvotes apply to every row whose value is a superset of the
+downvoted vector, and template subsumption (s ⊇ t) is defined on them.
+
+:class:`RowValue` is therefore immutable and hashable; :class:`Row`
+pairs an identifier and a value with its mutable vote counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ItemsView, Iterator, Mapping
+
+
+class RowValue(Mapping[str, Any]):
+    """An immutable partial assignment of column names to values.
+
+    The subsumption order of the paper is exposed as :meth:`subsumes`
+    (⊇) and :meth:`issubset` (⊆).  An empty RowValue is the value of an
+    empty row.
+
+    Example:
+        >>> partial = RowValue({"name": "Messi"})
+        >>> fuller = partial.with_value("nationality", "Argentina")
+        >>> fuller.subsumes(partial)
+        True
+        >>> partial.subsumes(fuller)
+        False
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, values: Mapping[str, Any] | None = None) -> None:
+        items = dict(values or {})
+        for column in items:
+            if not isinstance(column, str):
+                raise TypeError(f"column names must be strings, got {column!r}")
+        self._items: tuple[tuple[str, Any], ...] = tuple(
+            sorted(items.items(), key=lambda kv: kv[0])
+        )
+        self._hash = hash(self._items)
+
+    # -- Mapping interface ---------------------------------------------------
+
+    def __getitem__(self, column: str) -> Any:
+        for name, value in self._items:
+            if name == column:
+                return value
+        raise KeyError(column)
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowValue):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return self._items == RowValue(other)._items
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"RowValue({inner})"
+
+    # -- model operations ----------------------------------------------------
+
+    def items_tuple(self) -> tuple[tuple[str, Any], ...]:
+        """The sorted (column, value) pairs backing this value."""
+        return self._items
+
+    def subsumes(self, other: "RowValue") -> bool:
+        """True when self ⊇ other: every pair of *other* appears in self."""
+        mine = dict(self._items)
+        return all(
+            column in mine and mine[column] == value
+            for column, value in other._items
+        )
+
+    def issubset(self, other: "RowValue") -> bool:
+        """True when self ⊆ other."""
+        return other.subsumes(self)
+
+    def with_value(self, column: str, value: Any) -> "RowValue":
+        """A new value with *column* additionally filled in.
+
+        Raises:
+            ValueError: if *column* is already filled (the model's fill
+                applies only to empty cells).
+        """
+        current = dict(self._items)
+        if column in current:
+            raise ValueError(f"column {column!r} already filled")
+        current[column] = value
+        return RowValue(current)
+
+    def without_column(self, column: str) -> "RowValue":
+        """A new value with *column* removed (used by the modify action)."""
+        return RowValue({k: v for k, v in self._items if k != column})
+
+    def merge(self, other: "RowValue") -> "RowValue":
+        """The union of two compatible partial values.
+
+        Raises:
+            ValueError: if the two assign different values to a column.
+        """
+        merged = dict(self._items)
+        for column, value in other._items:
+            if column in merged and merged[column] != value:
+                raise ValueError(
+                    f"conflicting values for {column!r}: "
+                    f"{merged[column]!r} vs {value!r}"
+                )
+            merged[column] = value
+        return RowValue(merged)
+
+    def compatible_with(self, other: "RowValue") -> bool:
+        """True when no column is assigned differently by the two values."""
+        mine = dict(self._items)
+        return all(
+            mine.get(column, value) == value for column, value in other._items
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the value of an empty row."""
+        return not self._items
+
+    def filled_columns(self) -> frozenset[str]:
+        """Names of the columns this value assigns."""
+        return frozenset(name for name, _ in self._items)
+
+    def is_complete(self, column_names: tuple[str, ...]) -> bool:
+        """True when every column in *column_names* is assigned."""
+        filled = self.filled_columns()
+        return all(name in filled for name in column_names)
+
+    def key(self, key_columns: tuple[str, ...]) -> tuple | None:
+        """The primary-key tuple, or None if any key column is empty."""
+        mine = dict(self._items)
+        if any(column not in mine for column in key_columns):
+            return None
+        return tuple(mine[column] for column in key_columns)
+
+    def missing_columns(self, column_names: tuple[str, ...]) -> tuple[str, ...]:
+        """Columns of *column_names* this value leaves empty, in order."""
+        filled = self.filled_columns()
+        return tuple(name for name in column_names if name not in filled)
+
+
+EMPTY_VALUE = RowValue()
+
+
+class Row:
+    """A candidate-table row: identifier, value, and vote counts.
+
+    Vote counts are mutable; identity and value are fixed — the model
+    replaces a row (new identifier) whenever a cell is filled, which is
+    the key ingredient enabling conflict-free concurrency (section
+    2.4.1).
+    """
+
+    __slots__ = ("row_id", "value", "upvotes", "downvotes")
+
+    def __init__(
+        self,
+        row_id: str,
+        value: RowValue = EMPTY_VALUE,
+        upvotes: int = 0,
+        downvotes: int = 0,
+    ) -> None:
+        self.row_id = row_id
+        self.value = value
+        self.upvotes = upvotes
+        self.downvotes = downvotes
+
+    def __repr__(self) -> str:
+        return (
+            f"Row({self.row_id!r}, {self.value!r}, "
+            f"u={self.upvotes}, d={self.downvotes})"
+        )
+
+    def snapshot(self) -> tuple[str, tuple[tuple[str, Any], ...], int, int]:
+        """A hashable snapshot used for convergence comparison."""
+        return (self.row_id, self.value.items_tuple(), self.upvotes, self.downvotes)
+
+    def items(self) -> ItemsView[str, Any]:
+        """The filled (column, value) pairs."""
+        return self.value.items()

@@ -1,0 +1,131 @@
+"""Scoring functions for vote aggregation.
+
+Paper section 2.1: the user provides f(u, d) over a row's upvote and
+downvote counts.  Requirements: f(0, 0) = 0; f is monotonically
+increasing in u and decreasing in d.  Interpretation: positive =
+acceptable, negative = not acceptable, zero = undecided.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+
+class ScoringError(ValueError):
+    """Raised when a scoring function violates the model's requirements."""
+
+
+@runtime_checkable
+class ScoringFunction(Protocol):
+    """Anything with a ``score(upvotes, downvotes) -> float`` method."""
+
+    def score(self, upvotes: int, downvotes: int) -> float:
+        """Aggregate vote counts into a score."""
+        ...
+
+
+class DefaultScoring:
+    """The paper's default: f(u, d) = u - d."""
+
+    def score(self, upvotes: int, downvotes: int) -> float:
+        return upvotes - downvotes
+
+    def __repr__(self) -> str:
+        return "DefaultScoring()"
+
+
+class ThresholdScoring:
+    """Majority voting with short-cutting (the running example).
+
+    f(u, d) = u - d when u + d >= min_votes, else 0.  With the default
+    ``min_votes=2`` this is the paper's "majority of three or more"
+    scheme: two agreeing votes short-cut the third.
+
+    Only 1 and 2 are legal thresholds: at min_votes >= 3 the function
+    stops being monotone in upvotes (f(0, 2) = 0 but f(1, 2) = -1 —
+    adding an upvote would *lower* the score), violating the model's
+    requirements from section 2.1.
+    """
+
+    def __init__(self, min_votes: int = 2) -> None:
+        if min_votes not in (1, 2):
+            raise ScoringError(
+                f"min_votes must be 1 or 2 (>= 3 breaks monotonicity), "
+                f"got {min_votes}"
+            )
+        self.min_votes = min_votes
+
+    def score(self, upvotes: int, downvotes: int) -> float:
+        if upvotes + downvotes >= self.min_votes:
+            return upvotes - downvotes
+        return 0
+
+    def __repr__(self) -> str:
+        return f"ThresholdScoring(min_votes={self.min_votes})"
+
+
+class CallableScoring:
+    """Adapt a plain ``f(u, d)`` callable to the protocol."""
+
+    def __init__(self, fn: Callable[[int, int], float], name: str = "custom") -> None:
+        self._fn = fn
+        self._name = name
+
+    def score(self, upvotes: int, downvotes: int) -> float:
+        return self._fn(upvotes, downvotes)
+
+    def __repr__(self) -> str:
+        return f"CallableScoring({self._name})"
+
+
+def scoring_to_dict(scoring: ScoringFunction) -> dict:
+    """JSON-serializable description of a built-in scoring function.
+
+    Raises:
+        ScoringError: for scoring objects with no serial form (e.g.
+            :class:`CallableScoring`).
+    """
+    if isinstance(scoring, DefaultScoring):
+        return {"kind": "default"}
+    if isinstance(scoring, ThresholdScoring):
+        return {"kind": "threshold", "min_votes": scoring.min_votes}
+    raise ScoringError(f"cannot serialize scoring function {scoring!r}")
+
+
+def scoring_from_dict(data: dict) -> ScoringFunction:
+    """Inverse of :func:`scoring_to_dict`."""
+    kind = data.get("kind", "default")
+    if kind == "default":
+        return DefaultScoring()
+    if kind == "threshold":
+        return ThresholdScoring(min_votes=int(data.get("min_votes", 2)))
+    raise ScoringError(f"unknown scoring kind: {kind!r}")
+
+
+def validate_scoring(scoring: ScoringFunction, max_votes: int = 12) -> None:
+    """Check the model's requirements on a vote grid.
+
+    Verifies f(0,0)=0, monotone non-decreasing in u, and monotone
+    non-increasing in d, for all u, d in [0, max_votes].
+
+    Raises:
+        ScoringError: at the first violated requirement.
+    """
+    if scoring.score(0, 0) != 0:
+        raise ScoringError(f"f(0, 0) must be 0, got {scoring.score(0, 0)}")
+    for d in range(max_votes + 1):
+        for u in range(max_votes):
+            if scoring.score(u, d) > scoring.score(u + 1, d):
+                raise ScoringError(
+                    f"f not monotone in upvotes at u={u}, d={d}: "
+                    f"f({u},{d})={scoring.score(u, d)} > "
+                    f"f({u + 1},{d})={scoring.score(u + 1, d)}"
+                )
+    for u in range(max_votes + 1):
+        for d in range(max_votes):
+            if scoring.score(u, d) < scoring.score(u, d + 1):
+                raise ScoringError(
+                    f"f not monotone in downvotes at u={u}, d={d}: "
+                    f"f({u},{d})={scoring.score(u, d)} < "
+                    f"f({u},{d + 1})={scoring.score(u, d + 1)}"
+                )

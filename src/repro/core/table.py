@@ -1,0 +1,301 @@
+"""The candidate table, vote histories, and final-table derivation.
+
+This module implements the message-processing specification of paper
+section 2.4 verbatim.  A :class:`CandidateTable` is one copy of the
+evolving table (the server's master or a client's local copy) together
+with its upvote history UH and downvote history DH, which map
+value-vectors to vote counts and are the mechanism behind the
+convergence theorem:
+
+- ``apply_insert(r)``   — new empty row, u = d = 0.
+- ``apply_replace(r, q, v)`` — delete r if present; insert q with value
+  v; u(q) = UH[v] if v is complete else 0; d(q) = Σ_{w ⊆ v} DH[w].
+- ``apply_upvote(v)``   — u += 1 for every row whose value equals v;
+  UH[v] += 1.
+- ``apply_downvote(v)`` — d += 1 for every row whose value ⊇ v;
+  DH[v] += 1.
+
+The final table (section 2.2) contains each complete row with positive
+score that has the highest score among rows sharing its primary key;
+ties are broken deterministically by smallest row identifier (section
+4.1 requires a deterministic tie-break for probable-row bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.row import EMPTY_VALUE, Row, RowValue
+from repro.core.schema import Schema
+from repro.core.scoring import ScoringFunction
+
+
+class CandidateTable:
+    """One copy of the evolving candidate table plus UH/DH histories."""
+
+    def __init__(self, schema: Schema, scoring: ScoringFunction) -> None:
+        self.schema = schema
+        self.scoring = scoring
+        self._rows: dict[str, Row] = {}
+        # Vote histories (section 2.4), keyed by value-vector.
+        self.upvote_history: dict[RowValue, int] = {}
+        self.downvote_history: dict[RowValue, int] = {}
+
+    # -- row access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row_id: str) -> bool:
+        return row_id in self._rows
+
+    def row(self, row_id: str) -> Row:
+        """Look up a row by identifier.
+
+        Raises:
+            KeyError: when no such row exists in this copy.
+        """
+        return self._rows[row_id]
+
+    def get(self, row_id: str) -> Row | None:
+        """Like :meth:`row` but returns None on a miss."""
+        return self._rows.get(row_id)
+
+    def rows(self) -> Iterator[Row]:
+        """All rows, in insertion order of this copy."""
+        return iter(self._rows.values())
+
+    def row_ids(self) -> list[str]:
+        """All row identifiers, in insertion order of this copy."""
+        return list(self._rows)
+
+    def rows_with_value(self, value: RowValue) -> list[Row]:
+        """Rows whose value equals *value* exactly."""
+        return [row for row in self._rows.values() if row.value == value]
+
+    def rows_subsuming(self, value: RowValue) -> list[Row]:
+        """Rows whose value is equal to or a superset of *value*."""
+        return [row for row in self._rows.values() if row.value.subsumes(value)]
+
+    def score(self, row: Row) -> float:
+        """The row's score under this table's scoring function."""
+        return self.scoring.score(row.upvotes, row.downvotes)
+
+    def load_row(
+        self, row_id: str, value: RowValue, upvotes: int, downvotes: int
+    ) -> Row:
+        """Install a row verbatim (bootstrap of a late-joining client).
+
+        Unlike the message-application methods this does not consult the
+        vote histories; the caller is copying a consistent master state.
+        """
+        if row_id in self._rows:
+            raise ValueError(f"duplicate row identifier {row_id!r}")
+        row = Row(row_id, value, upvotes, downvotes)
+        self._rows[row_id] = row
+        return row
+
+    # -- message application (section 2.4) -----------------------------------
+
+    def apply_insert(self, row_id: str) -> Row:
+        """Process an insert message: add an empty row with u = d = 0.
+
+        Raises:
+            ValueError: if the identifier already exists in this copy
+                (identifiers are globally unique by assumption).
+        """
+        if row_id in self._rows:
+            raise ValueError(f"duplicate row identifier {row_id!r}")
+        row = Row(row_id, EMPTY_VALUE)
+        self._rows[row_id] = row
+        return row
+
+    def apply_replace(self, old_id: str, new_id: str, value: RowValue) -> Row:
+        """Process a replace message per the specification.
+
+        If *old_id* is present it is deleted (it may legitimately be
+        absent when a concurrent replace already superseded it).  The
+        new row's vote counts are reconstructed from UH and DH, which
+        is what makes out-of-order vote/replace interleavings converge.
+        """
+        if new_id in self._rows:
+            raise ValueError(f"duplicate row identifier {new_id!r}")
+        self._rows.pop(old_id, None)
+        row = Row(new_id, value)
+        if value.is_complete(self.schema.column_names):
+            row.upvotes = self.upvote_history.get(value, 0)
+        else:
+            row.upvotes = 0
+        row.downvotes = sum(
+            count
+            for voted_value, count in self.downvote_history.items()
+            if voted_value.issubset(value)
+        )
+        self._rows[new_id] = row
+        return row
+
+    def apply_upvote(self, value: RowValue) -> int:
+        """Process an upvote message; returns the number of rows bumped."""
+        bumped = 0
+        for row in self._rows.values():
+            if row.value == value:
+                row.upvotes += 1
+                bumped += 1
+        self.upvote_history[value] = self.upvote_history.get(value, 0) + 1
+        return bumped
+
+    def apply_downvote(self, value: RowValue) -> int:
+        """Process a downvote message; returns the number of rows bumped."""
+        bumped = 0
+        for row in self._rows.values():
+            if row.value.subsumes(value):
+                row.downvotes += 1
+                bumped += 1
+        self.downvote_history[value] = self.downvote_history.get(value, 0) + 1
+        return bumped
+
+    def apply_undo_upvote(self, value: RowValue) -> int:
+        """Process an undo-upvote (extension, paper section 8).
+
+        Decrements the upvote count of rows with exactly *value* and the
+        UH entry, preserving the Lemma-3 invariants; undo messages
+        commute with votes the same way votes commute with each other,
+        so convergence is unaffected.
+
+        Raises:
+            ValueError: when UH records no upvote to undo.
+        """
+        if self.upvote_history.get(value, 0) <= 0:
+            raise ValueError(f"no upvote recorded for {value!r}")
+        bumped = 0
+        for row in self._rows.values():
+            if row.value == value:
+                row.upvotes -= 1
+                bumped += 1
+        self.upvote_history[value] -= 1
+        return bumped
+
+    def apply_undo_downvote(self, value: RowValue) -> int:
+        """Process an undo-downvote (extension, paper section 8)."""
+        if self.downvote_history.get(value, 0) <= 0:
+            raise ValueError(f"no downvote recorded for {value!r}")
+        bumped = 0
+        for row in self._rows.values():
+            if row.value.subsumes(value):
+                row.downvotes -= 1
+                bumped += 1
+        self.downvote_history[value] -= 1
+        return bumped
+
+    # -- final table (section 2.2) -------------------------------------------
+
+    def final_rows(self) -> list[Row]:
+        """Rows of the final table S derived from this candidate table.
+
+        Each complete row with positive score whose score is the highest
+        among rows with its primary key; ties broken by smallest row id.
+        """
+        key_columns = self.schema.key_columns
+        best: dict[tuple, Row] = {}
+        for row in self._rows.values():
+            if not row.value.is_complete(self.schema.column_names):
+                continue
+            if self.score(row) <= 0:
+                continue
+            key = row.value.key(key_columns)
+            assert key is not None  # complete rows have complete keys
+            incumbent = best.get(key)
+            if incumbent is None or self._beats(row, incumbent):
+                best[key] = row
+        return sorted(best.values(), key=lambda r: r.row_id)
+
+    def final_table(self) -> list[RowValue]:
+        """Final-table values (deduplicated, key-respecting)."""
+        return [row.value for row in self.final_rows()]
+
+    def _beats(self, challenger: Row, incumbent: Row) -> bool:
+        challenger_score = self.score(challenger)
+        incumbent_score = self.score(incumbent)
+        if challenger_score != incumbent_score:
+            return challenger_score > incumbent_score
+        return challenger.row_id < incumbent.row_id
+
+    # -- convergence/consistency helpers --------------------------------------
+
+    def snapshot(self) -> frozenset:
+        """A hashable snapshot of rows and vote counts.
+
+        Two copies of the table are "identical" in the convergence
+        theorem's sense exactly when their snapshots are equal.
+        """
+        return frozenset(row.snapshot() for row in self._rows.values())
+
+    def history_snapshot(self) -> tuple[frozenset, frozenset]:
+        """Hashable snapshot of (UH, DH)."""
+        return (
+            frozenset((v, n) for v, n in self.upvote_history.items() if n),
+            frozenset((v, n) for v, n in self.downvote_history.items() if n),
+        )
+
+    def check_vote_invariants(self) -> None:
+        """Assert Lemma 3: u(r) = UH[r̄] for complete rows, d(r) = Σ DH[w ⊆ r̄].
+
+        Raises:
+            AssertionError: when a row's counts deviate from the histories.
+        """
+        for row in self._rows.values():
+            if row.value.is_complete(self.schema.column_names):
+                expected_up = self.upvote_history.get(row.value, 0)
+                if row.upvotes != expected_up:
+                    raise AssertionError(
+                        f"row {row.row_id}: upvotes {row.upvotes} != "
+                        f"UH[value] {expected_up}"
+                    )
+            expected_down = sum(
+                count
+                for value, count in self.downvote_history.items()
+                if value.issubset(row.value)
+            )
+            if row.downvotes != expected_down:
+                raise AssertionError(
+                    f"row {row.row_id}: downvotes {row.downvotes} != "
+                    f"sum of DH subsets {expected_down}"
+                )
+
+    # -- presentation ---------------------------------------------------------
+
+    def render(self, max_rows: int | None = None) -> str:
+        """An ASCII rendering of the candidate table (for examples/demos)."""
+        headers = list(self.schema.column_names) + ["u", "d", "score"]
+        rows_out: list[list[str]] = []
+        for row in self._rows.values():
+            cells = [str(dict(row.value).get(c, "")) for c in self.schema.column_names]
+            cells += [str(row.upvotes), str(row.downvotes), str(self.score(row))]
+            rows_out.append(cells)
+            if max_rows is not None and len(rows_out) >= max_rows:
+                break
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows_out)) if rows_out
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for cells in rows_out:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """JSON-ready dump of every row (used by the front-end server)."""
+        return [
+            {
+                "row_id": row.row_id,
+                "value": dict(row.value),
+                "upvotes": row.upvotes,
+                "downvotes": row.downvotes,
+                "score": self.score(row),
+            }
+            for row in self._rows.values()
+        ]

@@ -1,0 +1,30 @@
+"""Synthetic ground-truth universes.
+
+The paper's experiments collect facts about real soccer players from
+human volunteers.  Without a crowd, this reproduction samples worker
+knowledge from deterministic synthetic universes: each universe is a
+complete "true" table from which simulated workers know a subset, make
+typos against, and judge other workers' entries.
+
+Three domains are provided (the paper's section 6 mentions experiments
+"using different schemas and workloads"):
+
+- :class:`SoccerPlayerUniverse` — the running example, with the
+  section 6 ``dob`` column and a caps distribution that makes
+  "80 <= caps <= 99" select a couple hundred players, mirroring the
+  paper's estimate of the eligible population.
+- :class:`CityUniverse` — city facts keyed by (name, country).
+- :class:`MovieUniverse` — movie facts keyed by (title, year).
+"""
+
+from repro.datasets.ground_truth import GroundTruth
+from repro.datasets.soccer import SoccerPlayerUniverse
+from repro.datasets.cities import CityUniverse
+from repro.datasets.movies import MovieUniverse
+
+__all__ = [
+    "GroundTruth",
+    "SoccerPlayerUniverse",
+    "CityUniverse",
+    "MovieUniverse",
+]

@@ -1,0 +1,79 @@
+"""Synthetic city-facts universe (a second data domain for section 6's
+"different schemas and workloads")."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.row import RowValue
+from repro.core.schema import Column, DataType, Schema
+from repro.datasets.ground_truth import GroundTruth
+
+_STEMS = [
+    "River", "Lake", "Stone", "Green", "North", "South", "East", "West",
+    "Oak", "Pine", "Silver", "Gold", "Iron", "Clear", "High", "Low",
+]
+_SUFFIXES = ["ton", "ville", "burg", "field", "port", "ford", "haven", "dale"]
+_COUNTRIES = [
+    "Atlantis", "Borduria", "Carpathia", "Dinotopia", "Elbonia",
+    "Freedonia", "Genovia", "Hyrule",
+]
+
+
+def city_schema() -> Schema:
+    """City(name, country, population, area_km2, founded)."""
+    return Schema(
+        name="City",
+        columns=(
+            Column("name", DataType.STRING, description="city name"),
+            Column("country", DataType.STRING, description="country"),
+            Column("population", DataType.INT, description="inhabitants"),
+            Column("area_km2", DataType.INT, description="area in km^2"),
+            Column("founded", DataType.INT, description="founding year"),
+        ),
+        primary_key=("name", "country"),
+    )
+
+
+class CityUniverse:
+    """A seeded universe of cities keyed by (name, country)."""
+
+    def __init__(self, seed: int = 0, size: int = 300) -> None:
+        if size < 1:
+            raise ValueError(f"size must be positive, got {size}")
+        self.seed = seed
+        self.size = size
+        self.schema = city_schema()
+        self._rows = self._generate()
+
+    def ground_truth(self) -> GroundTruth:
+        """The complete true table."""
+        return GroundTruth(self.schema, self._rows)
+
+    def _generate(self) -> list[RowValue]:
+        rng = random.Random(self.seed)
+        rows: list[RowValue] = []
+        seen: set[tuple[str, str]] = set()
+        while len(rows) < self.size:
+            name = rng.choice(_STEMS) + rng.choice(_SUFFIXES)
+            country = rng.choice(_COUNTRIES)
+            if (name, country) in seen:
+                name = f"New {name}"
+                if (name, country) in seen:
+                    continue
+            seen.add((name, country))
+            population = int(10 ** rng.uniform(3.5, 7.0))
+            area = max(1, round(population / rng.uniform(500, 5000)))
+            founded = rng.randint(900, 1950)
+            rows.append(
+                RowValue(
+                    {
+                        "name": name,
+                        "country": country,
+                        "population": population,
+                        "area_km2": area,
+                        "founded": founded,
+                    }
+                )
+            )
+        return rows

@@ -1,0 +1,82 @@
+"""Synthetic movie-facts universe (a third data domain)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.row import RowValue
+from repro.core.schema import Column, DataType, Schema
+from repro.datasets.ground_truth import GroundTruth
+
+_ADJECTIVES = [
+    "Silent", "Crimson", "Endless", "Broken", "Golden", "Hidden",
+    "Burning", "Frozen", "Midnight", "Electric", "Hollow", "Distant",
+]
+_NOUNS = [
+    "Horizon", "Garden", "Empire", "River", "Mirror", "Signal",
+    "Harvest", "Voyage", "Echo", "Cathedral", "Orchard", "Labyrinth",
+]
+_DIRECTORS = [
+    "A. Kurova", "B. Ferreira", "C. Lindqvist", "D. Okafor",
+    "E. Takahashi", "F. Moreau", "G. Petridis", "H. Winslow",
+]
+_GENRES = ["drama", "thriller", "comedy", "sci-fi", "documentary"]
+
+
+def movie_schema() -> Schema:
+    """Movie(title, year, director, runtime_min, genre)."""
+    return Schema(
+        name="Movie",
+        columns=(
+            Column("title", DataType.STRING, description="film title"),
+            Column("year", DataType.INT, description="release year"),
+            Column("director", DataType.STRING, description="director"),
+            Column("runtime_min", DataType.INT, description="runtime, minutes"),
+            Column(
+                "genre",
+                DataType.STRING,
+                domain=frozenset(_GENRES),
+                description="primary genre",
+            ),
+        ),
+        primary_key=("title", "year"),
+    )
+
+
+class MovieUniverse:
+    """A seeded universe of movies keyed by (title, year)."""
+
+    def __init__(self, seed: int = 0, size: int = 300) -> None:
+        if size < 1:
+            raise ValueError(f"size must be positive, got {size}")
+        self.seed = seed
+        self.size = size
+        self.schema = movie_schema()
+        self._rows = self._generate()
+
+    def ground_truth(self) -> GroundTruth:
+        """The complete true table."""
+        return GroundTruth(self.schema, self._rows)
+
+    def _generate(self) -> list[RowValue]:
+        rng = random.Random(self.seed)
+        rows: list[RowValue] = []
+        seen: set[tuple[str, int]] = set()
+        while len(rows) < self.size:
+            title = f"The {rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)}"
+            year = rng.randint(1950, 2013)
+            if (title, year) in seen:
+                continue
+            seen.add((title, year))
+            rows.append(
+                RowValue(
+                    {
+                        "title": title,
+                        "year": year,
+                        "director": rng.choice(_DIRECTORS),
+                        "runtime_min": rng.randint(74, 195),
+                        "genre": rng.choice(_GENRES),
+                    }
+                )
+            )
+        return rows

@@ -1,0 +1,31 @@
+"""In-memory document store.
+
+The paper's front-end server keeps table specifications and collected
+data in MongoDB (section 3.2).  This package is a self-contained
+substitute offering the subset of the MongoDB surface the front-end
+needs: named collections of JSON-like documents, filter queries with
+``$``-operators, update operators, unique and non-unique indexes, and
+JSON snapshot persistence.
+"""
+
+from repro.docstore.collection import Collection
+from repro.docstore.database import Database
+from repro.docstore.errors import (
+    DocStoreError,
+    DuplicateKeyError,
+    QueryError,
+    UpdateError,
+)
+from repro.docstore.query import matches_filter
+from repro.docstore.update import apply_update
+
+__all__ = [
+    "Collection",
+    "Database",
+    "DocStoreError",
+    "DuplicateKeyError",
+    "QueryError",
+    "UpdateError",
+    "matches_filter",
+    "apply_update",
+]

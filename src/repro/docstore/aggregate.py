@@ -1,0 +1,166 @@
+"""Aggregation pipelines over collections.
+
+A practical subset of MongoDB's aggregation framework, enough for the
+front-end's bookkeeping queries (per-worker activity summaries over the
+stored action trace):
+
+- ``$match``  — filter documents (same syntax as ``find``);
+- ``$sort``   — list of (field, 1|-1), missing-first semantics;
+- ``$skip`` / ``$limit``;
+- ``$project``— keep the named fields (1) only;
+- ``$group``  — group by ``_id`` (a ``$field`` path or None) with the
+  accumulators ``$sum`` (number or ``$field``), ``$avg``, ``$min``,
+  ``$max``, ``$count``, ``$push``, ``$addToSet``, ``$first``, ``$last``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.docstore.errors import QueryError
+from repro.docstore.query import matches_filter, resolve_path
+
+
+def run_pipeline(
+    documents: Sequence[Mapping[str, Any]],
+    pipeline: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Run *pipeline* over *documents*; returns new result documents.
+
+    Raises:
+        QueryError: on unknown stages or malformed specifications.
+    """
+    current: list[dict[str, Any]] = [dict(doc) for doc in documents]
+    for stage in pipeline:
+        if len(stage) != 1:
+            raise QueryError(f"each stage needs exactly one operator: {stage}")
+        operator, spec = next(iter(stage.items()))
+        if operator == "$match":
+            current = [doc for doc in current if matches_filter(doc, spec)]
+        elif operator == "$sort":
+            current = _sort(current, spec)
+        elif operator == "$skip":
+            current = current[int(spec):]
+        elif operator == "$limit":
+            current = current[: int(spec)]
+        elif operator == "$project":
+            current = _project(current, spec)
+        elif operator == "$group":
+            current = _group(current, spec)
+        else:
+            raise QueryError(f"unknown pipeline stage: {operator!r}")
+    return current
+
+
+def _sort(
+    documents: list[dict[str, Any]], spec: Any
+) -> list[dict[str, Any]]:
+    if isinstance(spec, Mapping):
+        spec = list(spec.items())
+    result = list(documents)
+    for field, direction in reversed(list(spec)):
+        if direction not in (1, -1):
+            raise QueryError(f"sort direction must be 1 or -1: {direction}")
+        result.sort(
+            key=lambda doc: _sort_key(doc, field), reverse=(direction == -1)
+        )
+    return result
+
+
+def _sort_key(document: Mapping[str, Any], field: str) -> tuple:
+    found, value = resolve_path(document, field)
+    if not found or value is None:
+        return (0, "", "")
+    return (1, type(value).__name__, value)
+
+
+def _project(
+    documents: list[dict[str, Any]], spec: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    keep = {field for field, flag in spec.items() if flag}
+    return [
+        {key: value for key, value in doc.items() if key in keep or key == "_id"}
+        for doc in documents
+    ]
+
+
+def _group(
+    documents: list[dict[str, Any]], spec: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id")
+    key_spec = spec["_id"]
+    groups: dict[Any, list[dict[str, Any]]] = {}
+    order: list[Any] = []
+    for doc in documents:
+        key = _evaluate(doc, key_spec)
+        hashable = key if _hashable(key) else repr(key)
+        if hashable not in groups:
+            groups[hashable] = []
+            order.append((hashable, key))
+        groups[hashable].append(doc)
+
+    results = []
+    for hashable, key in order:
+        members = groups[hashable]
+        out: dict[str, Any] = {"_id": key}
+        for field, accumulator in spec.items():
+            if field == "_id":
+                continue
+            out[field] = _accumulate(members, accumulator)
+        results.append(out)
+    return results
+
+
+def _accumulate(
+    members: list[dict[str, Any]], accumulator: Any
+) -> Any:
+    if not isinstance(accumulator, Mapping) or len(accumulator) != 1:
+        raise QueryError(f"bad accumulator: {accumulator!r}")
+    operator, operand = next(iter(accumulator.items()))
+    if operator == "$count":
+        return len(members)
+    if operator == "$sum" and isinstance(operand, (int, float)):
+        return operand * len(members)
+    values = [
+        value
+        for doc in members
+        if (value := _evaluate(doc, operand)) is not None
+    ]
+    if operator == "$sum":
+        return sum(values) if values else 0
+    if operator == "$avg":
+        return sum(values) / len(values) if values else None
+    if operator == "$min":
+        return min(values) if values else None
+    if operator == "$max":
+        return max(values) if values else None
+    if operator == "$push":
+        return values
+    if operator == "$addToSet":
+        unique: list[Any] = []
+        for value in values:
+            if value not in unique:
+                unique.append(value)
+        return unique
+    if operator == "$first":
+        return values[0] if values else None
+    if operator == "$last":
+        return values[-1] if values else None
+    raise QueryError(f"unknown accumulator: {operator!r}")
+
+
+def _evaluate(document: Mapping[str, Any], expression: Any) -> Any:
+    """``$field`` paths resolve into the document; literals pass through."""
+    if isinstance(expression, str) and expression.startswith("$"):
+        found, value = resolve_path(document, expression[1:])
+        return value if found else None
+    return expression
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True

@@ -1,0 +1,342 @@
+"""A collection of documents with filters, updates, and indexes."""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.docstore.errors import DocStoreError, DuplicateKeyError, QueryError
+from repro.docstore.query import matches_filter, resolve_path
+from repro.docstore.update import apply_update
+
+
+class _Index:
+    """An equality index on one dotted field path."""
+
+    def __init__(self, field: str, unique: bool) -> None:
+        self.field = field
+        self.unique = unique
+        # Hashable value -> set of _ids.  Unhashable values fall back to scan.
+        self.entries: dict[Any, set[str]] = {}
+
+    def key_for(self, document: Mapping[str, Any]) -> Any:
+        found, value = resolve_path(document, self.field)
+        if not found:
+            return None
+        try:
+            hash(value)
+        except TypeError:
+            return None
+        return (type(value).__name__, value)
+
+    def add(self, document: Mapping[str, Any]) -> None:
+        key = self.key_for(document)
+        if key is None:
+            return
+        ids = self.entries.setdefault(key, set())
+        if self.unique and ids:
+            found, value = resolve_path(document, self.field)
+            raise DuplicateKeyError(self.field, value)
+        ids.add(document["_id"])
+
+    def remove(self, document: Mapping[str, Any]) -> None:
+        key = self.key_for(document)
+        if key is None:
+            return
+        ids = self.entries.get(key)
+        if ids is not None:
+            ids.discard(document["_id"])
+            if not ids:
+                del self.entries[key]
+
+
+class Collection:
+    """An ordered, indexed set of documents.
+
+    Documents are plain dicts.  Every document gets a string ``_id``
+    (auto-generated when absent).  All reads return deep copies, so
+    callers can never corrupt stored state by mutating results.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: dict[str, dict[str, Any]] = {}
+        self._insertion_order: list[str] = []
+        self._indexes: dict[str, _Index] = {}
+        self._id_counter = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- index management -------------------------------------------------
+
+    def create_index(self, field: str, unique: bool = False) -> None:
+        """Create an equality index on *field* (dotted paths allowed).
+
+        Raises:
+            DuplicateKeyError: if *unique* and existing data violates it.
+        """
+        if field in self._indexes:
+            existing = self._indexes[field]
+            if existing.unique != unique:
+                raise DocStoreError(
+                    f"index on {field!r} already exists with unique="
+                    f"{existing.unique}"
+                )
+            return
+        index = _Index(field, unique)
+        for doc_id in self._insertion_order:
+            index.add(self._documents[doc_id])
+        self._indexes[field] = index
+
+    def drop_index(self, field: str) -> None:
+        """Remove the index on *field* if present."""
+        self._indexes.pop(field, None)
+
+    def index_fields(self) -> list[str]:
+        """Fields that currently have an index."""
+        return sorted(self._indexes)
+
+    # -- writes ------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> str:
+        """Insert a copy of *document*; returns its ``_id``."""
+        doc = copy.deepcopy(dict(document))
+        doc_id = doc.get("_id")
+        if doc_id is None:
+            doc_id = f"{self.name}:{next(self._id_counter)}"
+            doc["_id"] = doc_id
+        elif not isinstance(doc_id, str):
+            raise DocStoreError("_id must be a string")
+        if doc_id in self._documents:
+            raise DuplicateKeyError("_id", doc_id)
+        for index in self._indexes.values():
+            index.add(doc)  # may raise DuplicateKeyError before commit
+        self._documents[doc_id] = doc
+        self._insertion_order.append(doc_id)
+        return doc_id
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[str]:
+        """Insert several documents; stops at (and raises) the first error."""
+        return [self.insert_one(doc) for doc in documents]
+
+    def update_one(
+        self,
+        flt: Mapping[str, Any],
+        update: Mapping[str, Any],
+        upsert: bool = False,
+    ) -> int:
+        """Apply *update* to the first match; returns modified count (0/1).
+
+        With *upsert*, a miss inserts the filter's equality fields merged
+        with the update applied.
+        """
+        for doc_id in self._insertion_order:
+            if matches_filter(self._documents[doc_id], flt):
+                self._replace(doc_id, apply_update(self._documents[doc_id], update))
+                return 1
+        if upsert:
+            seed = {
+                k: copy.deepcopy(v)
+                for k, v in flt.items()
+                if not k.startswith("$")
+                and not (isinstance(v, Mapping) and any(
+                    key.startswith("$") for key in v
+                ))
+            }
+            self.insert_one(apply_update(seed, update))
+            return 1
+        return 0
+
+    def update_many(
+        self, flt: Mapping[str, Any], update: Mapping[str, Any]
+    ) -> int:
+        """Apply *update* to every match; returns the modified count."""
+        matched = [
+            doc_id
+            for doc_id in self._insertion_order
+            if matches_filter(self._documents[doc_id], flt)
+        ]
+        for doc_id in matched:
+            self._replace(doc_id, apply_update(self._documents[doc_id], update))
+        return len(matched)
+
+    def replace_one(
+        self, flt: Mapping[str, Any], document: Mapping[str, Any]
+    ) -> int:
+        """Replace the first match wholesale; returns modified count."""
+        replacement = {k: v for k, v in document.items() if k != "_id"}
+        return self.update_one(flt, replacement)
+
+    def delete_one(self, flt: Mapping[str, Any]) -> int:
+        """Delete the first match; returns deleted count (0/1)."""
+        for doc_id in self._insertion_order:
+            if matches_filter(self._documents[doc_id], flt):
+                self._remove(doc_id)
+                return 1
+        return 0
+
+    def delete_many(self, flt: Mapping[str, Any]) -> int:
+        """Delete every match; returns the deleted count."""
+        matched = [
+            doc_id
+            for doc_id in self._insertion_order
+            if matches_filter(self._documents[doc_id], flt)
+        ]
+        for doc_id in matched:
+            self._remove(doc_id)
+        return len(matched)
+
+    # -- reads ---------------------------------------------------------------
+
+    def find(
+        self,
+        flt: Mapping[str, Any] | None = None,
+        sort: list[tuple[str, int]] | None = None,
+        skip: int = 0,
+        limit: int | None = None,
+        projection: Iterable[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Return matching documents (deep copies), in insertion order.
+
+        Args:
+            flt: filter document; None matches everything.
+            sort: list of (field, direction) with direction 1 or -1.
+            skip: number of leading results to drop.
+            limit: maximum number of results.
+            projection: keep only these top-level fields (plus ``_id``).
+        """
+        results = list(self._iter_matches(flt or {}))
+        if sort:
+            for field, direction in reversed(sort):
+                if direction not in (1, -1):
+                    raise QueryError(f"sort direction must be 1 or -1: {direction}")
+                results.sort(
+                    key=lambda doc: _sort_key(doc, field),
+                    reverse=(direction == -1),
+                )
+        if skip:
+            results = results[skip:]
+        if limit is not None:
+            results = results[:limit]
+        if projection is not None:
+            keep = set(projection) | {"_id"}
+            results = [{k: v for k, v in doc.items() if k in keep} for doc in results]
+        return [copy.deepcopy(doc) for doc in results]
+
+    def find_one(self, flt: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        """Return the first match (a deep copy) or None."""
+        for doc in self._iter_matches(flt or {}):
+            return copy.deepcopy(doc)
+        return None
+
+    def count(self, flt: Mapping[str, Any] | None = None) -> int:
+        """Number of documents matching *flt*."""
+        if not flt:
+            return len(self._documents)
+        return sum(1 for _ in self._iter_matches(flt))
+
+    def distinct(self, field: str, flt: Mapping[str, Any] | None = None) -> list[Any]:
+        """Distinct values of *field* over matching documents."""
+        seen: list[Any] = []
+        for doc in self._iter_matches(flt or {}):
+            found, value = resolve_path(doc, field)
+            if found and value not in seen:
+                seen.append(value)
+        return seen
+
+    def aggregate(
+        self, pipeline: list[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline (see :mod:`repro.docstore.aggregate`).
+
+        Example:
+            >>> coll = Collection("t")
+            >>> _ = coll.insert_many([{"k": "a", "n": 1}, {"k": "a", "n": 3}])
+            >>> coll.aggregate([
+            ...     {"$group": {"_id": "$k", "total": {"$sum": "$n"}}},
+            ... ])
+            [{'_id': 'a', 'total': 4}]
+        """
+        from repro.docstore.aggregate import run_pipeline
+
+        return run_pipeline(self.dump(), pipeline)
+
+    # -- persistence -----------------------------------------------------
+
+    def dump(self) -> list[dict[str, Any]]:
+        """All documents, in insertion order (deep copies)."""
+        return [
+            copy.deepcopy(self._documents[doc_id])
+            for doc_id in self._insertion_order
+        ]
+
+    # -- internals ---------------------------------------------------------
+
+    def _iter_matches(self, flt: Mapping[str, Any]) -> Iterator[dict[str, Any]]:
+        candidate_ids = self._candidates_from_indexes(flt)
+        if candidate_ids is None:
+            order = self._insertion_order
+        else:
+            order = [i for i in self._insertion_order if i in candidate_ids]
+        for doc_id in order:
+            document = self._documents[doc_id]
+            if matches_filter(document, flt):
+                yield document
+
+    def _candidates_from_indexes(self, flt: Mapping[str, Any]) -> set[str] | None:
+        """Use the first applicable equality index to narrow the scan."""
+        for field, condition in flt.items():
+            if field.startswith("$"):
+                continue
+            index = self._indexes.get(field)
+            if index is None:
+                continue
+            if isinstance(condition, Mapping) and any(
+                k.startswith("$") for k in condition
+            ):
+                if set(condition) == {"$eq"}:
+                    condition = condition["$eq"]
+                else:
+                    continue
+            try:
+                hash(condition)
+            except TypeError:
+                continue
+            key = (type(condition).__name__, condition)
+            return set(index.entries.get(key, set()))
+        return None
+
+    def _replace(self, doc_id: str, new_document: dict[str, Any]) -> None:
+        old = self._documents[doc_id]
+        if new_document.get("_id", doc_id) != doc_id:
+            raise DocStoreError("updates may not change _id")
+        new_document["_id"] = doc_id
+        for index in self._indexes.values():
+            index.remove(old)
+        try:
+            for index in self._indexes.values():
+                index.add(new_document)
+        except DuplicateKeyError:
+            # Roll back: restore old index entries, keep old document.
+            for index in self._indexes.values():
+                index.remove(new_document)
+            for index in self._indexes.values():
+                index.add(old)
+            raise
+        self._documents[doc_id] = new_document
+
+    def _remove(self, doc_id: str) -> None:
+        document = self._documents.pop(doc_id)
+        self._insertion_order.remove(doc_id)
+        for index in self._indexes.values():
+            index.remove(document)
+
+
+def _sort_key(document: Mapping[str, Any], field: str) -> tuple[int, Any]:
+    """Missing fields sort first; mixed types sort by type name."""
+    found, value = resolve_path(document, field)
+    if not found or value is None:
+        return (0, "", "")
+    return (1, type(value).__name__, value)

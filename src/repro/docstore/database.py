@@ -1,0 +1,67 @@
+"""A database: a namespace of collections with JSON snapshotting."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.docstore.collection import Collection
+from repro.docstore.errors import DocStoreError
+
+
+class Database:
+    """Named collections, created on first access.
+
+    Example:
+        >>> db = Database("crowdfill")
+        >>> _ = db.collection("specs").insert_one({"name": "SoccerPlayer"})
+        >>> db.collection("specs").count()
+        1
+    """
+
+    def __init__(self, name: str = "crowdfill") -> None:
+        self.name = name
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Return (creating if needed) the collection called *name*."""
+        if not name or "." in name:
+            raise DocStoreError(f"invalid collection name: {name!r}")
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def collection_names(self) -> list[str]:
+        """Names of all existing collections."""
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        """Delete a collection and all its documents."""
+        self._collections.pop(name, None)
+
+    # -- persistence -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of every collection."""
+        return {
+            "database": self.name,
+            "collections": {
+                name: coll.dump() for name, coll in self._collections.items()
+            },
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Write a JSON snapshot to *path*."""
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.snapshot(), f, indent=2, sort_keys=True, default=str)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        """Re-create a database from a JSON snapshot."""
+        with open(path, encoding="utf-8") as f:
+            snapshot = json.load(f)
+        db = cls(snapshot.get("database", "crowdfill"))
+        for name, documents in snapshot.get("collections", {}).items():
+            db.collection(name).insert_many(documents)
+        return db

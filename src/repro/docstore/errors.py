@@ -1,0 +1,26 @@
+"""Exceptions raised by the document store."""
+
+from __future__ import annotations
+
+
+class DocStoreError(Exception):
+    """Base class for all document-store errors."""
+
+
+class QueryError(DocStoreError):
+    """A filter document is malformed (unknown operator, bad operand)."""
+
+
+class UpdateError(DocStoreError):
+    """An update document is malformed or conflicts with the target."""
+
+
+class DuplicateKeyError(DocStoreError):
+    """An insert or update violates a unique index."""
+
+    def __init__(self, index_field: str, value: object) -> None:
+        super().__init__(
+            f"duplicate value {value!r} for unique index on {index_field!r}"
+        )
+        self.index_field = index_field
+        self.value = value

@@ -1,0 +1,145 @@
+"""Filter-document evaluation.
+
+Supports a practical subset of MongoDB's query language:
+
+- equality: ``{"name": "Messi"}``
+- comparison operators: ``$eq $ne $gt $gte $lt $lte``
+- membership: ``$in $nin``
+- existence: ``$exists``
+- regular expressions: ``$regex``
+- logical combinators: ``$and $or $nor $not``
+- dotted paths into nested documents: ``{"spec.schema.name": "..."}``
+
+Comparison operators never match across incomparable types (mirroring
+the BSON type-bracketing behaviour closely enough for our use).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping, Sequence
+
+from repro.docstore.errors import QueryError
+
+_COMPARISONS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte"}
+_LOGICAL = {"$and", "$or", "$nor"}
+
+
+def resolve_path(document: Mapping[str, Any], path: str) -> tuple[bool, Any]:
+    """Follow a dotted *path* into *document*.
+
+    Returns:
+        ``(found, value)`` — *found* is False when any path segment is
+        missing or traverses a non-mapping.
+    """
+    current: Any = document
+    for segment in path.split("."):
+        if isinstance(current, Mapping) and segment in current:
+            current = current[segment]
+        else:
+            return False, None
+    return True, current
+
+
+def matches_filter(document: Mapping[str, Any], flt: Mapping[str, Any]) -> bool:
+    """Return True when *document* satisfies filter *flt*.
+
+    Raises:
+        QueryError: on malformed filters.
+    """
+    for key, condition in flt.items():
+        if key in _LOGICAL:
+            if not _match_logical(document, key, condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator: {key!r}")
+        else:
+            if not _match_field(document, key, condition):
+                return False
+    return True
+
+
+def _match_logical(
+    document: Mapping[str, Any], operator: str, operand: Any
+) -> bool:
+    if not isinstance(operand, Sequence) or isinstance(operand, (str, bytes)):
+        raise QueryError(f"{operator} requires a list of filters")
+    results = [matches_filter(document, sub) for sub in operand]
+    if operator == "$and":
+        return all(results)
+    if operator == "$or":
+        return any(results)
+    return not any(results)  # $nor
+
+
+def _match_field(document: Mapping[str, Any], path: str, condition: Any) -> bool:
+    found, value = resolve_path(document, path)
+    if isinstance(condition, Mapping) and any(
+        k.startswith("$") for k in condition
+    ):
+        return _match_operators(found, value, condition)
+    # Plain equality (including equality against a literal sub-document).
+    return found and _values_equal(value, condition)
+
+
+def _match_operators(found: bool, value: Any, spec: Mapping[str, Any]) -> bool:
+    for operator, operand in spec.items():
+        if operator == "$exists":
+            if bool(operand) != found:
+                return False
+        elif operator == "$not":
+            if not isinstance(operand, Mapping):
+                raise QueryError("$not requires an operator document")
+            if _match_operators(found, value, operand):
+                return False
+        elif operator == "$in":
+            if not _is_sequence(operand):
+                raise QueryError("$in requires a list")
+            if not (found and any(_values_equal(value, x) for x in operand)):
+                return False
+        elif operator == "$nin":
+            if not _is_sequence(operand):
+                raise QueryError("$nin requires a list")
+            if found and any(_values_equal(value, x) for x in operand):
+                return False
+        elif operator == "$regex":
+            if not found or not isinstance(value, str):
+                return False
+            if re.search(operand, value) is None:
+                return False
+        elif operator in _COMPARISONS:
+            if not _compare(found, value, operator, operand):
+                return False
+        else:
+            raise QueryError(f"unknown operator: {operator!r}")
+    return True
+
+
+def _compare(found: bool, value: Any, operator: str, operand: Any) -> bool:
+    if operator == "$eq":
+        return found and _values_equal(value, operand)
+    if operator == "$ne":
+        return not (found and _values_equal(value, operand))
+    if not found:
+        return False
+    try:
+        if operator == "$gt":
+            return value > operand
+        if operator == "$gte":
+            return value >= operand
+        if operator == "$lt":
+            return value < operand
+        return value <= operand  # $lte
+    except TypeError:
+        return False  # incomparable types never match range operators
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    # bool is an int subclass in Python; keep True != 1 like BSON does.
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    return a == b
+
+
+def _is_sequence(x: Any) -> bool:
+    return isinstance(x, Sequence) and not isinstance(x, (str, bytes))

@@ -1,0 +1,153 @@
+"""Update-document evaluation.
+
+Supports ``$set``, ``$unset``, ``$inc``, ``$mul``, ``$push``, ``$pull``,
+``$addToSet``, ``$rename``, ``$min``, ``$max`` with dotted paths, plus
+whole-document replacement when the update has no ``$`` keys.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Mapping, MutableMapping
+
+from repro.docstore.errors import UpdateError
+
+_KNOWN = {
+    "$set",
+    "$unset",
+    "$inc",
+    "$mul",
+    "$push",
+    "$pull",
+    "$addToSet",
+    "$rename",
+    "$min",
+    "$max",
+}
+
+
+def apply_update(
+    document: Mapping[str, Any], update: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Return a new document: *update* applied to a copy of *document*.
+
+    The input document is never mutated — callers replace it atomically,
+    so a failed update leaves the collection untouched.
+
+    Raises:
+        UpdateError: on malformed update documents or type conflicts.
+    """
+    operator_keys = [k for k in update if k.startswith("$")]
+    if operator_keys and len(operator_keys) != len(update):
+        raise UpdateError("cannot mix operators with replacement fields")
+    if not operator_keys:
+        replacement = copy.deepcopy(dict(update))
+        if "_id" in document:
+            replacement.setdefault("_id", document["_id"])
+        return replacement
+
+    result = copy.deepcopy(dict(document))
+    for operator, fields in update.items():
+        if operator not in _KNOWN:
+            raise UpdateError(f"unknown update operator: {operator!r}")
+        if not isinstance(fields, Mapping):
+            raise UpdateError(f"{operator} requires a field document")
+        for path, operand in fields.items():
+            if path == "_id" and operator != "$set":
+                raise UpdateError("_id may only be written with $set")
+            _apply_one(result, operator, path, operand)
+    return result
+
+
+def _parent_of(
+    document: MutableMapping[str, Any], path: str, create: bool
+) -> tuple[MutableMapping[str, Any] | None, str]:
+    """Walk to the mapping holding the final path segment."""
+    parts = path.split(".")
+    current: Any = document
+    for segment in parts[:-1]:
+        if not isinstance(current, MutableMapping):
+            raise UpdateError(f"path {path!r} traverses a non-document")
+        if segment not in current:
+            if not create:
+                return None, parts[-1]
+            current[segment] = {}
+        current = current[segment]
+    if not isinstance(current, MutableMapping):
+        raise UpdateError(f"path {path!r} traverses a non-document")
+    return current, parts[-1]
+
+
+def _apply_one(
+    document: MutableMapping[str, Any], operator: str, path: str, operand: Any
+) -> None:
+    if operator == "$set":
+        parent, leaf = _parent_of(document, path, create=True)
+        assert parent is not None
+        parent[leaf] = copy.deepcopy(operand)
+        return
+
+    if operator == "$unset":
+        parent, leaf = _parent_of(document, path, create=False)
+        if parent is not None:
+            parent.pop(leaf, None)
+        return
+
+    if operator == "$rename":
+        if not isinstance(operand, str):
+            raise UpdateError("$rename target must be a string path")
+        parent, leaf = _parent_of(document, path, create=False)
+        if parent is None or leaf not in parent:
+            return
+        value = parent.pop(leaf)
+        new_parent, new_leaf = _parent_of(document, operand, create=True)
+        assert new_parent is not None
+        new_parent[new_leaf] = value
+        return
+
+    if operator in ("$inc", "$mul"):
+        if not isinstance(operand, (int, float)) or isinstance(operand, bool):
+            raise UpdateError(f"{operator} requires a numeric operand")
+        parent, leaf = _parent_of(document, path, create=True)
+        assert parent is not None
+        base = parent.get(leaf, 0 if operator == "$inc" else 0)
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            raise UpdateError(f"{operator} target {path!r} is not numeric")
+        parent[leaf] = base + operand if operator == "$inc" else base * operand
+        return
+
+    if operator in ("$min", "$max"):
+        parent, leaf = _parent_of(document, path, create=True)
+        assert parent is not None
+        if leaf not in parent:
+            parent[leaf] = copy.deepcopy(operand)
+            return
+        try:
+            replace = (
+                operand < parent[leaf]
+                if operator == "$min"
+                else operand > parent[leaf]
+            )
+        except TypeError as exc:
+            raise UpdateError(f"{operator} operands are incomparable") from exc
+        if replace:
+            parent[leaf] = copy.deepcopy(operand)
+        return
+
+    # List operators.
+    parent, leaf = _parent_of(document, path, create=True)
+    assert parent is not None
+    existing = parent.get(leaf)
+    if existing is None:
+        existing = []
+        parent[leaf] = existing
+    if not isinstance(existing, list):
+        raise UpdateError(f"{operator} target {path!r} is not a list")
+
+    if operator == "$push":
+        existing.append(copy.deepcopy(operand))
+    elif operator == "$addToSet":
+        if operand not in existing:
+            existing.append(copy.deepcopy(operand))
+    elif operator == "$pull":
+        existing[:] = [item for item in existing if item != operand]

@@ -1,0 +1,93 @@
+"""Experiment drivers reproducing paper section 6.
+
+- :mod:`repro.experiments.harness` — assemble simulator, network,
+  marketplace, servers, and a simulated crew; run one collection to
+  completion (the representative-run machinery).
+- :mod:`repro.experiments.effectiveness` — E1: overall effectiveness.
+- :mod:`repro.experiments.compensation` — E2/E5: per-worker payouts
+  and scheme comparison.
+- :mod:`repro.experiments.estimation` — E3/E4: Figure 5 estimate
+  accuracy and the per-scheme MAPE sweep.
+- :mod:`repro.experiments.earning_rate` — E6: Figure 6 earning-rate
+  curves and their stability.
+"""
+
+from repro.experiments.harness import (
+    CrowdFillExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.experiments.effectiveness import EffectivenessReport, run_effectiveness
+from repro.experiments.compensation import (
+    CompensationReport,
+    SchemeComparison,
+    compare_schemes,
+    run_compensation,
+)
+from repro.experiments.estimation import (
+    EstimateAccuracyReport,
+    SchemeMapeReport,
+    run_estimate_accuracy,
+    run_scheme_mape_sweep,
+)
+from repro.experiments.earning_rate import EarningRateReport, run_earning_rate
+from repro.experiments.adversarial import (
+    AdversarialReport,
+    AdversaryOutcome,
+    run_adversary_sweep,
+)
+from repro.experiments.comparison import (
+    ApproachOutcome,
+    ComparisonReport,
+    CostReport,
+    ScalingReport,
+    run_comparison,
+    run_cost_comparison,
+    run_worker_scaling,
+)
+from repro.experiments.latency import (
+    LatencyReport,
+    run_latency_sweep,
+)
+from repro.experiments.quality import (
+    QualityReport,
+    run_quality_tradeoff,
+)
+from repro.experiments.domains import (
+    DomainReport,
+    run_domain_sweep,
+)
+
+__all__ = [
+    "CrowdFillExperiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "EffectivenessReport",
+    "run_effectiveness",
+    "CompensationReport",
+    "SchemeComparison",
+    "run_compensation",
+    "compare_schemes",
+    "EstimateAccuracyReport",
+    "SchemeMapeReport",
+    "run_estimate_accuracy",
+    "run_scheme_mape_sweep",
+    "EarningRateReport",
+    "run_earning_rate",
+    "AdversarialReport",
+    "AdversaryOutcome",
+    "run_adversary_sweep",
+    "ApproachOutcome",
+    "ComparisonReport",
+    "run_comparison",
+    "ScalingReport",
+    "run_worker_scaling",
+    "CostReport",
+    "run_cost_comparison",
+    "LatencyReport",
+    "run_latency_sweep",
+    "QualityReport",
+    "run_quality_tradeoff",
+    "DomainReport",
+    "run_domain_sweep",
+]

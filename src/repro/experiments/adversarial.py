@@ -1,0 +1,159 @@
+"""A7 — adversarial workers (paper section 8's threat discussion).
+
+    "Another extremely important area of investigation is the potential
+    effect of spammers in our system ... Our compensation scheme
+    discourages incorrect answers, but the transparent nature of our
+    table-filling approach may enable spammers to hinder data
+    collection ... and to steal credit by copying potentially correct
+    answers from other workers."
+
+This driver quantifies both threats under the implemented scheme:
+
+- *spammers* (fast random garbage): how much do they slow collection,
+  dent accuracy, and — the scheme's defence — how little do they earn
+  per action compared to diligent workers?
+- *credit copiers* (blind upvoting): how much budget do they siphon
+  per action versus the diligent crew?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.experiments.harness import (
+    CrowdFillExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.pay import AllocationScheme
+
+
+@dataclass
+class AdversaryOutcome:
+    """One configuration's outcome."""
+
+    num_adversaries: int
+    completed: bool
+    duration: float | None
+    accuracy: float
+    adversary_pay: float
+    adversary_actions: int
+    diligent_pay: float
+    diligent_actions: int
+
+    @property
+    def adversary_rate(self) -> float:
+        """Adversary earnings per action."""
+        if not self.adversary_actions:
+            return 0.0
+        return self.adversary_pay / self.adversary_actions
+
+    @property
+    def diligent_rate(self) -> float:
+        """Diligent earnings per action."""
+        if not self.diligent_actions:
+            return 0.0
+        return self.diligent_pay / self.diligent_actions
+
+
+@dataclass
+class AdversarialReport:
+    """A7: spam/copy resistance of the compensation scheme."""
+
+    kind: str  # "spammer" | "copier"
+    seed: int
+    outcomes: list[AdversaryOutcome]
+
+    def scheme_discourages_adversary(self) -> bool:
+        """Do adversaries earn strictly less per action than diligent
+        workers, in every configuration where both acted?"""
+        applicable = [
+            outcome
+            for outcome in self.outcomes
+            if outcome.adversary_actions and outcome.diligent_actions
+        ]
+        return all(
+            outcome.adversary_rate < outcome.diligent_rate
+            for outcome in applicable
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"A7: {self.kind}s vs the contribution-based scheme (seed "
+            f"{self.seed})",
+            "  (paper section 8: the scheme should discourage insincere "
+            "work)",
+            f"  {'#adv':>5} {'done':>5} {'time':>7} {'accuracy':>9} "
+            f"{'adv $/act':>10} {'dil $/act':>10}",
+        ]
+        for outcome in self.outcomes:
+            duration = (
+                f"{outcome.duration:.0f}s" if outcome.duration else "n/a"
+            )
+            lines.append(
+                f"  {outcome.num_adversaries:>5} {str(outcome.completed):>5} "
+                f"{duration:>7} {outcome.accuracy:>8.0%} "
+                f"{outcome.adversary_rate:>10.4f} "
+                f"{outcome.diligent_rate:>10.4f}"
+            )
+        lines.append(
+            f"  adversaries earn less per action: "
+            f"{self.scheme_discourages_adversary()}"
+        )
+        return "\n".join(lines)
+
+
+def _outcome(result: ExperimentResult, adversary_ids: set[str]) -> AdversaryOutcome:
+    allocation = result.allocation(AllocationScheme.DUAL_WEIGHTED)
+    adversary_pay = diligent_pay = 0.0
+    adversary_actions = diligent_actions = 0
+    for worker in result.workers:
+        pay = allocation.worker_total(worker.worker_id)
+        if worker.worker_id in adversary_ids:
+            adversary_pay += pay
+            adversary_actions += worker.actions
+        else:
+            diligent_pay += pay
+            diligent_actions += worker.actions
+    return AdversaryOutcome(
+        num_adversaries=len(adversary_ids),
+        completed=result.completed,
+        duration=result.duration,
+        accuracy=result.accuracy,
+        adversary_pay=adversary_pay,
+        adversary_actions=adversary_actions,
+        diligent_pay=diligent_pay,
+        diligent_actions=diligent_actions,
+    )
+
+
+def run_adversary_sweep(
+    kind: str = "spammer",
+    seed: int = 7,
+    adversary_counts: Sequence[int] = (0, 1, 2),
+    base_config: ExperimentConfig | None = None,
+) -> AdversarialReport:
+    """Sweep the number of adversarial workers of *kind*.
+
+    Diligent workers are always the first five profiles; adversaries
+    are appended so the honest capacity stays constant across points.
+    """
+    if kind not in ("spammer", "copier"):
+        raise ValueError(f"kind must be 'spammer' or 'copier', got {kind!r}")
+    base = base_config or ExperimentConfig(seed=seed)
+    outcomes = []
+    for count in adversary_counts:
+        kinds = tuple(["diligent"] * base.num_workers + [kind] * count)
+        config = replace(
+            base,
+            num_workers=base.num_workers + count,
+            policy_kinds=kinds,
+        )
+        result = CrowdFillExperiment(config).run()
+        adversary_ids = {
+            f"worker-{i}"
+            for i in range(base.num_workers, base.num_workers + count)
+        }
+        outcomes.append(_outcome(result, adversary_ids))
+    return AdversarialReport(kind=kind, seed=seed, outcomes=outcomes)

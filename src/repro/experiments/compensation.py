@@ -1,0 +1,182 @@
+"""E2/E5 — worker compensation and allocation-scheme comparison.
+
+Paper section 6: under dual-weighted allocation of a $10 budget the
+five workers earned $0.51 / $1.68 / $2.08 / $2.24 / $3.49, tracking
+their action counts (9 to 54 actions).  Under uniform allocation the
+never-voting third worker's payout differs by more than 25% because the
+uniform scheme prices (cheap) votes the same as (expensive) fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import (
+    CrowdFillExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.pay import AllocationScheme
+
+
+@dataclass
+class WorkerPayout:
+    """One worker's row of the compensation table."""
+
+    worker_id: str
+    amount: float
+    actions: int
+    fills: int
+    upvotes: int
+    downvotes: int
+
+
+@dataclass
+class CompensationReport:
+    """E2: per-worker payouts under one scheme."""
+
+    seed: int
+    scheme: AllocationScheme
+    budget: float
+    payouts: list[WorkerPayout]
+    total_allocated: float
+    unspent: float
+
+    def spread(self) -> float:
+        """max payout / min payout (the paper's 'wide range')."""
+        amounts = [p.amount for p in self.payouts if p.amount > 0]
+        if not amounts:
+            return 0.0
+        return max(amounts) / min(amounts)
+
+    def payouts_track_actions(self) -> bool:
+        """Does the most-active worker earn the most and the least-active
+        the least — the paper's headline claim?"""
+        if len(self.payouts) < 2:
+            return True
+        by_actions = sorted(self.payouts, key=lambda p: p.actions)
+        by_amount = sorted(self.payouts, key=lambda p: p.amount)
+        return (
+            by_actions[0].worker_id == by_amount[0].worker_id
+            and by_actions[-1].worker_id == by_amount[-1].worker_id
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"E2: worker compensation, scheme={self.scheme.value}, "
+            f"budget=${self.budget:.2f}",
+            "  (paper, dual-weighted $10: $0.51 $1.68 $2.08 $2.24 $3.49;",
+            "   54 actions earned the most, 9 actions the least)",
+            f"  {'worker':<12} {'payout':>8} {'actions':>8} {'fills':>6} "
+            f"{'up':>4} {'down':>5}",
+        ]
+        for p in sorted(self.payouts, key=lambda p: p.amount):
+            lines.append(
+                f"  {p.worker_id:<12} {p.amount:>8.2f} {p.actions:>8} "
+                f"{p.fills:>6} {p.upvotes:>4} {p.downvotes:>5}"
+            )
+        lines.append(
+            f"  allocated ${self.total_allocated:.2f}, unspent ${self.unspent:.2f}, "
+            f"spread x{self.spread():.1f}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class SchemeComparison:
+    """E5: uniform vs dual-weighted payouts, per worker."""
+
+    seed: int
+    rows: list[tuple[str, float, float, int]]
+    """(worker_id, dual_amount, uniform_amount, vote_count)."""
+
+    def max_pct_difference(self) -> tuple[str, float]:
+        """The worker whose payout moves most between schemes, and by
+        what percentage of their dual-weighted payout."""
+        best = ("", 0.0)
+        for worker_id, dual, uniform, _votes in self.rows:
+            if dual <= 0:
+                continue
+            pct = abs(dual - uniform) / dual * 100
+            if pct > best[1]:
+                best = (worker_id, pct)
+        return best
+
+    def format_table(self) -> str:
+        lines = [
+            "E5: uniform vs dual-weighted payouts (paper: the never-voting",
+            "    worker differs by >25% — uniform penalizes non-voters when",
+            "    voting is cheaper than filling)",
+            f"  {'worker':<12} {'dual':>8} {'uniform':>8} {'diff%':>7} {'votes':>6}",
+        ]
+        for worker_id, dual, uniform, votes in self.rows:
+            pct = abs(dual - uniform) / dual * 100 if dual > 0 else 0.0
+            lines.append(
+                f"  {worker_id:<12} {dual:>8.2f} {uniform:>8.2f} "
+                f"{pct:>6.1f}% {votes:>6}"
+            )
+        worker, pct = self.max_pct_difference()
+        lines.append(f"  largest shift: {worker} ({pct:.1f}%)")
+        return "\n".join(lines)
+
+
+def report_from_result(
+    result: ExperimentResult, scheme: AllocationScheme
+) -> CompensationReport:
+    """Build the E2 report from an already-run experiment."""
+    allocation = result.allocation(scheme)
+    payouts = [
+        WorkerPayout(
+            worker_id=w.worker_id,
+            amount=allocation.worker_total(w.worker_id),
+            actions=w.actions,
+            fills=w.fills,
+            upvotes=w.upvotes,
+            downvotes=w.downvotes,
+        )
+        for w in result.workers
+    ]
+    return CompensationReport(
+        seed=result.config.seed,
+        scheme=scheme,
+        budget=result.config.budget,
+        payouts=payouts,
+        total_allocated=allocation.total_allocated,
+        unspent=allocation.unspent,
+    )
+
+
+def run_compensation(
+    seed: int = 7,
+    scheme: AllocationScheme = AllocationScheme.DUAL_WEIGHTED,
+    config: ExperimentConfig | None = None,
+) -> CompensationReport:
+    """Run one collection and report per-worker payouts."""
+    config = config or ExperimentConfig(seed=seed)
+    result = CrowdFillExperiment(config).run()
+    return report_from_result(result, scheme)
+
+
+def comparison_from_result(result: ExperimentResult) -> SchemeComparison:
+    """Build the E5 comparison from an already-run experiment."""
+    dual = result.allocation(AllocationScheme.DUAL_WEIGHTED)
+    uniform = result.allocation(AllocationScheme.UNIFORM)
+    rows = [
+        (
+            w.worker_id,
+            dual.worker_total(w.worker_id),
+            uniform.worker_total(w.worker_id),
+            w.upvotes + w.downvotes,
+        )
+        for w in result.workers
+    ]
+    return SchemeComparison(seed=result.config.seed, rows=rows)
+
+
+def compare_schemes(
+    seed: int = 7, config: ExperimentConfig | None = None
+) -> SchemeComparison:
+    """Run one collection and compare uniform vs dual-weighted payouts."""
+    config = config or ExperimentConfig(seed=seed)
+    result = CrowdFillExperiment(config).run()
+    return comparison_from_result(result)

@@ -1,0 +1,98 @@
+"""A10 — a variety of data domains (paper section 8).
+
+    "As a first step, larger-scale evaluations are in order, including
+    larger table sizes, more concurrent workers, and a variety of data
+    domains."
+
+Larger crews are A8's sweep; this driver covers domains and table
+sizes: the same machinery collects soccer players (section 6), city
+facts, and movie facts, at several table sizes, checking that the
+system's behaviour — completion, accuracy, candidate-table overhead —
+is domain-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.experiments.harness import CrowdFillExperiment, ExperimentConfig
+
+DOMAINS = ("soccer", "cities", "movies")
+
+
+@dataclass
+class DomainPoint:
+    """One (domain, table size) run."""
+
+    domain: str
+    target_rows: int
+    completed: bool
+    duration: float | None
+    accuracy: float
+    candidate_rows: int
+    worker_actions: int
+
+
+@dataclass
+class DomainReport:
+    """A10: domain and table-size sweep results."""
+
+    seed: int
+    points: list[DomainPoint]
+
+    def all_complete_and_accurate(self, accuracy_floor: float = 0.9) -> bool:
+        return all(
+            point.completed and point.accuracy >= accuracy_floor
+            for point in self.points
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"A10: domain and table-size sweep (seed {self.seed})",
+            "  (section 8: 'larger table sizes ... and a variety of data "
+            "domains')",
+            f"  {'domain':>8} {'rows':>5} {'done':>5} {'time':>7} "
+            f"{'accuracy':>9} {'candidates':>11} {'actions':>8}",
+        ]
+        for point in self.points:
+            duration = f"{point.duration:.0f}s" if point.duration else "n/a"
+            lines.append(
+                f"  {point.domain:>8} {point.target_rows:>5} "
+                f"{str(point.completed):>5} {duration:>7} "
+                f"{point.accuracy:>8.0%} {point.candidate_rows:>11} "
+                f"{point.worker_actions:>8}"
+            )
+        return "\n".join(lines)
+
+
+def run_domain_sweep(
+    seed: int = 7,
+    domains: Sequence[str] = DOMAINS,
+    table_sizes: Sequence[int] = (10, 20),
+    base_config: ExperimentConfig | None = None,
+) -> DomainReport:
+    """Run every (domain, table size) combination."""
+    base = base_config or ExperimentConfig(seed=seed)
+    points: list[DomainPoint] = []
+    for domain in domains:
+        for target_rows in table_sizes:
+            config = replace(
+                base,
+                domain=domain,  # type: ignore[arg-type]
+                target_rows=target_rows,
+                universe_size=max(base.universe_size, target_rows * 10),
+            )
+            result = CrowdFillExperiment(config).run()
+            points.append(
+                DomainPoint(
+                    domain=domain,
+                    target_rows=target_rows,
+                    completed=result.completed,
+                    duration=result.duration,
+                    accuracy=result.accuracy,
+                    candidate_rows=result.candidate_count,
+                    worker_actions=sum(w.actions for w in result.workers),
+                )
+            )
+    return DomainReport(seed=seed, points=points)

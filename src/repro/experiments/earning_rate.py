@@ -1,0 +1,129 @@
+"""E6 — earning-rate stability (Figure 6).
+
+Paper section 6: plotting accumulated earnings (as a percentage of each
+worker's eventual total) against elapsed time, for two representative
+workers, weighted allocation tracks a straighter line — i.e. a steadier
+earning rate — than uniform allocation.  We quantify "straightness" as
+the RMS deviation of the normalized curve from the diagonal, so the
+comparison is a number rather than a picture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import (
+    CrowdFillExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.pay import AllocationScheme
+
+
+@dataclass
+class EarningCurve:
+    """One line of Figure 6: cumulative % of final earnings over time."""
+
+    worker_id: str
+    scheme: AllocationScheme
+    points: list[tuple[float, float]] = field(default_factory=list)
+    """(elapsed seconds, cumulative percent of eventual total)."""
+
+    def rms_deviation(self) -> float:
+        """RMS distance (in percent points) from the steady-rate diagonal.
+
+        The diagonal runs from the first paid action to the last; a
+        perfectly steady earner scores 0.
+        """
+        if len(self.points) < 2:
+            return 0.0
+        t0, _ = self.points[0]
+        t1, _ = self.points[-1]
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for t, pct in self.points:
+            expected = (t - t0) / (t1 - t0) * 100.0
+            total += (pct - expected) ** 2
+        return math.sqrt(total / len(self.points))
+
+
+@dataclass
+class EarningRateReport:
+    """E6: curves and stability for selected workers under two schemes."""
+
+    seed: int
+    curves: list[EarningCurve]
+
+    def curve(self, worker_id: str, scheme: AllocationScheme) -> EarningCurve:
+        for curve in self.curves:
+            if curve.worker_id == worker_id and curve.scheme == scheme:
+                return curve
+        raise KeyError((worker_id, scheme))
+
+    def workers(self) -> list[str]:
+        return sorted({c.worker_id for c in self.curves})
+
+    def weighted_more_stable(self) -> dict[str, bool]:
+        """Per worker: is the weighted curve straighter than uniform's?"""
+        verdicts: dict[str, bool] = {}
+        for worker_id in self.workers():
+            weighted = self.curve(worker_id, AllocationScheme.DUAL_WEIGHTED)
+            uniform = self.curve(worker_id, AllocationScheme.UNIFORM)
+            verdicts[worker_id] = (
+                weighted.rms_deviation() <= uniform.rms_deviation()
+            )
+        return verdicts
+
+    def format_table(self) -> str:
+        lines = [
+            "E6 / Figure 6: earning-rate stability (RMS deviation from a",
+            "  steady rate, percent points; lower = steadier).",
+            "  (paper: weighted allocation appears somewhat more stable)",
+            f"  {'worker':<12} {'scheme':<10} {'RMS dev':>8} {'paid actions':>13}",
+        ]
+        for curve in self.curves:
+            lines.append(
+                f"  {curve.worker_id:<12} {curve.scheme.value:<10} "
+                f"{curve.rms_deviation():>8.2f} {len(curve.points):>13}"
+            )
+        for worker_id, verdict in self.weighted_more_stable().items():
+            lines.append(f"  weighted steadier for {worker_id}: {verdict}")
+        return "\n".join(lines)
+
+
+def earning_report_from_result(
+    result: ExperimentResult, num_workers: int = 2
+) -> EarningRateReport:
+    """Build Figure 6's curves for the *num_workers* most active workers."""
+    chosen = [
+        w.worker_id
+        for w in sorted(result.workers, key=lambda w: -w.actions)[:num_workers]
+    ]
+    curves: list[EarningCurve] = []
+    for scheme in (AllocationScheme.DUAL_WEIGHTED, AllocationScheme.UNIFORM):
+        allocation = result.allocation(scheme)
+        for worker_id in chosen:
+            timeline = allocation.timeline_for(worker_id, result.trace)
+            total = timeline[-1][1] if timeline else 0.0
+            points = (
+                [(t, cumulative / total * 100.0) for t, cumulative in timeline]
+                if total > 0
+                else []
+            )
+            curves.append(
+                EarningCurve(worker_id=worker_id, scheme=scheme, points=points)
+            )
+    return EarningRateReport(seed=result.config.seed, curves=curves)
+
+
+def run_earning_rate(
+    seed: int = 7,
+    num_workers: int = 2,
+    config: ExperimentConfig | None = None,
+) -> EarningRateReport:
+    """Run one collection and report Figure 6's curves."""
+    config = config or ExperimentConfig(seed=seed)
+    result = CrowdFillExperiment(config).run()
+    return earning_report_from_result(result, num_workers)

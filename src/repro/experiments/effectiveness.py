@@ -1,0 +1,85 @@
+"""E1 — overall effectiveness (paper section 6, "Overall effectiveness").
+
+The paper's representative run: five workers, 10 minutes 44 seconds to a
+20-row final SoccerPlayer table; 23 candidate rows at completion — two
+downvoted twice or more, one extra row added by a conflict; all 20 final
+rows accurate.  This driver reports the same quantities for a seeded
+simulated run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import (
+    CrowdFillExperiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
+
+
+@dataclass
+class EffectivenessReport:
+    """The section 6 effectiveness numbers for one run."""
+
+    seed: int
+    completed: bool
+    duration: float | None
+    final_rows: int
+    candidate_rows: int
+    heavily_downvoted: int
+    conflict_extras: int
+    accuracy: float
+    total_worker_actions: int
+
+    @property
+    def duration_str(self) -> str:
+        """mm:ss like the paper's '10 minutes 44 seconds'."""
+        if self.duration is None:
+            return "did not complete"
+        minutes, seconds = divmod(round(self.duration), 60)
+        return f"{minutes}m{seconds:02d}s"
+
+    def format_table(self) -> str:
+        """The paper-style summary block."""
+        lines = [
+            "E1: overall effectiveness (paper: 10m44s, 23 candidate, 20 final,",
+            "    2 rows downvoted >= 2x, 1 conflict extra, all rows accurate)",
+            f"  seed                     {self.seed}",
+            f"  completed                {self.completed}",
+            f"  time to completion       {self.duration_str}",
+            f"  final rows               {self.final_rows}",
+            f"  candidate rows           {self.candidate_rows}",
+            f"  rows downvoted >= 2x     {self.heavily_downvoted}",
+            f"  extra rows (conflicts)   {self.conflict_extras}",
+            f"  final-table accuracy     {self.accuracy:.3f}",
+            f"  total worker actions     {self.total_worker_actions}",
+        ]
+        return "\n".join(lines)
+
+
+def report_from_result(result: ExperimentResult) -> EffectivenessReport:
+    """Build the E1 report from an already-run experiment."""
+    final = len(result.final_values)
+    downvoted = result.heavily_downvoted_rows(threshold=2)
+    extras = max(0, result.candidate_count - final - downvoted)
+    return EffectivenessReport(
+        seed=result.config.seed,
+        completed=result.completed,
+        duration=result.duration,
+        final_rows=final,
+        candidate_rows=result.candidate_count,
+        heavily_downvoted=downvoted,
+        conflict_extras=extras,
+        accuracy=result.accuracy,
+        total_worker_actions=sum(w.actions for w in result.workers),
+    )
+
+
+def run_effectiveness(
+    seed: int = 7, config: ExperimentConfig | None = None
+) -> EffectivenessReport:
+    """Run one representative collection and report E1."""
+    config = config or ExperimentConfig(seed=seed)
+    result = CrowdFillExperiment(config).run()
+    return report_from_result(result)

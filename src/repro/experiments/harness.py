@@ -1,0 +1,363 @@
+"""One full CrowdFill collection run, end to end.
+
+This is the reproduction of the paper's experimental setup (section 6):
+a SoccerPlayer table with the ``dob`` column, majority-of-three scoring,
+a cardinality constraint of 20 rows starting from an empty table, and a
+crew of five heterogeneous workers whose knowledge covers players with
+80-99 caps.  Everything is seeded: the same configuration replays the
+same run, message for message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Literal, Mapping
+
+from repro.client import WorkerClient
+from repro.constraints.template import Template
+from repro.core.row import RowValue
+from repro.core.schema import Schema
+from repro.core.scoring import ScoringFunction, ThresholdScoring
+from repro.datasets import (
+    CityUniverse,
+    GroundTruth,
+    MovieUniverse,
+    SoccerPlayerUniverse,
+)
+from repro.marketplace import Marketplace
+from repro.net import Network, UniformLatency
+from repro.pay import (
+    AllocationResult,
+    AllocationScheme,
+    CompensationEstimator,
+    ContributionAnalysis,
+    allocate,
+    analyze_contributions,
+)
+from repro.server.backend import BackendServer
+from repro.server.recommender import CellRecommender
+from repro.sim import RngStreams, Simulator
+from repro.workers import (
+    ActionLatencies,
+    CopierPolicy,
+    DiligentPolicy,
+    SimulatedWorker,
+    SpammerPolicy,
+    WorkerProfile,
+)
+from repro.workers.policy import GuidedPolicy
+from repro.workers.profile import representative_crew
+
+PolicyKind = Literal["diligent", "spammer", "copier"]
+
+
+def resolve_domain(
+    config: "ExperimentConfig",
+) -> tuple[Schema, GroundTruth, GroundTruth]:
+    """The (schema, full ground truth, eligible population) for a config.
+
+    The section 6 soccer domain restricts eligibility to the 80-99 caps
+    band; the cities and movies domains (the paper's "different schemas
+    and workloads") use their whole universes.
+    """
+    if config.domain == "soccer":
+        universe = SoccerPlayerUniverse(
+            seed=config.seed,
+            size=config.universe_size,
+            include_dob=config.include_dob,
+        )
+        full = universe.ground_truth()
+        band = universe.caps_band(config.caps_low, config.caps_high)
+        return universe.schema, full, band
+    if config.domain == "cities":
+        cities = CityUniverse(seed=config.seed, size=config.universe_size)
+        truth = cities.ground_truth()
+        return cities.schema, truth, truth
+    if config.domain == "movies":
+        movies = MovieUniverse(seed=config.seed, size=config.universe_size)
+        truth = movies.ground_truth()
+        return movies.schema, truth, truth
+    raise ValueError(f"unknown domain: {config.domain!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one collection run.
+
+    The defaults reproduce the paper's section 6 setup.
+    """
+
+    seed: int = 0
+    num_workers: int = 5
+    target_rows: int = 20
+    budget: float = 10.0
+    min_votes: int = 2
+    domain: Literal["soccer", "cities", "movies"] = "soccer"
+    universe_size: int = 600
+    caps_low: int = 80
+    caps_high: int = 99
+    include_dob: bool = True
+    vote_cap: int | None = 3
+    mean_interarrival: float = 15.0
+    max_sim_time: float = 3 * 3600.0
+    estimator_scheme: AllocationScheme = AllocationScheme.DUAL_WEIGHTED
+    profiles: tuple[WorkerProfile, ...] | None = None
+    policy_kinds: tuple[PolicyKind, ...] | None = None
+    template_values: tuple[Mapping[str, Any], ...] | None = None
+    predicates_template: tuple[Mapping[str, str], ...] | None = None
+    """Optional predicates-constraint rows (textual predicate syntax,
+    e.g. ``{"caps": "between{80,99}"}``) — the section 2.3 extension.
+    Takes precedence over ``template_values``."""
+    latency_low: float = 0.02
+    latency_high: float = 0.25
+    use_recommender: bool = False
+    """Wrap diligent workers in the section 8 cell-recommendation
+    strategy (see :mod:`repro.server.recommender`)."""
+
+    def resolved_profiles(self) -> list[WorkerProfile]:
+        """The crew's profiles, defaulting to the representative five."""
+        if self.profiles is not None:
+            profiles = list(self.profiles)
+        else:
+            profiles = representative_crew(self.seed)
+        if len(profiles) < self.num_workers:
+            rng = random.Random(self.seed ^ 0x5EED)
+            while len(profiles) < self.num_workers:
+                profiles.append(
+                    WorkerProfile(
+                        knowledge_fraction=rng.uniform(0.35, 0.7),
+                        speed=rng.uniform(0.6, 1.4),
+                        vote_affinity=rng.uniform(0.2, 0.7),
+                        start_delay=rng.uniform(0, 60),
+                    )
+                )
+        return profiles[: self.num_workers]
+
+    def resolved_policy_kinds(self) -> list[PolicyKind]:
+        kinds = list(self.policy_kinds or ())
+        while len(kinds) < self.num_workers:
+            kinds.append("diligent")
+        return kinds[: self.num_workers]
+
+
+@dataclass
+class WorkerOutcome:
+    """Per-worker facts gathered from one run."""
+
+    worker_id: str
+    profile: WorkerProfile
+    actions: int
+    fills: int
+    upvotes: int
+    downvotes: int
+    conflicts: int
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the section 6 reports are computed from."""
+
+    config: ExperimentConfig
+    schema: Schema
+    duration: float | None
+    completed: bool
+    candidate_records: list[dict[str, Any]]
+    final_values: list[RowValue]
+    final_row_ids: list[str]
+    accuracy: float
+    workers: list[WorkerOutcome]
+    trace: list  # worker TraceRecords, server order
+    analysis: ContributionAnalysis
+    estimator: CompensationEstimator
+    ground_truth: GroundTruth
+    pri_inserts: int
+    dropped_template_rows: int
+    messages_sent: int
+    _allocations: dict[AllocationScheme, AllocationResult] = field(
+        default_factory=dict
+    )
+
+    def allocation(self, scheme: AllocationScheme) -> AllocationResult:
+        """The budget allocation under *scheme* (cached)."""
+        if scheme not in self._allocations:
+            self._allocations[scheme] = allocate(
+                self.schema,
+                self.trace,
+                self.analysis,
+                self.config.budget,
+                scheme,
+            )
+        return self._allocations[scheme]
+
+    def worker_ids(self) -> list[str]:
+        return [w.worker_id for w in self.workers]
+
+    def final_table_records(self) -> list[dict[str, Any]]:
+        """The collected final table as plain dicts."""
+        return [dict(value) for value in self.final_values]
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidate_records)
+
+    def heavily_downvoted_rows(self, threshold: int = 2) -> int:
+        """Candidate rows downvoted *threshold* times or more (section
+        6's "two rows were downvoted twice or more")."""
+        return sum(
+            1
+            for record in self.candidate_records
+            if record["downvotes"] >= threshold
+        )
+
+
+class CrowdFillExperiment:
+    """Assembles and runs one collection (the representative-run rig)."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    def run(self) -> ExperimentResult:
+        """Execute the run to completion (or the simulated-time cap)."""
+        config = self.config
+        streams = RngStreams(config.seed)
+        sim = Simulator()
+        network = Network(
+            sim,
+            default_latency=UniformLatency(config.latency_low, config.latency_high),
+            rng=streams.stream("network"),
+        )
+
+        schema, full_truth, truth_band = resolve_domain(config)
+        scoring: ScoringFunction = ThresholdScoring(config.min_votes)
+
+        if config.predicates_template is not None:
+            template = Template.from_predicates(
+                list(config.predicates_template),
+                cardinality=config.target_rows,
+            )
+        elif config.template_values is not None:
+            template = Template.from_values(
+                list(config.template_values), cardinality=config.target_rows
+            )
+        else:
+            template = Template.cardinality(config.target_rows)
+
+        backend = BackendServer(sim, network, schema, scoring, template)
+        estimator = CompensationEstimator(
+            schema,
+            template,
+            scoring,
+            config.budget,
+            scheme=config.estimator_scheme,
+        )
+        backend.add_trace_listener(
+            lambda record: estimator.on_record(record, backend.replica.table)
+        )
+
+        marketplace = Marketplace(sim, rng=streams.stream("marketplace"))
+        profiles = config.resolved_profiles()
+        kinds = config.resolved_policy_kinds()
+        latencies = ActionLatencies()
+        workers: list[SimulatedWorker] = []
+        recommender = (
+            CellRecommender(backend) if config.use_recommender else None
+        )
+
+        def accept(worker_id: str) -> None:
+            index = int(worker_id.split("-")[1])
+            profile = profiles[index]
+            client = WorkerClient(
+                worker_id,
+                schema,
+                scoring,
+                network,
+                rng=streams.stream(f"order-{worker_id}"),
+                vote_cap=config.vote_cap,
+            )
+            client.bootstrap(backend.attach_client(worker_id))
+            policy = self._make_policy(
+                kinds[index], truth_band, profile, streams, worker_id
+            )
+            if recommender is not None and isinstance(policy, DiligentPolicy):
+                policy = GuidedPolicy(policy, recommender, worker_id)
+            worker = SimulatedWorker(
+                client,
+                policy,
+                profile,
+                sim,
+                rng=streams.stream(f"behavior-{worker_id}"),
+                latencies=latencies,
+                is_done=lambda: backend.completed,
+            )
+            workers.append(worker)
+            worker.start()
+
+        task = marketplace.post_task(
+            title=f"Fill in the {schema.name} table",
+            description="collect soccer players with 80-99 caps",
+            base_reward=0.0,
+            max_assignments=config.num_workers,
+            on_accept=accept,
+        )
+        marketplace.schedule_arrivals(
+            task.task_id,
+            [f"worker-{i}" for i in range(config.num_workers)],
+            mean_interarrival=config.mean_interarrival,
+        )
+
+        backend.start()
+        sim.run(until=config.max_sim_time)
+
+        final_rows = backend.final_rows()
+        final_values = [row.value for row in final_rows]
+        trace = backend.worker_trace()
+        analysis = analyze_contributions(schema, final_rows, trace)
+        outcomes = [
+            WorkerOutcome(
+                worker_id=w.worker_id,
+                profile=w.profile,
+                actions=w.log.actions,
+                fills=w.log.fills,
+                upvotes=w.log.upvotes,
+                downvotes=w.log.downvotes,
+                conflicts=w.log.conflicts,
+            )
+            for w in sorted(workers, key=lambda w: w.worker_id)
+        ]
+
+        return ExperimentResult(
+            config=config,
+            schema=schema,
+            duration=backend.completion_time,
+            completed=backend.completed,
+            candidate_records=backend.replica.table.to_records(),
+            final_values=final_values,
+            final_row_ids=[row.row_id for row in final_rows],
+            accuracy=full_truth.accuracy_of(final_values),
+            workers=outcomes,
+            trace=trace,
+            analysis=analysis,
+            estimator=estimator,
+            ground_truth=truth_band,
+            pri_inserts=backend.central.stats.inserts,
+            dropped_template_rows=len(backend.central.dropped_rows),
+            messages_sent=network.stats.messages_sent,
+        )
+
+    def _make_policy(
+        self,
+        kind: PolicyKind,
+        truth: GroundTruth,
+        profile: WorkerProfile,
+        streams: RngStreams,
+        worker_id: str,
+    ):
+        if kind == "spammer":
+            return SpammerPolicy()
+        if kind == "copier":
+            return CopierPolicy()
+        knowledge = truth.sample_known_subset(
+            streams.stream(f"knowledge-{worker_id}"), profile.knowledge_fraction
+        )
+        return DiligentPolicy(knowledge, profile, reference=truth)

@@ -1,0 +1,95 @@
+"""Generate the full evaluation report in one call.
+
+``python -m repro report --out results.md`` regenerates every table and
+figure of the paper's section 6 plus this reproduction's ablations, as
+a single markdown document — the artifact a downstream user compares
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.adversarial import run_adversary_sweep
+from repro.experiments.comparison import (
+    run_comparison,
+    run_cost_comparison,
+    run_worker_scaling,
+)
+from repro.experiments.compensation import (
+    comparison_from_result,
+    report_from_result as compensation_from_result,
+)
+from repro.experiments.earning_rate import earning_report_from_result
+from repro.experiments.effectiveness import report_from_result
+from repro.experiments.estimation import (
+    accuracy_from_result,
+    run_scheme_mape_sweep,
+)
+from repro.experiments.harness import CrowdFillExperiment, ExperimentConfig
+from repro.experiments.latency import run_latency_sweep
+from repro.experiments.quality import run_quality_tradeoff
+from repro.experiments.domains import run_domain_sweep
+from repro.pay import AllocationScheme
+
+
+def generate_report(
+    seed: int = 7,
+    mape_seeds: Sequence[int] = (3, 7, 11, 19, 23),
+    quick: bool = False,
+) -> str:
+    """Run the evaluation and return it as markdown.
+
+    Args:
+        seed: the representative run's seed (E1/E2/E3/E5/E6 share it).
+        mape_seeds: seeds of the E4 sweep.
+        quick: skip the multi-run studies (E4, E9, A6, A7, A8); the
+            representative-run sections still regenerate.
+    """
+    sections: list[str] = [
+        "# CrowdFill reproduction — evaluation report",
+        "",
+        f"Representative seed: {seed}.  See EXPERIMENTS.md for the "
+        "paper-vs-measured discussion.",
+    ]
+
+    result = CrowdFillExperiment(ExperimentConfig(seed=seed)).run()
+
+    def add(title: str, body: str) -> None:
+        sections.extend(["", f"## {title}", "", "```", body, "```"])
+
+    add("E1 — overall effectiveness",
+        report_from_result(result).format_table())
+    add("E2 — worker compensation (dual-weighted)",
+        compensation_from_result(
+            result, AllocationScheme.DUAL_WEIGHTED
+        ).format_table())
+    add("E5 — uniform vs dual-weighted",
+        comparison_from_result(result).format_table())
+    add("E3 / Figure 5 — estimate accuracy",
+        accuracy_from_result(result).format_table())
+    add("E6 / Figure 6 — earning-rate stability",
+        earning_report_from_result(result).format_table())
+
+    if not quick:
+        add("E4 — estimate MAPE by scheme",
+            run_scheme_mape_sweep(seeds=tuple(mape_seeds)).format_table())
+        add("E9 — table-filling vs microtask baseline",
+            run_comparison(seed=seed).format_table())
+        add("A6 — propagation-latency sensitivity",
+            run_latency_sweep(seed=seed).format_table())
+        add("A7 — spammers",
+            run_adversary_sweep("spammer", seed=seed).format_table())
+        add("A7 — credit copiers",
+            run_adversary_sweep("copier", seed=seed).format_table())
+        add("A8 — worker scaling",
+            run_worker_scaling(seed=seed).format_table())
+        add("A9 — cost-latency-quality trade-off",
+            run_quality_tradeoff(seed=seed).format_table())
+        add("A10 — domain and table-size sweep",
+            run_domain_sweep(seed=seed).format_table())
+        add("A11 — requester cost at matched wages",
+            run_cost_comparison(seed=seed).format_table())
+
+    sections.append("")
+    return "\n".join(sections)

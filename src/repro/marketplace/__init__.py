@@ -1,0 +1,24 @@
+"""Simulated crowdsourcing marketplace.
+
+Stands in for Amazon Mechanical Turk's developer sandbox (paper
+sections 3.2 and 6).  The front-end server needs exactly two
+marketplace capabilities — hosting externally-served tasks and paying
+per-worker bonuses — plus, for experiments, a seedable worker-arrival
+process.
+"""
+
+from repro.marketplace.market import (
+    Assignment,
+    Marketplace,
+    MarketplaceError,
+    Task,
+)
+from repro.marketplace.ledger import PaymentLedger
+
+__all__ = [
+    "Assignment",
+    "Marketplace",
+    "MarketplaceError",
+    "Task",
+    "PaymentLedger",
+]

@@ -1,0 +1,58 @@
+"""Payment ledger: base rewards and bonuses per worker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LedgerEntry:
+    """One payment event."""
+
+    worker_id: str
+    amount: float
+    kind: str  # "base" | "bonus"
+    reason: str = ""
+
+
+@dataclass
+class PaymentLedger:
+    """Accumulates payments; supports per-worker and total queries."""
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def pay_base(self, worker_id: str, amount: float, reason: str = "") -> None:
+        """Record a base-reward payment."""
+        self._pay(worker_id, amount, "base", reason)
+
+    def pay_bonus(self, worker_id: str, amount: float, reason: str = "") -> None:
+        """Record a bonus payment."""
+        self._pay(worker_id, amount, "bonus", reason)
+
+    def _pay(self, worker_id: str, amount: float, kind: str, reason: str) -> None:
+        if amount < 0:
+            raise ValueError(f"negative payment: {amount}")
+        self.entries.append(LedgerEntry(worker_id, amount, kind, reason))
+
+    def total_for(self, worker_id: str) -> float:
+        """Everything paid to *worker_id* so far."""
+        return sum(e.amount for e in self.entries if e.worker_id == worker_id)
+
+    def bonus_for(self, worker_id: str) -> float:
+        """Bonus payments only."""
+        return sum(
+            e.amount
+            for e in self.entries
+            if e.worker_id == worker_id and e.kind == "bonus"
+        )
+
+    def total(self) -> float:
+        """Grand total across all workers."""
+        return sum(e.amount for e in self.entries)
+
+    def by_worker(self) -> dict[str, float]:
+        """Totals keyed by worker id."""
+        totals: dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.worker_id] = totals.get(entry.worker_id, 0.0) + entry.amount
+        return totals

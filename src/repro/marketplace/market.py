@@ -1,0 +1,207 @@
+"""Tasks, assignments, and worker arrival.
+
+The lifecycle mirrors Mechanical Turk's external-question HITs:
+
+1. the requester (CrowdFill's front-end) posts a :class:`Task` with a
+   base reward and a maximum number of assignments;
+2. workers *accept* the task — here, an arrival process schedules
+   acceptances on the simulator — and are redirected to the external
+   site (the on_accept callback, wired to the back-end server);
+3. the requester approves assignments (paying the base reward) and may
+   grant per-worker *bonuses* — CrowdFill pays its contribution-based
+   compensation entirely through bonuses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.marketplace.ledger import PaymentLedger
+from repro.sim import Simulator
+
+
+class MarketplaceError(RuntimeError):
+    """Illegal marketplace operation (bad task id, full task, ...)."""
+
+
+@dataclass
+class Assignment:
+    """One worker's acceptance of a task."""
+
+    assignment_id: str
+    task_id: str
+    worker_id: str
+    accepted_at: float
+    status: str = "accepted"  # accepted | submitted | approved | rejected
+
+
+@dataclass
+class Task:
+    """An externally-hosted task (a HIT)."""
+
+    task_id: str
+    title: str
+    description: str
+    base_reward: float
+    max_assignments: int
+    external_url: str = ""
+    status: str = "open"  # open | closed
+    assignments: list[Assignment] = field(default_factory=list)
+
+    @property
+    def open_slots(self) -> int:
+        return max(0, self.max_assignments - len(self.assignments))
+
+
+class Marketplace:
+    """A simulated marketplace with a seedable arrival process."""
+
+    def __init__(self, sim: Simulator, rng: random.Random | None = None) -> None:
+        self.sim = sim
+        self.rng = rng or random.Random(0)
+        self.ledger = PaymentLedger()
+        self._tasks: dict[str, Task] = {}
+        self._task_counter = itertools.count(1)
+        self._assignment_counter = itertools.count(1)
+        self._on_accept: dict[str, Callable[[str], None]] = {}
+
+    # -- requester API ----------------------------------------------------------
+
+    def post_task(
+        self,
+        title: str,
+        description: str,
+        base_reward: float,
+        max_assignments: int,
+        external_url: str = "",
+        on_accept: Callable[[str], None] | None = None,
+    ) -> Task:
+        """Create a task; *on_accept* fires with each accepting worker id."""
+        if base_reward < 0:
+            raise MarketplaceError(f"negative reward: {base_reward}")
+        if max_assignments < 1:
+            raise MarketplaceError(
+                f"max_assignments must be >= 1, got {max_assignments}"
+            )
+        task = Task(
+            task_id=f"task-{next(self._task_counter)}",
+            title=title,
+            description=description,
+            base_reward=base_reward,
+            max_assignments=max_assignments,
+            external_url=external_url,
+        )
+        self._tasks[task.task_id] = task
+        if on_accept is not None:
+            self._on_accept[task.task_id] = on_accept
+        return task
+
+    def task(self, task_id: str) -> Task:
+        """Look up a task.
+
+        Raises:
+            MarketplaceError: unknown task id.
+        """
+        if task_id not in self._tasks:
+            raise MarketplaceError(f"unknown task: {task_id!r}")
+        return self._tasks[task_id]
+
+    def tasks(self) -> list[Task]:
+        """All tasks, in posting order."""
+        return list(self._tasks.values())
+
+    def close_task(self, task_id: str) -> None:
+        """Stop accepting new workers."""
+        self.task(task_id).status = "closed"
+
+    def approve_assignment(self, assignment_id: str) -> None:
+        """Approve a submitted assignment and pay the base reward."""
+        for task in self._tasks.values():
+            for assignment in task.assignments:
+                if assignment.assignment_id == assignment_id:
+                    if assignment.status == "approved":
+                        return
+                    assignment.status = "approved"
+                    self.ledger.pay_base(
+                        assignment.worker_id, task.base_reward, task.task_id
+                    )
+                    return
+        raise MarketplaceError(f"unknown assignment: {assignment_id!r}")
+
+    def approve_all(self, task_id: str) -> None:
+        """Approve every assignment of a task."""
+        for assignment in self.task(task_id).assignments:
+            self.approve_assignment(assignment.assignment_id)
+
+    def grant_bonus(self, worker_id: str, amount: float, reason: str = "") -> None:
+        """Pay a bonus — the channel CrowdFill's compensation uses."""
+        self.ledger.pay_bonus(worker_id, amount, reason)
+
+    # -- worker side -------------------------------------------------------------
+
+    def accept(self, task_id: str, worker_id: str) -> Assignment:
+        """A worker accepts the task (fires the redirect callback).
+
+        Raises:
+            MarketplaceError: closed/full task or double acceptance.
+        """
+        task = self.task(task_id)
+        if task.status != "open":
+            raise MarketplaceError(f"task {task_id!r} is closed")
+        if task.open_slots == 0:
+            raise MarketplaceError(f"task {task_id!r} has no open slots")
+        if any(a.worker_id == worker_id for a in task.assignments):
+            raise MarketplaceError(
+                f"worker {worker_id!r} already accepted task {task_id!r}"
+            )
+        assignment = Assignment(
+            assignment_id=f"assignment-{next(self._assignment_counter)}",
+            task_id=task_id,
+            worker_id=worker_id,
+            accepted_at=self.sim.now,
+        )
+        task.assignments.append(assignment)
+        callback = self._on_accept.get(task_id)
+        if callback is not None:
+            callback(worker_id)
+        return assignment
+
+    def submit(self, assignment_id: str) -> None:
+        """A worker submits (finishes) an assignment."""
+        for task in self._tasks.values():
+            for assignment in task.assignments:
+                if assignment.assignment_id == assignment_id:
+                    assignment.status = "submitted"
+                    return
+        raise MarketplaceError(f"unknown assignment: {assignment_id!r}")
+
+    # -- arrival process -----------------------------------------------------------
+
+    def schedule_arrivals(
+        self,
+        task_id: str,
+        worker_ids: list[str],
+        mean_interarrival: float = 20.0,
+        first_at: float = 0.0,
+    ) -> None:
+        """Schedule workers to accept the task over simulated time.
+
+        Interarrival gaps are exponential with the given mean — a
+        Poisson-ish trickle of workers discovering the task, as on a
+        real marketplace.
+        """
+        at = first_at
+        for worker_id in worker_ids:
+            self.sim.schedule_at(
+                at, lambda w=worker_id: self._try_accept(task_id, w)
+            )
+            at += self.rng.expovariate(1.0 / mean_interarrival)
+
+    def _try_accept(self, task_id: str, worker_id: str) -> None:
+        try:
+            self.accept(task_id, worker_id)
+        except MarketplaceError:
+            pass  # task closed or filled before this worker arrived

@@ -1,0 +1,41 @@
+"""The microtask-based baseline.
+
+The paper positions CrowdFill against "a microtask-based approach: ask
+workers for specific pieces of data, then assemble the answers into a
+complete table" (CrowdDB [11], Deco [16], crowdsourced enumeration
+[23]), and its introduction names the structural trade-offs:
+
+- microtask workers answer *assigned* questions — no transparency, so
+  concurrent enumeration produces duplicates the requester must detect
+  and redo;
+- "iterative microtasks" pay a latency overhead per task — a worker
+  must find/accept each small task before doing seconds of work —
+  which CrowdFill's persistent table view avoids;
+- conversely, microtasks avoid conflicting concurrent edits entirely,
+  since no two workers ever hold the same question.
+
+This package implements that baseline faithfully enough to quantify the
+comparison the paper calls "an important topic of future work": a
+coordinator decomposing collection into enumerate / fill / verify
+microtasks with majority voting, plus simulated workers driven by the
+same knowledge/latency models as the CrowdFill crew.
+"""
+
+from repro.microtask.tasks import (
+    EnumerateTask,
+    FillTask,
+    MicrotaskAnswer,
+    VerifyTask,
+)
+from repro.microtask.coordinator import CoordinatorStats, MicrotaskCoordinator
+from repro.microtask.worker import MicrotaskWorker
+
+__all__ = [
+    "EnumerateTask",
+    "FillTask",
+    "VerifyTask",
+    "MicrotaskAnswer",
+    "MicrotaskCoordinator",
+    "CoordinatorStats",
+    "MicrotaskWorker",
+]

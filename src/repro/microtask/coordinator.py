@@ -1,0 +1,388 @@
+"""The microtask coordinator: decompose, assign, assemble, verify.
+
+One *slot* per required row.  Each slot walks a state machine:
+
+    enumerating -> filling -> verifying -> done
+
+- **enumerating**: one open EnumerateTask asking for a new primary key
+  (the exclusion list is frozen at task creation — concurrent slots can
+  and do collect duplicate keys, which the coordinator detects on
+  submission and redoes).
+- **filling**: one FillTask per non-key column, answerable in parallel
+  by different workers.
+- **verifying**: majority-of-three with short-cutting, mirroring
+  CrowdFill's scoring function: two agreeing votes decide; a 1-1 split
+  asks a third worker.  A rejected row retries its fills once, then
+  falls back to re-enumeration (the requester cannot tell which cell
+  was wrong — a structural disadvantage versus row-level voting on a
+  visible table).
+
+Workers *pull* tasks; a task is assigned to at most one worker at a
+time, and a skip (worker does not know the answer) reopens the task for
+everyone else — each hop paying the acceptance overhead again.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.row import RowValue
+from repro.core.schema import Schema
+from repro.microtask.tasks import (
+    EnumerateTask,
+    FillTask,
+    Microtask,
+    MicrotaskAnswer,
+    TaskIdFactory,
+    VerifyTask,
+)
+from repro.sim import Simulator
+
+VERIFY_ACCEPT = 2
+"""Agreeing votes that decide a row (majority of three, short-cut)."""
+
+MAX_FILL_RETRIES = 1
+"""Refill attempts after a rejected verification before re-enumerating."""
+
+
+class SlotPhase(enum.Enum):
+    ENUMERATING = "enumerating"
+    FILLING = "filling"
+    VERIFYING = "verifying"
+    DONE = "done"
+
+
+@dataclass
+class _Slot:
+    index: int
+    phase: SlotPhase = SlotPhase.ENUMERATING
+    key: tuple | None = None
+    key_values: RowValue = field(default_factory=RowValue)
+    values: dict = field(default_factory=dict)
+    pending_columns: set = field(default_factory=set)
+    yes_votes: int = 0
+    no_votes: int = 0
+    fill_retries: int = 0
+    enumerator: str | None = None
+
+    def row_value(self) -> RowValue:
+        return RowValue(self.values)
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters quantifying the baseline's overheads."""
+
+    tasks_issued: dict = field(default_factory=lambda: {
+        "enumerate": 0, "fill": 0, "verify": 0,
+    })
+    answers: int = 0
+    skips: int = 0
+    duplicates: int = 0
+    rejected_rows: int = 0
+    reenumerations: int = 0
+    completion_time: float | None = None
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.tasks_issued.values())
+
+
+class MicrotaskCoordinator:
+    """Runs one microtask-based collection of *target_rows* rows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schema: Schema,
+        target_rows: int,
+        skip_limit: int = 12,
+    ) -> None:
+        self.sim = sim
+        self.schema = schema
+        self.slots = [_Slot(index=i) for i in range(target_rows)]
+        self.skip_limit = skip_limit
+        self.stats = CoordinatorStats()
+        self._ids = TaskIdFactory()
+        self._open: list[Microtask] = []
+        self._in_flight: dict[str, tuple[Microtask, str]] = {}
+        self._skipped_by: dict[str, set[str]] = {}  # task_id -> worker_ids
+        self._skip_counts: dict[str, int] = {}
+        self._verify_voters: dict[int, set[str]] = {}  # slot -> worker_ids
+        self._committed_keys: set[tuple] = set()
+        self._registered: set[str] = set()
+        for slot in self.slots:
+            self._issue_enumerate(slot)
+
+    def register_worker(self, worker_id: str) -> None:
+        """Declare a worker in the pool.
+
+        Knowing the pool lets the coordinator detect *voter exhaustion*:
+        a row whose eligible verifiers (everyone but its enumerator and
+        prior voters) are all spent resolves by majority of the votes
+        actually received — a small crew cannot be allowed to wedge on
+        a 1-1 split with nobody left to break the tie.
+        """
+        self._registered.add(worker_id)
+
+    # -- progress -----------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        return all(slot.phase is SlotPhase.DONE for slot in self.slots)
+
+    def final_rows(self) -> list[RowValue]:
+        """The assembled table (complete, verified rows)."""
+        return [
+            slot.row_value()
+            for slot in self.slots
+            if slot.phase is SlotPhase.DONE
+        ]
+
+    # -- worker-facing API -----------------------------------------------------
+
+    def next_task(self, worker_id: str) -> Microtask | None:
+        """Assign an open task this worker is eligible for, or None.
+
+        Verification excludes the row's enumerator (you do not certify
+        your own entity) and repeat voters.  A worker who skipped a
+        fill/enumerate task earlier may get it again once no fresh
+        worker wants it — skips mean "didn't know off-hand", and the
+        worker may look the fact up on a second encounter.
+        """
+        assignable = self._find_task(worker_id, allow_reskip=False)
+        if assignable is None:
+            assignable = self._find_task(worker_id, allow_reskip=True)
+        return assignable
+
+    def _find_task(
+        self, worker_id: str, allow_reskip: bool
+    ) -> Microtask | None:
+        for index, task in enumerate(self._open):
+            skippers = self._skipped_by.get(task.task_id, set())
+            if worker_id in skippers and not (
+                allow_reskip and not isinstance(task, VerifyTask)
+            ):
+                continue
+            if isinstance(task, VerifyTask):
+                slot = self.slots[task.slot]
+                if worker_id == slot.enumerator:
+                    continue
+                if worker_id in self._verify_voters.get(task.slot, set()):
+                    continue
+            self._open.pop(index)
+            self._in_flight[task.task_id] = (task, worker_id)
+            return task
+        return None
+
+    def submit(self, answer: MicrotaskAnswer) -> None:
+        """Process a worker's answer (or skip) and advance the slot.
+
+        Raises:
+            KeyError: unknown or double-submitted task id.
+        """
+        task, assignee = self._in_flight.pop(answer.task_id)
+        if assignee != answer.worker_id:
+            raise KeyError(
+                f"task {answer.task_id!r} was assigned to {assignee!r}, "
+                f"not {answer.worker_id!r}"
+            )
+        self.stats.answers += 1
+        if answer.payload is None:
+            # Skip: reopen for everyone else.
+            self.stats.skips += 1
+            self._skipped_by.setdefault(task.task_id, set()).add(
+                answer.worker_id
+            )
+            self._skip_counts[task.task_id] = (
+                self._skip_counts.get(task.task_id, 0) + 1
+            )
+            if (
+                isinstance(task, FillTask)
+                and self._skip_counts[task.task_id] >= self.skip_limit
+            ):
+                # Nobody can answer: the enumerated key is presumably
+                # bad (e.g. a typo); expire the row and start over —
+                # the microtask analogue of HIT expiry.
+                self._abandon_key(self.slots[task.slot])
+                return
+            self._open.append(task)
+            return
+
+        if isinstance(task, EnumerateTask):
+            self._on_enumerate(task, answer)
+        elif isinstance(task, FillTask):
+            self._on_fill(task, answer)
+        else:
+            self._on_verify(task, answer)
+        for slot in self.slots:
+            self._check_verify_exhaustion(slot)
+        if self.completed and self.stats.completion_time is None:
+            self.stats.completion_time = self.sim.now
+
+    # -- state machine -------------------------------------------------------------
+
+    def _abandon_key(self, slot: _Slot) -> None:
+        """Give up on a slot's current key: drop its open/in-flight fill
+        tasks and re-enumerate."""
+        self.stats.reenumerations += 1
+        self._open = [
+            task
+            for task in self._open
+            if not (isinstance(task, FillTask) and task.slot == slot.index)
+        ]
+        # In-flight fills for the dead key become stale; _on_fill drops
+        # them via the key check when they come back.
+        self._issue_enumerate(slot)
+
+    def _issue_enumerate(self, slot: _Slot) -> None:
+        slot.phase = SlotPhase.ENUMERATING
+        slot.key = None
+        slot.values = {}
+        slot.yes_votes = slot.no_votes = 0
+        slot.fill_retries = 0
+        exclusions = set(self._committed_keys)
+        for other in self.slots:
+            if other.key is not None:
+                exclusions.add(other.key)
+        task = EnumerateTask(
+            task_id=self._ids.next(),
+            exclusions=frozenset(exclusions),
+            slot=slot.index,
+        )
+        self.stats.tasks_issued["enumerate"] += 1
+        self._open.append(task)
+
+    def _on_enumerate(self, task: EnumerateTask, answer: MicrotaskAnswer) -> None:
+        slot = self.slots[task.slot]
+        key_values: RowValue = answer.payload
+        key = key_values.key(self.schema.key_columns)
+        if key is None:
+            # Malformed answer: treat as a skip-with-cost.
+            self.stats.skips += 1
+            self._issue_enumerate(slot)
+            return
+        if key in self._committed_keys or any(
+            other.key == key for other in self.slots if other is not slot
+        ):
+            # The duplicate the paper's transparency argument predicts.
+            self.stats.duplicates += 1
+            self._issue_enumerate(slot)
+            return
+        slot.key = key
+        slot.key_values = key_values
+        slot.values = dict(key_values)
+        slot.enumerator = answer.worker_id
+        self._start_fills(slot)
+
+    def _start_fills(self, slot: _Slot) -> None:
+        slot.phase = SlotPhase.FILLING
+        slot.pending_columns = {
+            column
+            for column in self.schema.column_names
+            if column not in slot.values
+        }
+        if not slot.pending_columns:
+            self._start_verification(slot)
+            return
+        for column in sorted(slot.pending_columns):
+            task = FillTask(
+                task_id=self._ids.next(),
+                key=slot.key,  # type: ignore[arg-type]
+                key_values=slot.key_values,
+                column=column,
+                slot=slot.index,
+            )
+            self.stats.tasks_issued["fill"] += 1
+            self._open.append(task)
+
+    def _on_fill(self, task: FillTask, answer: MicrotaskAnswer) -> None:
+        slot = self.slots[task.slot]
+        if slot.key != task.key:
+            return  # stale answer for a re-enumerated slot
+        slot.values[task.column] = answer.payload
+        slot.pending_columns.discard(task.column)
+        if not slot.pending_columns and slot.phase is SlotPhase.FILLING:
+            self._start_verification(slot)
+
+    def _start_verification(self, slot: _Slot) -> None:
+        slot.phase = SlotPhase.VERIFYING
+        slot.yes_votes = slot.no_votes = 0
+        self._verify_voters[slot.index] = set()
+        for _ in range(VERIFY_ACCEPT):
+            self._issue_verify(slot)
+
+    def _issue_verify(self, slot: _Slot) -> None:
+        task = VerifyTask(
+            task_id=self._ids.next(),
+            value=slot.row_value(),
+            slot=slot.index,
+        )
+        self.stats.tasks_issued["verify"] += 1
+        self._open.append(task)
+
+    def _on_verify(self, task: VerifyTask, answer: MicrotaskAnswer) -> None:
+        slot = self.slots[task.slot]
+        if slot.phase is not SlotPhase.VERIFYING or task.value != slot.row_value():
+            return  # stale vote for an older row version
+        self._verify_voters.setdefault(slot.index, set()).add(answer.worker_id)
+        if answer.payload:
+            slot.yes_votes += 1
+        else:
+            slot.no_votes += 1
+        if slot.yes_votes >= VERIFY_ACCEPT:
+            slot.phase = SlotPhase.DONE
+            assert slot.key is not None
+            self._committed_keys.add(slot.key)
+            return
+        if slot.no_votes >= VERIFY_ACCEPT:
+            self._reject(slot)
+            return
+        if slot.yes_votes + slot.no_votes >= 2 and (
+            slot.yes_votes < VERIFY_ACCEPT and slot.no_votes < VERIFY_ACCEPT
+        ):
+            self._issue_verify(slot)  # the 1-1 tie-breaker
+
+    def _check_verify_exhaustion(self, slot: _Slot) -> None:
+        """Resolve a verification nobody is left to vote on.
+
+        Only applies when the worker pool is known (registered) and no
+        verify task for the slot is in a worker's hands.
+        """
+        if slot.phase is not SlotPhase.VERIFYING or not self._registered:
+            return
+        if any(
+            isinstance(task, VerifyTask) and task.slot == slot.index
+            for task, _ in self._in_flight.values()
+        ):
+            return
+        open_verifies = [
+            task
+            for task in self._open
+            if isinstance(task, VerifyTask) and task.slot == slot.index
+        ]
+        if not open_verifies:
+            return
+        eligible = self._registered - {slot.enumerator} - self._verify_voters.get(
+            slot.index, set()
+        )
+        if eligible:
+            return
+        self._open = [t for t in self._open if t not in open_verifies]
+        if slot.yes_votes > slot.no_votes:
+            slot.phase = SlotPhase.DONE
+            assert slot.key is not None
+            self._committed_keys.add(slot.key)
+        else:
+            self._reject(slot)
+
+    def _reject(self, slot: _Slot) -> None:
+        self.stats.rejected_rows += 1
+        if slot.fill_retries < MAX_FILL_RETRIES:
+            slot.fill_retries += 1
+            slot.values = dict(slot.key_values)
+            self._start_fills(slot)
+        else:
+            self.stats.reenumerations += 1
+            self._issue_enumerate(slot)

@@ -1,0 +1,80 @@
+"""Microtask types: the specific questions posed to workers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.row import RowValue
+
+
+@dataclass
+class EnumerateTask:
+    """"Name an entity satisfying the task (not among *exclusions*)."
+
+    The requester lists already-collected keys, but tasks answered
+    concurrently cannot see each other's answers — the duplication the
+    paper's transparency argument is about.
+    """
+
+    task_id: str
+    exclusions: frozenset[tuple]
+    slot: int
+
+    kind = "enumerate"
+
+
+@dataclass
+class FillTask:
+    """"Provide the value of *column* for the entity keyed *key*."."""
+
+    task_id: str
+    key: tuple
+    key_values: RowValue
+    column: str
+    slot: int
+
+    kind = "fill"
+
+
+@dataclass
+class VerifyTask:
+    """"Is this row correct?" — one worker's yes/no for majority voting."""
+
+    task_id: str
+    value: RowValue
+    slot: int
+
+    kind = "verify"
+
+
+Microtask = Union[EnumerateTask, FillTask, VerifyTask]
+
+
+@dataclass
+class MicrotaskAnswer:
+    """A worker's submission for one task.
+
+    Attributes:
+        task_id: the answered task.
+        worker_id: who answered.
+        payload: enumerate -> RowValue of key columns; fill -> the cell
+            value; verify -> bool.  None means the worker skipped (does
+            not know) and the task must be reassigned.
+    """
+
+    task_id: str
+    worker_id: str
+    payload: Any
+
+
+class TaskIdFactory:
+    """Sequential task identifiers."""
+
+    def __init__(self, prefix: str = "mt") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}-{next(self._counter)}"

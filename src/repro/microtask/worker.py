@@ -1,0 +1,215 @@
+"""Simulated workers for the microtask baseline.
+
+The same people as the CrowdFill crew — identical knowledge, accuracy,
+speed, and engagement models — but working the way a microtask
+marketplace makes them work: find a task, accept it (paying a per-task
+acceptance overhead), answer the one question, repeat.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.row import RowValue
+from repro.datasets.ground_truth import GroundTruth
+from repro.microtask.coordinator import MicrotaskCoordinator
+from repro.microtask.tasks import (
+    EnumerateTask,
+    FillTask,
+    Microtask,
+    MicrotaskAnswer,
+    VerifyTask,
+)
+from repro.sim import Simulator
+from repro.workers.errors import corrupt_value
+from repro.workers.profile import ActionLatencies, WorkerProfile
+
+DEFAULT_ACCEPT_OVERHEAD = (4.0, 12.0)
+"""Uniform range of the per-task find-and-accept overhead, seconds —
+the 'iterative microtasks' latency the paper's design avoids."""
+
+UNSURE_YES_BIAS = 0.65
+"""Verification forces an answer; an unsure worker leans 'looks fine'."""
+
+
+@dataclass
+class MicrotaskWorkerLog:
+    """Per-worker activity counters for the baseline."""
+
+    tasks_answered: int = 0
+    tasks_skipped: int = 0
+    idles: int = 0
+    overhead_seconds: float = 0.0
+    work_seconds: float = 0.0
+    per_kind: dict = field(default_factory=lambda: {
+        "enumerate": 0, "fill": 0, "verify": 0,
+    })
+
+
+class MicrotaskWorker:
+    """A pull-loop worker answering one microtask at a time.
+
+    Args:
+        worker_id: unique identifier.
+        coordinator: the task source/sink.
+        knowledge: what this worker knows (subset of the ground truth).
+        reference: the look-it-up-online reference (may be None).
+        profile: the same behavioural knobs as the CrowdFill crew.
+        sim / rng / latencies: simulation plumbing.
+        is_done: polled each cycle; True stops the loop.
+        accept_overhead: (low, high) seconds to find and accept a task.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        coordinator: MicrotaskCoordinator,
+        knowledge: GroundTruth,
+        reference: GroundTruth | None,
+        profile: WorkerProfile,
+        sim: Simulator,
+        rng: random.Random,
+        latencies: ActionLatencies | None = None,
+        is_done: Callable[[], bool] | None = None,
+        accept_overhead: tuple[float, float] = DEFAULT_ACCEPT_OVERHEAD,
+    ) -> None:
+        self.worker_id = worker_id
+        self.coordinator = coordinator
+        self.knowledge = knowledge
+        self.reference = reference
+        self.profile = profile
+        self.sim = sim
+        self.rng = rng
+        self.latencies = latencies or ActionLatencies()
+        self.is_done = is_done or (lambda: False)
+        self.accept_overhead = accept_overhead
+        self.log = MicrotaskWorkerLog()
+        self._verdict_memo: dict[RowValue, bool] = {}
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(f"worker {self.worker_id} already started")
+        self._started = True
+        self.coordinator.register_worker(self.worker_id)
+        self.sim.schedule(self.profile.start_delay, self._cycle)
+
+    def _cycle(self) -> None:
+        if self.is_done():
+            return
+        task = self.coordinator.next_task(self.worker_id)
+        if task is None:
+            self.log.idles += 1
+            self.sim.schedule(
+                self.latencies.idle_retry / self.profile.speed, self._cycle
+            )
+            return
+        overhead = self.rng.uniform(*self.accept_overhead) / self.profile.speed
+        work = self._work_latency(task) / self.profile.speed
+        if self.rng.random() < self.profile.pause_prob:
+            overhead += self.rng.uniform(0.5, 2.0) * self.profile.pause_seconds
+        self.log.overhead_seconds += overhead
+        self.log.work_seconds += work
+        self.sim.schedule(overhead + work, lambda: self._finish(task))
+
+    def _finish(self, task: Microtask) -> None:
+        payload = self._answer(task)
+        if payload is None:
+            self.log.tasks_skipped += 1
+        else:
+            self.log.tasks_answered += 1
+            self.log.per_kind[task.kind] += 1
+        self.coordinator.submit(
+            MicrotaskAnswer(
+                task_id=task.task_id,
+                worker_id=self.worker_id,
+                payload=payload,
+            )
+        )
+        self.sim.schedule(0.0, self._cycle)
+
+    # -- answering ---------------------------------------------------------------
+
+    def _work_latency(self, task: Microtask) -> float:
+        if isinstance(task, EnumerateTask):
+            schema = self.coordinator.schema
+            return sum(
+                self.latencies.sample_fill(self.rng, column)
+                for column in schema.key_columns
+            )
+        if isinstance(task, FillTask):
+            return self.latencies.sample_fill(self.rng, task.column)
+        return self.latencies.sample_upvote(self.rng)
+
+    def _answer(self, task: Microtask) -> Any:
+        if isinstance(task, EnumerateTask):
+            return self._answer_enumerate(task)
+        if isinstance(task, FillTask):
+            return self._answer_fill(task)
+        assert isinstance(task, VerifyTask)
+        return self._answer_verify(task)
+
+    def _answer_enumerate(self, task: EnumerateTask) -> RowValue | None:
+        schema = self.coordinator.schema
+        candidates = [
+            row
+            for row in self.knowledge.rows
+            if row.key(schema.key_columns) not in task.exclusions
+        ]
+        if not candidates:
+            return None
+        entity = self.rng.choice(candidates)
+        values = {}
+        for column in schema.key_columns:
+            true_value = entity[column]
+            if self.rng.random() < self.profile.fill_accuracy:
+                values[column] = true_value
+            else:
+                values[column] = corrupt_value(
+                    self.rng, schema.column(column), true_value
+                )
+        return RowValue(values)
+
+    def _answer_fill(self, task: FillTask) -> Any:
+        entity = self.knowledge.by_key(task.key)
+        if entity is None and self.reference is not None:
+            if self.rng.random() < self.profile.suspect_unknown_prob:
+                entity = self.reference.by_key(task.key)
+        if entity is None:
+            return None  # skip: someone else may know
+        true_value = entity[task.column]
+        if self.rng.random() < self.profile.fill_accuracy:
+            return true_value
+        return corrupt_value(
+            self.rng, self.coordinator.schema.column(task.column), true_value
+        )
+
+    def _answer_verify(self, task: VerifyTask) -> bool:
+        if task.value in self._verdict_memo:
+            return self._verdict_memo[task.value]
+        schema = self.coordinator.schema
+        key = task.value.key(schema.key_columns)
+        known = self.knowledge.by_key(key) if key else None
+        if known is None and key is not None and self.reference is not None:
+            if self.rng.random() < self.profile.suspect_unknown_prob:
+                known = self.reference.by_key(key)
+                if known is None:
+                    # Verified fabrication: a confident no.
+                    self._verdict_memo[task.value] = False
+                    return False
+        if known is not None:
+            truly_ok = known.subsumes(task.value)
+            verdict = (
+                truly_ok
+                if self.rng.random() < self.profile.judgement_accuracy
+                else not truly_ok
+            )
+        else:
+            # Forced answer without evidence: lean plausible-yes.
+            verdict = self.rng.random() < UNSURE_YES_BIAS
+        self._verdict_memo[task.value] = verdict
+        return verdict

@@ -1,0 +1,26 @@
+"""Simulated network: reliable, in-order message channels.
+
+This package stands in for the paper's Socket.IO persistent connections
+(section 3.3).  The formal model's single assumption — reliable, in-order
+delivery between the server and each client (section 2.4) — is enforced
+structurally: each unidirectional channel is a FIFO whose delivery times
+are monotonically non-decreasing even under random latency.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.network import Endpoint, Network, NetworkStats
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "UniformLatency",
+    "Endpoint",
+    "Network",
+    "NetworkStats",
+]

@@ -1,0 +1,69 @@
+"""Latency models for simulated channels."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LatencyModel(Protocol):
+    """Samples one-way message latencies, in simulated seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw the latency for the next message."""
+        ...
+
+
+class ConstantLatency:
+    """Every message takes exactly *seconds*."""
+
+    def __init__(self, seconds: float = 0.05) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be nonnegative, got {seconds}")
+        self.seconds = seconds
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.seconds})"
+
+
+class UniformLatency:
+    """Latency drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float = 0.02, high: float = 0.2) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency:
+    """Heavy-tailed latency, parameterized by median and sigma.
+
+    Wide-area links show occasional slow deliveries; a log-normal captures
+    that without ever going negative.
+    """
+
+    def __init__(self, median: float = 0.08, sigma: float = 0.5) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be nonnegative, got {sigma}")
+        self.median = median
+        self.sigma = sigma
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"

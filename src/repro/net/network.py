@@ -1,0 +1,164 @@
+"""The simulated network: endpoints and FIFO channels.
+
+A :class:`Network` owns a set of named endpoints and one unidirectional
+channel per (source, destination) pair, created lazily.  In-order
+delivery is enforced per channel: even when a sampled latency would let a
+later message overtake an earlier one, its delivery time is clamped to be
+no earlier than the previous message's.  This matches the TCP-backed
+Socket.IO transport of the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim import Simulator
+
+
+@runtime_checkable
+class Endpoint(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def on_message(self, source: str, payload: Any) -> None:
+        """Handle a message delivered from *source*."""
+        ...
+
+
+@dataclass
+class NetworkStats:
+    """Counters for observability and benchmarks."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bytes_sent: int = 0
+    per_link_sent: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def in_flight(self) -> int:
+        return self.messages_sent - self.messages_delivered
+
+
+class _Channel:
+    """Unidirectional FIFO link with monotone delivery times."""
+
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        latency: LatencyModel,
+        rng: random.Random,
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.latency = latency
+        self.rng = rng
+        self.last_delivery_time = 0.0
+        self.in_flight = 0
+
+
+class Network:
+    """Routes payloads between registered endpoints via the simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> net = Network(sim)
+        >>> class Sink:
+        ...     def __init__(self):
+        ...         self.got = []
+        ...     def on_message(self, source, payload):
+        ...         self.got.append((source, payload))
+        >>> sink = Sink()
+        >>> net.register("a", Sink())
+        >>> net.register("b", sink)
+        >>> net.send("a", "b", "hello")
+        >>> _ = sim.run()
+        >>> sink.got
+        [('a', 'hello')]
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.sim = sim
+        self.default_latency = default_latency or ConstantLatency(0.05)
+        self.rng = rng or random.Random(0)
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._channels: dict[tuple[str, str], _Channel] = {}
+        self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+
+    def register(self, name: str, endpoint: Endpoint) -> None:
+        """Attach *endpoint* under *name*.
+
+        Raises:
+            ValueError: if the name is already taken.
+        """
+        if name in self._endpoints:
+            raise ValueError(f"endpoint name already registered: {name!r}")
+        self._endpoints[name] = endpoint
+
+    def unregister(self, name: str) -> None:
+        """Detach the endpoint; in-flight messages to it are dropped."""
+        self._endpoints.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        """Names of all registered endpoints."""
+        return sorted(self._endpoints)
+
+    def set_link_latency(
+        self, source: str, destination: str, latency: LatencyModel
+    ) -> None:
+        """Override the latency model for one directed link."""
+        self._link_latency[(source, destination)] = latency
+        key = (source, destination)
+        if key in self._channels:
+            self._channels[key].latency = latency
+
+    def send(self, source: str, destination: str, payload: Any) -> None:
+        """Queue *payload* for delivery; fires ``on_message`` later.
+
+        Raises:
+            KeyError: if either endpoint is unknown.
+        """
+        if source not in self._endpoints:
+            raise KeyError(f"unknown source endpoint: {source!r}")
+        if destination not in self._endpoints:
+            raise KeyError(f"unknown destination endpoint: {destination!r}")
+        channel = self._channel(source, destination)
+        delay = channel.latency.sample(channel.rng)
+        deliver_at = max(self.sim.now + delay, channel.last_delivery_time)
+        channel.last_delivery_time = deliver_at
+        channel.in_flight += 1
+        self.stats.messages_sent += 1
+        key = (source, destination)
+        self.stats.per_link_sent[key] = self.stats.per_link_sent.get(key, 0) + 1
+        self.sim.schedule_at(
+            deliver_at, lambda: self._deliver(channel, source, destination, payload)
+        )
+
+    def quiescent(self) -> bool:
+        """True when no message is in flight on any channel."""
+        return self.stats.in_flight == 0
+
+    def _channel(self, source: str, destination: str) -> _Channel:
+        key = (source, destination)
+        if key not in self._channels:
+            latency = self._link_latency.get(key, self.default_latency)
+            rng = random.Random(self.rng.getrandbits(64))
+            self._channels[key] = _Channel(source, destination, latency, rng)
+        return self._channels[key]
+
+    def _deliver(
+        self, channel: _Channel, source: str, destination: str, payload: Any
+    ) -> None:
+        channel.in_flight -= 1
+        self.stats.messages_delivered += 1
+        endpoint = self._endpoints.get(destination)
+        if endpoint is not None:
+            endpoint.on_message(source, payload)

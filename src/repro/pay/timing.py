@@ -1,0 +1,45 @@
+"""Action-generation times derived from the message trace.
+
+Section 5.2.2: "we use the difference of timestamps in two consecutive
+messages from the same worker as the time taken for generating the
+second message" — the paper acknowledges this proxy's flaws and so do
+we; it is what both the final weights and the live estimates consume.
+
+A worker's first message has no predecessor and yields no sample.
+Automatic completion upvotes are skipped as predecessors' *outputs*
+(they are not worker actions) but they do not advance the
+previous-timestamp pointer either, since they are sent in the same
+instant as the fill that triggered them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.messages import TraceRecord, UpvoteMessage
+
+
+def generation_times(trace: Iterable[TraceRecord]) -> dict[int, float]:
+    """Map each record's seq to its generation time, where defined."""
+    times: dict[int, float] = {}
+    last_by_worker: dict[str, float] = {}
+    for record in trace:
+        message = record.message
+        if isinstance(message, UpvoteMessage) and message.auto:
+            continue  # piggybacks on its fill; zero-latency artefact
+        previous = last_by_worker.get(record.worker_id)
+        if previous is not None:
+            times[record.seq] = record.timestamp - previous
+        last_by_worker[record.worker_id] = record.timestamp
+    return times
+
+
+def median(values: list[float]) -> float | None:
+    """Median of *values*, or None when empty."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2

@@ -1,0 +1,22 @@
+"""CrowdFill servers (paper section 3).
+
+- :mod:`repro.server.backend` — the back-end server: master candidate
+  table, message broadcast, action trace, Central Client hosting, and
+  completion detection (sections 3.3, 4).
+- :mod:`repro.server.frontend` — the front-end server: a REST-style API
+  over table specifications, data collection control, and worker
+  payment (section 3.2), persisting to the document store.
+"""
+
+from repro.server.backend import BackendServer, BootstrapState
+
+__all__ = ["BackendServer", "BootstrapState", "FrontendServer", "ApiError"]
+
+
+def __getattr__(name):
+    # FrontendServer pulls in pay/marketplace; import lazily.
+    if name in ("FrontendServer", "ApiError"):
+        from repro.server import frontend
+
+        return getattr(frontend, name)
+    raise AttributeError(f"module 'repro.server' has no attribute {name!r}")

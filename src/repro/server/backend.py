@@ -1,0 +1,227 @@
+"""The back-end server (paper section 3.3).
+
+The back-end server is the "server" of the formal model: it maintains
+the master copy of the candidate table and broadcasts each incoming
+message to every client except the originator.  Beyond the model it:
+
+- hosts the Central Client (section 4), which is the only source of
+  insert messages, colocated for zero-latency PRI repair;
+- keeps a complete, timestamped, worker-annotated trace of all
+  messages — the input of the compensation scheme (section 5.2);
+- detects *completion*: the first instant the master's final table
+  satisfies the (possibly reduced) constraint template;
+- supplies bootstrap snapshots so clients joining mid-collection start
+  from a copy identical to the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.constraints.central import CENTRAL_CLIENT_ID, CentralClient
+from repro.constraints.template import Template, satisfies_template
+from repro.core.messages import Message, TraceRecord
+from repro.core.replica import Replica
+from repro.core.row import Row, RowValue
+from repro.core.schema import Schema
+from repro.core.scoring import ScoringFunction
+from repro.net import Network
+from repro.sim import Simulator
+
+SERVER_NAME = "server"
+
+
+@dataclass
+class BootstrapState:
+    """A copy of the master state for a newly attached client."""
+
+    rows: list[tuple[str, dict[str, Any], int, int]]
+    upvote_history: list[tuple[dict[str, Any], int]]
+    downvote_history: list[tuple[dict[str, Any], int]]
+
+    @classmethod
+    def capture(cls, replica: Replica) -> "BootstrapState":
+        table = replica.table
+        return cls(
+            rows=[
+                (row.row_id, dict(row.value), row.upvotes, row.downvotes)
+                for row in table.rows()
+            ],
+            upvote_history=[
+                (dict(value), count)
+                for value, count in table.upvote_history.items()
+                if count
+            ],
+            downvote_history=[
+                (dict(value), count)
+                for value, count in table.downvote_history.items()
+                if count
+            ],
+        )
+
+    def restore_into(self, replica: Replica) -> None:
+        """Load this snapshot into a fresh replica's table."""
+        table = replica.table
+        if len(table) != 0:
+            raise ValueError("bootstrap target replica is not empty")
+        for row_id, value, upvotes, downvotes in self.rows:
+            table.load_row(row_id, RowValue(value), upvotes, downvotes)
+        for value, count in self.upvote_history:
+            table.upvote_history[RowValue(value)] = count
+        for value, count in self.downvote_history:
+            table.downvote_history[RowValue(value)] = count
+
+
+class BackendServer:
+    """Master replica + broadcast hub + trace keeper + CC host.
+
+    Args:
+        sim: the shared discrete-event simulator (its clock timestamps
+            the trace).
+        network: the simulated network; the server registers itself
+            under :data:`SERVER_NAME`.
+        schema: collected table's schema.
+        scoring: vote-aggregation function.
+        template: constraint template (cardinality absorbed).
+        on_complete: called once, when the final table first satisfies
+            the template.
+        on_unsatisfiable: Central Client fallback policy.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        schema: Schema,
+        scoring: ScoringFunction,
+        template: Template,
+        on_complete: Callable[[], None] | None = None,
+        on_unsatisfiable: str = "drop",
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.schema = schema
+        self.replica = Replica(SERVER_NAME, schema, scoring)
+        self.trace: list[TraceRecord] = []
+        self._seq = 0
+        self._clients: list[str] = []
+        self.on_complete = on_complete
+        self.completed = False
+        self.completion_time: float | None = None
+        self.central = CentralClient(
+            schema,
+            scoring,
+            template,
+            send=self._central_send,
+            on_unsatisfiable=on_unsatisfiable,  # type: ignore[arg-type]
+            clock=lambda: sim.now,
+        )
+        network.register(SERVER_NAME, self)
+        self._started = False
+        self._trace_listeners: list[Callable[[TraceRecord], None]] = []
+
+    def add_trace_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Observe every worker trace record as the server logs it
+        (Central Client records are not delivered).  The compensation
+        estimator subscribes here."""
+        self._trace_listeners.append(listener)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Initialize the Central Client (populating the template rows)."""
+        if self._started:
+            raise RuntimeError("backend server already started")
+        self._started = True
+        self.central.initialize()
+        self._check_completion()
+
+    def attach_client(self, name: str) -> BootstrapState:
+        """Register a worker client for broadcast; returns its bootstrap.
+
+        The returned snapshot makes the client's initial copy identical
+        to the master, as the model requires.
+        """
+        if name in self._clients:
+            raise ValueError(f"client already attached: {name!r}")
+        self._clients.append(name)
+        return BootstrapState.capture(self.replica)
+
+    def detach_client(self, name: str) -> None:
+        """Stop broadcasting to a departed client."""
+        if name in self._clients:
+            self._clients.remove(name)
+
+    @property
+    def clients(self) -> tuple[str, ...]:
+        return tuple(self._clients)
+
+    # -- message plumbing -------------------------------------------------------
+
+    def on_message(self, source: str, payload: Message) -> None:
+        """Network entry point: a worker client's message arrives."""
+        self._process(payload, worker_id=source, exclude=source)
+
+    def _central_send(self, message: Message) -> None:
+        """CC generated a message; it has already applied it locally."""
+        self._apply_and_trace(message, CENTRAL_CLIENT_ID)
+        for client in self._clients:
+            self.network.send(SERVER_NAME, client, message)
+        # No completion check here: CC sends arrive mid-repair; the
+        # outermost _process (or start()) checks afterwards.
+
+    def _process(self, message: Message, worker_id: str, exclude: str) -> None:
+        self._apply_and_trace(message, worker_id)
+        for client in self._clients:
+            if client != exclude:
+                self.network.send(SERVER_NAME, client, message)
+        # The colocated Central Client sees the message immediately and
+        # may emit repairs (broadcast via _central_send).
+        self.central.on_message(message)
+        self._check_completion()
+
+    def _apply_and_trace(self, message: Message, worker_id: str) -> None:
+        self.replica.receive(message)
+        record = TraceRecord(
+            seq=self._seq,
+            timestamp=self.sim.now,
+            worker_id=worker_id,
+            message=message,
+        )
+        self.trace.append(record)
+        self._seq += 1
+        if worker_id != CENTRAL_CLIENT_ID:
+            for listener in self._trace_listeners:
+                listener(record)
+
+    # -- results ------------------------------------------------------------------
+
+    def final_rows(self) -> list[Row]:
+        """The master's current final table rows."""
+        return self.replica.table.final_rows()
+
+    def worker_trace(self) -> list[TraceRecord]:
+        """Trace records from worker clients only (CC excluded) — the
+        set M of section 5.2."""
+        return [
+            record for record in self.trace
+            if record.worker_id != CENTRAL_CLIENT_ID
+        ]
+
+    def current_template(self) -> Template:
+        """The possibly-reduced template CC is currently maintaining."""
+        return Template(self.central.template_rows)
+
+    def _check_completion(self) -> None:
+        if self.completed:
+            return
+        final_values = self.replica.table.final_table()
+        template = self.current_template()
+        if len(final_values) >= len(template) and satisfies_template(
+            final_values, template
+        ):
+            self.completed = True
+            self.completion_time = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete()

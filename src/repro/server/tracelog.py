@@ -1,0 +1,81 @@
+"""Trace persistence and replay.
+
+Section 3.3: the back-end server stores "a complete trace of worker
+actions for bookkeeping".  This module serializes traces to the
+document store (or JSON) and can *replay* a full trace — Central Client
+messages included — onto a fresh table, reconstructing the master copy
+exactly.  Replay is the bookkeeping guarantee: compensation can be
+audited or recomputed long after the collection ended.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.messages import TraceRecord, message_from_dict
+from repro.core.schema import Schema
+from repro.core.scoring import ScoringFunction
+from repro.core.table import CandidateTable
+from repro.docstore import Database
+
+
+def trace_to_dicts(trace: Iterable[TraceRecord]) -> list[dict[str, Any]]:
+    """Serialize trace records (see ``TraceRecord.to_dict``)."""
+    return [record.to_dict() for record in trace]
+
+
+def trace_from_dicts(documents: Sequence[dict[str, Any]]) -> list[TraceRecord]:
+    """Inverse of :func:`trace_to_dicts`; restores server order."""
+    records = [
+        TraceRecord(
+            seq=doc["seq"],
+            timestamp=doc["timestamp"],
+            worker_id=doc["worker_id"],
+            message=message_from_dict(doc["message"]),
+        )
+        for doc in documents
+    ]
+    records.sort(key=lambda record: record.seq)
+    return records
+
+
+def replay_trace(
+    schema: Schema,
+    scoring: ScoringFunction,
+    trace: Sequence[TraceRecord],
+) -> CandidateTable:
+    """Re-apply a *complete* trace (CC messages included) in seq order.
+
+    Returns a candidate table identical — rows, vote counts, and vote
+    histories — to the master at the moment the trace ended.
+    """
+    table = CandidateTable(schema, scoring)
+    for record in sorted(trace, key=lambda r: r.seq):
+        record.message.apply(table)
+    return table
+
+
+def store_trace(
+    db: Database, collection_name: str, run_id: str,
+    trace: Iterable[TraceRecord],
+) -> int:
+    """Persist a trace into the document store; returns records written.
+
+    Any previous trace stored under *run_id* is replaced.
+    """
+    collection = db.collection(collection_name)
+    collection.delete_many({"run_id": run_id})
+    count = 0
+    for document in trace_to_dicts(trace):
+        document["run_id"] = run_id
+        collection.insert_one(document)
+        count += 1
+    return count
+
+
+def load_trace(
+    db: Database, collection_name: str, run_id: str
+) -> list[TraceRecord]:
+    """Load a stored trace back, in server order."""
+    documents = db.collection(collection_name).find({"run_id": run_id})
+    return trace_from_dicts(documents)

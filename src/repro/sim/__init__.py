@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+CrowdFill's formal model (paper section 2.4) assumes only that messages
+between the server and clients are delivered reliably and in order.  The
+paper's implementation realizes this with Node.js and Socket.IO; this
+reproduction realizes it with a deterministic discrete-event simulator so
+that whole experiment runs — including the interleaving of concurrent
+worker actions — are seedable and replayable.
+
+The kernel is deliberately small: an event queue ordered by (time, seq),
+a clock, and named random-number streams.  Higher layers (``repro.net``,
+``repro.workers``, ``repro.experiments``) schedule callbacks on it.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Event", "EventQueue", "Simulator", "RngStreams"]

@@ -1,0 +1,72 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by scheduled time; ties are broken by a monotonically
+increasing sequence number so that two events scheduled for the same
+instant fire in scheduling order.  This tie-break is what makes entire
+simulation runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        seq: tie-breaker; assigned by the queue, increasing.
+        action: zero-argument callable run when the event fires.
+        cancelled: cancelled events are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule *action* at simulated *time* and return its event."""
+        event = Event(time=time, seq=self._next_seq, action=action)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the earliest pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

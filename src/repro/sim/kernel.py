@@ -1,0 +1,109 @@
+"""The simulator: a clock plus an event queue.
+
+All CrowdFill components in this reproduction — network channels, worker
+behaviour models, the back-end server's quiescence detector — run on one
+shared :class:`Simulator`.  Simulated time is in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+        >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+        >>> _ = sim.run()
+        >>> fired
+        [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[[], Any]) -> Event:
+        """Schedule *action* to run *delay* seconds from now.
+
+        Args:
+            delay: nonnegative offset from the current clock.
+            action: zero-argument callable.
+
+        Returns:
+            The scheduled :class:`Event`, which may be cancelled.
+
+        Raises:
+            SimulationError: if *delay* is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule *action* at absolute simulated *time* (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock is already at {self._now}"
+            )
+        return self._queue.push(time, action)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, *until* passes, or *max_events*.
+
+        Args:
+            until: stop (without firing) events scheduled after this time;
+                the clock is advanced to *until* when given.
+            max_events: safety bound on the number of events fired.
+
+        Returns:
+            The number of events fired.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.action()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False when the queue is empty."""
+        return self.run(max_events=1) == 1

@@ -1,0 +1,46 @@
+"""Simulated crowd workers.
+
+The paper's section 6 experiments used five locally recruited human
+volunteers.  This package replaces them with stochastic behaviour
+models whose knobs map onto the experiment-relevant properties of real
+workers:
+
+- *knowledge*: which entities a worker can contribute (a seeded subset
+  of the ground truth);
+- *accuracy*: how often fills and vote judgements are correct;
+- *latency*: per-column fill times and vote times (log-normal around
+  per-action medians) — these drive the column-weighted compensation
+  scheme's weights;
+- *engagement*: speed multipliers, pauses, and arrival times — these
+  drive the wide per-worker action-count spread the paper reports.
+
+Policies: :class:`DiligentPolicy` models a good-faith worker,
+:class:`SpammerPolicy` enters fast garbage, :class:`CopierPolicy`
+blind-upvotes to steal credit (both discussed in paper section 8).
+"""
+
+from repro.workers.profile import ActionLatencies, WorkerProfile
+from repro.workers.actions import (
+    Action,
+    DownvoteAction,
+    FillAction,
+    IdleAction,
+    UpvoteAction,
+)
+from repro.workers.policy import CopierPolicy, DiligentPolicy, SpammerPolicy, WorkerPolicy
+from repro.workers.simulated import SimulatedWorker
+
+__all__ = [
+    "ActionLatencies",
+    "WorkerProfile",
+    "Action",
+    "FillAction",
+    "UpvoteAction",
+    "DownvoteAction",
+    "IdleAction",
+    "WorkerPolicy",
+    "DiligentPolicy",
+    "SpammerPolicy",
+    "CopierPolicy",
+    "SimulatedWorker",
+]

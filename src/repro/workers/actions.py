@@ -1,0 +1,39 @@
+"""Worker actions chosen by a policy, before execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class FillAction:
+    """Fill *column* of the row currently identified by *row_id*."""
+
+    row_id: str
+    column: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class UpvoteAction:
+    """Upvote the (complete) row *row_id*."""
+
+    row_id: str
+
+
+@dataclass(frozen=True)
+class DownvoteAction:
+    """Downvote the (partial) row *row_id*."""
+
+    row_id: str
+
+
+@dataclass(frozen=True)
+class IdleAction:
+    """Nothing useful to do right now; check again in *retry_after* s."""
+
+    retry_after: float = 4.0
+
+
+Action = Union[FillAction, UpvoteAction, DownvoteAction, IdleAction]

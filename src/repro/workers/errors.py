@@ -1,0 +1,60 @@
+"""Error injection: plausible-but-wrong values for simulated typos."""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Any
+
+from repro.core.schema import Column, DataType
+
+
+def corrupt_value(rng: random.Random, column: Column, true_value: Any) -> Any:
+    """A wrong, type- and domain-valid value near *true_value*.
+
+    Numbers are perturbed; domain columns pick a different member;
+    strings get character-level typos; dates shift by days/years.  The
+    result is guaranteed to differ from the true value and to pass the
+    column's validation, so erroneous fills enter the table the way a
+    human typo would.
+    """
+    for _ in range(20):
+        candidate = _corrupt_once(rng, column, true_value)
+        if candidate != true_value:
+            try:
+                column.validate(candidate)
+            except Exception:
+                continue
+            return candidate
+    # Extremely defensive fallback; only reachable for 1-member domains.
+    return true_value
+
+
+def _corrupt_once(rng: random.Random, column: Column, true_value: Any) -> Any:
+    if column.domain is not None:
+        others = sorted(column.domain - {true_value}, key=repr)
+        if others:
+            return rng.choice(others)
+        return true_value
+    if column.dtype is DataType.INT:
+        magnitude = max(1, round(abs(true_value) * rng.uniform(0.02, 0.25)))
+        return true_value + rng.choice([-1, 1]) * magnitude
+    if column.dtype is DataType.FLOAT:
+        return true_value * rng.uniform(0.7, 1.3) + rng.uniform(-1, 1)
+    if column.dtype is DataType.BOOL:
+        return not true_value
+    if column.dtype is DataType.DATE:
+        date = datetime.date.fromisoformat(true_value)
+        shift = rng.choice([-365, -30, -1, 1, 30, 365])
+        return (date + datetime.timedelta(days=shift)).isoformat()
+    # STRING: typo styles — swap, drop, or duplicate a character.
+    text = str(true_value)
+    if len(text) < 2:
+        return text + rng.choice("abcdefgh")
+    style = rng.random()
+    index = rng.randrange(len(text) - 1)
+    if style < 0.4:  # swap adjacent characters
+        return text[:index] + text[index + 1] + text[index] + text[index + 2:]
+    if style < 0.7:  # drop a character
+        return text[:index] + text[index + 1:]
+    return text[:index] + text[index] + text[index:]  # duplicate

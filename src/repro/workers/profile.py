@@ -1,0 +1,152 @@
+"""Worker profiles: the knobs of a simulated worker."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ActionLatencies:
+    """Median action times in (simulated) seconds.
+
+    Fill times vary per column — name lookups take longer than picking
+    a position from a dropdown — which is exactly the variation the
+    column-weighted allocation scheme (section 5.2.2) exists to reward.
+    """
+
+    fill_by_column: dict[str, float] = field(
+        default_factory=lambda: {
+            "name": 14.0,
+            "nationality": 6.0,
+            "position": 5.0,
+            "caps": 11.0,
+            "goals": 10.0,
+            "dob": 16.0,
+        }
+    )
+    default_fill: float = 9.0
+    upvote: float = 4.0
+    downvote: float = 5.0
+    idle_retry: float = 4.0
+    sigma: float = 0.35
+    """Log-normal dispersion around each median."""
+
+    def median_for_fill(self, column: str) -> float:
+        """The median fill time for *column*."""
+        return self.fill_by_column.get(column, self.default_fill)
+
+    def sample_fill(self, rng: random.Random, column: str) -> float:
+        """Draw a fill latency for *column*."""
+        return self._lognormal(rng, self.median_for_fill(column))
+
+    def sample_upvote(self, rng: random.Random) -> float:
+        return self._lognormal(rng, self.upvote)
+
+    def sample_downvote(self, rng: random.Random) -> float:
+        return self._lognormal(rng, self.downvote)
+
+    def _lognormal(self, rng: random.Random, median: float) -> float:
+        import math
+
+        return rng.lognormvariate(math.log(median), self.sigma)
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Behavioural parameters of one simulated worker.
+
+    Attributes:
+        knowledge_fraction: fraction of the ground truth the worker knows.
+        fill_accuracy: probability a fill supplies the true value.
+        judgement_accuracy: probability a vote judgement of a *known*
+            entity's row is correct.
+        suspect_unknown_prob: probability that the worker *looks up* a
+            row about an entity it does not recognize against an
+            external reference (the paper's task concerned facts
+            "readily available" online); a failed lookup yields a
+            confident downvote, a successful one an informed judgement.
+        vote_affinity: probability of preferring a vote over a fill
+            when both are available (0 reproduces the paper's
+            never-voting third worker).
+        speed: speed multiplier; latencies are divided by it.
+        pause_prob: chance of a long pause between actions.
+        pause_seconds: median length of such a pause.
+        start_delay: seconds after collection start before the worker's
+            first action (marketplace arrival).
+        session_seconds: how long the worker stays before leaving (None
+            = stays to the end).  Real marketplace workers churn;
+            CrowdFill must finish with whoever remains.
+    """
+
+    knowledge_fraction: float = 0.5
+    fill_accuracy: float = 0.98
+    judgement_accuracy: float = 0.95
+    suspect_unknown_prob: float = 0.5
+    vote_affinity: float = 0.5
+    speed: float = 1.0
+    pause_prob: float = 0.08
+    pause_seconds: float = 25.0
+    start_delay: float = 0.0
+    session_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "knowledge_fraction",
+            "fill_accuracy",
+            "judgement_accuracy",
+            "suspect_unknown_prob",
+            "vote_affinity",
+            "pause_prob",
+        ):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+
+
+def representative_crew(seed: int = 0) -> list[WorkerProfile]:
+    """Five heterogeneous profiles shaped like the paper's volunteers.
+
+    The spread — a fast prolific worker, middling ones, a never-voting
+    one, and a slow low-output one — mirrors the representative run of
+    section 6 (54 actions down to 9 actions; one worker who "never
+    carried out upvote or downvote actions").
+
+    The never-voting profile is deliberately listed last: experiment
+    configurations with fewer than five workers slice this list from
+    the front, and a small crew containing a non-voter can genuinely
+    deadlock — a completed-but-wrong row stuck at score zero blocks its
+    template slot once every voting-willing worker has spent its one
+    vote on it.  (With the paper's five workers there is always a spare
+    voter.)
+    """
+    rng = random.Random(seed)
+    # Draws are made in a fixed order so reordering the returned list
+    # does not change each profile's sampled start delay.
+    delays = [rng.uniform(0, 10), rng.uniform(5, 25), rng.uniform(5, 25),
+              rng.uniform(10, 40), rng.uniform(30, 90)]
+    return [
+        WorkerProfile(  # prolific and fast (the $3.49 worker)
+            knowledge_fraction=0.7, speed=1.5, vote_affinity=0.55,
+            pause_prob=0.03, start_delay=delays[0],
+        ),
+        WorkerProfile(  # solid contributor
+            knowledge_fraction=0.6, speed=1.1, vote_affinity=0.5,
+            pause_prob=0.06, start_delay=delays[1],
+        ),
+        WorkerProfile(  # vote-leaning contributor
+            knowledge_fraction=0.5, speed=0.9, vote_affinity=0.75,
+            pause_prob=0.10, start_delay=delays[3],
+        ),
+        WorkerProfile(  # slow, low-output (the $0.51 worker)
+            knowledge_fraction=0.35, speed=0.55, vote_affinity=0.4,
+            pause_prob=0.22, pause_seconds=35.0,
+            start_delay=delays[4],
+        ),
+        WorkerProfile(  # never votes (the paper's "third worker")
+            knowledge_fraction=0.55, speed=1.0, vote_affinity=0.0,
+            pause_prob=0.08, start_delay=delays[2],
+        ),
+    ]

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_help_lists_commands(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for command in ("run", "effectiveness", "compensation", "mape",
+                    "adversaries"):
+        assert command in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command_prints_final_table(capsys):
+    code = main(["run", "--seed", "3", "--workers", "3", "--rows", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "completed in" in out
+    assert "payouts:" in out
+    assert out.count("'name'") == 4
+
+
+def test_run_with_recommender(capsys):
+    code = main(["run", "--seed", "3", "--workers", "3", "--rows", "4",
+                 "--recommender"])
+    assert code == 0
+    assert "completed in" in capsys.readouterr().out
+
+
+def test_effectiveness_command(capsys):
+    assert main(["effectiveness", "--seed", "7"]) == 0
+    assert "E1:" in capsys.readouterr().out
+
+
+def test_compensation_command_scheme_choice(capsys):
+    assert main(["compensation", "--seed", "7", "--scheme", "uniform"]) == 0
+    assert "scheme=uniform" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--seed", "7"]) == 0
+    assert "E5:" in capsys.readouterr().out
+
+
+def test_estimates_command(capsys):
+    assert main(["estimates", "--seed", "7"]) == 0
+    assert "Figure 5" in capsys.readouterr().out
+
+
+def test_earning_rate_command(capsys):
+    assert main(["earning-rate", "--seed", "7"]) == 0
+    assert "Figure 6" in capsys.readouterr().out
+
+
+def test_mape_command_small(capsys):
+    assert main(["mape", "--seeds", "3,7"]) == 0
+    out = capsys.readouterr().out
+    assert "E4:" in out and "2 runs" in out
+
+
+def test_adversaries_command(capsys):
+    assert main(["adversaries", "--kind", "copier", "--seed", "7",
+                 "--counts", "0,1"]) == 0
+    assert "copier" in capsys.readouterr().out
+
+
+def test_invalid_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["compensation", "--scheme", "martian"])
+
+
+def test_vs_microtask_command(capsys):
+    assert main(["vs-microtask", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "E9:" in out and "microtask" in out
+
+
+def test_latency_command(capsys):
+    assert main(["latency", "--seed", "7"]) == 0
+    assert "A6:" in capsys.readouterr().out
+
+
+def test_scaling_command(capsys):
+    assert main(["scaling", "--seed", "7", "--counts", "3,5"]) == 0
+    assert "A8:" in capsys.readouterr().out
+
+
+def test_report_quick_to_file(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["report", "--seed", "7", "--quick", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "# CrowdFill reproduction" in text
+    assert "E1 — overall effectiveness" in text
+    assert "Figure 5" in text
+    # Quick mode skips the sweeps.
+    assert "E4" not in text
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_report_quick_to_stdout(capsys):
+    assert main(["report", "--seed", "7", "--quick"]) == 0
+    assert "Figure 6" in capsys.readouterr().out
+
+
+def test_suggest_budget_command(capsys):
+    assert main(["suggest-budget", "--rows", "10", "--wage", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "suggested budget" in out and "$9.00/hour" in out
+
+
+def test_suggest_budget_with_verification(capsys):
+    assert main(["suggest-budget", "--rows", "5", "--wage", "6",
+                 "--verify", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Realized hourly wages" in out
+
+
+def test_quality_command(capsys):
+    assert main(["quality", "--seed", "7"]) == 0
+    assert "A9:" in capsys.readouterr().out
+
+
+def test_domains_command(capsys):
+    assert main(["domains", "--seed", "7"]) == 0
+    assert "A10:" in capsys.readouterr().out
+
+
+def test_cost_command(capsys):
+    assert main(["cost", "--seed", "7", "--wage", "9"]) == 0
+    assert "A11:" in capsys.readouterr().out

@@ -1,0 +1,247 @@
+"""Unit tests for the worker client: actions, vote policies, extensions."""
+
+import random
+
+import pytest
+
+from repro.client import VotePolicyError, WorkerClient
+from repro.constraints import Template
+from repro.core import OperationError, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+FULL = {
+    "name": "Messi", "nationality": "Argentina",
+    "position": "FW", "caps": 83, "goals": 37,
+}
+
+
+@pytest.fixture
+def system():
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.05),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING, Template.cardinality(3)
+    )
+    clients = []
+    for i in range(2):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i), vote_cap=4,
+                              allow_modify=True)
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    backend.start()
+    sim.run()
+    return sim, backend, clients
+
+
+def complete_row(client, row_id, values=FULL):
+    for column, value in values.items():
+        row_id = client.fill(row_id, column, value)
+    return row_id
+
+
+def test_fill_returns_new_row_id(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    new_id = alice.fill(row_id, "name", "Messi")
+    assert new_id != row_id
+    assert dict(alice.row(new_id).value) == {"name": "Messi"}
+
+
+def test_completing_fill_auto_upvotes(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    final_id = complete_row(alice, row_id)
+    assert alice.row(final_id).upvotes == 1
+    assert alice.votes_cast() == 1
+    sim.run()
+    assert backend.replica.table.row(final_id).upvotes == 1
+
+
+def test_auto_upvote_not_doubled_for_own_vote(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    final_id = complete_row(alice, row_id)
+    with pytest.raises(VotePolicyError):
+        alice.upvote(final_id)  # already voted (indirectly)
+
+
+def test_one_vote_per_row(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    final_id = complete_row(alice, row_id)
+    sim.run()
+    bob.upvote(final_id)
+    with pytest.raises(VotePolicyError):
+        bob.downvote(final_id)
+
+
+def test_one_upvote_per_primary_key(system):
+    sim, backend, (alice, bob) = system
+    ids = alice.replica.table.row_ids()
+    first = complete_row(alice, ids[0])
+    second = complete_row(alice, ids[1], {**FULL, "position": "MF"})
+    sim.run()
+    bob.upvote(first)
+    assert not bob.can_upvote(second)
+    with pytest.raises(VotePolicyError):
+        bob.upvote(second)
+    # Downvoting a different row with the same key is still allowed.
+    bob.downvote(second)
+
+
+def test_vote_cap_enforced(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    partial = alice.fill(row_id, "name", "X")
+    sim.run()
+    # Cap is 4: simulate three downvotes arriving from elsewhere.
+    row = bob.replica.table.row(partial)
+    row.downvotes = 4
+    assert not bob.can_vote(partial)
+    with pytest.raises(VotePolicyError):
+        bob.downvote(partial)
+
+
+def test_cannot_vote_empty_row(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    assert not alice.can_vote(row_id)
+
+
+def test_visible_rows_order_differs_between_clients(system):
+    sim, backend, clients = system
+    # With 3 rows a same-order collision is possible but the seeds used
+    # here produce different permutations.
+    orders = [
+        [row.row_id for row in client.visible_rows()] for client in clients
+    ]
+    assert sorted(orders[0]) == sorted(orders[1])
+    assert orders[0] != orders[1]
+
+
+def test_visible_order_stable_for_existing_rows(system):
+    sim, backend, (alice, bob) = system
+    before = [row.row_id for row in alice.visible_rows()]
+    assert [row.row_id for row in alice.visible_rows()] == before
+
+
+def test_resolve_row_follows_replacements(system):
+    sim, backend, (alice, bob) = system
+    row_id = bob.replica.table.row_ids()[0]
+    new_id = alice.fill(alice.replica.table.row_ids()[0], "name", "X")
+    sim.run()
+    # bob's original reference resolves to the replacement.
+    original = row_id if row_id in alice.replica.table else row_id
+    assert bob.resolve_row(new_id) == new_id
+    replaced_id = alice.replica.table.row_ids()
+    # After alice's fill, the old id resolves to new for bob as well.
+    assert bob.resolve_row(row_id) in bob.replica.table or bob.resolve_row(
+        row_id
+    ) == row_id
+
+
+def test_resolve_row_after_remote_replace(system):
+    sim, backend, (alice, bob) = system
+    shared = alice.replica.table.row_ids()[0]
+    new_id = alice.fill(shared, "name", "X")
+    sim.run()
+    assert bob.resolve_row(shared) == new_id
+
+
+def test_stale_fill_raises_operation_error(system):
+    sim, backend, (alice, bob) = system
+    shared = alice.replica.table.row_ids()[0]
+    alice.fill(shared, "name", "X")
+    sim.run()
+    with pytest.raises(OperationError):
+        bob.fill(shared, "nationality", "Y")  # stale id, unresolved
+
+
+def test_modify_action_translates_to_downvote_insert_fill(system):
+    """Bob corrects Alice's row: downvote + fresh row + fills."""
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    final_id = complete_row(alice, row_id)
+    sim.run()
+    corrected = bob.modify(final_id, "caps", 84)
+    sim.run()
+    assert dict(bob.row(corrected).value)["caps"] == 84
+    assert backend.replica.table.row(final_id).downvotes == 1
+    assert bob.snapshot() == backend.replica.snapshot()
+
+
+def test_modify_own_voted_row_skips_downvote(system):
+    """A worker who already (auto-)voted a row cannot vote it again;
+    their modify still produces the corrected row."""
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    final_id = complete_row(alice, row_id)
+    sim.run()
+    corrected = alice.modify(final_id, "caps", 84)
+    sim.run()
+    assert dict(alice.row(corrected).value)["caps"] == 84
+    assert backend.replica.table.row(final_id).downvotes == 0
+    assert alice.snapshot() == backend.replica.snapshot()
+
+
+def test_modify_requires_enabled_flag():
+    sim = Simulator()
+    network = Network(sim, rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING, Template.cardinality(1)
+    )
+    client = WorkerClient("solo", schema, SCORING, network)
+    client.bootstrap(backend.attach_client("solo"))
+    backend.start()
+    sim.run()
+    row_id = client.replica.table.row_ids()[0]
+    new_id = client.fill(row_id, "caps", 83)
+    with pytest.raises(OperationError):
+        client.modify(new_id, "caps", 84)
+
+
+def test_modify_requires_filled_column(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    new_id = alice.fill(row_id, "caps", 83)
+    with pytest.raises(OperationError):
+        alice.modify(new_id, "goals", 10)
+
+
+def test_undo_vote_roundtrip(system):
+    sim, backend, (alice, bob) = system
+    row_id = alice.replica.table.row_ids()[0]
+    final_id = complete_row(alice, row_id)
+    sim.run()
+    bob.upvote(final_id)
+    sim.run()
+    assert backend.replica.table.row(final_id).upvotes == 2
+    bob.undo_last_vote()
+    sim.run()
+    assert backend.replica.table.row(final_id).upvotes == 1
+    assert bob.snapshot() == backend.replica.snapshot()
+    # The worker may vote on the row again after the undo.
+    bob.downvote(final_id)
+
+
+def test_undo_without_votes_raises(system):
+    sim, backend, (alice, bob) = system
+    with pytest.raises(OperationError):
+        bob.undo_last_vote()
+
+
+def test_listener_invoked_on_remote_messages(system):
+    sim, backend, (alice, bob) = system
+    seen = []
+    bob.add_listener(seen.append)
+    alice.fill(alice.replica.table.row_ids()[0], "name", "X")
+    sim.run()
+    assert seen

@@ -1,0 +1,119 @@
+"""Tests for the worker-view renderer and the live header estimates."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.client.view import render_worker_view
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.pay import AllocationScheme, CompensationEstimator
+from repro.server import BackendServer
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    template = Template.cardinality(3)
+    backend = BackendServer(sim, network, schema, SCORING, template)
+    client = WorkerClient("w0", schema, SCORING, network,
+                          rng=random.Random(1))
+    client.bootstrap(backend.attach_client("w0"))
+    backend.start()
+    sim.run()
+    estimator = CompensationEstimator(
+        schema, template, SCORING, budget=10.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    backend.add_trace_listener(
+        lambda record: estimator.on_record(record, backend.replica.table)
+    )
+    return sim, backend, client, estimator
+
+
+def test_render_shows_all_rows_and_headers(world):
+    sim, backend, client, _ = world
+    text = render_worker_view(client)
+    for column in client.schema.column_names:
+        assert column in text
+    assert "votes" in text
+    assert text.count("\n") >= 4  # header + rule + 3 rows
+
+
+def test_render_respects_client_row_order(world):
+    sim, backend, client, _ = world
+    client.fill(client.replica.table.row_ids()[0], "name", "Messi")
+    sim.run()
+    text = render_worker_view(client)
+    order = [row.row_id for row in client.visible_rows()]
+    messi_index = next(
+        i for i, row in enumerate(client.visible_rows())
+        if "name" in row.value.filled_columns()
+    )
+    lines = text.splitlines()[2:]
+    assert "Messi" in lines[messi_index]
+
+
+def test_render_with_estimator_shows_dollar_hints(world):
+    sim, backend, client, estimator = world
+    text = render_worker_view(client, estimator)
+    assert "$" in text
+    assert "+$" in text and "/-$" in text
+
+
+def test_header_estimates_match_uniform_closed_form(world):
+    sim, backend, client, estimator = world
+    estimates = estimator.current_cell_estimates(backend.replica.table)
+    # Uniform: b = B / (|C| + |U| + |D|) = 10 / (15 + 3 + 0).
+    expected = 10.0 / (5 * 3 + (2 - 1) * 3)
+    for column in client.schema.column_names:
+        assert estimates[column] == pytest.approx(expected)
+    up, down = estimator.current_vote_estimates(backend.replica.table)
+    assert up == pytest.approx(expected)
+    assert down == pytest.approx(expected)
+
+
+def test_vote_affordances_reflect_policies(world):
+    sim, backend, client, _ = world
+    row_id = client.replica.table.row_ids()[0]
+    for column, value in {
+        "name": "Messi", "nationality": "Argentina",
+        "position": "FW", "caps": 83, "goals": 37,
+    }.items():
+        row_id = client.fill(row_id, column, value)
+    sim.run()
+    text = render_worker_view(client)
+    # The worker auto-upvoted its completed row: no vote affordance on it.
+    complete_line = next(
+        line for line in text.splitlines() if "Messi" in line
+    )
+    assert "▲" not in complete_line
+    assert "▼" not in complete_line
+    # Empty rows offer no vote buttons either (nothing to assess).
+    empty_line = text.splitlines()[-1]
+    assert "▲" not in empty_line
+
+
+def test_max_rows_truncation(world):
+    sim, backend, client, _ = world
+    text = render_worker_view(client, max_rows=1)
+    assert len(text.splitlines()) == 3
+
+
+def test_zero_budget_estimates(world):
+    sim, backend, client, _ = world
+    zero = CompensationEstimator(
+        client.schema, Template.cardinality(3), SCORING, budget=0.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    estimates = zero.current_cell_estimates(backend.replica.table)
+    assert all(v == 0.0 for v in estimates.values())

@@ -1,0 +1,237 @@
+"""Unit tests for the Central Client's PRI maintenance — including the
+full section 4.3 walkthrough (Figure 4 states a through f)."""
+
+import pytest
+
+from repro.constraints import CentralClient, Template, UnsatisfiableTemplateError
+from repro.core import RowValue, ThresholdScoring
+from repro.core.messages import DownvoteMessage, UpvoteMessage
+from repro.core.replica import Replica
+from repro.core.schema import soccer_player_schema
+
+SCORING = ThresholdScoring(2)
+
+
+def make_cc(template, on_unsatisfiable="drop"):
+    schema = soccer_player_schema()
+    sent = []
+    cc = CentralClient(
+        schema, SCORING, template, send=sent.append,
+        on_unsatisfiable=on_unsatisfiable,
+    )
+    return cc, sent
+
+
+def paper_template():
+    return Template.from_values(
+        [{"position": "FW"}, {"nationality": "Brazil"}, {"nationality": "Spain"}]
+    )
+
+
+def test_initialize_inserts_template_rows():
+    cc, sent = make_cc(paper_template())
+    cc.initialize()
+    values = sorted(
+        tuple(sorted(dict(row.value).items()))
+        for row in cc.replica.table.rows()
+    )
+    assert values == [
+        (("nationality", "Brazil"),),
+        (("nationality", "Spain"),),
+        (("position", "FW"),),
+    ]
+    assert cc.pri_holds()
+    # insert + fill per row = 6 messages.
+    assert len(sent) == 6
+
+
+def test_initialize_upvotes_complete_template_rows():
+    template = Template.from_values(
+        [{
+            "name": "Lionel Messi", "nationality": "Argentina",
+            "position": "FW", "caps": 83, "goals": 37,
+        }]
+    )
+    cc, sent = make_cc(template)
+    cc.initialize()
+    row = next(iter(cc.replica.table.rows()))
+    assert row.upvotes == 1
+    assert any(isinstance(m, UpvoteMessage) and m.auto for m in sent)
+
+
+def test_double_initialize_rejected():
+    cc, _ = make_cc(paper_template())
+    cc.initialize()
+    with pytest.raises(RuntimeError):
+        cc.initialize()
+
+
+def test_cardinality_template_inserts_empty_rows():
+    cc, sent = make_cc(Template.cardinality(4))
+    cc.initialize()
+    assert len(cc.replica.table) == 4
+    assert all(row.value.is_empty for row in cc.replica.table.rows())
+    assert cc.pri_holds()
+
+
+def _worker_fill(cc, other, row_id, column, value):
+    """Emulate a worker filling through a second replica, relayed to CC."""
+    message = other.fill(row_id, column, value)
+    cc.on_message(message)
+    return message.new_id
+
+
+def test_section_43_walkthrough():
+    """The full Figure 4 story.
+
+    Build the section 4.3 candidate table (rows 1-4), then: two
+    downvotes kill row 2 — an augmenting path (b-1-a-4) repairs the
+    matching without inserting; then row 4' (Messi, caps 82) dies too —
+    template row 'a' has no augmenting path left and CC inserts row 5
+    with value (position=FW), exactly Figure 4f.
+    """
+    cc, sent = make_cc(paper_template())
+    cc.initialize()
+
+    # worker1 mirrors CC's state; worker2 deliberately lags (it only
+    # ever sees the init messages) so its fill on the original FW row
+    # arrives as a *concurrent* replace — producing the extra row 4 the
+    # way real concurrency does.
+    worker1 = Replica("w1", soccer_player_schema(), SCORING)
+    worker2 = Replica("w2", soccer_player_schema(), SCORING)
+    for message in list(sent):
+        worker1.receive(message)
+        worker2.receive(message)
+
+    def fill1(row_id, column, value):
+        message = worker1.fill(row_id, column, value)
+        cc.on_message(message)
+        return message.new_id
+
+    rows = {r.row_id: dict(r.value) for r in worker1.table.rows()}
+    fw_row = next(i for i, v in rows.items() if v.get("position") == "FW")
+    brazil_row = next(
+        i for i, v in rows.items() if v.get("nationality") == "Brazil"
+    )
+    spain_row = next(
+        i for i, v in rows.items() if v.get("nationality") == "Spain"
+    )
+
+    # Row 1: Neymar / Brazil / FW (on the Brazil template row).
+    row1 = fill1(brazil_row, "name", "Neymar")
+    row1 = fill1(row1, "position", "FW")
+    # Row 2: Ronaldinho / Brazil / FW (on the FW template row).
+    row2 = fill1(fw_row, "name", "Ronaldinho")
+    row2 = fill1(row2, "nationality", "Brazil")
+    # Row 3: _ / Spain / FW.
+    row3 = fill1(spain_row, "position", "FW")
+    # Row 4: Messi / _ / FW — worker2's concurrent fill of the original
+    # FW template row, which already carries position=FW in its lagging
+    # copy (the row was long since replaced at CC, which tolerates the
+    # missing old id — this is exactly how conflicts create extra rows).
+    message = worker2.fill(fw_row, "name", "Messi")
+    cc.on_message(message)
+    row4 = message.new_id
+    assert dict(worker2.table.row(row4).value) == {
+        "name": "Messi", "position": "FW",
+    }
+
+    assert cc.pri_holds()
+    assert len(cc.probable_now()) >= 4
+    inserts_before = cc.stats.inserts
+
+    # Downvote row 2 twice: score -2, out of P; augmenting path repairs.
+    value2 = cc.replica.table.row(row2).value
+    cc.on_message(DownvoteMessage(value=value2))
+    cc.on_message(DownvoteMessage(value=value2))
+    assert cc.pri_holds()
+    assert cc.stats.inserts == inserts_before
+    assert cc.stats.drops == 0
+
+    # Row 4': caps filled in, then killed: no augmenting path for 'a'.
+    message = worker2.fill(row4, "caps", 82)
+    cc.on_message(message)
+    row4p = message.new_id
+    value4 = cc.replica.table.row(row4p).value
+    cc.on_message(DownvoteMessage(value=value4))
+    cc.on_message(DownvoteMessage(value=value4))
+
+    assert cc.pri_holds()
+    assert cc.stats.inserts == inserts_before + 1, (
+        "CC should have inserted exactly one fresh row for 'a'"
+    )
+    assert cc.stats.drops == 0
+    inserted = [
+        r for r in cc.replica.table.rows()
+        if dict(r.value) == {"position": "FW"} and r.downvotes == 0
+    ]
+    assert inserted, "Figure 4f: a fresh (position=FW) row must exist"
+
+
+def test_downvoted_template_value_is_dropped():
+    cc, _ = make_cc(paper_template())
+    cc.initialize()
+    brazil = RowValue({"nationality": "Brazil"})
+    cc.on_message(DownvoteMessage(value=brazil))
+    cc.on_message(DownvoteMessage(value=brazil))
+    assert cc.pri_holds()
+    assert cc.stats.drops == 1
+    assert [row.label for row in cc.dropped_rows] == ["b"]
+    assert len(cc.template_rows) == 2
+
+
+def test_unsatisfiable_raises_when_configured():
+    cc, _ = make_cc(paper_template(), on_unsatisfiable="error")
+    cc.initialize()
+    brazil = RowValue({"nationality": "Brazil"})
+    cc.on_message(DownvoteMessage(value=brazil))
+    with pytest.raises(UnsatisfiableTemplateError):
+        cc.on_message(DownvoteMessage(value=brazil))
+
+
+def test_pri_events_are_recorded():
+    cc, _ = make_cc(paper_template())
+    cc.initialize()
+    brazil = RowValue({"nationality": "Brazil"})
+    cc.on_message(DownvoteMessage(value=brazil))
+    cc.on_message(DownvoteMessage(value=brazil))
+    kinds = {event.kind for event in cc.stats.events}
+    assert "drop" in kinds
+
+
+def test_refresh_before_initialize_is_noop():
+    cc, sent = make_cc(paper_template())
+    cc.refresh()
+    assert sent == []
+
+
+def test_correspondence_maps_labels_to_rows():
+    cc, _ = make_cc(paper_template())
+    cc.initialize()
+    mapping = cc.correspondence()
+    assert set(mapping) == {"a", "b", "c"}
+    for row_id in mapping.values():
+        assert row_id in cc.replica.table
+
+
+def test_predicates_template_maintenance():
+    """The predicates extension: CC seeds equality cells only; a row
+    violating a predicate loses its edge and the PRI repairs."""
+    template = Template.from_predicates(
+        [{"nationality": "=Spain", "caps": ">=100"}]
+    )
+    cc, sent = make_cc(template)
+    cc.initialize()
+    seeded = next(iter(cc.replica.table.rows()))
+    assert dict(seeded.value) == {"nationality": "Spain"}
+    assert cc.pri_holds()
+
+    worker = Replica("w", soccer_player_schema(), SCORING)
+    for message in list(sent):
+        worker.receive(message)
+    # A worker fills caps=80: the row can no longer satisfy ">=100".
+    message = worker.fill(seeded.row_id, "caps", 80)
+    inserts_before = cc.stats.inserts
+    cc.on_message(message)
+    assert cc.pri_holds()
+    assert cc.stats.inserts == inserts_before + 1

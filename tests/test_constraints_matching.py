@@ -1,0 +1,200 @@
+"""Unit and property tests for incremental bipartite matching.
+
+The property test checks our augmenting-path implementation against
+networkx's Hopcroft-Karp as an oracle.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import IncrementalMatching, maximum_matching_size
+
+
+def build(lefts, rights, edges):
+    matching = IncrementalMatching(lefts)
+    for right in rights:
+        matching.add_right(right, ())
+    for left, right in edges:
+        matching.add_edge(left, right)
+    return matching
+
+
+def test_empty_matching():
+    matching = IncrementalMatching()
+    assert matching.size == 0
+    assert matching.maximize() == 0
+
+
+def test_single_edge():
+    matching = build(["t"], ["p"], [("t", "p")])
+    assert matching.maximize() == 1
+    assert matching.matched_right("t") == "p"
+    assert matching.matched_left("p") == "t"
+
+
+def test_augmenting_path_flips_matching():
+    """The classic: t1 matched to p1 must move so t2 (only p1) fits."""
+    matching = build(
+        ["t1", "t2"], ["p1", "p2"], [("t1", "p1"), ("t1", "p2"), ("t2", "p1")]
+    )
+    matching.augment("t1")
+    assert matching.size == 1
+    matching.augment("t2")
+    assert matching.size == 2
+    matching.verify()
+
+
+def test_free_lefts():
+    matching = build(["t1", "t2"], ["p1"], [("t1", "p1")])
+    matching.maximize()
+    assert matching.free_lefts() == ["t2"]
+
+
+def test_remove_right_frees_its_left():
+    matching = build(["t"], ["p"], [("t", "p")])
+    matching.maximize()
+    freed = matching.remove_right("p")
+    assert freed == ["t"]
+    assert matching.size == 0
+    matching.verify()
+
+
+def test_remove_unmatched_right_frees_nothing():
+    matching = build(["t"], ["p", "q"], [("t", "p"), ("t", "q")])
+    matching.maximize()
+    unmatched = "q" if matching.matched_right("t") == "p" else "p"
+    assert matching.remove_right(unmatched) == []
+    assert matching.size == 1
+
+
+def test_remove_left():
+    matching = build(["t1", "t2"], ["p1"], [("t1", "p1")])
+    matching.maximize()
+    matching.remove_left("t1")
+    assert matching.size == 0
+    assert "t1" not in matching.left_nodes
+    matching.verify()
+
+
+def test_add_left_with_neighbors():
+    matching = build(["t1"], ["p1", "p2"], [("t1", "p1")])
+    matching.maximize()
+    matching.add_left("t2", ["p1", "p2"])
+    matching.maximize()
+    assert matching.size == 2
+
+
+def test_duplicate_nodes_rejected():
+    matching = build(["t"], ["p"], [])
+    with pytest.raises(ValueError):
+        matching.add_left("t")
+    with pytest.raises(ValueError):
+        matching.add_right("p", ())
+
+
+def test_edge_to_unknown_node_rejected():
+    matching = build(["t"], ["p"], [])
+    with pytest.raises(ValueError):
+        matching.add_edge("t", "ghost")
+    with pytest.raises(ValueError):
+        matching.add_edge("ghost", "p")
+
+
+def test_try_free_instead_success():
+    """Both template rows need the same probable row; the shuffle hands
+    it from t2 to t1, leaving t2 free for a fresh insert."""
+    matching = build(
+        ["t1", "t2"], ["p1"], [("t1", "p1"), ("t2", "p1")]
+    )
+    matching.augment("t2")
+    assert matching.matched_right("t2") == "p1"
+    assert not matching.augment("t1") or matching.size == 1
+    assert matching.try_free_instead("t1", "t2")
+    assert matching.matched_right("t1") == "p1"
+    assert matching.matched_right("t2") is None
+    matching.verify()
+
+
+def test_try_free_instead_failure_restores_state():
+    matching = build(["t1", "t2"], ["p2"], [("t2", "p2")])
+    matching.maximize()
+    before = matching.pairs()
+    assert not matching.try_free_instead("t1", "t2")  # t1 has no edges
+    assert matching.pairs() == before
+    matching.verify()
+
+
+def test_one_shot_maximum_matching_size():
+    size = maximum_matching_size(
+        ["a", "b", "c"],
+        [1, 2],
+        {"a": [1], "b": [1, 2], "c": [2]},
+    )
+    assert size == 2
+
+
+left_ids = st.integers(min_value=0, max_value=7)
+right_ids = st.integers(min_value=100, max_value=109)
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges=st.sets(st.tuples(left_ids, right_ids), max_size=40))
+def test_matching_size_matches_networkx_oracle(edges):
+    lefts = sorted({left for left, _ in edges}) or [0]
+    rights = sorted({right for _, right in edges})
+    adjacency = {}
+    for left, right in edges:
+        adjacency.setdefault(left, []).append(right)
+
+    ours = maximum_matching_size(lefts, rights, adjacency)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(("L", left) for left in lefts)
+    graph.add_nodes_from(("R", right) for right in rights)
+    graph.add_edges_from(
+        ((("L", left), ("R", right)) for left, right in edges)
+    )
+    oracle = len(
+        nx.bipartite.maximum_matching(
+            graph, top_nodes=[("L", left) for left in lefts]
+        )
+    ) // 2
+    assert ours == oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    edges=st.sets(st.tuples(left_ids, right_ids), max_size=30),
+    removals=st.lists(right_ids, max_size=10),
+)
+def test_incremental_removals_keep_matching_maximum(edges, removals):
+    """After arbitrary right-node removals plus re-maximization, the
+    matching size equals a from-scratch recomputation."""
+    lefts = sorted({left for left, _ in edges}) or [0]
+    rights = sorted({right for _, right in edges})
+    matching = IncrementalMatching(lefts)
+    adjacency = {}
+    for left, right in edges:
+        adjacency.setdefault(right, []).append(left)
+    for right in rights:
+        matching.add_right(right, adjacency.get(right, []))
+    matching.maximize()
+
+    alive = set(rights)
+    for right in removals:
+        matching.remove_right(right)
+        alive.discard(right)
+        matching.maximize()
+        matching.verify()
+
+    expected = maximum_matching_size(
+        lefts,
+        sorted(alive),
+        {
+            left: [r for l, r in edges if l == left and r in alive]
+            for left in lefts
+        },
+    )
+    assert matching.size == expected

@@ -1,0 +1,127 @@
+"""Unit tests for probable-row classification (section 4.1)."""
+
+import pytest
+
+from repro.constraints.probable import (
+    hypothetical_row_probable,
+    is_probable,
+    probable_rows,
+)
+from repro.core import CandidateTable, RowValue, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+
+
+@pytest.fixture
+def table():
+    return CandidateTable(soccer_player_schema(), ThresholdScoring(2))
+
+
+def full(name, nationality, position="FW", caps=80, goals=10):
+    return RowValue(
+        {
+            "name": name,
+            "nationality": nationality,
+            "position": position,
+            "caps": caps,
+            "goals": goals,
+        }
+    )
+
+
+def ids(rows):
+    return {row.row_id for row in rows}
+
+
+def test_condition1_incomplete_key_zero_score(table):
+    table.load_row("r1", RowValue(), 0, 0)
+    table.load_row("r2", RowValue({"position": "FW"}), 0, 0)
+    assert ids(probable_rows(table)) == {"r1", "r2"}
+
+
+def test_condition1_fails_with_negative_score(table):
+    table.load_row("r1", RowValue({"position": "FW"}), 0, 2)
+    assert probable_rows(table) == []
+
+
+def test_condition2_complete_key_zero_score_no_positive_sibling(table):
+    table.load_row("r1", RowValue({"name": "X", "nationality": "Y"}), 0, 0)
+    assert ids(probable_rows(table)) == {"r1"}
+
+
+def test_condition2_blocked_by_positive_sibling(table):
+    table.load_row("r1", RowValue({"name": "X", "nationality": "Y"}), 0, 0)
+    table.load_row("r2", full("X", "Y"), 2, 0)
+    assert ids(probable_rows(table)) == {"r2"}
+
+
+def test_condition3_best_complete_row_per_key(table):
+    table.load_row("r1", full("X", "Y", "FW"), 2, 0)  # score 2
+    table.load_row("r2", full("X", "Y", "MF"), 3, 0)  # score 3 wins
+    assert ids(probable_rows(table)) == {"r2"}
+
+
+def test_condition3_tie_broken_by_smallest_id(table):
+    table.load_row("r2", full("X", "Y", "MF"), 2, 0)
+    table.load_row("r1", full("X", "Y", "FW"), 2, 0)
+    assert ids(probable_rows(table)) == {"r1"}
+
+
+def test_complete_row_negative_score_not_probable(table):
+    table.load_row("r1", full("X", "Y"), 0, 2)
+    assert probable_rows(table) == []
+
+
+def test_paper_section_43_initial_probable_set(table):
+    """The candidate table of section 4.3: all four rows are probable."""
+    table.load_row("1", RowValue({"name": "Neymar", "nationality": "Brazil",
+                                  "position": "FW"}), 0, 0)
+    table.load_row("2", RowValue({"name": "Ronaldinho",
+                                  "nationality": "Brazil",
+                                  "position": "FW"}), 0, 1)
+    table.load_row("3", RowValue({"nationality": "Spain",
+                                  "position": "FW"}), 0, 0)
+    table.load_row("4", RowValue({"name": "Messi", "position": "FW"}), 0, 0)
+    assert ids(probable_rows(table)) == {"1", "2", "3", "4"}
+    # One more downvote on row 2 drops its score to -2: no longer probable.
+    table.row("2").downvotes += 1
+    assert ids(probable_rows(table)) == {"1", "3", "4"}
+
+
+def test_is_probable_lookup(table):
+    table.load_row("r1", RowValue(), 0, 0)
+    assert is_probable(table, "r1")
+    assert not is_probable(table, "ghost")
+
+
+def test_hypothetical_empty_value_probable(table):
+    assert hypothetical_row_probable(table, RowValue())
+
+
+def test_hypothetical_downvoted_value_not_probable(table):
+    value = RowValue({"nationality": "Brazil"})
+    table.apply_downvote(value)
+    table.apply_downvote(value)
+    assert not hypothetical_row_probable(table, value)
+
+
+def test_hypothetical_complete_key_with_positive_sibling(table):
+    table.load_row("r1", full("X", "Y"), 2, 0)
+    value = RowValue({"name": "X", "nationality": "Y"})
+    assert not hypothetical_row_probable(table, value)
+
+
+def test_hypothetical_complete_value_inheriting_upvotes(table):
+    """A re-inserted complete value picks up UH: probable only if it
+    would beat every incumbent with its key."""
+    value = full("X", "Y")
+    table.apply_upvote(value)
+    table.apply_upvote(value)  # UH[value] = 2 -> would score 2
+    assert hypothetical_row_probable(table, value)
+    table.load_row("r1", full("X", "Y", "MF"), 3, 0)  # incumbent scores 3
+    assert not hypothetical_row_probable(table, value)
+
+
+def test_hypothetical_fresh_key_zero_score(table):
+    assert hypothetical_row_probable(
+        table, RowValue({"name": "New", "nationality": "Z"})
+    )

@@ -1,0 +1,280 @@
+"""Unit tests for templates: predicates, values, cardinality."""
+
+import pytest
+
+from repro.constraints import (
+    Predicate,
+    PredicateOp,
+    Template,
+    TemplateError,
+    TemplateRow,
+    satisfies_template,
+)
+from repro.core import RowValue
+from repro.core.schema import soccer_player_schema
+
+
+def full(name, nationality, position, caps, goals):
+    return RowValue(
+        {
+            "name": name,
+            "nationality": nationality,
+            "position": position,
+            "caps": caps,
+            "goals": goals,
+        }
+    )
+
+
+class TestPredicate:
+    def test_equals(self):
+        assert Predicate.equals("FW").matches("FW")
+        assert not Predicate.equals("FW").matches("MF")
+        assert Predicate.equals("FW").is_equality
+
+    @pytest.mark.parametrize(
+        "text,value,expected",
+        [
+            ("=FW", "FW", True),
+            ("!=FW", "MF", True),
+            ("!=FW", "FW", False),
+            (">=100", 150, True),
+            (">=100", 99, False),
+            ("<=30", 30, True),
+            ("<30", 30, False),
+            (">30", 31, True),
+            ("~^Mes", "Messi", True),
+            ("~^Mes", "Ramos", False),
+            ("in{GK,DF}", "GK", True),
+            ("in{GK,DF}", "FW", False),
+        ],
+    )
+    def test_parse_and_match(self, text, value, expected):
+        assert Predicate.parse(text).matches(value) is expected
+
+    def test_parse_coerces_numbers(self):
+        assert Predicate.parse("=83").operand == 83
+        assert Predicate.parse("=8.5").operand == 8.5
+        assert Predicate.parse("=Brazil").operand == "Brazil"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TemplateError):
+            Predicate.parse("??what")
+
+    def test_incomparable_types_never_match(self):
+        assert not Predicate.parse(">=100").matches("many")
+
+    def test_str_roundtrip(self):
+        for text in ["=FW", "!=3", ">=100", "<5", "~^a", "in{GK,DF}"]:
+            pred = Predicate.parse(text)
+            assert Predicate.parse(str(pred)).matches is not None
+            assert str(Predicate.parse(str(pred))) == str(pred)
+
+
+class TestTemplateRow:
+    def test_from_values_all_equality(self):
+        row = TemplateRow.from_values("a", {"position": "FW"})
+        assert row.is_values_row
+        assert row.predicate_for("position").operand == "FW"
+        assert row.predicate_for("caps") is None
+
+    def test_empty_row(self):
+        row = TemplateRow.empty("a")
+        assert row.is_empty
+        assert row.satisfied_by(RowValue())
+        assert row.satisfied_by(full("X", "Y", "FW", 1, 0))
+
+    def test_satisfied_by_requires_filled_matching_cells(self):
+        row = TemplateRow.from_values("a", {"nationality": "Brazil"})
+        assert row.satisfied_by(full("X", "Brazil", "FW", 1, 0))
+        assert not row.satisfied_by(full("X", "Spain", "FW", 1, 0))
+        assert not row.satisfied_by(RowValue({"position": "FW"}))
+
+    def test_predicates_row(self):
+        row = TemplateRow.from_predicates(
+            "a", {"nationality": "=Spain", "caps": ">=100"}
+        )
+        assert not row.is_values_row
+        assert row.satisfied_by(full("C", "Spain", "GK", 150, 0))
+        assert not row.satisfied_by(full("C", "Spain", "GK", 99, 0))
+
+    def test_equality_values_excludes_predicates(self):
+        row = TemplateRow.from_predicates(
+            "a", {"nationality": "=Spain", "caps": ">=100"}
+        )
+        assert row.equality_values() == RowValue({"nationality": "Spain"})
+
+    def test_connects_on_values_rows_is_subsumption(self):
+        row = TemplateRow.from_values("a", {"position": "FW"})
+        assert row.connects(RowValue({"position": "FW"}))
+        assert not row.connects(RowValue({"position": "MF"}))
+        assert not row.connects(RowValue({"name": "X"}))  # unfilled != match
+
+    def test_connects_on_predicate_rows_allows_empty_cells(self):
+        row = TemplateRow.from_predicates(
+            "a", {"nationality": "=Spain", "caps": ">=100"}
+        )
+        # caps still empty: the row may yet satisfy the predicate.
+        assert row.connects(RowValue({"nationality": "Spain"}))
+        # caps filled wrong: it can never satisfy it.
+        assert not row.connects(
+            RowValue({"nationality": "Spain", "caps": 80})
+        )
+
+    def test_key_values(self):
+        schema = soccer_player_schema()
+        complete_key = TemplateRow.from_values(
+            "a", {"name": "X", "nationality": "Y"}
+        )
+        assert complete_key.key_values(schema) == ("X", "Y")
+        assert TemplateRow.from_values(
+            "b", {"nationality": "Y"}
+        ).key_values(schema) is None
+
+
+class TestTemplate:
+    def test_cardinality_template(self):
+        template = Template.cardinality(3)
+        assert len(template) == 3
+        assert all(row.is_empty for row in template)
+
+    def test_cardinality_negative_rejected(self):
+        with pytest.raises(TemplateError):
+            Template.cardinality(-1)
+
+    def test_with_cardinality_pads(self):
+        template = Template.from_values(
+            [{"position": "FW"}], cardinality=4
+        )
+        assert len(template) == 4
+        assert sum(1 for row in template if row.is_empty) == 3
+
+    def test_with_cardinality_never_shrinks(self):
+        template = Template.from_values(
+            [{"position": "FW"}, {"position": "GK"}], cardinality=1
+        )
+        assert len(template) == 2
+
+    def test_labels_follow_paper_convention(self):
+        template = Template.cardinality(3)
+        assert [row.label for row in template.rows] == ["a", "b", "c"]
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TemplateError):
+            Template([TemplateRow.empty("a"), TemplateRow.empty("a")])
+
+    def test_validate_against_schema(self):
+        schema = soccer_player_schema()
+        Template.from_values([{"position": "FW"}]).validate_against(schema)
+        with pytest.raises(TemplateError):
+            Template.from_values([{"ghost": 1}]).validate_against(schema)
+        with pytest.raises(TemplateError):
+            Template.from_values([{"caps": "eighty"}]).validate_against(schema)
+
+    def test_validate_rejects_duplicate_pinned_keys(self):
+        schema = soccer_player_schema()
+        template = Template.from_values(
+            [
+                {"name": "X", "nationality": "Y"},
+                {"name": "X", "nationality": "Y", "position": "FW"},
+            ]
+        )
+        with pytest.raises(TemplateError):
+            template.validate_against(schema)
+
+    def test_dict_roundtrip(self):
+        template = Template.from_predicates(
+            [
+                {"position": "=FW", "goals": ">=30"},
+                {"nationality": "=Brazil"},
+                {},
+            ]
+        )
+        restored = Template.from_dict(template.to_dict())
+        assert len(restored) == 3
+        probe = full("X", "Brazil", "FW", 80, 35)
+        for original, copy in zip(template.rows, restored.rows):
+            assert original.satisfied_by(probe) == copy.satisfied_by(probe)
+
+
+class TestSatisfiesTemplate:
+    def test_paper_values_constraint_example(self):
+        """Section 2.3: the final table of section 2.2 satisfies the
+        {FW, Brazil, Spain} template."""
+        template = Template.from_values(
+            [{"position": "FW"}, {"nationality": "Brazil"},
+             {"nationality": "Spain"}]
+        )
+        final = [
+            full("Lionel Messi", "Argentina", "FW", 83, 37),
+            full("Ronaldinho", "Brazil", "MF", 97, 33),
+            full("Iker Casillas", "Spain", "GK", 150, 0),
+        ]
+        assert satisfies_template(final, template)
+
+    def test_paper_predicates_constraint_example(self):
+        """Section 2.3: the refined predicates template is also
+        satisfied by the same final table."""
+        template = Template.from_predicates(
+            [
+                {"position": "='FW'".replace("'", ""), "goals": ">=30"},
+                {"nationality": "=Brazil", "goals": ">=30"},
+                {"nationality": "=Spain", "caps": ">=100"},
+            ]
+        )
+        final = [
+            full("Lionel Messi", "Argentina", "FW", 83, 37),
+            full("Ronaldinho", "Brazil", "MF", 97, 33),
+            full("Iker Casillas", "Spain", "GK", 150, 0),
+        ]
+        assert satisfies_template(final, template)
+
+    def test_uniqueness_requirement(self):
+        """One final row cannot satisfy two template rows at once."""
+        template = Template.from_values(
+            [{"nationality": "Brazil"}, {"nationality": "Brazil"}]
+        )
+        one_brazilian = [full("X", "Brazil", "FW", 80, 30)]
+        assert not satisfies_template(one_brazilian, template)
+        two_brazilians = one_brazilian + [full("Y", "Brazil", "MF", 85, 5)]
+        assert satisfies_template(two_brazilians, template)
+
+    def test_cardinality_satisfaction(self):
+        template = Template.cardinality(2)
+        assert not satisfies_template([full("X", "Y", "FW", 1, 0)], template)
+        assert satisfies_template(
+            [full("X", "Y", "FW", 1, 0), full("Z", "W", "GK", 2, 0)], template
+        )
+
+    def test_empty_template_always_satisfied(self):
+        assert satisfies_template([], Template([]))
+
+
+class TestBetweenPredicate:
+    def test_parse_and_match(self):
+        predicate = Predicate.parse("between{80,99}")
+        assert predicate.op is PredicateOp.BETWEEN
+        assert predicate.matches(80)
+        assert predicate.matches(99)
+        assert not predicate.matches(79)
+        assert not predicate.matches(100)
+        assert not predicate.matches("eighty")
+
+    def test_str_roundtrip(self):
+        predicate = Predicate.parse("between{80,99}")
+        assert Predicate.parse(str(predicate)) == predicate
+
+    def test_malformed_bounds_rejected(self):
+        with pytest.raises(TemplateError):
+            Predicate.parse("between{80}")
+        with pytest.raises(TemplateError):
+            Predicate.parse("between{1,2,3}")
+
+    def test_template_roundtrip_with_between(self):
+        template = Template.from_predicates(
+            [{"caps": "between{80,99}"}], cardinality=2
+        )
+        restored = Template.from_dict(template.to_dict())
+        probe = RowValue({"caps": 85})
+        assert restored.rows[0].satisfied_by(probe)
+        assert not restored.rows[0].satisfied_by(RowValue({"caps": 120}))

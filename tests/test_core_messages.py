@@ -1,0 +1,112 @@
+"""Unit tests for wire messages and trace records."""
+
+import pytest
+
+from repro.core import (
+    CandidateTable,
+    DownvoteMessage,
+    InsertMessage,
+    ReplaceMessage,
+    RowValue,
+    ThresholdScoring,
+    TraceRecord,
+    UpvoteMessage,
+)
+from repro.core.messages import (
+    UndoDownvoteMessage,
+    UndoUpvoteMessage,
+    message_from_dict,
+)
+from repro.core.schema import soccer_player_schema
+
+
+def make_table():
+    return CandidateTable(soccer_player_schema(), ThresholdScoring(2))
+
+
+def test_insert_message_apply():
+    table = make_table()
+    InsertMessage(row_id="r1").apply(table)
+    assert "r1" in table
+
+
+def test_replace_message_apply():
+    table = make_table()
+    table.apply_insert("r1")
+    message = ReplaceMessage(
+        old_id="r1",
+        new_id="r2",
+        value=RowValue({"name": "Messi"}),
+        column="name",
+        filled_value="Messi",
+    )
+    message.apply(table)
+    assert "r2" in table and "r1" not in table
+
+
+def test_vote_messages_apply():
+    table = make_table()
+    value = RowValue({"name": "X"})
+    table.apply_replace("a", "r1", value)
+    UpvoteMessage(value=value).apply(table)
+    DownvoteMessage(value=value).apply(table)
+    row = table.row("r1")
+    assert (row.upvotes, row.downvotes) == (1, 1)
+
+
+def test_undo_messages_apply():
+    table = make_table()
+    value = RowValue({"name": "X"})
+    table.apply_replace("a", "r1", value)
+    UpvoteMessage(value=value).apply(table)
+    DownvoteMessage(value=value).apply(table)
+    UndoUpvoteMessage(value=value).apply(table)
+    UndoDownvoteMessage(value=value).apply(table)
+    row = table.row("r1")
+    assert (row.upvotes, row.downvotes) == (0, 0)
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        InsertMessage(row_id="r1"),
+        ReplaceMessage(
+            old_id="r1",
+            new_id="r2",
+            value=RowValue({"name": "Messi", "caps": 83}),
+            column="caps",
+            filled_value=83,
+        ),
+        UpvoteMessage(value=RowValue({"name": "X"})),
+        UpvoteMessage(value=RowValue({"name": "X"}), auto=True),
+        DownvoteMessage(value=RowValue({"name": "X"})),
+        UndoUpvoteMessage(value=RowValue({"name": "X"})),
+        UndoDownvoteMessage(value=RowValue({"name": "X"})),
+    ],
+)
+def test_message_dict_roundtrip(message):
+    assert message_from_dict(message.to_dict()) == message
+
+
+def test_message_from_dict_unknown_type():
+    with pytest.raises(ValueError):
+        message_from_dict({"type": "explode"})
+
+
+def test_trace_record_to_dict():
+    record = TraceRecord(
+        seq=3,
+        timestamp=1.5,
+        worker_id="w1",
+        message=InsertMessage(row_id="r1"),
+    )
+    data = record.to_dict()
+    assert data["seq"] == 3
+    assert data["worker_id"] == "w1"
+    assert data["message"]["type"] == "insert"
+
+
+def test_messages_are_frozen():
+    message = InsertMessage(row_id="r1")
+    with pytest.raises(AttributeError):
+        message.row_id = "r2"

@@ -1,0 +1,134 @@
+"""Unit tests for replicas: local operations and preconditions."""
+
+import pytest
+
+from repro.core import OperationError, Replica, RowValue, ThresholdScoring
+from repro.core.schema import soccer_player_schema
+
+
+@pytest.fixture
+def replica():
+    return Replica("c1", soccer_player_schema(), ThresholdScoring(2))
+
+
+def complete_row(replica):
+    message = replica.insert()
+    row_id = message.row_id
+    for column, value in [
+        ("name", "Messi"),
+        ("nationality", "Argentina"),
+        ("position", "FW"),
+        ("caps", 83),
+        ("goals", 37),
+    ]:
+        row_id = replica.fill(row_id, column, value).new_id
+    return row_id
+
+
+def test_insert_generates_prefixed_unique_ids(replica):
+    first = replica.insert()
+    second = replica.insert()
+    assert first.row_id != second.row_id
+    assert first.row_id.startswith("c1#")
+
+
+def test_fill_replaces_row(replica):
+    row_id = replica.insert().row_id
+    message = replica.fill(row_id, "name", "Messi")
+    assert message.old_id == row_id
+    assert message.new_id != row_id
+    assert message.value == RowValue({"name": "Messi"})
+    assert message.column == "name"
+    assert message.filled_value == "Messi"
+    assert row_id not in replica.table
+    assert replica.row(message.new_id).value == RowValue({"name": "Messi"})
+
+
+def test_fill_unknown_row_rejected(replica):
+    with pytest.raises(OperationError):
+        replica.fill("ghost", "name", "X")
+
+
+def test_fill_filled_column_rejected(replica):
+    row_id = replica.insert().row_id
+    new_id = replica.fill(row_id, "name", "X").new_id
+    with pytest.raises(OperationError):
+        replica.fill(new_id, "name", "Y")
+
+
+def test_fill_validates_schema(replica):
+    row_id = replica.insert().row_id
+    with pytest.raises(OperationError):
+        replica.fill(row_id, "caps", "eighty")
+    with pytest.raises(OperationError):
+        replica.fill(row_id, "position", "STRIKER")
+
+
+def test_upvote_requires_complete_row(replica):
+    row_id = replica.insert().row_id
+    partial_id = replica.fill(row_id, "name", "X").new_id
+    with pytest.raises(OperationError):
+        replica.upvote(partial_id)
+
+
+def test_upvote_complete_row(replica):
+    row_id = complete_row(replica)
+    message = replica.upvote(row_id)
+    assert replica.row(row_id).upvotes == 1
+    assert not message.auto
+
+
+def test_auto_upvote_flag(replica):
+    row_id = complete_row(replica)
+    assert replica.upvote(row_id, auto=True).auto
+
+
+def test_downvote_requires_partial_row(replica):
+    row_id = replica.insert().row_id
+    with pytest.raises(OperationError):
+        replica.downvote(row_id)  # empty rows cannot be downvoted
+
+
+def test_downvote_partial_row(replica):
+    row_id = replica.insert().row_id
+    partial_id = replica.fill(row_id, "name", "X").new_id
+    replica.downvote(partial_id)
+    assert replica.row(partial_id).downvotes == 1
+
+
+def test_downvote_unknown_row_rejected(replica):
+    with pytest.raises(OperationError):
+        replica.downvote("ghost")
+
+
+def test_upvote_value_requires_complete(replica):
+    with pytest.raises(OperationError):
+        replica.upvote_value(RowValue({"name": "X"}))
+
+
+def test_local_op_equals_message_processing():
+    """The section 2.4 equivalence: applying a local operation leaves
+    the same state as processing its message at another replica."""
+    schema = soccer_player_schema()
+    ours = Replica("c1", schema, ThresholdScoring(2))
+    theirs = Replica("server", schema, ThresholdScoring(2))
+
+    messages = [ours.insert()]
+    row_id = messages[0].row_id
+    for column, value in [("name", "Messi"), ("nationality", "Argentina")]:
+        message = ours.fill(row_id, column, value)
+        messages.append(message)
+        row_id = message.new_id
+    messages.append(ours.downvote(row_id))
+
+    for message in messages:
+        theirs.receive(message)
+
+    assert ours.snapshot() == theirs.snapshot()
+    assert ours.table.history_snapshot() == theirs.table.history_snapshot()
+
+
+def test_messages_processed_counter(replica):
+    other = Replica("c2", soccer_player_schema(), ThresholdScoring(2))
+    replica.receive(other.insert())
+    assert replica.messages_processed == 1

@@ -1,0 +1,132 @@
+"""Unit tests for schemas, columns, and data types."""
+
+import pytest
+
+from repro.core import Column, DataType, Schema, SchemaError
+from repro.core.schema import soccer_player_schema
+
+
+def test_datatype_string():
+    DataType.STRING.validate("x")
+    with pytest.raises(SchemaError):
+        DataType.STRING.validate(5)
+
+
+def test_datatype_int_rejects_bool():
+    DataType.INT.validate(5)
+    with pytest.raises(SchemaError):
+        DataType.INT.validate(True)
+    with pytest.raises(SchemaError):
+        DataType.INT.validate(5.0)
+
+
+def test_datatype_float_accepts_int():
+    DataType.FLOAT.validate(5)
+    DataType.FLOAT.validate(5.5)
+    with pytest.raises(SchemaError):
+        DataType.FLOAT.validate("5.5")
+
+
+def test_datatype_bool():
+    DataType.BOOL.validate(True)
+    with pytest.raises(SchemaError):
+        DataType.BOOL.validate(1)
+
+
+def test_datatype_date():
+    DataType.DATE.validate("1987-06-24")
+    with pytest.raises(SchemaError):
+        DataType.DATE.validate("24/06/1987")
+    with pytest.raises(SchemaError):
+        DataType.DATE.validate("1987-13-01")
+
+
+def test_column_domain_enforced():
+    column = Column("position", domain=frozenset({"GK", "FW"}))
+    column.validate("GK")
+    with pytest.raises(SchemaError):
+        column.validate("XX")
+
+
+def test_column_domain_values_typechecked():
+    with pytest.raises(SchemaError):
+        Column("caps", DataType.INT, domain=frozenset({"eighty"}))
+
+
+def test_column_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        Column("")
+
+
+def test_schema_requires_columns():
+    with pytest.raises(SchemaError):
+        Schema(name="T", columns=())
+
+
+def test_schema_duplicate_columns_rejected():
+    with pytest.raises(SchemaError):
+        Schema(name="T", columns=(Column("a"), Column("a")))
+
+
+def test_schema_default_key_is_all_columns():
+    schema = Schema(name="T", columns=(Column("a"), Column("b")))
+    assert schema.key_columns == ("a", "b")
+    assert schema.non_key_columns == ()
+
+
+def test_schema_unknown_key_column_rejected():
+    with pytest.raises(SchemaError):
+        Schema(name="T", columns=(Column("a"),), primary_key=("b",))
+
+
+def test_schema_duplicate_key_rejected():
+    with pytest.raises(SchemaError):
+        Schema(name="T", columns=(Column("a"),), primary_key=("a", "a"))
+
+
+def test_soccer_schema_shape():
+    schema = soccer_player_schema()
+    assert schema.column_names == (
+        "name", "nationality", "position", "caps", "goals",
+    )
+    assert schema.key_columns == ("name", "nationality")
+    assert schema.non_key_columns == ("position", "caps", "goals")
+
+
+def test_soccer_schema_with_dob():
+    schema = soccer_player_schema(include_dob=True)
+    assert "dob" in schema.column_names
+    assert schema.column("dob").dtype is DataType.DATE
+
+
+def test_schema_column_lookup():
+    schema = soccer_player_schema()
+    assert schema.column("caps").dtype is DataType.INT
+    assert schema.has_column("caps")
+    assert not schema.has_column("ghost")
+    with pytest.raises(SchemaError):
+        schema.column("ghost")
+
+
+def test_validate_value_and_assignment():
+    schema = soccer_player_schema()
+    schema.validate_value("caps", 80)
+    with pytest.raises(SchemaError):
+        schema.validate_value("caps", "eighty")
+    with pytest.raises(SchemaError):
+        schema.validate_value("position", "STRIKER")
+    schema.validate_assignment({"name": "X", "caps": 80})
+
+
+def test_schema_dict_roundtrip():
+    schema = soccer_player_schema(include_dob=True)
+    restored = Schema.from_dict(schema.to_dict())
+    assert restored == schema
+
+
+def test_schema_dict_roundtrip_preserves_domain():
+    schema = soccer_player_schema()
+    restored = Schema.from_dict(schema.to_dict())
+    assert restored.column("position").domain == frozenset(
+        {"GK", "DF", "MF", "FW"}
+    )

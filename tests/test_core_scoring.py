@@ -1,0 +1,93 @@
+"""Unit tests for scoring functions."""
+
+import pytest
+
+from repro.core import (
+    DefaultScoring,
+    ScoringError,
+    ThresholdScoring,
+    validate_scoring,
+)
+from repro.core.scoring import (
+    CallableScoring,
+    scoring_from_dict,
+    scoring_to_dict,
+)
+
+
+def test_default_scoring():
+    f = DefaultScoring()
+    assert f.score(0, 0) == 0
+    assert f.score(3, 1) == 2
+    assert f.score(1, 3) == -2
+
+
+def test_threshold_scoring_shortcut():
+    """The paper's majority-of-three-with-shortcut running example."""
+    f = ThresholdScoring(2)
+    assert f.score(0, 0) == 0
+    assert f.score(1, 0) == 0  # below threshold: undecided
+    assert f.score(2, 0) == 2  # two agreeing votes short-cut the third
+    assert f.score(1, 1) == 0
+    assert f.score(0, 2) == -2
+    assert f.score(2, 1) == 1
+
+
+def test_threshold_validation():
+    with pytest.raises(ScoringError):
+        ThresholdScoring(0)
+
+
+def test_threshold_rejects_nonmonotone_thresholds():
+    """min_votes >= 3 would make f(0,2)=0 but f(1,2)=-1: an upvote
+    lowering the score violates the section 2.1 requirements."""
+    with pytest.raises(ScoringError):
+        ThresholdScoring(3)
+    with pytest.raises(ScoringError):
+        ThresholdScoring(5)
+
+
+def test_validate_accepts_builtin():
+    validate_scoring(DefaultScoring())
+    validate_scoring(ThresholdScoring(1))
+    validate_scoring(ThresholdScoring(2))
+
+
+def test_validate_rejects_nonzero_origin():
+    with pytest.raises(ScoringError):
+        validate_scoring(CallableScoring(lambda u, d: u - d + 1))
+
+
+def test_validate_rejects_nonmonotone_in_upvotes():
+    with pytest.raises(ScoringError):
+        validate_scoring(CallableScoring(lambda u, d: -u))
+
+
+def test_validate_rejects_nonmonotone_in_downvotes():
+    with pytest.raises(ScoringError):
+        validate_scoring(CallableScoring(lambda u, d: u + d if d else 0))
+
+
+def test_callable_scoring_adapts():
+    f = CallableScoring(lambda u, d: 2 * u - d, name="double-up")
+    assert f.score(2, 1) == 3
+    validate_scoring(f)
+    assert "double-up" in repr(f)
+
+
+def test_scoring_dict_roundtrip():
+    for scoring in (DefaultScoring(), ThresholdScoring(1), ThresholdScoring(2)):
+        restored = scoring_from_dict(scoring_to_dict(scoring))
+        for u in range(4):
+            for d in range(4):
+                assert restored.score(u, d) == scoring.score(u, d)
+
+
+def test_scoring_dict_unknown_kind():
+    with pytest.raises(ScoringError):
+        scoring_from_dict({"kind": "martian"})
+
+
+def test_scoring_dict_rejects_callable():
+    with pytest.raises(ScoringError):
+        scoring_to_dict(CallableScoring(lambda u, d: u - d))

@@ -1,0 +1,168 @@
+"""Coverage-widening tests for branches the main suites skim past."""
+
+import pytest
+
+from repro.constraints import Template
+from repro.core import (
+    DefaultScoring,
+    Replica,
+    RowValue,
+    ThresholdScoring,
+    TraceRecord,
+)
+from repro.core.schema import soccer_player_schema
+from repro.microtask import MicrotaskCoordinator
+from repro.pay import (
+    AllocationScheme,
+    CompensationEstimator,
+    allocate,
+    analyze_contributions,
+)
+from repro.sim import Simulator
+
+SCHEMA = soccer_player_schema()
+FULL = {
+    "name": "Messi", "nationality": "Argentina",
+    "position": "FW", "caps": 83, "goals": 37,
+}
+
+
+class TraceBuilder:
+    """Replica-backed trace builder with explicit timestamps."""
+
+    def __init__(self, scoring=None):
+        self.master = Replica("server", SCHEMA, scoring or DefaultScoring())
+        self.cc = Replica("CC", SCHEMA, scoring or DefaultScoring())
+        self.trace = []
+        self._seq = 0
+
+    def cc_insert(self):
+        message = self.cc.insert()
+        self.master.receive(message)
+        return message.row_id
+
+    def fill(self, worker, row_id, column, value, at):
+        replica = Replica(f"{worker}x{self._seq}", SCHEMA, DefaultScoring())
+        row = self.master.table.row(row_id)
+        replica.table.load_row(row_id, row.value, 0, 0)
+        message = replica.fill(row_id, column, value)
+        self._seq += 1
+        self.master.receive(message)
+        record = TraceRecord(seq=self._seq, timestamp=at,
+                             worker_id=worker, message=message)
+        self.trace.append(record)
+        return message.new_id, record
+
+
+class TestEstimatorDualSlowdown:
+    def test_key_weight_adjusts_upward_under_slowdown(self):
+        """Progressively slower name completions raise the projected
+        key weight (the section 5.3 dual-weighted adjustment)."""
+        template = Template.cardinality(8)
+        estimator = CompensationEstimator(
+            SCHEMA, template, ThresholdScoring(2), budget=10.0,
+            scheme=AllocationScheme.DUAL_WEIGHTED,
+        )
+        builder = TraceBuilder(ThresholdScoring(2))
+        at = 0.0
+        estimates = []
+        for k in range(4):
+            row_id = builder.cc_insert()
+            # Same worker; name entries take 10, 20, 30, 40 seconds.
+            at += 10.0 * (k + 1)
+            _, record = builder.fill("w0", row_id, "name", f"P{k}", at)
+            estimates.append(
+                estimator.on_record(record, builder.master.table)
+            )
+        assert estimator._estimated_z("name") > 0
+        base = estimator.default_weight
+        adjusted = estimator._dual_adjusted_weight("name", base)
+        assert adjusted > base
+
+    def test_position_weight_for_later_key_values_is_higher(self):
+        template = Template.cardinality(8)
+        estimator = CompensationEstimator(
+            SCHEMA, template, ThresholdScoring(2), budget=10.0,
+            scheme=AllocationScheme.DUAL_WEIGHTED,
+        )
+        builder = TraceBuilder(ThresholdScoring(2))
+        at = 0.0
+        records = []
+        for k in range(5):
+            row_id = builder.cc_insert()
+            at += 10.0 * (k + 1)
+            _, record = builder.fill("w0", row_id, "name", f"P{k}", at)
+            records.append(record)
+            estimator.on_record(record, builder.master.table)
+        z = estimator._estimated_z("name")
+        assert z > 0
+        # Position-aware weights grow with k at fixed base weight.
+        first = estimator._dual_position_weight(
+            "name", 10.0, records[0].message
+        )
+        last = estimator._dual_position_weight(
+            "name", 10.0, records[-1].message
+        )
+        assert last > first
+
+
+class TestAllocationEdges:
+    def test_timeline_empty_for_noncontributing_worker(self):
+        builder = TraceBuilder()
+        row_id = builder.cc_insert()
+        at = 0.0
+        for column, value in FULL.items():
+            at += 10.0
+            row_id, _ = builder.fill("w1", row_id, column, value, at)
+        analysis = analyze_contributions(
+            SCHEMA, builder.master.table.final_rows(), builder.trace
+        )
+        result = allocate(SCHEMA, builder.trace, analysis, 5.0,
+                          AllocationScheme.UNIFORM)
+        assert result.timeline_for("ghost", builder.trace) == []
+
+    def test_no_contributions_means_full_unspent(self):
+        builder = TraceBuilder()
+        row_id = builder.cc_insert()
+        builder.fill("w1", row_id, "name", "Orphan", 1.0)
+        # No final rows -> no cells, no votes.
+        analysis = analyze_contributions(SCHEMA, [], builder.trace)
+        result = allocate(SCHEMA, builder.trace, analysis, 5.0,
+                          AllocationScheme.DUAL_WEIGHTED)
+        assert result.total_allocated == 0.0
+        assert result.unspent == pytest.approx(5.0)
+        assert result.by_worker == {}
+
+
+class TestMicrotaskStats:
+    def test_total_tasks_property(self):
+        coordinator = MicrotaskCoordinator(Simulator(), SCHEMA, 3)
+        assert coordinator.stats.total_tasks == 3  # initial enumerates
+
+    def test_slot_row_value_reflects_fills(self):
+        coordinator = MicrotaskCoordinator(Simulator(), SCHEMA, 1)
+        slot = coordinator.slots[0]
+        assert slot.row_value() == RowValue({})
+
+
+class TestTemplateValidationWithPredicates:
+    def test_nonequality_predicates_skip_type_validation(self):
+        template = Template.from_predicates([{"caps": ">=100"}])
+        template.validate_against(SCHEMA)  # no type check for >= operand
+
+    def test_predicate_on_unknown_column_still_rejected(self):
+        from repro.constraints import TemplateError
+
+        template = Template.from_predicates([{"ghost": ">=100"}])
+        with pytest.raises(TemplateError):
+            template.validate_against(SCHEMA)
+
+
+class TestReportQuickFunction:
+    def test_generate_report_quick_contains_all_core_sections(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(seed=3, quick=True)
+        for section in ("E1", "E2", "E3", "E5", "E6"):
+            assert section in text
+        assert "A11" not in text  # quick mode skips the studies

@@ -1,0 +1,154 @@
+"""Unit tests for ground truth and the synthetic universes."""
+
+import random
+
+import pytest
+
+from repro.core import RowValue
+from repro.datasets import (
+    CityUniverse,
+    GroundTruth,
+    MovieUniverse,
+    SoccerPlayerUniverse,
+)
+
+
+class TestGroundTruth:
+    def setup_method(self):
+        self.universe = SoccerPlayerUniverse(seed=1, size=60)
+        self.truth = self.universe.ground_truth()
+
+    def test_unique_keys(self):
+        keys = self.truth.keys()
+        assert len(set(keys)) == len(keys)
+
+    def test_by_key_roundtrip(self):
+        row = self.truth.rows[0]
+        key = row.key(self.truth.schema.key_columns)
+        assert self.truth.by_key(key) == row
+        assert self.truth.by_key(("nobody", "nowhere")) is None
+
+    def test_lookup_consistent_empty_returns_all(self):
+        assert len(self.truth.lookup_consistent(RowValue())) == 60
+
+    def test_lookup_consistent_matches_bruteforce(self):
+        for row in self.truth.rows[:5]:
+            partial = RowValue({"nationality": row["nationality"]})
+            fast = self.truth.lookup_consistent(partial)
+            slow = [r for r in self.truth.rows if r.subsumes(partial)]
+            assert fast == slow
+
+    def test_lookup_consistent_unknown_value(self):
+        assert self.truth.lookup_consistent(
+            RowValue({"name": "Nobody Anywhere"})
+        ) == []
+
+    def test_true_value_unique_entity(self):
+        row = self.truth.rows[0]
+        partial = RowValue(
+            {"name": row["name"], "nationality": row["nationality"]}
+        )
+        assert self.truth.true_value(partial, "caps") == row["caps"]
+
+    def test_true_value_ambiguous_returns_none(self):
+        assert self.truth.true_value(RowValue(), "caps") is None
+
+    def test_incomplete_row_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruth(self.truth.schema, [RowValue({"name": "x"})])
+
+    def test_duplicate_key_rejected(self):
+        row = self.truth.rows[0]
+        with pytest.raises(ValueError):
+            GroundTruth(self.truth.schema, [row, row])
+
+    def test_sample_known_subset(self):
+        rng = random.Random(0)
+        subset = self.truth.sample_known_subset(rng, 0.5)
+        assert len(subset) == 30
+        assert all(row in self.truth.rows for row in subset.rows)
+
+    def test_sample_known_subset_deterministic(self):
+        a = self.truth.sample_known_subset(random.Random(3), 0.4)
+        b = self.truth.sample_known_subset(random.Random(3), 0.4)
+        assert a.rows == b.rows
+
+    def test_sample_fraction_validation(self):
+        with pytest.raises(ValueError):
+            self.truth.sample_known_subset(random.Random(0), 1.5)
+
+    def test_filter(self):
+        brazilians = self.truth.filter(
+            lambda row: row["nationality"] == "Brazil"
+        )
+        assert all(r["nationality"] == "Brazil" for r in brazilians.rows)
+
+    def test_accuracy_of(self):
+        rows = self.truth.rows[:4]
+        assert self.truth.accuracy_of(rows) == 1.0
+        wrong = RowValue({**dict(rows[0]), "caps": 999})
+        assert self.truth.accuracy_of([wrong] + rows[1:4]) == pytest.approx(
+            3 / 4
+        )
+        assert self.truth.accuracy_of([]) == 1.0
+
+
+class TestSoccerUniverse:
+    def test_deterministic(self):
+        a = SoccerPlayerUniverse(seed=5, size=40).ground_truth()
+        b = SoccerPlayerUniverse(seed=5, size=40).ground_truth()
+        assert a.rows == b.rows
+
+    def test_different_seeds_differ(self):
+        a = SoccerPlayerUniverse(seed=5, size=40).ground_truth()
+        b = SoccerPlayerUniverse(seed=6, size=40).ground_truth()
+        assert a.rows != b.rows
+
+    def test_caps_band_selects_target_population(self):
+        universe = SoccerPlayerUniverse(seed=0, size=600)
+        band = universe.caps_band(80, 99)
+        assert all(80 <= row["caps"] <= 99 for row in band.rows)
+        # The paper estimates 200+ eligible players.
+        assert len(band) > 200
+
+    def test_dob_column_optional(self):
+        with_dob = SoccerPlayerUniverse(seed=0, size=10, include_dob=True)
+        without = SoccerPlayerUniverse(seed=0, size=10, include_dob=False)
+        assert "dob" in with_dob.schema.column_names
+        assert "dob" not in without.schema.column_names
+
+    def test_values_validate_against_schema(self):
+        universe = SoccerPlayerUniverse(seed=2, size=50)
+        for row in universe.ground_truth().rows:
+            universe.schema.validate_assignment(dict(row))
+
+    def test_goalkeepers_score_few_goals(self):
+        universe = SoccerPlayerUniverse(seed=3, size=300)
+        keepers = [
+            r for r in universe.ground_truth().rows if r["position"] == "GK"
+        ]
+        assert keepers
+        assert all(r["goals"] == 0 for r in keepers)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SoccerPlayerUniverse(size=0)
+
+
+@pytest.mark.parametrize("universe_cls", [CityUniverse, MovieUniverse])
+class TestOtherUniverses:
+    def test_deterministic(self, universe_cls):
+        a = universe_cls(seed=1, size=30).ground_truth()
+        b = universe_cls(seed=1, size=30).ground_truth()
+        assert a.rows == b.rows
+
+    def test_unique_keys_and_schema_valid(self, universe_cls):
+        universe = universe_cls(seed=2, size=50)
+        truth = universe.ground_truth()
+        assert len(truth) == 50
+        for row in truth.rows:
+            universe.schema.validate_assignment(dict(row))
+
+    def test_size_validation(self, universe_cls):
+        with pytest.raises(ValueError):
+            universe_cls(size=0)

@@ -1,0 +1,138 @@
+"""Unit tests for the aggregation pipeline."""
+
+import pytest
+
+from repro.docstore import Collection, QueryError
+from repro.docstore.aggregate import run_pipeline
+
+DOCS = [
+    {"worker": "w0", "kind": "fill", "t": 10.0, "n": 3},
+    {"worker": "w0", "kind": "upvote", "t": 20.0, "n": 1},
+    {"worker": "w1", "kind": "fill", "t": 15.0, "n": 2},
+    {"worker": "w1", "kind": "fill", "t": 25.0, "n": 4},
+    {"worker": "w2", "kind": "downvote", "t": 30.0},
+]
+
+
+def test_match_stage():
+    out = run_pipeline(DOCS, [{"$match": {"kind": "fill"}}])
+    assert len(out) == 3
+
+
+def test_sort_skip_limit():
+    out = run_pipeline(
+        DOCS, [{"$sort": [("t", -1)]}, {"$skip": 1}, {"$limit": 2}]
+    )
+    assert [d["t"] for d in out] == [25.0, 20.0]
+
+
+def test_project():
+    out = run_pipeline(DOCS, [{"$project": {"worker": 1}}])
+    assert all(set(d) <= {"worker", "_id"} for d in out)
+
+
+def test_group_count_and_sum():
+    out = run_pipeline(
+        DOCS,
+        [{"$group": {
+            "_id": "$worker",
+            "actions": {"$count": 1},
+            "total_n": {"$sum": "$n"},
+        }}],
+    )
+    by_worker = {d["_id"]: d for d in out}
+    assert by_worker["w0"]["actions"] == 2
+    assert by_worker["w1"]["total_n"] == 6
+    assert by_worker["w2"]["total_n"] == 0  # missing field sums to 0
+
+
+def test_group_sum_literal_counts():
+    out = run_pipeline(DOCS, [{"$group": {"_id": None, "n": {"$sum": 1}}}])
+    assert out == [{"_id": None, "n": 5}]
+
+
+def test_group_min_max_avg():
+    out = run_pipeline(
+        DOCS,
+        [{"$group": {
+            "_id": "$worker",
+            "first": {"$min": "$t"},
+            "last": {"$max": "$t"},
+            "avg_n": {"$avg": "$n"},
+        }}],
+    )
+    by_worker = {d["_id"]: d for d in out}
+    assert by_worker["w1"]["first"] == 15.0
+    assert by_worker["w1"]["last"] == 25.0
+    assert by_worker["w1"]["avg_n"] == pytest.approx(3.0)
+    assert by_worker["w2"]["avg_n"] is None
+
+
+def test_group_push_and_add_to_set():
+    out = run_pipeline(
+        DOCS,
+        [{"$group": {
+            "_id": None,
+            "kinds": {"$addToSet": "$kind"},
+            "all_kinds": {"$push": "$kind"},
+        }}],
+    )
+    assert sorted(out[0]["kinds"]) == ["downvote", "fill", "upvote"]
+    assert len(out[0]["all_kinds"]) == 5
+
+
+def test_group_first_last():
+    out = run_pipeline(
+        DOCS,
+        [{"$sort": [("t", 1)]},
+         {"$group": {"_id": None, "first_kind": {"$first": "$kind"},
+                     "last_kind": {"$last": "$kind"}}}],
+    )
+    assert out[0]["first_kind"] == "fill"
+    assert out[0]["last_kind"] == "downvote"
+
+
+def test_group_preserves_first_seen_order():
+    out = run_pipeline(DOCS, [{"$group": {"_id": "$worker",
+                                          "n": {"$count": 1}}}])
+    assert [d["_id"] for d in out] == ["w0", "w1", "w2"]
+
+
+def test_unknown_stage_rejected():
+    with pytest.raises(QueryError):
+        run_pipeline(DOCS, [{"$teleport": {}}])
+
+
+def test_group_requires_id():
+    with pytest.raises(QueryError):
+        run_pipeline(DOCS, [{"$group": {"n": {"$count": 1}}}])
+
+
+def test_bad_accumulator_rejected():
+    with pytest.raises(QueryError):
+        run_pipeline(DOCS, [{"$group": {"_id": None, "x": {"$median": "$n"}}}])
+    with pytest.raises(QueryError):
+        run_pipeline(DOCS, [{"$group": {"_id": None, "x": 5}}])
+
+
+def test_multi_operator_stage_rejected():
+    with pytest.raises(QueryError):
+        run_pipeline(DOCS, [{"$match": {}, "$limit": 1}])
+
+
+def test_collection_aggregate_entry_point():
+    coll = Collection("t")
+    coll.insert_many(DOCS)
+    out = coll.aggregate([
+        {"$match": {"kind": "fill"}},
+        {"$group": {"_id": "$worker", "fills": {"$count": 1}}},
+        {"$sort": [("fills", -1)]},
+    ])
+    assert out[0] == {"_id": "w1", "fills": 2}
+
+
+def test_dotted_group_key():
+    docs = [{"m": {"type": "a"}}, {"m": {"type": "a"}}, {"m": {"type": "b"}}]
+    out = run_pipeline(docs, [{"$group": {"_id": "$m.type",
+                                          "n": {"$count": 1}}}])
+    assert {d["_id"]: d["n"] for d in out} == {"a": 2, "b": 1}

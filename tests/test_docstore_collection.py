@@ -1,0 +1,185 @@
+"""Unit tests for collections: CRUD, indexes, sorting."""
+
+import pytest
+
+from repro.docstore import Collection, DocStoreError, DuplicateKeyError
+
+
+@pytest.fixture
+def players():
+    coll = Collection("players")
+    coll.insert_many(
+        [
+            {"name": "Messi", "caps": 83, "country": "Argentina"},
+            {"name": "Ronaldinho", "caps": 97, "country": "Brazil"},
+            {"name": "Casillas", "caps": 150, "country": "Spain"},
+        ]
+    )
+    return coll
+
+
+def test_insert_assigns_string_id():
+    coll = Collection("c")
+    doc_id = coll.insert_one({"a": 1})
+    assert isinstance(doc_id, str)
+    assert coll.find_one({"_id": doc_id})["a"] == 1
+
+
+def test_insert_honours_explicit_id():
+    coll = Collection("c")
+    assert coll.insert_one({"_id": "mine", "a": 1}) == "mine"
+
+
+def test_duplicate_id_rejected():
+    coll = Collection("c")
+    coll.insert_one({"_id": "x"})
+    with pytest.raises(DuplicateKeyError):
+        coll.insert_one({"_id": "x"})
+
+
+def test_non_string_id_rejected():
+    with pytest.raises(DocStoreError):
+        Collection("c").insert_one({"_id": 5})
+
+
+def test_find_all_in_insertion_order(players):
+    names = [d["name"] for d in players.find()]
+    assert names == ["Messi", "Ronaldinho", "Casillas"]
+
+
+def test_find_with_filter(players):
+    out = players.find({"caps": {"$gt": 90}})
+    assert {d["name"] for d in out} == {"Ronaldinho", "Casillas"}
+
+
+def test_find_returns_copies(players):
+    doc = players.find_one({"name": "Messi"})
+    doc["caps"] = 0
+    assert players.find_one({"name": "Messi"})["caps"] == 83
+
+
+def test_find_sort_skip_limit(players):
+    out = players.find(sort=[("caps", -1)], skip=1, limit=1)
+    assert [d["name"] for d in out] == ["Ronaldinho"]
+
+
+def test_sort_missing_fields_first():
+    coll = Collection("c")
+    coll.insert_many([{"a": 2}, {"b": 1}, {"a": 1}])
+    out = coll.find(sort=[("a", 1)])
+    assert [d.get("a") for d in out] == [None, 1, 2]
+
+
+def test_projection(players):
+    out = players.find({"name": "Messi"}, projection=["caps"])
+    assert set(out[0]) == {"_id", "caps"}
+
+
+def test_count_and_distinct(players):
+    assert players.count() == 3
+    assert players.count({"country": "Brazil"}) == 1
+    assert players.distinct("country") == ["Argentina", "Brazil", "Spain"]
+
+
+def test_update_one(players):
+    modified = players.update_one({"name": "Messi"}, {"$inc": {"caps": 1}})
+    assert modified == 1
+    assert players.find_one({"name": "Messi"})["caps"] == 84
+
+
+def test_update_one_no_match(players):
+    assert players.update_one({"name": "Nobody"}, {"$set": {"x": 1}}) == 0
+
+
+def test_update_one_upsert():
+    coll = Collection("c")
+    coll.update_one({"name": "New"}, {"$set": {"caps": 1}}, upsert=True)
+    assert coll.find_one({"name": "New"})["caps"] == 1
+
+
+def test_update_many(players):
+    modified = players.update_many({}, {"$set": {"seen": True}})
+    assert modified == 3
+    assert players.count({"seen": True}) == 3
+
+
+def test_update_cannot_change_id(players):
+    with pytest.raises(DocStoreError):
+        players.update_one({"name": "Messi"}, {"$set": {"_id": "other"}})
+
+
+def test_replace_one(players):
+    players.replace_one({"name": "Messi"}, {"name": "Messi", "caps": 90})
+    doc = players.find_one({"name": "Messi"})
+    assert doc["caps"] == 90
+    assert "country" not in doc
+
+
+def test_delete_one_and_many(players):
+    assert players.delete_one({"name": "Messi"}) == 1
+    assert players.count() == 2
+    assert players.delete_many({}) == 2
+    assert players.count() == 0
+
+
+def test_unique_index_enforced():
+    coll = Collection("c")
+    coll.create_index("email", unique=True)
+    coll.insert_one({"email": "a@x"})
+    with pytest.raises(DuplicateKeyError):
+        coll.insert_one({"email": "a@x"})
+    coll.insert_one({"email": "b@x"})
+
+
+def test_unique_index_on_existing_violation():
+    coll = Collection("c")
+    coll.insert_many([{"k": 1}, {"k": 1}])
+    with pytest.raises(DuplicateKeyError):
+        coll.create_index("k", unique=True)
+
+
+def test_unique_index_checked_on_update():
+    coll = Collection("c")
+    coll.create_index("k", unique=True)
+    coll.insert_many([{"k": 1}, {"k": 2}])
+    with pytest.raises(DuplicateKeyError):
+        coll.update_one({"k": 2}, {"$set": {"k": 1}})
+    # Rollback left the document unchanged.
+    assert coll.count({"k": 2}) == 1
+
+
+def test_index_accelerated_find_matches_scan(players):
+    unindexed = players.find({"country": "Brazil"})
+    players.create_index("country")
+    indexed = players.find({"country": "Brazil"})
+    assert indexed == unindexed
+
+
+def test_index_updated_on_delete(players):
+    players.create_index("country")
+    players.delete_one({"country": "Brazil"})
+    assert players.find({"country": "Brazil"}) == []
+
+
+def test_index_with_eq_operator(players):
+    players.create_index("country")
+    out = players.find({"country": {"$eq": "Spain"}})
+    assert len(out) == 1
+
+
+def test_conflicting_index_recreation(players):
+    players.create_index("country")
+    with pytest.raises(DocStoreError):
+        players.create_index("country", unique=True)
+    players.create_index("country")  # same spec is idempotent
+
+
+def test_drop_index(players):
+    players.create_index("country")
+    players.drop_index("country")
+    assert players.index_fields() == []
+
+
+def test_dump_preserves_order(players):
+    dump = players.dump()
+    assert [d["name"] for d in dump] == ["Messi", "Ronaldinho", "Casillas"]

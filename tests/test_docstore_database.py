@@ -1,0 +1,55 @@
+"""Unit tests for the database namespace and persistence."""
+
+import pytest
+
+from repro.docstore import Database, DocStoreError
+
+
+def test_collection_created_on_access():
+    db = Database()
+    assert db.collection_names() == []
+    db.collection("specs")
+    assert db.collection_names() == ["specs"]
+
+
+def test_collection_identity():
+    db = Database()
+    assert db.collection("x") is db.collection("x")
+
+
+def test_invalid_collection_names():
+    db = Database()
+    with pytest.raises(DocStoreError):
+        db.collection("")
+    with pytest.raises(DocStoreError):
+        db.collection("a.b")
+
+
+def test_drop_collection():
+    db = Database()
+    db.collection("x").insert_one({"a": 1})
+    db.drop_collection("x")
+    assert db.collection_names() == []
+    assert db.collection("x").count() == 0
+
+
+def test_snapshot_roundtrip(tmp_path):
+    db = Database("mydb")
+    db.collection("a").insert_many([{"x": 1}, {"x": 2}])
+    db.collection("b").insert_one({"y": "text"})
+    path = tmp_path / "snap.json"
+    db.save(path)
+
+    restored = Database.load(path)
+    assert restored.name == "mydb"
+    assert restored.collection("a").count() == 2
+    assert restored.collection("b").find_one({"y": "text"}) is not None
+
+
+def test_snapshot_preserves_ids(tmp_path):
+    db = Database()
+    doc_id = db.collection("a").insert_one({"x": 1})
+    path = tmp_path / "snap.json"
+    db.save(path)
+    restored = Database.load(path)
+    assert restored.collection("a").find_one({"_id": doc_id})["x"] == 1

@@ -1,0 +1,130 @@
+"""Unit tests for filter-document evaluation."""
+
+import pytest
+
+from repro.docstore import QueryError, matches_filter
+
+DOC = {
+    "name": "Messi",
+    "caps": 83,
+    "team": {"country": "Argentina", "rank": 1},
+    "tags": ["fw", "captain"],
+    "active": True,
+}
+
+
+def test_empty_filter_matches_everything():
+    assert matches_filter(DOC, {})
+
+
+def test_equality():
+    assert matches_filter(DOC, {"name": "Messi"})
+    assert not matches_filter(DOC, {"name": "Ronaldo"})
+
+
+def test_missing_field_fails_equality():
+    assert not matches_filter(DOC, {"ghost": 1})
+
+
+def test_dotted_path():
+    assert matches_filter(DOC, {"team.country": "Argentina"})
+    assert not matches_filter(DOC, {"team.country": "Brazil"})
+    assert not matches_filter(DOC, {"team.city.zip": 1})
+
+
+def test_comparison_operators():
+    assert matches_filter(DOC, {"caps": {"$gt": 80}})
+    assert matches_filter(DOC, {"caps": {"$gte": 83}})
+    assert matches_filter(DOC, {"caps": {"$lt": 100}})
+    assert matches_filter(DOC, {"caps": {"$lte": 83}})
+    assert not matches_filter(DOC, {"caps": {"$gt": 83}})
+
+
+def test_eq_ne_operators():
+    assert matches_filter(DOC, {"caps": {"$eq": 83}})
+    assert matches_filter(DOC, {"caps": {"$ne": 84}})
+    assert not matches_filter(DOC, {"caps": {"$ne": 83}})
+
+
+def test_ne_matches_missing_field():
+    assert matches_filter(DOC, {"ghost": {"$ne": 5}})
+
+
+def test_range_on_missing_field_fails():
+    assert not matches_filter(DOC, {"ghost": {"$gt": 0}})
+
+
+def test_incomparable_types_never_match_ranges():
+    assert not matches_filter(DOC, {"name": {"$gt": 5}})
+
+
+def test_in_nin():
+    assert matches_filter(DOC, {"name": {"$in": ["Messi", "Xavi"]}})
+    assert not matches_filter(DOC, {"name": {"$in": ["Xavi"]}})
+    assert matches_filter(DOC, {"name": {"$nin": ["Xavi"]}})
+    assert not matches_filter(DOC, {"name": {"$nin": ["Messi"]}})
+
+
+def test_exists():
+    assert matches_filter(DOC, {"name": {"$exists": True}})
+    assert matches_filter(DOC, {"ghost": {"$exists": False}})
+    assert not matches_filter(DOC, {"ghost": {"$exists": True}})
+
+
+def test_regex():
+    assert matches_filter(DOC, {"name": {"$regex": "^Mes"}})
+    assert not matches_filter(DOC, {"name": {"$regex": "^mes"}})
+    assert not matches_filter(DOC, {"caps": {"$regex": "8"}})
+
+
+def test_logical_and_or_nor():
+    assert matches_filter(
+        DOC, {"$and": [{"name": "Messi"}, {"caps": {"$gt": 50}}]}
+    )
+    assert matches_filter(DOC, {"$or": [{"name": "X"}, {"caps": 83}]})
+    assert not matches_filter(DOC, {"$or": [{"name": "X"}, {"caps": 0}]})
+    assert matches_filter(DOC, {"$nor": [{"name": "X"}, {"caps": 0}]})
+
+
+def test_not_operator():
+    assert matches_filter(DOC, {"caps": {"$not": {"$gt": 100}}})
+    assert not matches_filter(DOC, {"caps": {"$not": {"$gt": 50}}})
+
+
+def test_combined_operators_all_must_hold():
+    assert matches_filter(DOC, {"caps": {"$gt": 80, "$lt": 90}})
+    assert not matches_filter(DOC, {"caps": {"$gt": 80, "$lt": 82}})
+
+
+def test_bool_not_equal_to_int():
+    assert matches_filter(DOC, {"active": True})
+    assert not matches_filter(DOC, {"active": 1})
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(QueryError):
+        matches_filter(DOC, {"caps": {"$near": 83}})
+
+
+def test_unknown_toplevel_operator_raises():
+    with pytest.raises(QueryError):
+        matches_filter(DOC, {"$xor": []})
+
+
+def test_malformed_logical_raises():
+    with pytest.raises(QueryError):
+        matches_filter(DOC, {"$and": "not-a-list"})
+
+
+def test_malformed_in_raises():
+    with pytest.raises(QueryError):
+        matches_filter(DOC, {"caps": {"$in": 5}})
+
+
+def test_subdocument_literal_equality():
+    assert matches_filter(DOC, {"team": {"country": "Argentina", "rank": 1}})
+    assert not matches_filter(DOC, {"team": {"country": "Argentina"}})
+
+
+def test_list_equality():
+    assert matches_filter(DOC, {"tags": ["fw", "captain"]})

@@ -1,0 +1,111 @@
+"""Unit tests for update-document evaluation."""
+
+import pytest
+
+from repro.docstore import UpdateError, apply_update
+
+
+def test_replacement_keeps_id():
+    doc = {"_id": "x", "a": 1, "b": 2}
+    out = apply_update(doc, {"c": 3})
+    assert out == {"_id": "x", "c": 3}
+
+
+def test_replacement_does_not_mutate_original():
+    doc = {"_id": "x", "a": 1}
+    apply_update(doc, {"b": 2})
+    assert doc == {"_id": "x", "a": 1}
+
+
+def test_set_top_level_and_nested():
+    out = apply_update({"a": 1}, {"$set": {"b": 2, "c.d": 3}})
+    assert out == {"a": 1, "b": 2, "c": {"d": 3}}
+
+
+def test_set_deepcopies_operand():
+    operand = {"inner": [1]}
+    out = apply_update({}, {"$set": {"x": operand}})
+    operand["inner"].append(2)
+    assert out["x"] == {"inner": [1]}
+
+
+def test_unset():
+    out = apply_update({"a": 1, "b": 2}, {"$unset": {"a": ""}})
+    assert out == {"b": 2}
+
+
+def test_unset_missing_is_noop():
+    assert apply_update({"a": 1}, {"$unset": {"zz": ""}}) == {"a": 1}
+
+
+def test_inc_and_mul():
+    out = apply_update({"n": 10}, {"$inc": {"n": 5, "m": 1}})
+    assert out == {"n": 15, "m": 1}
+    out = apply_update({"n": 10}, {"$mul": {"n": 3}})
+    assert out["n"] == 30
+
+
+def test_inc_non_numeric_target_raises():
+    with pytest.raises(UpdateError):
+        apply_update({"n": "text"}, {"$inc": {"n": 1}})
+
+
+def test_inc_non_numeric_operand_raises():
+    with pytest.raises(UpdateError):
+        apply_update({}, {"$inc": {"n": "1"}})
+
+
+def test_min_max():
+    assert apply_update({"n": 5}, {"$min": {"n": 3}})["n"] == 3
+    assert apply_update({"n": 5}, {"$min": {"n": 7}})["n"] == 5
+    assert apply_update({"n": 5}, {"$max": {"n": 7}})["n"] == 7
+    assert apply_update({}, {"$max": {"n": 7}})["n"] == 7
+
+
+def test_rename():
+    out = apply_update({"a": 1}, {"$rename": {"a": "b"}})
+    assert out == {"b": 1}
+
+
+def test_rename_missing_is_noop():
+    assert apply_update({"a": 1}, {"$rename": {"zz": "b"}}) == {"a": 1}
+
+
+def test_push_pull_add_to_set():
+    out = apply_update({"xs": [1]}, {"$push": {"xs": 2}})
+    assert out["xs"] == [1, 2]
+    out = apply_update({"xs": [1, 2, 1]}, {"$pull": {"xs": 1}})
+    assert out["xs"] == [2]
+    out = apply_update({"xs": [1]}, {"$addToSet": {"xs": 1}})
+    assert out["xs"] == [1]
+    out = apply_update({"xs": [1]}, {"$addToSet": {"xs": 2}})
+    assert out["xs"] == [1, 2]
+
+
+def test_push_creates_list():
+    assert apply_update({}, {"$push": {"xs": 1}})["xs"] == [1]
+
+
+def test_push_non_list_target_raises():
+    with pytest.raises(UpdateError):
+        apply_update({"xs": 5}, {"$push": {"xs": 1}})
+
+
+def test_mixed_operator_and_plain_keys_rejected():
+    with pytest.raises(UpdateError):
+        apply_update({}, {"$set": {"a": 1}, "b": 2})
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(UpdateError):
+        apply_update({}, {"$explode": {"a": 1}})
+
+
+def test_id_mutation_through_inc_rejected():
+    with pytest.raises(UpdateError):
+        apply_update({"_id": "x"}, {"$inc": {"_id": 1}})
+
+
+def test_path_through_scalar_raises():
+    with pytest.raises(UpdateError):
+        apply_update({"a": 5}, {"$set": {"a.b": 1}})

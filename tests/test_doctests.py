@@ -1,0 +1,35 @@
+"""Run the docstring examples as tests — documentation that executes."""
+
+import doctest
+
+import pytest
+
+import repro.client.worker_client
+import repro.constraints.template
+import repro.core.schema
+import repro.core.row
+import repro.docstore.collection
+import repro.docstore.database
+import repro.net.network
+import repro.server.frontend
+import repro.sim.kernel
+import repro.sim.rng
+
+MODULES = [
+    repro.sim.kernel,
+    repro.sim.rng,
+    repro.net.network,
+    repro.docstore.collection,
+    repro.docstore.database,
+    repro.core.schema,
+    repro.core.row,
+    repro.constraints.template,
+    repro.client.worker_client,
+    repro.server.frontend,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0

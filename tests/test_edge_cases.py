@@ -1,0 +1,186 @@
+"""Edge-case tests across modules (gaps found by review)."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Predicate, Template, TemplateRow
+from repro.constraints.template import _label
+from repro.core import (
+    CandidateTable,
+    DefaultScoring,
+    Replica,
+    RowValue,
+    ThresholdScoring,
+)
+from repro.core.schema import soccer_player_schema
+from repro.experiments.effectiveness import EffectivenessReport
+from repro.experiments.harness import ExperimentConfig
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.server.backend import BootstrapState
+from repro.sim import Simulator
+
+SCHEMA = soccer_player_schema()
+SCORING = ThresholdScoring(2)
+
+
+class TestBootstrapEdges:
+    def test_restore_into_nonempty_replica_rejected(self):
+        source = Replica("a", SCHEMA, SCORING)
+        source.insert()
+        state = BootstrapState.capture(source)
+        target = Replica("b", SCHEMA, SCORING)
+        target.insert()
+        with pytest.raises(ValueError):
+            state.restore_into(target)
+
+    def test_capture_includes_histories(self):
+        source = Replica("a", SCHEMA, SCORING)
+        message = source.insert()
+        partial = source.fill(message.row_id, "name", "X")
+        source.downvote(partial.new_id)
+        state = BootstrapState.capture(source)
+        target = Replica("b", SCHEMA, SCORING)
+        state.restore_into(target)
+        assert target.snapshot() == source.snapshot()
+        assert (
+            target.table.history_snapshot()
+            == source.table.history_snapshot()
+        )
+
+
+class TestTemplateEdges:
+    def test_labels_continue_past_z(self):
+        assert _label(0) == "a"
+        assert _label(25) == "z"
+        assert _label(26) == "t26"
+        template = Template.cardinality(30)
+        labels = [row.label for row in template.rows]
+        assert len(set(labels)) == 30
+
+    def test_empty_in_predicate_matches_nothing(self):
+        predicate = Predicate.parse("in{}")
+        assert not predicate.matches("anything")
+
+    def test_float_coercion_in_parse(self):
+        assert Predicate.parse(">=8.5").operand == 8.5
+
+    def test_template_row_str_for_empty(self):
+        assert "<empty>" in str(TemplateRow.empty("a"))
+
+
+class TestFinalTableEdges:
+    def full(self, **overrides):
+        base = {"name": "X", "nationality": "Y", "position": "FW",
+                "caps": 80, "goals": 10}
+        base.update(overrides)
+        return RowValue(base)
+
+    def test_negative_best_blocks_nothing(self):
+        """A negative-scored complete row never blocks a positive one
+        with the same key, regardless of magnitude."""
+        table = CandidateTable(SCHEMA, DefaultScoring())
+        table.load_row("r1", self.full(position="MF"), 5, 9)  # score -4
+        table.load_row("r2", self.full(), 1, 0)  # score 1
+        assert [row.row_id for row in table.final_rows()] == ["r2"]
+
+    def test_zero_score_groups_excluded_entirely(self):
+        table = CandidateTable(SCHEMA, DefaultScoring())
+        table.load_row("r1", self.full(), 3, 3)
+        table.load_row("r2", self.full(position="MF"), 0, 0)
+        assert table.final_rows() == []
+
+
+class TestWorkerClientEdges:
+    def make_world(self):
+        sim = Simulator()
+        network = Network(sim, default_latency=ConstantLatency(0.01),
+                          rng=random.Random(0))
+        backend = BackendServer(
+            sim, network, SCHEMA, SCORING,
+            Template.cardinality(2),
+        )
+        client = WorkerClient("w0", SCHEMA, SCORING, network,
+                              rng=random.Random(0))
+        client.bootstrap(backend.attach_client("w0"))
+        backend.start()
+        sim.run()
+        return sim, backend, client
+
+    def test_resolve_row_is_identity_for_live_rows(self):
+        sim, backend, client = self.make_world()
+        row_id = client.replica.table.row_ids()[0]
+        assert client.resolve_row(row_id) == row_id
+
+    def test_resolve_row_unknown_id_passthrough(self):
+        sim, backend, client = self.make_world()
+        assert client.resolve_row("ghost") == "ghost"
+
+    def test_resolve_follows_multi_hop_lineage(self):
+        sim, backend, client = self.make_world()
+        original = client.replica.table.row_ids()[0]
+        current = original
+        for column, value in [("name", "A"), ("nationality", "B"),
+                              ("position", "FW")]:
+            current = client.fill(current, column, value)
+        assert client.resolve_row(original) == current
+
+    def test_upvote_value_requires_auto_flag_passthrough(self):
+        replica = Replica("r", SCHEMA, SCORING)
+        row_id = replica.insert().row_id
+        for column, value in [
+            ("name", "A"), ("nationality", "B"), ("position", "FW"),
+            ("caps", 80), ("goals", 1),
+        ]:
+            row_id = replica.fill(row_id, column, value).new_id
+        message = replica.upvote_value(replica.row(row_id).value, auto=True)
+        assert message.auto
+
+
+class TestHarnessConfigEdges:
+    def test_profiles_padded_for_large_crews(self):
+        config = ExperimentConfig(seed=1, num_workers=9)
+        profiles = config.resolved_profiles()
+        assert len(profiles) == 9
+        # Padding is deterministic.
+        again = ExperimentConfig(seed=1, num_workers=9).resolved_profiles()
+        assert profiles == again
+
+    def test_policy_kinds_padded_with_diligent(self):
+        config = ExperimentConfig(num_workers=4, policy_kinds=("spammer",))
+        kinds = config.resolved_policy_kinds()
+        assert kinds == ["spammer", "diligent", "diligent", "diligent"]
+
+    def test_explicit_profiles_truncated(self):
+        from repro.workers.profile import representative_crew
+
+        crew = tuple(representative_crew())
+        config = ExperimentConfig(num_workers=2, profiles=crew)
+        assert len(config.resolved_profiles()) == 2
+
+
+def test_effectiveness_duration_str_incomplete():
+    report = EffectivenessReport(
+        seed=0, completed=False, duration=None, final_rows=0,
+        candidate_rows=0, heavily_downvoted=0, conflict_extras=0,
+        accuracy=0.0, total_worker_actions=0,
+    )
+    assert report.duration_str == "did not complete"
+
+
+def test_network_send_to_self_is_allowed():
+    """Self-sends are legal (a monitor could subscribe to itself)."""
+    sim = Simulator()
+    network = Network(sim, rng=random.Random(0))
+    got = []
+
+    class Echo:
+        def on_message(self, source, payload):
+            got.append((source, payload))
+
+    network.register("a", Echo())
+    network.send("a", "a", "ping")
+    sim.run()
+    assert got == [("a", "ping")]

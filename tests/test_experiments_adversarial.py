@@ -1,0 +1,62 @@
+"""Tests for the section 8 adversarial-workers experiment."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_adversary_sweep
+
+
+@pytest.fixture(scope="module")
+def small_base():
+    return ExperimentConfig(seed=7, num_workers=3, target_rows=6)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        run_adversary_sweep("saboteur")
+
+
+def test_spammers_earn_less_per_action(small_base):
+    report = run_adversary_sweep(
+        "spammer", seed=7, adversary_counts=(0, 2), base_config=small_base
+    )
+    assert report.scheme_discourages_adversary()
+    assert all(outcome.completed for outcome in report.outcomes)
+    assert "spammer" in report.format_table()
+
+
+def test_spammers_do_not_poison_final_table(small_base):
+    report = run_adversary_sweep(
+        "spammer", seed=7, adversary_counts=(2,), base_config=small_base
+    )
+    assert report.outcomes[0].accuracy >= 0.8
+
+
+def test_copiers_exploit_the_scheme(small_base):
+    """The paper's open problem: blind endorsement pays per action at
+    least as well as honest work."""
+    report = run_adversary_sweep(
+        "copier", seed=7, adversary_counts=(0, 2), base_config=small_base
+    )
+    with_copiers = report.outcomes[-1]
+    assert with_copiers.adversary_actions > 0
+    assert with_copiers.adversary_rate > 0
+    assert "copier" in report.format_table()
+
+
+def test_outcome_rate_properties():
+    from repro.experiments.adversarial import AdversaryOutcome
+
+    outcome = AdversaryOutcome(
+        num_adversaries=1, completed=True, duration=10.0, accuracy=1.0,
+        adversary_pay=1.0, adversary_actions=4,
+        diligent_pay=9.0, diligent_actions=30,
+    )
+    assert outcome.adversary_rate == pytest.approx(0.25)
+    assert outcome.diligent_rate == pytest.approx(0.3)
+    empty = AdversaryOutcome(
+        num_adversaries=0, completed=True, duration=None, accuracy=1.0,
+        adversary_pay=0.0, adversary_actions=0,
+        diligent_pay=0.0, diligent_actions=0,
+    )
+    assert empty.adversary_rate == 0.0
+    assert empty.diligent_rate == 0.0

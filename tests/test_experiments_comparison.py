@@ -1,0 +1,86 @@
+"""Tests for E9: the table-filling vs microtask comparison driver."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_comparison
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = ExperimentConfig(seed=7, num_workers=4, target_rows=6)
+    return run_comparison(seed=7, config=config)
+
+
+def test_both_approaches_complete(report):
+    assert report.table_filling.completed
+    assert report.microtask.completed
+    assert report.table_filling.final_rows == 6
+    assert report.microtask.final_rows == 6
+
+
+def test_table_filling_is_faster(report):
+    assert report.speedup() > 1.0
+
+
+def test_microtask_pays_acceptance_overhead(report):
+    assert report.microtask.overhead_seconds > 0
+    assert report.table_filling.overhead_seconds == 0
+
+
+def test_quality_comparable(report):
+    assert report.table_filling.accuracy >= 0.8
+    assert report.microtask.accuracy >= 0.8
+
+
+def test_format_table_mentions_both(report):
+    text = report.format_table()
+    assert "table-filling" in text
+    assert "microtask" in text
+    assert "accept overhead" in text
+
+
+def test_speedup_nan_when_incomplete():
+    from repro.experiments.comparison import ApproachOutcome, ComparisonReport
+    import math
+
+    incomplete = ApproachOutcome(
+        approach="microtask", completed=False, duration=None, accuracy=0.0,
+        final_rows=0, worker_actions=0, wasted_work=0, overhead_seconds=0.0,
+    )
+    done = ApproachOutcome(
+        approach="table-filling", completed=True, duration=100.0,
+        accuracy=1.0, final_rows=5, worker_actions=10, wasted_work=0,
+        overhead_seconds=0.0,
+    )
+    report = ComparisonReport(seed=0, table_filling=done, microtask=incomplete)
+    assert math.isnan(report.speedup())
+    assert "n/a" in report.format_table()
+
+
+class TestCostComparison:
+    def test_costs_match_at_same_wage(self):
+        from repro.experiments import ExperimentConfig, run_cost_comparison
+
+        config = ExperimentConfig(seed=7, num_workers=4, target_rows=6)
+        report = run_cost_comparison(seed=7, hourly_wage=9.0, config=config)
+        assert report.crowdfill_rows == 6
+        assert report.microtask_rows == 6
+        assert report.crowdfill_cost > 0
+        assert report.microtask_cost > 0
+        # At matched wages neither approach is drastically cheaper.
+        ratio = report.microtask_cost / report.crowdfill_cost
+        assert 0.5 <= ratio <= 2.0
+        text = report.format_table()
+        assert "A11" in text and "cost per row" in text
+
+    def test_task_prices_scale_with_wage(self):
+        from repro.experiments import ExperimentConfig, run_cost_comparison
+
+        config = ExperimentConfig(seed=3, num_workers=4, target_rows=5)
+        low = run_cost_comparison(seed=3, hourly_wage=6.0, config=config)
+        high = run_cost_comparison(seed=3, hourly_wage=12.0, config=config)
+        for kind in ("enumerate", "fill", "verify"):
+            assert high.task_prices[kind] == pytest.approx(
+                2 * low.task_prices[kind]
+            )
+        assert high.microtask_cost == pytest.approx(2 * low.microtask_cost)

@@ -1,0 +1,128 @@
+"""Tests for the A6 latency-sensitivity and A8 worker-scaling drivers."""
+
+import pytest
+
+from repro.experiments.comparison import run_worker_scaling
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.latency import LatencyPoint, LatencyReport, run_latency_sweep
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return ExperimentConfig(seed=7, num_workers=3, target_rows=5)
+
+
+class TestLatencySweep:
+    def test_sweep_completes_at_every_latency(self, small_config):
+        report = run_latency_sweep(
+            seed=7, latencies=(0.05, 2.0), base_config=small_config
+        )
+        assert len(report.points) == 2
+        for point in report.points:
+            assert point.completed
+            assert point.accuracy >= 0.8
+
+    def test_format_table(self, small_config):
+        report = run_latency_sweep(
+            seed=7, latencies=(0.05,), base_config=small_config
+        )
+        text = report.format_table()
+        assert "A6" in text and "0.05" in text
+
+    def test_staleness_metric_logic(self):
+        fast = LatencyPoint(0.05, True, 100.0, 10, 1.0, 22)
+        slow = LatencyPoint(5.0, True, 200.0, 5, 1.0, 40)
+        assert LatencyReport(seed=0, points=[fast, slow]).staleness_costs_grow()
+        assert not LatencyReport(
+            seed=0, points=[slow, fast]
+        ).staleness_costs_grow()
+
+    def test_staleness_metric_incomplete_run(self):
+        fast = LatencyPoint(0.05, True, 100.0, 10, 1.0, 22)
+        dead = LatencyPoint(5.0, False, None, 5, 1.0, 40)
+        assert not LatencyReport(
+            seed=0, points=[fast, dead]
+        ).staleness_costs_grow()
+
+
+class TestWorkerScaling:
+    def test_scaling_runs_both_approaches(self, small_config):
+        report = run_worker_scaling(
+            seed=7, worker_counts=(3, 5), base_config=small_config
+        )
+        assert len(report.table_filling_times) == 2
+        assert len(report.microtask_times) == 2
+        assert all(t > 0 for t in report.table_filling_times)
+        assert all(t > 0 for t in report.microtask_times)
+
+    def test_more_workers_do_not_slow_table_filling(self, small_config):
+        report = run_worker_scaling(
+            seed=7, worker_counts=(3, 8), base_config=small_config
+        )
+        assert (
+            report.table_filling_times[1]
+            <= report.table_filling_times[0] * 1.3
+        )
+
+    def test_format_table(self, small_config):
+        report = run_worker_scaling(
+            seed=7, worker_counts=(3,), base_config=small_config
+        )
+        text = report.format_table()
+        assert "A8" in text and "microtask" in text
+
+
+class TestQualityTradeoff:
+    def test_grid_runs_and_reports(self):
+        from repro.experiments import run_quality_tradeoff
+        from repro.experiments.harness import ExperimentConfig
+
+        base = ExperimentConfig(seed=7, num_workers=4, target_rows=5)
+        report = run_quality_tradeoff(
+            seed=7, fill_accuracies=(0.98,), min_votes_options=(1, 2),
+            base_config=base,
+        )
+        assert len(report.points) == 2
+        text = report.format_table()
+        assert "A9" in text and "min_votes" in text
+        solo = report.point(1, 0.98)
+        majority = report.point(2, 0.98)
+        assert solo.completed and majority.completed
+        with pytest.raises(KeyError):
+            report.point(9, 0.5)
+
+    def test_accuracy_insensitivity_and_vote_cost(self):
+        from repro.experiments import run_quality_tradeoff
+        from repro.experiments.harness import ExperimentConfig
+
+        base = ExperimentConfig(seed=19, num_workers=4, target_rows=6)
+        report = run_quality_tradeoff(
+            seed=19, fill_accuracies=(0.90,), base_config=base,
+        )
+        # Downvote policing keeps accuracy threshold-insensitive.
+        assert report.accuracy_insensitive_to_threshold(0.90, tolerance=0.2)
+
+
+class TestDomainSweep:
+    def test_all_domains_complete(self):
+        from repro.experiments import run_domain_sweep
+        from repro.experiments.harness import ExperimentConfig
+
+        base = ExperimentConfig(seed=7, num_workers=4, universe_size=200)
+        report = run_domain_sweep(
+            seed=7, table_sizes=(5,), base_config=base,
+        )
+        assert len(report.points) == 3
+        assert report.all_complete_and_accurate()
+        text = report.format_table()
+        assert "A10" in text
+        for domain in ("soccer", "cities", "movies"):
+            assert domain in text
+
+    def test_unknown_domain_rejected(self):
+        from repro.experiments import CrowdFillExperiment
+        from repro.experiments.harness import ExperimentConfig
+
+        config = ExperimentConfig(seed=1, domain="weather")  # type: ignore
+        with pytest.raises(ValueError):
+            CrowdFillExperiment(config).run()

@@ -1,0 +1,113 @@
+"""Tests for GuidedPolicy + recommender decline interplay."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.datasets import GroundTruth, SoccerPlayerUniverse
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.server.recommender import CellRecommender
+from repro.sim import Simulator
+from repro.workers import DiligentPolicy, FillAction, WorkerProfile
+from repro.workers.policy import GuidedPolicy
+
+SCORING = ThresholdScoring(2)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING, Template.cardinality(3)
+    )
+    clients = []
+    for i in range(2):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    backend.start()
+    sim.run()
+    truth = SoccerPlayerUniverse(seed=1, size=40,
+                                 include_dob=False).ground_truth()
+    recommender = CellRecommender(backend)
+    return sim, backend, clients, truth, recommender
+
+
+def make_guided(truth, recommender, worker_id, knowledge=None):
+    inner = DiligentPolicy(
+        knowledge if knowledge is not None else truth,
+        WorkerProfile(fill_accuracy=1.0),
+        reference=truth,
+    )
+    return GuidedPolicy(inner, recommender, worker_id)
+
+
+def test_guided_worker_follows_recommended_row(world):
+    sim, backend, clients, truth, recommender = world
+    policy = make_guided(truth, recommender, "w0")
+    recommendation = recommender.recommend_for("w0")
+    action = policy.choose(clients[0], random.Random(0))
+    assert isinstance(action, FillAction)
+    assert clients[0].resolve_row(action.row_id) == clients[0].resolve_row(
+        recommendation.row_id
+    )
+
+
+def test_guided_worker_declines_unknown_entity_row(world):
+    """A worker with no knowledge cannot act on any recommendation;
+    every advised row is handed back (declined) and the worker falls
+    back to its own (idle) judgement."""
+    sim, backend, clients, truth, recommender = world
+    empty = GroundTruth(truth.schema, [])
+    # Pin an entity into a row so it is identified but unknown to w0.
+    entity = truth.rows[0]
+    row_id = clients[1].replica.table.row_ids()[0]
+    clients[1].fill(row_id, "name", entity["name"])
+    sim.run()
+    policy = make_guided(truth, recommender, "w0", knowledge=empty)
+    policy.inner.reference = None  # cannot even look things up
+    action = policy.choose(clients[0], random.Random(0))
+    # The declined rows become available to other workers immediately.
+    other = recommender.recommend_for("w1")
+    assert other is not None
+
+
+def test_declined_pair_not_readvised(world):
+    sim, backend, clients, truth, recommender = world
+    first = recommender.recommend_for("w0")
+    recommender.decline("w0")
+    second = recommender.recommend_for("w0")
+    assert second is None or second.row_id != first.row_id
+
+
+def test_assignment_ttl_expires(world):
+    sim, backend, clients, truth, recommender = world
+    recommender.assignment_ttl = 5.0
+    first = recommender.recommend_for("w0")
+    # w1 cannot take w0's row while the assignment is fresh.
+    other = recommender.recommend_for("w1")
+    assert other.row_id != first.row_id
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    recommender.decline("w1")
+    # After the TTL, w0's stale claim no longer blocks anyone.
+    renewed = recommender.recommend_for("w1")
+    assert renewed is not None
+
+
+def test_guided_note_fill_delegates_focus(world):
+    sim, backend, clients, truth, recommender = world
+    policy = make_guided(truth, recommender, "w0")
+    action = policy.choose(clients[0], random.Random(0))
+    new_id = clients[0].fill(action.row_id, action.column, action.value)
+    policy.note_fill(clients[0], new_id)
+    assert policy.inner._focus_row_id == new_id

@@ -1,0 +1,153 @@
+"""Unit tests for the simulated marketplace and payment ledger."""
+
+import random
+
+import pytest
+
+from repro.marketplace import Marketplace, MarketplaceError, PaymentLedger
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def market():
+    return Marketplace(Simulator(), rng=random.Random(0))
+
+
+def post(market, **kwargs):
+    defaults = dict(
+        title="Fill the table",
+        description="soccer players",
+        base_reward=0.1,
+        max_assignments=3,
+    )
+    defaults.update(kwargs)
+    return market.post_task(**defaults)
+
+
+def test_post_and_lookup(market):
+    task = post(market)
+    assert market.task(task.task_id) is task
+    assert market.tasks() == [task]
+    assert task.open_slots == 3
+
+
+def test_post_validation(market):
+    with pytest.raises(MarketplaceError):
+        post(market, base_reward=-1)
+    with pytest.raises(MarketplaceError):
+        post(market, max_assignments=0)
+
+
+def test_unknown_task_rejected(market):
+    with pytest.raises(MarketplaceError):
+        market.task("ghost")
+
+
+def test_accept_fires_redirect_callback(market):
+    accepted = []
+    task = post(market, on_accept=accepted.append)
+    market.accept(task.task_id, "w1")
+    assert accepted == ["w1"]
+
+
+def test_accept_records_assignment_time():
+    sim = Simulator()
+    market = Marketplace(sim)
+    task = post(market)
+    sim.schedule(5.0, lambda: market.accept(task.task_id, "w1"))
+    sim.run()
+    assert task.assignments[0].accepted_at == 5.0
+
+
+def test_double_accept_rejected(market):
+    task = post(market)
+    market.accept(task.task_id, "w1")
+    with pytest.raises(MarketplaceError):
+        market.accept(task.task_id, "w1")
+
+
+def test_full_task_rejects_more_workers(market):
+    task = post(market, max_assignments=1)
+    market.accept(task.task_id, "w1")
+    with pytest.raises(MarketplaceError):
+        market.accept(task.task_id, "w2")
+    assert task.open_slots == 0
+
+
+def test_closed_task_rejects_accepts(market):
+    task = post(market)
+    market.close_task(task.task_id)
+    with pytest.raises(MarketplaceError):
+        market.accept(task.task_id, "w1")
+
+
+def test_submit_and_approve_pays_base_reward(market):
+    task = post(market, base_reward=0.5)
+    assignment = market.accept(task.task_id, "w1")
+    market.submit(assignment.assignment_id)
+    market.approve_assignment(assignment.assignment_id)
+    assert assignment.status == "approved"
+    assert market.ledger.total_for("w1") == pytest.approx(0.5)
+
+
+def test_approve_is_idempotent(market):
+    task = post(market, base_reward=0.5)
+    assignment = market.accept(task.task_id, "w1")
+    market.approve_assignment(assignment.assignment_id)
+    market.approve_assignment(assignment.assignment_id)
+    assert market.ledger.total_for("w1") == pytest.approx(0.5)
+
+
+def test_approve_all(market):
+    task = post(market, base_reward=0.2)
+    market.accept(task.task_id, "w1")
+    market.accept(task.task_id, "w2")
+    market.approve_all(task.task_id)
+    assert market.ledger.total() == pytest.approx(0.4)
+
+
+def test_unknown_assignment_rejected(market):
+    with pytest.raises(MarketplaceError):
+        market.approve_assignment("ghost")
+    with pytest.raises(MarketplaceError):
+        market.submit("ghost")
+
+
+def test_bonus_channel(market):
+    market.grant_bonus("w1", 3.49, reason="crowdfill")
+    assert market.ledger.bonus_for("w1") == pytest.approx(3.49)
+    assert market.ledger.total_for("w1") == pytest.approx(3.49)
+
+
+def test_scheduled_arrivals_trickle_in():
+    sim = Simulator()
+    market = Marketplace(sim, rng=random.Random(7))
+    accepted = []
+    task = post(market, max_assignments=5, on_accept=accepted.append)
+    market.schedule_arrivals(
+        task.task_id, [f"w{i}" for i in range(5)], mean_interarrival=10.0
+    )
+    sim.run()
+    assert accepted == [f"w{i}" for i in range(5)]
+    times = [a.accepted_at for a in task.assignments]
+    assert times == sorted(times)
+    assert times[-1] > 0
+
+
+def test_arrivals_beyond_capacity_are_dropped_quietly():
+    sim = Simulator()
+    market = Marketplace(sim, rng=random.Random(7))
+    task = post(market, max_assignments=2)
+    market.schedule_arrivals(task.task_id, ["a", "b", "c", "d"])
+    sim.run()
+    assert len(task.assignments) == 2
+
+
+def test_ledger_by_worker_and_validation():
+    ledger = PaymentLedger()
+    ledger.pay_base("w1", 0.1)
+    ledger.pay_bonus("w1", 1.0)
+    ledger.pay_bonus("w2", 2.0)
+    assert ledger.by_worker() == {"w1": pytest.approx(1.1), "w2": 2.0}
+    with pytest.raises(ValueError):
+        ledger.pay_bonus("w1", -1)

@@ -1,0 +1,335 @@
+"""Unit tests for the microtask baseline: coordinator state machine and
+worker answering."""
+
+import random
+
+import pytest
+
+from repro.core import RowValue
+from repro.core.schema import soccer_player_schema
+from repro.datasets import GroundTruth, SoccerPlayerUniverse
+from repro.microtask import (
+    EnumerateTask,
+    FillTask,
+    MicrotaskAnswer,
+    MicrotaskCoordinator,
+    MicrotaskWorker,
+    VerifyTask,
+)
+from repro.sim import Simulator
+from repro.workers.profile import WorkerProfile
+
+SCHEMA = soccer_player_schema()
+ENTITY = {
+    "name": "Messi", "nationality": "Argentina",
+    "position": "FW", "caps": 83, "goals": 37,
+}
+
+
+def make_coordinator(target_rows=1, **kwargs):
+    return MicrotaskCoordinator(Simulator(), SCHEMA, target_rows, **kwargs)
+
+
+def take(coordinator, worker_id):
+    task = coordinator.next_task(worker_id)
+    assert task is not None, f"no task available for {worker_id}"
+    return task
+
+
+def answer(coordinator, task, worker_id, payload):
+    coordinator.submit(
+        MicrotaskAnswer(task_id=task.task_id, worker_id=worker_id,
+                        payload=payload)
+    )
+
+
+def drive_to_verification(coordinator):
+    """One slot: enumerate by w0, fills by w1."""
+    task = take(coordinator, "w0")
+    assert isinstance(task, EnumerateTask)
+    answer(coordinator, task, "w0",
+           RowValue({"name": "Messi", "nationality": "Argentina"}))
+    for _ in range(3):  # position, caps, goals
+        fill = take(coordinator, "w1")
+        assert isinstance(fill, FillTask)
+        answer(coordinator, fill, "w1", ENTITY[fill.column])
+
+
+class TestCoordinator:
+    def test_starts_with_one_enumerate_per_slot(self):
+        coordinator = make_coordinator(target_rows=3)
+        assert coordinator.stats.tasks_issued["enumerate"] == 3
+        kinds = {take(coordinator, f"w{i}").kind for i in range(3)}
+        assert kinds == {"enumerate"}
+
+    def test_enumerate_answer_spawns_fill_tasks(self):
+        coordinator = make_coordinator()
+        task = take(coordinator, "w0")
+        answer(coordinator, task, "w0",
+               RowValue({"name": "Messi", "nationality": "Argentina"}))
+        assert coordinator.stats.tasks_issued["fill"] == 3
+
+    def test_duplicate_key_detected_and_redone(self):
+        coordinator = make_coordinator(target_rows=2)
+        first = take(coordinator, "w0")
+        second = take(coordinator, "w1")
+        key = RowValue({"name": "Messi", "nationality": "Argentina"})
+        answer(coordinator, first, "w0", key)
+        answer(coordinator, second, "w1", key)  # concurrent duplicate
+        assert coordinator.stats.duplicates == 1
+        assert coordinator.stats.tasks_issued["enumerate"] == 3
+
+    def test_full_happy_path_commits_row(self):
+        coordinator = make_coordinator()
+        drive_to_verification(coordinator)
+        assert coordinator.stats.tasks_issued["verify"] == 2
+        for voter in ("w2", "w3"):
+            verify = take(coordinator, voter)
+            assert isinstance(verify, VerifyTask)
+            answer(coordinator, verify, voter, True)
+        assert coordinator.completed
+        assert coordinator.final_rows() == [RowValue(ENTITY)]
+        assert coordinator.stats.completion_time is not None
+
+    def test_split_vote_asks_third_worker(self):
+        coordinator = make_coordinator()
+        drive_to_verification(coordinator)
+        first = take(coordinator, "w2")
+        answer(coordinator, first, "w2", True)
+        second = take(coordinator, "w3")
+        answer(coordinator, second, "w3", False)
+        assert coordinator.stats.tasks_issued["verify"] == 3
+        third = take(coordinator, "w4")
+        answer(coordinator, third, "w4", True)
+        assert coordinator.completed
+
+    def test_rejected_row_refills_then_reenumerates(self):
+        coordinator = make_coordinator()
+        drive_to_verification(coordinator)
+        for voter in ("w2", "w3"):
+            verify = take(coordinator, voter)
+            answer(coordinator, verify, voter, False)
+        assert coordinator.stats.rejected_rows == 1
+        # Retry keeps the key but reissues the non-key fills.
+        assert coordinator.stats.tasks_issued["fill"] == 6
+        for _ in range(3):
+            fill = take(coordinator, "w1")
+            answer(coordinator, fill, "w1", ENTITY[fill.column])
+        for voter in ("w2", "w3"):
+            verify = take(coordinator, voter)
+            answer(coordinator, verify, voter, False)
+        # Second rejection: give up on the key entirely.
+        assert coordinator.stats.reenumerations == 1
+        assert coordinator.stats.tasks_issued["enumerate"] == 2
+
+    def test_enumerator_cannot_verify_own_row(self):
+        coordinator = make_coordinator()
+        drive_to_verification(coordinator)
+        assert coordinator.next_task("w0") is None  # only verifies remain
+        assert coordinator.next_task("w2") is not None
+
+    def test_one_vote_per_worker_per_row(self):
+        coordinator = make_coordinator()
+        drive_to_verification(coordinator)
+        verify = take(coordinator, "w2")
+        answer(coordinator, verify, "w2", True)
+        assert coordinator.next_task("w2") is None
+
+    def test_skip_reopens_for_others(self):
+        coordinator = make_coordinator()
+        task = take(coordinator, "w0")
+        answer(coordinator, task, "w0", None)  # skip
+        assert coordinator.stats.skips == 1
+        again = take(coordinator, "w1")
+        assert again.task_id == task.task_id
+
+    def test_reskip_allowed_when_nobody_else_wants_it(self):
+        coordinator = make_coordinator()
+        task = take(coordinator, "w0")
+        answer(coordinator, task, "w0", None)
+        again = take(coordinator, "w0")  # sole worker gets it back
+        assert again.task_id == task.task_id
+
+    def test_unanswerable_fill_expires_the_key(self):
+        coordinator = make_coordinator(skip_limit=2)
+        task = take(coordinator, "w0")
+        answer(coordinator, task, "w0",
+               RowValue({"name": "Nobody", "nationality": "Nowhere"}))
+        # Everyone skips every fill for the fabricated key; once some
+        # task accumulates skip_limit skips, the key expires.
+        for i in range(1, 10):
+            task = take(coordinator, f"w{i}")
+            if isinstance(task, EnumerateTask):
+                break
+            answer(coordinator, task, f"w{i}", None)
+        assert coordinator.stats.reenumerations == 1
+        # All fill tasks for the dead key are gone; the replacement
+        # enumerate excludes nothing new and is the only open task.
+        assert isinstance(task, EnumerateTask)
+        assert coordinator.next_task("w99") is None
+
+    def test_wrong_assignee_rejected(self):
+        coordinator = make_coordinator()
+        task = take(coordinator, "w0")
+        with pytest.raises(KeyError):
+            answer(coordinator, task, "intruder",
+                   RowValue({"name": "X", "nationality": "Y"}))
+
+    def test_stale_fill_for_reenumerated_slot_ignored(self):
+        coordinator = make_coordinator(skip_limit=1)
+        task = take(coordinator, "w0")
+        answer(coordinator, task, "w0",
+               RowValue({"name": "Ghost", "nationality": "Nowhere"}))
+        in_flight_fill = take(coordinator, "w1")
+        other_fill = take(coordinator, "w2")
+        answer(coordinator, other_fill, "w2", None)  # expires the key
+        # w1's late answer for the dead key is dropped silently.
+        answer(coordinator, in_flight_fill, "w1", "FW")
+        slot = coordinator.slots[0]
+        assert slot.key != ("Ghost", "Nowhere")
+
+
+class TestMicrotaskWorker:
+    def make_worker(self, knowledge_rows, coordinator=None, **profile_kwargs):
+        sim = Simulator()
+        coordinator = coordinator or MicrotaskCoordinator(sim, SCHEMA, 2)
+        knowledge = GroundTruth(SCHEMA, knowledge_rows)
+        profile = WorkerProfile(
+            fill_accuracy=1.0, judgement_accuracy=1.0, pause_prob=0.0,
+            **profile_kwargs,
+        )
+        worker = MicrotaskWorker(
+            "w0", coordinator, knowledge, reference=knowledge,
+            profile=profile, sim=sim, rng=random.Random(0),
+        )
+        return sim, coordinator, worker
+
+    def test_enumerate_answer_respects_exclusions(self):
+        entity = RowValue(ENTITY)
+        _, coordinator, worker = self.make_worker([entity])
+        task = EnumerateTask(
+            task_id="t1",
+            exclusions=frozenset({("Messi", "Argentina")}),
+            slot=0,
+        )
+        assert worker._answer_enumerate(task) is None
+
+    def test_fill_answers_known_entity(self):
+        entity = RowValue(ENTITY)
+        _, coordinator, worker = self.make_worker([entity])
+        task = FillTask(
+            task_id="t1", key=("Messi", "Argentina"),
+            key_values=RowValue({"name": "Messi",
+                                 "nationality": "Argentina"}),
+            column="caps", slot=0,
+        )
+        assert worker._answer_fill(task) == 83
+
+    def test_fill_skips_unknown_without_reference(self):
+        entity = RowValue(ENTITY)
+        _, coordinator, worker = self.make_worker([entity])
+        worker.reference = None
+        task = FillTask(
+            task_id="t1", key=("Ghost", "Nowhere"),
+            key_values=RowValue({"name": "Ghost", "nationality": "Nowhere"}),
+            column="caps", slot=0,
+        )
+        assert worker._answer_fill(task) is None
+
+    def test_verify_confident_no_for_fabricated_key(self):
+        entity = RowValue(ENTITY)
+        _, coordinator, worker = self.make_worker(
+            [entity], suspect_unknown_prob=1.0
+        )
+        fake = RowValue({**ENTITY, "name": "Ghost"})
+        task = VerifyTask(task_id="t1", value=fake, slot=0)
+        assert worker._answer_verify(task) is False
+
+    def test_verify_memoizes_verdict(self):
+        entity = RowValue(ENTITY)
+        _, coordinator, worker = self.make_worker([entity])
+        task = VerifyTask(task_id="t1", value=entity, slot=0)
+        first = worker._answer_verify(task)
+        assert all(
+            worker._answer_verify(task) == first for _ in range(5)
+        )
+
+    def test_end_to_end_small_collection(self):
+        """Three workers drive a 3-row microtask collection to done."""
+        sim = Simulator()
+        universe = SoccerPlayerUniverse(seed=1, size=40, include_dob=False)
+        truth = universe.ground_truth()
+        coordinator = MicrotaskCoordinator(sim, SCHEMA, 3)
+        for i in range(3):
+            rng = random.Random(i)
+            worker = MicrotaskWorker(
+                f"w{i}", coordinator,
+                truth.sample_known_subset(rng, 0.6),
+                reference=truth,
+                profile=WorkerProfile(fill_accuracy=1.0, pause_prob=0.0),
+                sim=sim, rng=random.Random(100 + i),
+                is_done=lambda: coordinator.completed,
+            )
+            worker.start()
+        sim.run(until=3 * 3600)
+        assert coordinator.completed
+        final = coordinator.final_rows()
+        assert len(final) == 3
+        assert truth.accuracy_of(final) == 1.0
+        keys = {row.key(SCHEMA.key_columns) for row in final}
+        assert len(keys) == 3
+
+    def test_double_start_rejected(self):
+        entity = RowValue(ENTITY)
+        sim, coordinator, worker = self.make_worker([entity])
+        worker.start()
+        with pytest.raises(RuntimeError):
+            worker.start()
+
+
+class TestMicrotaskWorkerLoop:
+    def test_worker_pays_overhead_per_task(self):
+        sim = Simulator()
+        universe = SoccerPlayerUniverse(seed=2, size=30, include_dob=False)
+        truth = universe.ground_truth()
+        coordinator = MicrotaskCoordinator(sim, SCHEMA, 2)
+        worker = MicrotaskWorker(
+            "w0", coordinator, truth, reference=truth,
+            profile=WorkerProfile(fill_accuracy=1.0, pause_prob=0.0),
+            sim=sim, rng=random.Random(0),
+            is_done=lambda: coordinator.completed,
+        )
+        worker.start()
+        sim.run(until=300.0)
+        assert worker.log.tasks_answered > 0
+        assert worker.log.overhead_seconds > 0
+        assert worker.log.work_seconds > 0
+        # Each answered task paid between 4 and 12 seconds of overhead
+        # (speed 1.0, no pauses).
+        attempts = worker.log.tasks_answered + worker.log.tasks_skipped
+        assert worker.log.overhead_seconds >= 4.0 * attempts * 0.9
+
+    def test_per_kind_counters(self):
+        sim = Simulator()
+        universe = SoccerPlayerUniverse(seed=2, size=30, include_dob=False)
+        truth = universe.ground_truth()
+        coordinator = MicrotaskCoordinator(sim, SCHEMA, 2)
+        workers = []
+        for i in range(3):
+            worker = MicrotaskWorker(
+                f"w{i}", coordinator, truth, reference=truth,
+                profile=WorkerProfile(fill_accuracy=1.0, pause_prob=0.0),
+                sim=sim, rng=random.Random(10 + i),
+                is_done=lambda: coordinator.completed,
+            )
+            workers.append(worker)
+            worker.start()
+        sim.run(until=3600.0)
+        assert coordinator.completed
+        totals = {"enumerate": 0, "fill": 0, "verify": 0}
+        for worker in workers:
+            for kind, count in worker.log.per_kind.items():
+                totals[kind] += count
+        assert totals["enumerate"] >= 2
+        assert totals["fill"] >= 6  # 3 non-key columns x 2 rows, minimum
+        assert totals["verify"] >= 4

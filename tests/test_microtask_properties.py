@@ -1,0 +1,103 @@
+"""Property tests for the microtask coordinator under random behaviour."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RowValue
+from repro.core.schema import soccer_player_schema
+from repro.microtask import MicrotaskAnswer, MicrotaskCoordinator
+from repro.microtask.coordinator import SlotPhase
+from repro.microtask.tasks import EnumerateTask, FillTask, VerifyTask
+from repro.sim import Simulator
+
+SCHEMA = soccer_player_schema()
+NAMES = ["Messi", "Xavi", "Neymar", "Iker"]
+NATIONS = ["Argentina", "Spain", "Brazil"]
+POSITIONS = ["GK", "DF", "MF", "FW"]
+
+step = st.tuples(
+    st.integers(min_value=0, max_value=4),  # worker pick
+    st.integers(min_value=0, max_value=9),  # value pick
+    st.booleans(),                          # skip?
+    st.booleans(),                          # verify yes/no
+)
+
+
+def _answer_for(task, value_pick, skip, verdict):
+    if skip and not isinstance(task, VerifyTask):
+        return None
+    if isinstance(task, EnumerateTask):
+        return RowValue({
+            "name": NAMES[value_pick % len(NAMES)],
+            "nationality": NATIONS[value_pick % len(NATIONS)],
+        })
+    if isinstance(task, FillTask):
+        if task.column == "position":
+            return POSITIONS[value_pick % len(POSITIONS)]
+        if task.column in ("caps", "goals"):
+            return 50 + value_pick
+        return f"v{value_pick}"
+    return verdict
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=st.lists(step, min_size=1, max_size=80),
+    target_rows=st.integers(min_value=1, max_value=3),
+)
+def test_coordinator_invariants_under_random_answers(steps, target_rows):
+    coordinator = MicrotaskCoordinator(
+        Simulator(), SCHEMA, target_rows, skip_limit=3
+    )
+    for worker_pick, value_pick, skip, verdict in steps:
+        worker_id = f"w{worker_pick}"
+        task = coordinator.next_task(worker_id)
+        if task is None:
+            continue
+        coordinator.submit(
+            MicrotaskAnswer(
+                task_id=task.task_id,
+                worker_id=worker_id,
+                payload=_answer_for(task, value_pick, skip, verdict),
+            )
+        )
+
+    # Committed rows are complete, unique-keyed, and schema-valid.
+    final = coordinator.final_rows()
+    keys = [row.key(SCHEMA.key_columns) for row in final]
+    assert len(set(keys)) == len(keys)
+    for row in final:
+        assert row.is_complete(SCHEMA.column_names)
+    # Done slots are exactly the final rows.
+    done = [s for s in coordinator.slots if s.phase is SlotPhase.DONE]
+    assert len(done) == len(final)
+    # Bookkeeping: answers accepted never exceed tasks issued plus
+    # skip-reopenings (sanity of the assignment machinery).
+    assert coordinator.stats.answers >= coordinator.stats.skips
+    # No task is both open and in flight.
+    open_ids = {task.task_id for task in coordinator._open}
+    assert not open_ids & set(coordinator._in_flight)
+
+
+@settings(max_examples=30, deadline=None)
+@given(steps=st.lists(step, min_size=10, max_size=80))
+def test_verify_votes_bounded_per_row_version(steps):
+    """No row version ever collects more than 3 votes (majority of
+    three with short-cutting)."""
+    coordinator = MicrotaskCoordinator(Simulator(), SCHEMA, 1, skip_limit=3)
+    for worker_pick, value_pick, skip, verdict in steps:
+        worker_id = f"w{worker_pick}"
+        task = coordinator.next_task(worker_id)
+        if task is None:
+            continue
+        coordinator.submit(
+            MicrotaskAnswer(
+                task_id=task.task_id,
+                worker_id=worker_id,
+                payload=_answer_for(task, value_pick, skip, verdict),
+            )
+        )
+        slot = coordinator.slots[0]
+        assert slot.yes_votes + slot.no_votes <= 3

@@ -1,0 +1,163 @@
+"""Unit tests for the simulated network."""
+
+import random
+
+import pytest
+
+from repro.net import ConstantLatency, LogNormalLatency, Network, UniformLatency
+from repro.sim import Simulator
+
+
+class Sink:
+    def __init__(self):
+        self.got = []
+
+    def on_message(self, source, payload):
+        self.got.append((source, payload))
+
+
+def make_net(latency=None, seed=0):
+    sim = Simulator()
+    net = Network(sim, default_latency=latency, rng=random.Random(seed))
+    return sim, net
+
+
+def test_basic_delivery():
+    sim, net = make_net()
+    sink = Sink()
+    net.register("a", Sink())
+    net.register("b", sink)
+    net.send("a", "b", {"hello": 1})
+    sim.run()
+    assert sink.got == [("a", {"hello": 1})]
+
+
+def test_unknown_source_rejected():
+    sim, net = make_net()
+    net.register("b", Sink())
+    with pytest.raises(KeyError):
+        net.send("ghost", "b", "x")
+
+
+def test_unknown_destination_rejected():
+    sim, net = make_net()
+    net.register("a", Sink())
+    with pytest.raises(KeyError):
+        net.send("a", "ghost", "x")
+
+
+def test_duplicate_registration_rejected():
+    _, net = make_net()
+    net.register("a", Sink())
+    with pytest.raises(ValueError):
+        net.register("a", Sink())
+
+
+def test_in_order_delivery_under_random_latency():
+    """The formal model's key assumption: per-link FIFO even when later
+    messages sample smaller latencies."""
+    sim, net = make_net(latency=UniformLatency(0.01, 5.0), seed=3)
+    sink = Sink()
+    net.register("a", Sink())
+    net.register("b", sink)
+    for i in range(200):
+        net.send("a", "b", i)
+    sim.run()
+    assert [payload for _, payload in sink.got] == list(range(200))
+
+
+def test_order_preserved_across_interleaved_sends():
+    sim, net = make_net(latency=UniformLatency(0.0, 2.0), seed=1)
+    sink = Sink()
+    net.register("a", Sink())
+    net.register("b", Sink())
+    net.register("c", sink)
+    sequence = []
+
+    def send_round(i):
+        net.send("a", "c", ("a", i))
+        net.send("b", "c", ("b", i))
+        sequence.append(i)
+
+    for i in range(20):
+        sim.schedule(i * 0.1, lambda i=i: send_round(i))
+    sim.run()
+    # Per-source subsequences must be in order.
+    from_a = [p[1] for s, p in sink.got if p[0] == "a"]
+    from_b = [p[1] for s, p in sink.got if p[0] == "b"]
+    assert from_a == sorted(from_a)
+    assert from_b == sorted(from_b)
+
+
+def test_latency_delays_delivery():
+    sim, net = make_net(latency=ConstantLatency(1.5))
+    sink = Sink()
+    net.register("a", Sink())
+    net.register("b", sink)
+    net.send("a", "b", "x")
+    sim.run(until=1.0)
+    assert sink.got == []
+    sim.run()
+    assert sink.got == [("a", "x")]
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_per_link_latency_override():
+    sim, net = make_net(latency=ConstantLatency(10.0))
+    fast_sink, slow_sink = Sink(), Sink()
+    net.register("a", Sink())
+    net.register("fast", fast_sink)
+    net.register("slow", slow_sink)
+    net.set_link_latency("a", "fast", ConstantLatency(0.1))
+    net.send("a", "fast", 1)
+    net.send("a", "slow", 2)
+    sim.run(until=1.0)
+    assert fast_sink.got and not slow_sink.got
+
+
+def test_stats_and_quiescence():
+    sim, net = make_net()
+    net.register("a", Sink())
+    net.register("b", Sink())
+    assert net.quiescent()
+    net.send("a", "b", "x")
+    assert not net.quiescent()
+    assert net.stats.messages_sent == 1
+    sim.run()
+    assert net.quiescent()
+    assert net.stats.messages_delivered == 1
+    assert net.stats.per_link_sent[("a", "b")] == 1
+
+
+def test_unregistered_destination_drops_in_flight():
+    sim, net = make_net(latency=ConstantLatency(1.0))
+    sink = Sink()
+    net.register("a", Sink())
+    net.register("b", sink)
+    net.send("a", "b", "x")
+    net.unregister("b")
+    sim.run()
+    assert sink.got == []
+    assert net.stats.messages_delivered == 1  # counted, but no receiver
+
+
+def test_endpoints_listing():
+    _, net = make_net()
+    net.register("b", Sink())
+    net.register("a", Sink())
+    assert net.endpoints() == ["a", "b"]
+
+
+def test_lognormal_latency_positive():
+    rng = random.Random(0)
+    model = LogNormalLatency(median=0.1, sigma=1.0)
+    assert all(model.sample(rng) > 0 for _ in range(100))
+
+
+def test_latency_validation():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1)
+    with pytest.raises(ValueError):
+        UniformLatency(2, 1)
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0)

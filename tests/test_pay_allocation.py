@@ -1,0 +1,331 @@
+"""Unit tests for budget allocation (sections 5.2.2-5.2.3)."""
+
+import pytest
+
+from repro.core import (
+    DefaultScoring,
+    DownvoteMessage,
+    Replica,
+    RowValue,
+    TraceRecord,
+    UpvoteMessage,
+)
+from repro.core.schema import soccer_player_schema
+from repro.pay import AllocationScheme, allocate, analyze_contributions
+from repro.pay.allocation import fit_z
+from repro.pay.timing import generation_times, median
+
+SCHEMA = soccer_player_schema()
+FULL = {
+    "name": "Messi", "nationality": "Argentina",
+    "position": "FW", "caps": 83, "goals": 37,
+}
+
+
+class Run:
+    """Master replica + trace with controllable per-action timing."""
+
+    def __init__(self):
+        self.master = Replica("server", SCHEMA, DefaultScoring())
+        self.cc = Replica("CC", SCHEMA, DefaultScoring())
+        self.trace = []
+        self._seq = 0
+        self.clock = 0.0
+
+    def cc_insert(self):
+        message = self.cc.insert()
+        self.master.receive(message)
+        return message.row_id
+
+    def record(self, worker, message, at):
+        self._seq += 1
+        self.master.receive(message)
+        self.trace.append(
+            TraceRecord(seq=self._seq, timestamp=at,
+                        worker_id=worker, message=message)
+        )
+
+    def fill(self, worker, row_id, column, value, at):
+        replica = Replica(f"{worker}x{self._seq}", SCHEMA, DefaultScoring())
+        row = self.master.table.row(row_id)
+        replica.table.load_row(row_id, row.value, 0, 0)
+        message = replica.fill(row_id, column, value)
+        self.record(worker, message, at)
+        return message.new_id
+
+    def upvote(self, worker, value, at, auto=False):
+        self.record(worker, UpvoteMessage(value=RowValue(value), auto=auto), at)
+
+    def downvote(self, worker, value, at):
+        self.record(worker, DownvoteMessage(value=RowValue(value)), at)
+
+    def analysis(self):
+        return analyze_contributions(
+            SCHEMA, self.master.table.final_rows(), self.trace
+        )
+
+
+@pytest.fixture
+def simple_run():
+    """One final row: 5 fills by w1 at 10s intervals, upvote by w2."""
+    run = Run()
+    row_id = run.cc_insert()
+    at = 0.0
+    for column, value in FULL.items():
+        at += 10.0
+        row_id = run.fill("w1", row_id, column, value, at)
+    run.upvote("w2", FULL, at + 4.0)
+    return run
+
+
+def test_uniform_allocation_amounts(simple_run):
+    analysis = simple_run.analysis()
+    result = allocate(
+        SCHEMA, simple_run.trace, analysis, budget=6.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    # |C| = 5, |U| = 1, |D| = 0 -> b = 1.0 per cell/vote.
+    # Every cell here has direct == indirect, so fills earn full 1.0.
+    assert result.worker_total("w1") == pytest.approx(5.0)
+    assert result.worker_total("w2") == pytest.approx(1.0)
+    assert result.unspent == pytest.approx(0.0)
+
+
+def test_budget_zero_allocates_nothing(simple_run):
+    result = allocate(
+        SCHEMA, simple_run.trace, simple_run.analysis(), budget=0.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    assert result.total_allocated == 0.0
+
+
+def test_negative_budget_rejected(simple_run):
+    with pytest.raises(ValueError):
+        allocate(SCHEMA, simple_run.trace, simple_run.analysis(), budget=-1)
+
+
+def test_split_override_validation(simple_run):
+    with pytest.raises(ValueError):
+        allocate(
+            SCHEMA, simple_run.trace, simple_run.analysis(), budget=1,
+            split_overrides={"name": 1.5},
+        )
+
+
+def test_splitting_between_direct_and_indirect():
+    """w1 first-enters 'Messi' on a dying row; w2 builds the final row.
+    Key column h=0.25: w2 direct gets 0.25 b_c, w1 indirect 0.75 b_c."""
+    run = Run()
+    dead = run.cc_insert()
+    run.fill("w1", dead, "name", "Messi", 1.0)
+    winner = run.cc_insert()
+    row_id = winner
+    at = 1.0
+    for column, value in FULL.items():
+        at += 10.0
+        row_id = run.fill("w2", row_id, column, value, at)
+    run.upvote("w3", FULL, at + 5.0)
+
+    analysis = run.analysis()
+    result = allocate(
+        SCHEMA, run.trace, analysis, budget=6.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    # |C| = 5, |U| = 1, |D| = 0 -> b = 1.0
+    # name cell: w2 direct 0.25, w1 indirect 0.75.
+    assert result.worker_total("w1") == pytest.approx(0.75)
+    # w2: name 0.25 + nationality(key) ... nationality's first entry is
+    # w2's own -> both shares (1.0); non-key cells likewise 1.0 each.
+    assert result.worker_total("w2") == pytest.approx(0.25 + 4 * 1.0)
+    assert result.worker_total("w3") == pytest.approx(1.0)
+
+
+def test_missing_indirect_leaves_budget_unspent():
+    """First FW entry is on an incompatible row: the final row's
+    position cell pays only h=0.5; (1-h) b_c goes unspent."""
+    run = Run()
+    other = run.cc_insert()
+    other = run.fill("w1", other, "name", "Neymar", 1.0)
+    run.fill("w1", other, "position", "FW", 2.0)
+    winner = run.cc_insert()
+    row_id = winner
+    at = 2.0
+    for column, value in FULL.items():
+        at += 10.0
+        row_id = run.fill("w2", row_id, column, value, at)
+    run.upvote("w3", FULL, at + 5.0)
+
+    result = allocate(
+        SCHEMA, run.trace, run.analysis(), budget=6.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    # b = 1.0; the position cell pays only its 0.5 direct share.
+    assert result.unspent == pytest.approx(0.5)
+    assert result.worker_total("w1") == pytest.approx(0.0)
+
+
+def test_column_weights_use_median_generation_times():
+    """Two rows filled with distinct per-column cadences: weights equal
+    the medians of contributing fills' generation times."""
+    run = Run()
+    at = 0.0
+    for i, player in enumerate(["Messi", "Xavi"]):
+        row_id = run.cc_insert()
+        values = {**FULL, "name": player, "caps": 80 + i}
+        for column in SCHEMA.column_names:
+            # name fills take 20s, others 5s (w1's action cadence).
+            at += 20.0 if column == "name" else 5.0
+            row_id = run.fill("w1", row_id, column, values[column], at)
+        run.upvote("w2", values, at + 3.0)
+
+    analysis = run.analysis()
+    result = allocate(
+        SCHEMA, run.trace, analysis, budget=10.0,
+        scheme=AllocationScheme.COLUMN_WEIGHTED,
+    )
+    weights = result.weights.by_column
+    assert weights["name"] > weights["position"]
+    # Generation time of each non-first name fill is 20s.
+    assert weights["nationality"] == pytest.approx(5.0)
+    assert weights["caps"] == pytest.approx(5.0)
+
+
+def test_column_weighted_reduces_to_uniform_with_equal_weights(simple_run):
+    analysis = simple_run.analysis()
+    uniform = allocate(
+        SCHEMA, simple_run.trace, analysis, budget=6.0,
+        scheme=AllocationScheme.UNIFORM,
+    )
+    # All fills in simple_run take exactly 10s and the vote 4s; force
+    # the same weight everywhere via overrides-free check on totals:
+    column = allocate(
+        SCHEMA, simple_run.trace, analysis, budget=6.0,
+        scheme=AllocationScheme.COLUMN_WEIGHTED,
+    )
+    # w1's share differs only through the vote/fill weight ratio.
+    assert column.worker_total("w1") > uniform.worker_total("w1")
+
+
+def test_fit_z_constant_times_is_zero():
+    assert fit_z([10.0, 10.0, 10.0, 10.0]) == 0.0
+
+
+def test_fit_z_increasing_times_positive():
+    z = fit_z([10.0, 12.0, 14.0, 16.0, 18.0])
+    assert 0 < z <= 1
+    # Linear times: the fitted profile is exact -> z = slope*(n-1)/(2*mean)
+    assert z == pytest.approx(2.0 * 4 / (2 * 14.0))
+
+
+def test_fit_z_decreasing_clamped_to_zero():
+    assert fit_z([20.0, 15.0, 10.0]) == 0.0
+
+
+def test_fit_z_steep_clamped_to_one():
+    assert fit_z([1.0, 100.0, 200.0, 400.0]) == 1.0
+
+
+def test_fit_z_degenerate_inputs():
+    assert fit_z([]) == 0.0
+    assert fit_z([5.0]) == 0.0
+
+
+def test_dual_weighted_spreads_key_cells():
+    """Key values completed later earn more when completion times grow."""
+    run = Run()
+    at = 0.0
+    finals = []
+    for i in range(4):
+        row_id = run.cc_insert()
+        values = {**FULL, "name": f"Player{i}", "caps": 80 + i}
+        for column in SCHEMA.column_names:
+            # Name entry takes progressively longer: 10, 20, 30, 40s.
+            at += 10.0 * (i + 1) if column == "name" else 5.0
+            row_id = run.fill("w1", row_id, column, values[column], at)
+        run.upvote("w2", values, at + 3.0)
+        finals.append(values)
+
+    analysis = run.analysis()
+    result = allocate(
+        SCHEMA, run.trace, analysis, budget=10.0,
+        scheme=AllocationScheme.DUAL_WEIGHTED,
+    )
+    assert result.weights.z_by_column["name"] > 0
+    name_amounts = [
+        amount for cell, amount in result.cell_amounts if cell.column == "name"
+    ]
+    # Paid in first-appearance order: strictly increasing.
+    ordered = sorted(
+        (cell for cell, _ in result.cell_amounts if cell.column == "name"),
+        key=lambda cell: cell.direct.seq,
+    )
+    by_cell = {id(c): a for c, a in result.cell_amounts}
+    amounts_in_order = [by_cell[id(c)] for c in ordered]
+    assert amounts_in_order == sorted(amounts_in_order)
+    assert amounts_in_order[0] < amounts_in_order[-1]
+    # The linear spread preserves the column's total: it must equal the
+    # column-weighted allocation's total for the same cells.
+    column_result = allocate(
+        SCHEMA, run.trace, analysis, budget=10.0,
+        scheme=AllocationScheme.COLUMN_WEIGHTED,
+    )
+    column_name_amounts = [
+        amount
+        for cell, amount in column_result.cell_amounts
+        if cell.column == "name"
+    ]
+    assert sum(name_amounts) == pytest.approx(sum(column_name_amounts))
+
+
+def test_dual_equals_column_when_no_slowdown():
+    """The paper's observation: without progressive slowdown (z=0),
+    dual-weighted compensation equals column-weighted exactly."""
+    run = Run()
+    at = 0.0
+    for i in range(3):
+        row_id = run.cc_insert()
+        values = {**FULL, "name": f"P{i}", "caps": 80 + i}
+        for column in SCHEMA.column_names:
+            at += 10.0  # constant cadence: no slowdown
+            row_id = run.fill("w1", row_id, column, values[column], at)
+        run.upvote("w2", values, at + 3.0)
+
+    analysis = run.analysis()
+    dual = allocate(SCHEMA, run.trace, analysis, 10.0,
+                    AllocationScheme.DUAL_WEIGHTED)
+    column = allocate(SCHEMA, run.trace, analysis, 10.0,
+                      AllocationScheme.COLUMN_WEIGHTED)
+    assert all(z == 0 for z in dual.weights.z_by_column.values())
+    for worker in ("w1", "w2"):
+        assert dual.worker_total(worker) == pytest.approx(
+            column.worker_total(worker)
+        )
+
+
+def test_timeline_is_monotone(simple_run):
+    analysis = simple_run.analysis()
+    result = allocate(SCHEMA, simple_run.trace, analysis, 6.0,
+                      AllocationScheme.UNIFORM)
+    timeline = result.timeline_for("w1", simple_run.trace)
+    assert timeline
+    times = [t for t, _ in timeline]
+    totals = [v for _, v in timeline]
+    assert times == sorted(times)
+    assert totals == sorted(totals)
+    assert totals[-1] == pytest.approx(result.worker_total("w1"))
+
+
+def test_generation_times_skip_first_message_and_auto_upvotes(simple_run):
+    times = generation_times(simple_run.trace)
+    # w1's first fill has no predecessor; the remaining 4 do.
+    w1_seqs = [r.seq for r in simple_run.trace if r.worker_id == "w1"]
+    assert w1_seqs[0] not in times
+    assert all(seq in times for seq in w1_seqs[1:])
+    assert all(times[seq] == pytest.approx(10.0) for seq in w1_seqs[1:])
+
+
+def test_median_helper():
+    assert median([]) is None
+    assert median([3.0]) == 3.0
+    assert median([1.0, 3.0]) == 2.0
+    assert median([5.0, 1.0, 3.0]) == 3.0

@@ -1,0 +1,206 @@
+"""Unit tests for contribution analysis (section 5.2.1).
+
+Traces are crafted by hand through replicas so each contribution class
+is exercised precisely: direct chains, indirect first-entries, missing
+indirect (first entry on an incompatible row), contributing votes.
+"""
+
+from repro.core import (
+    DefaultScoring,
+    DownvoteMessage,
+    Replica,
+    RowValue,
+    TraceRecord,
+    UpvoteMessage,
+)
+from repro.core.schema import soccer_player_schema
+from repro.pay import analyze_contributions
+
+SCHEMA = soccer_player_schema()
+FULL = {
+    "name": "Messi", "nationality": "Argentina",
+    "position": "FW", "caps": 83, "goals": 37,
+}
+
+
+class Run:
+    """A master replica plus a hand-rolled trace."""
+
+    def __init__(self):
+        self.master = Replica("server", SCHEMA, DefaultScoring())
+        self.cc = Replica("CC", SCHEMA, DefaultScoring())
+        self.trace = []
+        self._seq = 0
+        self._time = 0.0
+
+    def cc_insert(self):
+        message = self.cc.insert()
+        self.master.receive(message)  # CC messages are NOT in the trace
+        return message.row_id
+
+    def record(self, worker, message):
+        self._seq += 1
+        self._time += 1.0
+        self.master.receive(message)
+        self.trace.append(
+            TraceRecord(
+                seq=self._seq, timestamp=self._time,
+                worker_id=worker, message=message,
+            )
+        )
+        return message
+
+    def fill(self, worker, row_id, column, value):
+        replica = Replica(worker + str(self._seq), SCHEMA, DefaultScoring())
+        # Reconstruct the row state in a throwaway replica to generate a
+        # well-formed replace message with a unique id.
+        row = self.master.table.row(row_id)
+        replica.table.load_row(row_id, row.value, 0, 0)
+        message = replica.fill(row_id, column, value)
+        self.record(worker, message)
+        return message.new_id
+
+    def upvote(self, worker, value, auto=False):
+        self.record(worker, UpvoteMessage(value=RowValue(value), auto=auto))
+
+    def downvote(self, worker, value):
+        self.record(worker, DownvoteMessage(value=RowValue(value)))
+
+    def analyze(self):
+        return analyze_contributions(
+            SCHEMA, self.master.table.final_rows(), self.trace
+        )
+
+
+def test_direct_contribution_one_per_cell():
+    run = Run()
+    row_id = run.cc_insert()
+    for column, value in FULL.items():
+        row_id = run.fill("w1", row_id, column, value)
+    run.upvote("w2", FULL)
+
+    analysis = run.analyze()
+    assert analysis.cell_count == 5
+    assert all(cell.direct.worker_id == "w1" for cell in analysis.cells)
+    columns = {cell.column for cell in analysis.cells}
+    assert columns == set(SCHEMA.column_names)
+
+
+def test_direct_equals_indirect_for_first_enterer():
+    run = Run()
+    row_id = run.cc_insert()
+    for column, value in FULL.items():
+        row_id = run.fill("w1", row_id, column, value)
+    run.upvote("w2", FULL)
+
+    for cell in run.analyze().cells:
+        assert cell.indirect is not None
+        assert cell.indirect.seq == cell.direct.seq
+
+
+def test_indirect_goes_to_first_enterer_on_compatible_row():
+    """w1 enters the value first (row dies); w2 re-enters it on the row
+    that becomes final: w1 is the indirect contributor."""
+    run = Run()
+    dead = run.cc_insert()
+    run.fill("w1", dead, "name", "Messi")  # first entry of (name, Messi)
+
+    winner = run.cc_insert()
+    row_id = winner
+    for column, value in FULL.items():
+        row_id = run.fill("w2", row_id, column, value)
+    run.upvote("w3", FULL)
+
+    analysis = run.analyze()
+    name_cell = next(c for c in analysis.cells if c.column == "name")
+    assert name_cell.direct.worker_id == "w2"
+    assert name_cell.indirect is not None
+    assert name_cell.indirect.worker_id == "w1"
+
+
+def test_no_indirect_when_first_entry_incompatible():
+    """First (position, FW) entry sits on a row for another player: the
+    final row's position cell has no indirect contributor."""
+    run = Run()
+    other = run.cc_insert()
+    other = run.fill("w1", other, "name", "Neymar")
+    run.fill("w1", other, "position", "FW")  # first FW, on Neymar's row
+
+    winner = run.cc_insert()
+    row_id = winner
+    for column, value in FULL.items():
+        row_id = run.fill("w2", row_id, column, value)
+    run.upvote("w3", FULL)
+
+    analysis = run.analyze()
+    position_cell = next(c for c in analysis.cells if c.column == "position")
+    assert position_cell.direct.worker_id == "w2"
+    assert position_cell.indirect is None
+
+
+def test_auto_upvotes_are_not_separate_contributions():
+    run = Run()
+    row_id = run.cc_insert()
+    for column, value in FULL.items():
+        row_id = run.fill("w1", row_id, column, value)
+    run.upvote("w1", FULL, auto=True)
+    run.upvote("w2", FULL)
+
+    analysis = run.analyze()
+    assert len(analysis.upvotes) == 1
+    assert analysis.upvotes[0].worker_id == "w2"
+
+
+def test_upvote_on_non_final_value_does_not_contribute():
+    run = Run()
+    row_id = run.cc_insert()
+    for column, value in FULL.items():
+        row_id = run.fill("w1", row_id, column, value)
+    run.upvote("w2", FULL)
+    run.upvote("w3", {**FULL, "caps": 999})  # value of no final row
+
+    analysis = run.analyze()
+    assert {r.worker_id for r in analysis.upvotes} == {"w2"}
+
+
+def test_downvote_contribution_consistency_rule():
+    run = Run()
+    row_id = run.cc_insert()
+    for column, value in FULL.items():
+        row_id = run.fill("w1", row_id, column, value)
+    run.upvote("w2", FULL)
+    run.upvote("w5", FULL)  # score stays positive through w4's downvote
+    # Consistent with S (refutes a wrong row): contributes.
+    run.downvote("w3", {"name": "Mesi"})
+    # Subsumed by the final row (refutes truth): does not contribute.
+    run.downvote("w4", {"name": "Messi"})
+
+    analysis = run.analyze()
+    assert {r.worker_id for r in analysis.downvotes} == {"w3"}
+
+
+def test_contributing_seqs_and_workers():
+    run = Run()
+    row_id = run.cc_insert()
+    for column, value in FULL.items():
+        row_id = run.fill("w1", row_id, column, value)
+    run.upvote("w2", FULL)
+    run.downvote("w3", {"name": "Mesi"})
+
+    analysis = run.analyze()
+    seqs = analysis.contributing_seqs()
+    assert len(seqs) == 7  # 5 fills + upvote + downvote
+    assert analysis.workers() == ["w1", "w2", "w3"]
+
+
+def test_empty_final_table_yields_empty_cells():
+    run = Run()
+    row_id = run.cc_insert()
+    run.fill("w1", row_id, "name", "Messi")
+    analysis = run.analyze()
+    assert analysis.cell_count == 0
+    assert analysis.upvotes == []
+    # With no final rows, every downvote is vacuously consistent.
+    run.downvote("w2", {"name": "X"})
+    analysis = run.analyze()
+    assert len(analysis.downvotes) == 1

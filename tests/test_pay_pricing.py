@@ -1,0 +1,142 @@
+"""Tests for budget-free pricing (reservation wage, budget suggestion)."""
+
+import pytest
+
+from repro.constraints import Template
+from repro.core import (
+    RowValue,
+    ThresholdScoring,
+    TraceRecord,
+    UpvoteMessage,
+)
+from repro.core.schema import soccer_player_schema
+from repro.pay import (
+    AllocationScheme,
+    effective_wages,
+    estimate_reservation_wage,
+    suggest_budget,
+    wage_report,
+)
+from repro.pay.pricing import expected_worker_seconds
+from repro.workers.profile import ActionLatencies
+
+SCHEMA = soccer_player_schema()
+SCORING = ThresholdScoring(2)
+
+
+def record(seq, t, worker, auto=False):
+    return TraceRecord(
+        seq=seq, timestamp=t, worker_id=worker,
+        message=UpvoteMessage(value=RowValue({"name": "X"}), auto=auto),
+    )
+
+
+class TestEffectiveWages:
+    def test_wage_from_span_and_payment(self):
+        trace = [record(1, 0.0, "w0"), record(2, 1800.0, "w0")]
+        wages = effective_wages(trace, {"w0": 2.0})
+        assert len(wages) == 1
+        assert wages[0].active_seconds == 1800.0
+        assert wages[0].hourly_wage == pytest.approx(4.0)
+
+    def test_auto_upvotes_do_not_extend_activity(self):
+        trace = [
+            record(1, 0.0, "w0"),
+            record(2, 100.0, "w0"),
+            record(3, 5000.0, "w0", auto=True),
+        ]
+        wages = effective_wages(trace, {"w0": 1.0})
+        assert wages[0].active_seconds == 100.0
+
+    def test_unpaid_worker_gets_zero_wage(self):
+        trace = [record(1, 0.0, "w0"), record(2, 600.0, "w0")]
+        wages = effective_wages(trace, {})
+        assert wages[0].hourly_wage == 0.0
+
+    def test_zero_span_worker(self):
+        wages = effective_wages([record(1, 5.0, "w0")], {"w0": 1.0})
+        assert wages[0].hourly_wage == 0.0
+
+
+class TestReservationWage:
+    def test_lowest_sustained_wage_wins(self):
+        trace = [
+            record(1, 0.0, "w0"), record(2, 3600.0, "w0"),
+            record(3, 0.0, "w1"), record(4, 3600.0, "w1"),
+        ]
+        wage = estimate_reservation_wage(trace, {"w0": 6.0, "w1": 2.0})
+        assert wage == pytest.approx(2.0)
+
+    def test_short_stints_ignored(self):
+        trace = [
+            record(1, 0.0, "w0"), record(2, 3600.0, "w0"),
+            record(3, 0.0, "w1"), record(4, 10.0, "w1"),  # 10s blip
+        ]
+        wage = estimate_reservation_wage(trace, {"w0": 6.0, "w1": 0.01})
+        assert wage == pytest.approx(6.0)
+
+    def test_no_signal_returns_none(self):
+        assert estimate_reservation_wage([], {}) is None
+
+
+class TestBudgetSuggestion:
+    def test_expected_seconds_cardinality_template(self):
+        template = Template.cardinality(2)
+        latencies = ActionLatencies()
+        seconds = expected_worker_seconds(SCHEMA, template, SCORING, latencies)
+        per_row = sum(
+            latencies.median_for_fill(c) for c in SCHEMA.column_names
+        ) + latencies.upvote  # u_min - 1 = 1 manual endorsement
+        assert seconds == pytest.approx(2 * per_row)
+
+    def test_prefilled_cells_cost_nothing(self):
+        full = Template.from_values([{"nationality": "Brazil"}])
+        empty = Template.cardinality(1)
+        assert expected_worker_seconds(
+            SCHEMA, full, SCORING
+        ) < expected_worker_seconds(SCHEMA, empty, SCORING)
+
+    def test_budget_scales_with_wage(self):
+        template = Template.cardinality(5)
+        low = suggest_budget(SCHEMA, template, SCORING, 6.0)
+        high = suggest_budget(SCHEMA, template, SCORING, 12.0)
+        assert high == pytest.approx(2 * low)
+
+    def test_budget_validation(self):
+        template = Template.cardinality(1)
+        with pytest.raises(ValueError):
+            suggest_budget(SCHEMA, template, SCORING, 0)
+        with pytest.raises(ValueError):
+            suggest_budget(SCHEMA, template, SCORING, 5.0, overhead_factor=0.5)
+
+    def test_suggested_budget_yields_target_wage_in_practice(self):
+        """Close the loop: run a collection with the suggested budget
+        and check realized wages land near the target."""
+        from repro.core.schema import soccer_player_schema
+        from repro.experiments import CrowdFillExperiment, ExperimentConfig
+
+        target = 9.0  # dollars/hour
+        template = Template.cardinality(10)
+        # The experiment collects the section 6 schema (with dob).
+        schema = soccer_player_schema(include_dob=True)
+        budget = suggest_budget(schema, template, SCORING, target)
+        config = ExperimentConfig(seed=7, target_rows=10, budget=budget)
+        result = CrowdFillExperiment(config).run()
+        assert result.completed
+        payments = result.allocation(AllocationScheme.DUAL_WEIGHTED).by_worker
+        wages = effective_wages(result.trace, payments)
+        sustained = [
+            w.hourly_wage for w in wages if w.active_seconds >= 60
+        ]
+        assert sustained
+        mean_wage = sum(sustained) / len(sustained)
+        # Within a factor of ~2 of the target: the cost model is a
+        # median-based estimate, not an oracle.
+        assert target / 2 <= mean_wage <= target * 2
+
+
+def test_wage_report_formatting():
+    trace = [record(1, 0.0, "w0"), record(2, 3600.0, "w0")]
+    text = wage_report(trace, {"w0": 5.0})
+    assert "w0" in text and "$5.00/hour" in text
+    assert "insufficient" in wage_report([], {})

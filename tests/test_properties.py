@@ -1,0 +1,216 @@
+"""Hypothesis property tests on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CandidateTable, DefaultScoring, RowValue
+from repro.core.schema import Column, DataType, Schema
+from repro.docstore import Collection, apply_update, matches_filter
+
+# -- RowValue algebra -----------------------------------------------------
+
+columns = st.sampled_from(["a", "b", "c", "d"])
+cell_values = st.one_of(st.integers(-5, 5), st.sampled_from(["x", "y"]))
+row_values = st.dictionaries(columns, cell_values, max_size=4).map(RowValue)
+
+
+@given(row_values)
+def test_subsumption_is_reflexive(value):
+    assert value.subsumes(value)
+
+
+@given(row_values, row_values)
+def test_subsumption_is_antisymmetric(a, b):
+    if a.subsumes(b) and b.subsumes(a):
+        assert a == b
+
+
+@given(row_values, row_values, row_values)
+def test_subsumption_is_transitive(a, b, c):
+    if a.subsumes(b) and b.subsumes(c):
+        assert a.subsumes(c)
+
+
+@given(row_values, row_values)
+def test_merge_subsumes_both_when_compatible(a, b):
+    if a.compatible_with(b):
+        merged = a.merge(b)
+        assert merged.subsumes(a)
+        assert merged.subsumes(b)
+
+
+@given(row_values, row_values)
+def test_merge_is_commutative_when_compatible(a, b):
+    if a.compatible_with(b):
+        assert a.merge(b) == b.merge(a)
+
+
+@given(row_values)
+def test_hash_consistency(value):
+    assert hash(value) == hash(RowValue(dict(value)))
+
+
+@given(row_values, columns, cell_values)
+def test_with_value_then_without_roundtrip(value, column, cell):
+    if column in value.filled_columns():
+        return
+    extended = value.with_value(column, cell)
+    assert extended.without_column(column) == value
+    assert extended.subsumes(value)
+
+
+# -- vote-history invariants under random message streams ---------------------
+
+SCHEMA = Schema(
+    name="P",
+    columns=(Column("k", DataType.INT), Column("v", DataType.INT)),
+    primary_key=("k",),
+)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "replace", "upvote", "downvote"]),
+        st.integers(0, 5),
+        st.integers(0, 2),
+        st.integers(0, 2),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops)
+def test_lemma3_invariants_under_random_messages(sequence):
+    """Lemma 3: u(r) = UH[r.value] for complete rows and
+    d(r) = sum of DH over subsets, after any message stream."""
+    table = CandidateTable(SCHEMA, DefaultScoring())
+    counter = 0
+    for kind, pick, k_val, v_val in sequence:
+        if kind == "insert":
+            counter += 1
+            table.apply_insert(f"r{counter}")
+        elif kind == "replace":
+            counter += 1
+            row_ids = table.row_ids()
+            old = row_ids[pick % len(row_ids)] if row_ids else "ghost"
+            old_value = (
+                table.row(old).value if old in table else RowValue()
+            )
+            missing = old_value.missing_columns(("k", "v"))
+            if not missing:
+                continue
+            column = missing[0]
+            value = k_val if column == "k" else v_val
+            table.apply_replace(
+                old, f"r{counter}", old_value.with_value(column, value)
+            )
+        elif kind == "upvote":
+            table.apply_upvote(RowValue({"k": k_val, "v": v_val}))
+        else:
+            subset = {"k": k_val} if pick % 2 else {"k": k_val, "v": v_val}
+            table.apply_downvote(RowValue(subset))
+    table.check_vote_invariants()
+
+
+# -- docstore: filters and updates ------------------------------------------
+
+documents = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.one_of(st.integers(-10, 10), st.text(max_size=3), st.booleans()),
+    max_size=3,
+)
+
+
+@given(documents, st.sampled_from(["a", "b", "c"]), st.integers(-10, 10))
+def test_filter_eq_matches_value(doc, field, value):
+    expected = field in doc and not isinstance(doc[field], bool) and doc[
+        field
+    ] == value
+    assert matches_filter(doc, {field: value}) == expected
+
+
+@given(documents, documents)
+def test_set_update_is_idempotent(doc, changes):
+    update = {"$set": dict(changes)}
+    once = apply_update(doc, update)
+    twice = apply_update(once, update)
+    assert once == twice
+
+
+@given(st.lists(documents, max_size=12))
+def test_collection_count_matches_inserts(docs):
+    coll = Collection("c")
+    for doc in docs:
+        coll.insert_one(doc)
+    assert coll.count() == len(docs)
+    assert len(coll.find()) == len(docs)
+
+
+@given(st.lists(st.integers(-5, 5), min_size=1, max_size=15))
+def test_collection_sort_is_total(values):
+    coll = Collection("c")
+    for value in values:
+        coll.insert_one({"n": value})
+    out = [d["n"] for d in coll.find(sort=[("n", 1)])]
+    assert out == sorted(values)
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=15))
+def test_indexed_find_equals_scan(keys):
+    plain = Collection("plain")
+    indexed = Collection("indexed")
+    indexed.create_index("k")
+    for key in keys:
+        plain.insert_one({"_id": f"d{len(plain)}", "k": key})
+        indexed.insert_one({"_id": f"d{len(indexed)}", "k": key})
+    for probe in range(-1, 7):
+        assert [d["_id"] for d in plain.find({"k": probe})] == [
+            d["_id"] for d in indexed.find({"k": probe})
+        ]
+
+
+# -- deterministic replay -----------------------------------------------------
+
+def test_rng_streams_make_runs_replayable():
+    """Two identical experiment configurations produce byte-identical
+    worker traces (the determinism the whole evaluation relies on)."""
+    from repro.experiments.harness import CrowdFillExperiment, ExperimentConfig
+
+    config = ExperimentConfig(seed=13, target_rows=5, num_workers=3)
+    first = CrowdFillExperiment(config).run()
+    second = CrowdFillExperiment(config).run()
+    assert [r.to_dict() for r in first.trace] == [
+        r.to_dict() for r in second.trace
+    ]
+    assert first.final_table_records() == second.final_table_records()
+
+
+def test_determinism_across_hash_seeds():
+    """Cross-process determinism: the same config produces the same run
+    under different PYTHONHASHSEED values (no hidden reliance on set
+    iteration order)."""
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.experiments.harness import CrowdFillExperiment, "
+        "ExperimentConfig\n"
+        "r = CrowdFillExperiment(ExperimentConfig(seed=5, target_rows=6, "
+        "num_workers=3, use_recommender=True)).run()\n"
+        "print(round(r.duration or -1, 6), len(r.trace), r.candidate_count)\n"
+    )
+    outputs = set()
+    for hash_seed in ("1", "77"):
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin",
+                 "PYTHONPATH": "src"},
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+            check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1

@@ -1,0 +1,189 @@
+"""Unit tests for the back-end server: broadcast, trace, completion."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+
+
+def make_system(template=None, num_clients=2, **kwargs):
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.05),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    template = template or Template.cardinality(2)
+    backend = BackendServer(sim, network, schema, SCORING, template, **kwargs)
+    clients = []
+    for i in range(num_clients):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    backend.start()
+    sim.run()
+    return sim, network, backend, clients
+
+
+def complete_row(client, row_id, values=None):
+    values = values or {
+        "name": "Messi", "nationality": "Argentina",
+        "position": "FW", "caps": 83, "goals": 37,
+    }
+    for column, value in values.items():
+        row_id = client.fill(row_id, column, value)
+    return row_id
+
+
+def test_start_initializes_central_client():
+    _, _, backend, clients = make_system()
+    assert len(backend.replica.table) == 2
+    assert backend.central.pri_holds()
+
+
+def test_broadcast_reaches_all_other_clients():
+    sim, _, backend, clients = make_system(num_clients=3)
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    snapshots = {c.snapshot() for c in clients}
+    snapshots.add(backend.replica.snapshot())
+    snapshots.add(backend.central.replica.snapshot())
+    assert len(snapshots) == 1
+
+
+def test_trace_records_worker_and_cc_messages():
+    sim, _, backend, clients = make_system()
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    workers = {record.worker_id for record in backend.trace}
+    assert "w0" in workers
+    assert "__central__" in workers
+    assert backend.worker_trace()
+    assert all(r.worker_id == "w0" for r in backend.worker_trace())
+
+
+def test_trace_seq_strictly_increasing():
+    sim, _, backend, clients = make_system()
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    seqs = [record.seq for record in backend.trace]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_trace_listener_sees_worker_records_only():
+    sim, _, backend, clients = make_system()
+    seen = []
+    backend.add_trace_listener(seen.append)
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    assert seen
+    assert all(record.worker_id == "w0" for record in seen)
+
+
+def test_completion_detected():
+    sim, _, backend, clients = make_system(
+        template=Template.cardinality(1), num_clients=2
+    )
+    assert not backend.completed
+    row_id = clients[0].replica.table.row_ids()[0]
+    complete_row(clients[0], row_id)
+    sim.run()
+    assert not backend.completed  # one auto-upvote is not enough
+    # The other worker upvotes the complete row.
+    target = [
+        r.row_id
+        for r in clients[1].replica.table.rows()
+        if r.value.is_complete(clients[1].schema.column_names)
+    ][0]
+    clients[1].upvote(target)
+    sim.run()
+    assert backend.completed
+    assert backend.completion_time is not None
+
+
+def test_on_complete_callback_fires_once():
+    fired = []
+    sim, _, backend, clients = make_system(
+        template=Template.cardinality(1),
+        on_complete=lambda: fired.append(1),
+    )
+    row_id = clients[0].replica.table.row_ids()[0]
+    row_id = complete_row(clients[0], row_id)
+    sim.run()
+    target = [
+        r.row_id
+        for r in clients[1].replica.table.rows()
+        if r.value.is_complete(clients[1].schema.column_names)
+    ][0]
+    clients[1].upvote(target)
+    sim.run()
+    assert fired == [1]
+
+
+def test_attach_client_after_start_bootstraps_current_state():
+    sim, network, backend, clients = make_system()
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    late = WorkerClient("late", soccer_player_schema(), SCORING, network,
+                        rng=random.Random(9))
+    late.bootstrap(backend.attach_client("late"))
+    assert late.snapshot() == backend.replica.snapshot()
+
+
+def test_duplicate_attach_rejected():
+    _, _, backend, _ = make_system()
+    with pytest.raises(ValueError):
+        backend.attach_client("w0")
+
+
+def test_detach_stops_broadcast():
+    sim, _, backend, clients = make_system()
+    backend.detach_client("w1")
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    assert clients[1].snapshot() != backend.replica.snapshot()
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    network = Network(sim, rng=random.Random(0))
+    backend = BackendServer(
+        sim, network, soccer_player_schema(), SCORING, Template.cardinality(1)
+    )
+    backend.start()
+    with pytest.raises(RuntimeError):
+        backend.start()
+
+
+def test_current_template_reflects_drops():
+    sim, _, backend, clients = make_system(
+        template=Template.from_values([{"nationality": "Brazil"}])
+    )
+    target = [
+        r.row_id
+        for r in clients[0].replica.table.rows()
+        if dict(r.value).get("nationality") == "Brazil"
+    ][0]
+    clients[0].downvote(target)
+    sim.run()
+    clients[1].downvote(
+        [r.row_id for r in clients[1].replica.table.rows()
+         if dict(r.value).get("nationality") == "Brazil"][0]
+    )
+    sim.run()
+    assert len(backend.current_template()) == 0

@@ -1,0 +1,239 @@
+"""Unit tests for the front-end server's REST-style API."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.docstore import Database
+from repro.marketplace import Marketplace
+from repro.net import ConstantLatency, Network
+from repro.pay import AllocationScheme
+from repro.server import ApiError, FrontendServer
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+
+
+def spec_body(name="players", cardinality=1):
+    return {
+        "name": name,
+        "schema": soccer_player_schema().to_dict(),
+        "scoring": {"kind": "threshold", "min_votes": 2},
+        "template": {
+            "rows": [
+                {"label": chr(ord("a") + i), "cells": {}}
+                for i in range(cardinality)
+            ]
+        },
+        "budget": 10.0,
+    }
+
+
+@pytest.fixture
+def front():
+    return FrontendServer(Database("test"))
+
+
+def test_create_and_get_spec(front):
+    created = front.create_spec(spec_body())
+    spec = front.get_spec(created["id"])
+    assert spec["name"] == "players"
+    assert spec["status"] == "draft"
+    assert spec["budget"] == 10.0
+
+
+def test_duplicate_name_conflict(front):
+    front.create_spec(spec_body())
+    with pytest.raises(ApiError) as excinfo:
+        front.create_spec(spec_body())
+    assert excinfo.value.status == 409
+
+
+def test_invalid_schema_rejected(front):
+    body = spec_body()
+    body["schema"] = {"name": "T", "columns": []}
+    with pytest.raises(ApiError) as excinfo:
+        front.create_spec(body)
+    assert excinfo.value.status == 400
+
+
+def test_invalid_template_rejected(front):
+    body = spec_body()
+    body["template"] = {"rows": [{"label": "a", "cells": {"ghost": "=1"}}]}
+    with pytest.raises(ApiError) as excinfo:
+        front.create_spec(body)
+    assert excinfo.value.status == 400
+
+
+def test_negative_budget_rejected(front):
+    body = spec_body()
+    body["budget"] = -5
+    with pytest.raises(ApiError):
+        front.create_spec(body)
+
+
+def test_get_unknown_spec_404(front):
+    with pytest.raises(ApiError) as excinfo:
+        front.get_spec("ghost")
+    assert excinfo.value.status == 404
+
+
+def test_list_update_delete_specs(front):
+    created = front.create_spec(spec_body())
+    assert len(front.list_specs()) == 1
+    body = spec_body(name="players2")
+    front.update_spec(created["id"], body)
+    assert front.get_spec(created["id"])["name"] == "players2"
+    front.delete_spec(created["id"])
+    assert front.list_specs() == []
+    with pytest.raises(ApiError):
+        front.delete_spec(created["id"])
+
+
+def test_full_collection_lifecycle(front):
+    """create -> launch -> workers fill -> collect -> pay."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    marketplace = Marketplace(sim)
+    created = front.create_spec(spec_body(cardinality=1))
+    spec_id = created["id"]
+    clients = {}
+
+    def on_accept(worker_id, backend):
+        client = WorkerClient(
+            worker_id, soccer_player_schema(), SCORING, network,
+            rng=random.Random(len(clients)),
+        )
+        client.bootstrap(backend.attach_client(worker_id))
+        clients[worker_id] = client
+
+    launched = front.launch(
+        spec_id, sim, network, marketplace, max_workers=2,
+        on_worker_accept=on_accept,
+    )
+    task_id = launched["task_id"]
+    marketplace.accept(task_id, "alice")
+    marketplace.accept(task_id, "bob")
+    assert set(clients) == {"alice", "bob"}
+    assert front.get_spec(spec_id)["status"] == "collecting"
+
+    # Alice completes the single required row; Bob endorses it.
+    alice, bob = clients["alice"], clients["bob"]
+    row_id = alice.replica.table.row_ids()[0]
+    for column, value in {
+        "name": "Messi", "nationality": "Argentina",
+        "position": "FW", "caps": 83, "goals": 37,
+    }.items():
+        row_id = alice.fill(row_id, column, value)
+    sim.run()
+    bob.upvote(row_id)
+    sim.run()
+
+    status = front.status(spec_id)
+    assert status["completed"]
+    assert status["final_rows"] == 1
+
+    collected = front.collect(spec_id)
+    assert collected["final_table"] == [
+        {"name": "Messi", "nationality": "Argentina", "position": "FW",
+         "caps": 83, "goals": 37}
+    ]
+    # Results were persisted to the document store.
+    assert front.db.collection("results").count({"spec_id": spec_id}) == 1
+
+    payments = front.pay_workers(
+        spec_id, marketplace, AllocationScheme.UNIFORM
+    )
+    assert payments["by_worker"]["alice"] > payments["by_worker"]["bob"] > 0
+    assert marketplace.ledger.bonus_for("alice") == pytest.approx(
+        payments["by_worker"]["alice"]
+    )
+    assert front.get_spec(spec_id)["status"] == "paid"
+
+    front.finish(spec_id)
+    with pytest.raises(ApiError):
+        front.backend_for(spec_id)
+
+
+def test_launch_twice_conflicts(front):
+    sim = Simulator()
+    network = Network(sim, rng=random.Random(0))
+    marketplace = Marketplace(sim)
+    spec_id = front.create_spec(spec_body())["id"]
+    front.launch(spec_id, sim, network, marketplace, max_workers=1)
+    with pytest.raises(ApiError) as excinfo:
+        front.launch(spec_id, sim, network, marketplace, max_workers=1)
+    assert excinfo.value.status == 409
+
+
+def test_update_active_spec_conflicts(front):
+    sim = Simulator()
+    network = Network(sim, rng=random.Random(0))
+    marketplace = Marketplace(sim)
+    spec_id = front.create_spec(spec_body())["id"]
+    front.launch(spec_id, sim, network, marketplace, max_workers=1)
+    with pytest.raises(ApiError):
+        front.update_spec(spec_id, spec_body(name="other"))
+    with pytest.raises(ApiError):
+        front.delete_spec(spec_id)
+
+
+def test_status_requires_active_collection(front):
+    spec_id = front.create_spec(spec_body())["id"]
+    with pytest.raises(ApiError) as excinfo:
+        front.status(spec_id)
+    assert excinfo.value.status == 404
+
+
+def test_worker_activity_aggregation(front):
+    """The bookkeeping endpoint summarizes the persisted trace."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    marketplace = Marketplace(sim)
+    spec_id = front.create_spec(spec_body(name="agg", cardinality=1))["id"]
+    clients = {}
+
+    def on_accept(worker_id, backend):
+        client = WorkerClient(
+            worker_id, soccer_player_schema(), SCORING, network,
+            rng=random.Random(len(clients)),
+        )
+        client.bootstrap(backend.attach_client(worker_id))
+        clients[worker_id] = client
+
+    launched = front.launch(
+        spec_id, sim, network, marketplace, max_workers=2,
+        on_worker_accept=on_accept,
+    )
+    marketplace.accept(launched["task_id"], "alice")
+    marketplace.accept(launched["task_id"], "bob")
+    alice, bob = clients["alice"], clients["bob"]
+    row_id = alice.replica.table.row_ids()[0]
+    for column, value in {
+        "name": "Messi", "nationality": "Argentina",
+        "position": "FW", "caps": 83, "goals": 37,
+    }.items():
+        row_id = alice.fill(row_id, column, value)
+    sim.run()
+    bob.upvote(row_id)
+    sim.run()
+
+    with pytest.raises(ApiError):
+        front.worker_activity(spec_id)  # trace not persisted yet
+
+    front.collect(spec_id)
+    activity = front.worker_activity(spec_id)
+    by_worker = {row["_id"]: row for row in activity}
+    assert set(by_worker) == {"alice", "bob"}
+    # Alice: 5 fills + 1 auto-upvote; Bob: 1 upvote.
+    assert by_worker["alice"]["actions"] == 6
+    assert by_worker["bob"]["actions"] == 1
+    assert "replace" in by_worker["alice"]["kinds"]
+    assert by_worker["alice"]["first_action"] <= by_worker["alice"]["last_action"]
+    # Sorted most-active first; CC excluded entirely.
+    assert activity[0]["_id"] == "alice"

@@ -1,0 +1,130 @@
+"""Unit tests for the cell-recommendation strategy (section 8)."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.server.recommender import CellRecommender
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING, Template.cardinality(3)
+    )
+    clients = []
+    for i in range(2):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    backend.start()
+    sim.run()
+    return sim, backend, clients, CellRecommender(backend)
+
+
+def test_open_cells_cover_all_empty_cells(world):
+    sim, backend, clients, recommender = world
+    cells = recommender.open_cells()
+    # 3 empty rows x 5 columns.
+    assert len(cells) == 15
+    assert len(set(cells)) == 15
+
+
+def test_matched_rows_come_first(world):
+    sim, backend, clients, recommender = world
+    matched = set(backend.central.correspondence().values())
+    cells = recommender.open_cells()
+    first_rows = {row_id for row_id, _ in cells[:5]}
+    assert first_rows <= matched
+
+
+def test_partially_filled_rows_prioritized(world):
+    sim, backend, clients, recommender = world
+    row_id = clients[0].replica.table.row_ids()[0]
+    new_id = clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    cells = recommender.open_cells()
+    # The nearly-filled row's remaining cells lead the matched group...
+    leading_rows = [row for row, _ in cells[:4]]
+    assert all(row == new_id for row in leading_rows)
+
+
+def test_recommendations_are_disjoint(world):
+    sim, backend, clients, recommender = world
+    assignments = recommender.recommend(["w0", "w1"])
+    assert set(assignments) == {"w0", "w1"}
+    targets = {(r.row_id, r.column) for r in assignments.values()}
+    assert len(targets) == 2
+    rows = {r.row_id for r in assignments.values()}
+    assert len(rows) == 2  # different rows entirely
+
+
+def test_sequential_recommend_for_is_disjoint(world):
+    sim, backend, clients, recommender = world
+    first = recommender.recommend_for("w0")
+    second = recommender.recommend_for("w1")
+    assert first is not None and second is not None
+    assert first.row_id != second.row_id
+
+
+def test_recommendation_is_sticky_until_filled(world):
+    sim, backend, clients, recommender = world
+    first = recommender.recommend_for("w0")
+    again = recommender.recommend_for("w0")
+    assert (again.row_id, again.column) == (first.row_id, first.column)
+    # Fill the advised cell: the next recommendation moves on.
+    sample_values = {"name": "Messi", "nationality": "Argentina",
+                     "position": "FW", "caps": 83, "goals": 37}
+    clients[0].fill(first.row_id, first.column, sample_values[first.column])
+    sim.run()
+    moved = recommender.recommend_for("w0")
+    assert moved is None or (moved.row_id, moved.column) != (
+        first.row_id, first.column,
+    )
+
+
+def test_no_recommendation_when_table_complete(world):
+    sim, backend, clients, recommender = world
+    values = {"name": "A", "nationality": "B", "position": "FW",
+              "caps": 80, "goals": 1}
+    for index, row_id in enumerate(clients[0].replica.table.row_ids()):
+        for column, value in values.items():
+            cell = f"{value}{index}" if isinstance(value, str) and column in (
+                "name",) else value
+            row_id = clients[0].fill(row_id, column, cell)
+    sim.run()
+    assert recommender.recommend_for("w1") is None
+
+
+def test_skill_times_from_trace(world):
+    sim, backend, clients, recommender = world
+    row_id = clients[0].replica.table.row_ids()[0]
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    row_id = clients[0].fill(row_id, "name", "Messi")
+    sim.run(until=40.0)
+    clients[0].fill(row_id, "caps", 83)
+    sim.run()
+    skills = recommender.skill_times()
+    # First action has no generation time; the caps fill does (~30s).
+    assert "caps" in skills.get("w0", {})
+    assert skills["w0"]["caps"] == pytest.approx(30.0, abs=1.0)
+
+
+def test_relative_speed_defaults_to_one(world):
+    sim, backend, clients, recommender = world
+    assert recommender.relative_speed("w0", "name") == 1.0

@@ -1,0 +1,134 @@
+"""Unit tests for trace persistence and replay."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.docstore import Database
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.server.tracelog import (
+    load_trace,
+    replay_trace,
+    store_trace,
+    trace_from_dicts,
+    trace_to_dicts,
+)
+from repro.sim import Simulator
+
+SCORING = ThresholdScoring(2)
+
+
+@pytest.fixture
+def finished_run():
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.02),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    # Cardinality 3: one template row stays an untouched CC insert, so
+    # the master is NOT reconstructible from worker messages alone.
+    backend = BackendServer(
+        sim, network, schema, SCORING, Template.cardinality(3)
+    )
+    clients = []
+    for i in range(2):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    backend.start()
+    sim.run()
+
+    values = {"name": "Messi", "nationality": "Argentina",
+              "position": "FW", "caps": 83, "goals": 37}
+    row_id = clients[0].replica.table.row_ids()[0]
+    for column, value in values.items():
+        row_id = clients[0].fill(row_id, column, value)
+    sim.run()
+    clients[1].upvote(row_id)
+    partial = next(
+        r.row_id for r in clients[1].replica.table.rows()
+        if "nationality" not in r.value.filled_columns()
+    )
+    clients[1].fill(partial, "nationality", "Brazil")
+    sim.run()
+    clients[0].downvote(
+        [r.row_id for r in clients[0].replica.table.rows()
+         if dict(r.value) == {"nationality": "Brazil"}][0]
+    )
+    sim.run()
+    return backend
+
+
+def test_dict_roundtrip_preserves_records(finished_run):
+    trace = finished_run.trace
+    restored = trace_from_dicts(trace_to_dicts(trace))
+    assert restored == trace
+
+
+def test_from_dicts_restores_seq_order(finished_run):
+    documents = trace_to_dicts(finished_run.trace)
+    shuffled = list(reversed(documents))
+    restored = trace_from_dicts(shuffled)
+    assert [r.seq for r in restored] == sorted(r.seq for r in restored)
+
+
+def test_replay_reconstructs_master_exactly(finished_run):
+    backend = finished_run
+    replayed = replay_trace(
+        backend.schema, SCORING, backend.trace
+    )
+    assert replayed.snapshot() == backend.replica.table.snapshot()
+    assert (
+        replayed.history_snapshot()
+        == backend.replica.table.history_snapshot()
+    )
+    assert [dict(v) for v in replayed.final_table()] == [
+        dict(v) for v in backend.replica.table.final_table()
+    ]
+
+
+def test_replay_of_worker_trace_only_differs(finished_run):
+    """Without CC's inserts the replay cannot reconstruct the table —
+    the full trace is what bookkeeping must keep."""
+    backend = finished_run
+    partial = replay_trace(backend.schema, SCORING, backend.worker_trace())
+    assert partial.snapshot() != backend.replica.table.snapshot()
+
+
+def test_store_and_load_roundtrip(finished_run):
+    db = Database("bookkeeping")
+    written = store_trace(db, "traces", "run-1", finished_run.trace)
+    assert written == len(finished_run.trace)
+    restored = load_trace(db, "traces", "run-1")
+    assert restored == finished_run.trace
+
+
+def test_store_replaces_previous_run(finished_run):
+    db = Database("bookkeeping")
+    store_trace(db, "traces", "run-1", finished_run.trace)
+    store_trace(db, "traces", "run-1", finished_run.trace[:3])
+    assert len(load_trace(db, "traces", "run-1")) == 3
+
+
+def test_traces_isolated_by_run_id(finished_run):
+    db = Database("bookkeeping")
+    store_trace(db, "traces", "run-1", finished_run.trace[:2])
+    store_trace(db, "traces", "run-2", finished_run.trace[:5])
+    assert len(load_trace(db, "traces", "run-1")) == 2
+    assert len(load_trace(db, "traces", "run-2")) == 5
+
+
+def test_trace_survives_json_serialization(finished_run, tmp_path):
+    db = Database("bookkeeping")
+    store_trace(db, "traces", "run-1", finished_run.trace)
+    path = tmp_path / "db.json"
+    db.save(path)
+    restored_db = Database.load(path)
+    restored = load_trace(restored_db, "traces", "run-1")
+    replayed = replay_trace(finished_run.schema, SCORING, restored)
+    assert replayed.snapshot() == finished_run.replica.table.snapshot()

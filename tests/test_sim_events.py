@@ -1,0 +1,97 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_returns_event():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert isinstance(event, Event)
+    assert event.time == 1.0
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    queue.push(2.0, lambda: "b")
+    queue.push(1.0, lambda: "a")
+    queue.push(3.0, lambda: "c")
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_ties_break_by_scheduling_order():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: "first")
+    second = queue.push(1.0, lambda: "second")
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    doomed = queue.push(1.0, lambda: "doomed")
+    survivor = queue.push(2.0, lambda: "ok")
+    doomed.cancel()
+    assert queue.pop() is survivor
+    assert queue.pop() is None
+
+
+def test_len_excludes_cancelled():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    drop = queue.push(2.0, lambda: None)
+    drop.cancel()
+    assert len(queue) == 1
+    assert queue.pop() is keep
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert queue.pop() is None
+    assert len(queue) == 0
+
+
+def test_many_events_fifo_within_same_time():
+    queue = EventQueue()
+    events = [queue.push(5.0, lambda i=i: i) for i in range(50)]
+    popped = [queue.pop() for _ in range(50)]
+    assert popped == events
+
+
+def test_event_ordering_is_stable_after_interleaved_cancel():
+    queue = EventQueue()
+    a = queue.push(1.0, lambda: None)
+    b = queue.push(1.0, lambda: None)
+    c = queue.push(1.0, lambda: None)
+    b.cancel()
+    assert queue.pop() is a
+    assert queue.pop() is c
+
+
+@pytest.mark.parametrize("n", [0, 1, 17])
+def test_len_matches_pushes(n):
+    queue = EventQueue()
+    for i in range(n):
+        queue.push(float(i), lambda: None)
+    assert len(queue) == n

@@ -1,0 +1,52 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).stream("x")
+    b = RngStreams(42).stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    streams = RngStreams(42)
+    a = streams.stream("a")
+    b = streams.stream("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x")
+    b = RngStreams(2).stream("x")
+    assert a.random() != b.random()
+
+
+def test_stream_is_cached():
+    streams = RngStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_stream_independence_of_creation_order():
+    forward = RngStreams(9)
+    first = forward.stream("one").random()
+    forward.stream("two")
+
+    backward = RngStreams(9)
+    backward.stream("two")
+    assert backward.stream("one").random() == first
+
+
+def test_fork_is_deterministic_and_distinct():
+    parent = RngStreams(5)
+    child_a = parent.fork("child")
+    child_b = RngStreams(5).fork("child")
+    assert child_a.master_seed == child_b.master_seed
+    assert child_a.master_seed != parent.master_seed
+    assert (
+        child_a.stream("x").random() == child_b.stream("x").random()
+    )
+
+
+def test_master_seed_property():
+    assert RngStreams(123).master_seed == 123

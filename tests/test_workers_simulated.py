@@ -1,0 +1,214 @@
+"""Unit tests for the simulated worker loop and latency model."""
+
+import random
+
+import pytest
+
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.schema import soccer_player_schema
+from repro.datasets import SoccerPlayerUniverse
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.sim import Simulator
+from repro.workers import (
+    ActionLatencies,
+    DiligentPolicy,
+    SimulatedWorker,
+    WorkerProfile,
+)
+from repro.workers.profile import representative_crew
+
+SCORING = ThresholdScoring(2)
+
+
+def build(num_workers=1, profile=None, template=None, is_done=None):
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING, template or Template.cardinality(2)
+    )
+    truth = SoccerPlayerUniverse(seed=1, size=40, include_dob=False).ground_truth()
+    workers = []
+    for i in range(num_workers):
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        p = profile or WorkerProfile(fill_accuracy=1.0, pause_prob=0.0)
+        worker = SimulatedWorker(
+            client,
+            DiligentPolicy(truth, p, reference=truth),
+            p,
+            sim,
+            rng=random.Random(100 + i),
+            latencies=ActionLatencies(),
+            is_done=is_done or (lambda: backend.completed),
+        )
+        workers.append(worker)
+    backend.start()
+    return sim, backend, workers
+
+
+def test_worker_starts_after_delay():
+    profile = WorkerProfile(start_delay=30.0, fill_accuracy=1.0, pause_prob=0.0)
+    sim, backend, (worker,) = build(profile=profile)
+    worker.start()
+    sim.run(until=25.0)
+    assert worker.log.actions == 0
+    sim.run(until=120.0)
+    assert worker.log.actions > 0
+
+
+def test_worker_double_start_rejected():
+    sim, backend, (worker,) = build()
+    worker.start()
+    with pytest.raises(RuntimeError):
+        worker.start()
+
+
+def test_worker_stops_when_done_flag_set():
+    done = {"flag": False}
+    sim, backend, (worker,) = build(is_done=lambda: done["flag"])
+    worker.start()
+    sim.run(until=60.0)
+    actions_before = worker.log.actions
+    assert actions_before > 0
+    done["flag"] = True
+    sim.run(until=600.0)
+    assert worker.log.actions <= actions_before + 1  # at most in-flight one
+
+
+def test_worker_stop_method():
+    sim, backend, (worker,) = build(is_done=lambda: False)
+    worker.start()
+    sim.run(until=60.0)
+    worker.stop()
+    before = worker.log.actions
+    sim.run(until=600.0)
+    assert worker.log.actions <= before + 1
+
+
+def test_two_workers_complete_collection():
+    sim, backend, workers = build(num_workers=2)
+    for worker in workers:
+        worker.start()
+    sim.run(until=3600.0)
+    assert backend.completed
+    assert len(backend.final_rows()) >= 2
+    # Everyone converged.
+    snapshots = {w.client.snapshot() for w in workers}
+    snapshots.add(backend.replica.snapshot())
+    assert len(snapshots) == 1
+
+
+def test_action_times_recorded():
+    sim, backend, workers = build(num_workers=2)
+    for worker in workers:
+        worker.start()
+    sim.run(until=3600.0)
+    worker = workers[0]
+    assert len(worker.log.action_times) == worker.log.actions
+    kinds = {kind for _, kind in worker.log.action_times}
+    assert any(kind.startswith("fill:") for kind in kinds)
+
+
+def test_speed_multiplier_scales_output():
+    fast_profile = WorkerProfile(speed=3.0, fill_accuracy=1.0,
+                                 pause_prob=0.0, vote_affinity=0.0)
+    slow_profile = WorkerProfile(speed=0.5, fill_accuracy=1.0,
+                                 pause_prob=0.0, vote_affinity=0.0)
+    results = {}
+    for name, profile in [("fast", fast_profile), ("slow", slow_profile)]:
+        sim, backend, (worker,) = build(
+            profile=profile,
+            template=Template.cardinality(10),
+            is_done=lambda: False,
+        )
+        worker.start()
+        sim.run(until=120.0)
+        results[name] = worker.log.actions
+    assert results["fast"] > results["slow"]
+
+
+def test_latencies_sampling_positive():
+    latencies = ActionLatencies()
+    rng = random.Random(0)
+    for column in ["name", "caps", "unheard_of"]:
+        assert latencies.sample_fill(rng, column) > 0
+    assert latencies.sample_upvote(rng) > 0
+    assert latencies.sample_downvote(rng) > 0
+    assert latencies.median_for_fill("name") == 14.0
+    assert latencies.median_for_fill("unknown") == latencies.default_fill
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        WorkerProfile(fill_accuracy=1.5)
+    with pytest.raises(ValueError):
+        WorkerProfile(speed=0)
+    with pytest.raises(ValueError):
+        WorkerProfile(vote_affinity=-0.1)
+
+
+def test_representative_crew_shape():
+    crew = representative_crew(seed=0)
+    assert len(crew) == 5
+    assert any(p.vote_affinity == 0 for p in crew)  # the never-voter
+    speeds = [p.speed for p in crew]
+    assert max(speeds) / min(speeds) > 2  # wide productivity spread
+    assert representative_crew(seed=0) == crew  # deterministic
+
+
+def test_session_expiry_stops_worker():
+    profile = WorkerProfile(fill_accuracy=1.0, pause_prob=0.0,
+                            session_seconds=60.0)
+    sim, backend, (worker,) = build(profile=profile,
+                                    template=Template.cardinality(10),
+                                    is_done=lambda: False)
+    worker.start()
+    sim.run(until=600.0)
+    assert worker.departed
+    # No actions happen after the session window (plus one in-flight).
+    after_window = [t for t, _ in worker.log.action_times if t > 61.0 + 90.0]
+    assert not after_window
+
+
+def test_collection_survives_worker_churn():
+    """One of three workers leaves mid-run; the rest finish the job."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.01),
+                      rng=random.Random(0))
+    schema = soccer_player_schema()
+    backend = BackendServer(
+        sim, network, schema, SCORING, Template.cardinality(6)
+    )
+    truth = SoccerPlayerUniverse(seed=1, size=40,
+                                 include_dob=False).ground_truth()
+    workers = []
+    for i in range(3):
+        profile = WorkerProfile(
+            fill_accuracy=1.0, pause_prob=0.0,
+            session_seconds=40.0 if i == 0 else None,
+        )
+        client = WorkerClient(f"w{i}", schema, SCORING, network,
+                              rng=random.Random(i))
+        client.bootstrap(backend.attach_client(client.worker_id))
+        worker = SimulatedWorker(
+            client,
+            DiligentPolicy(truth, profile, reference=truth),
+            profile, sim, rng=random.Random(100 + i),
+            is_done=lambda: backend.completed,
+        )
+        workers.append(worker)
+        worker.start()
+    backend.start()
+    sim.run(until=3600.0)
+    assert workers[0].departed
+    assert backend.completed
+    assert len(backend.final_rows()) == 6
+    # The departed worker's copy is stale-but-consistent: it processed
+    # a prefix of the broadcast stream (messages keep flowing to it).
+    assert workers[1].client.snapshot() == backend.replica.snapshot()
