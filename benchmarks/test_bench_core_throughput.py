@@ -2,17 +2,24 @@
 
 Not a paper artefact — standard microbenchmarks for the hot paths:
 message application against large vote histories, probable-row
-classification, and document-store queries with/without indexes.
+classification, document-store queries with/without indexes, and the
+end-to-end server message loop (apply + trace + PRI repair + completion
+check) at several table sizes.
 """
 
 import random
 
 import pytest
 
+from repro.constraints import Template
 from repro.constraints.probable import probable_rows
 from repro.core import CandidateTable, RowValue, ThresholdScoring
+from repro.core.messages import DownvoteMessage, ReplaceMessage, UpvoteMessage
 from repro.core.schema import soccer_player_schema
 from repro.docstore import Collection
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.sim import Simulator
 
 SCHEMA = soccer_player_schema()
 
@@ -74,6 +81,82 @@ def test_bench_final_table_with_votes(benchmark):
     table = loaded_table()
     final = benchmark(table.final_table)
     assert isinstance(final, list)
+
+
+def _row_value(i):
+    return RowValue({
+        "name": f"Player {i}",
+        "nationality": f"Country {i % 20}",
+        "position": ["GK", "DF", "MF", "FW"][i % 4],
+        "caps": 80 + i % 20,
+        "goals": i % 40,
+    })
+
+
+def _server_with_rows(n_rows):
+    """A backend server whose master table holds *n_rows* worker rows.
+
+    The template pins primary keys no synthetic message ever completes,
+    so the completion check runs (and fails) on every single message —
+    the worst case for the server loop.
+    """
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.0),
+                      rng=random.Random(0))
+    template = Template.from_values([
+        {"name": f"Target {k}", "nationality": f"Nowhere {k}"}
+        for k in range(5)
+    ])
+    backend = BackendServer(sim, network, SCHEMA, ThresholdScoring(2), template)
+    backend.start()
+    for i in range(n_rows):
+        backend.on_message("w0", ReplaceMessage(
+            old_id=f"w0#old{i}", new_id=f"w0#{i}", value=_row_value(i),
+            column="goals", filled_value=i % 40,
+        ))
+    return backend
+
+
+def _message_stream(n_rows, count):
+    """A deterministic mixed worker workload: downvotes (superset
+    matching), upvotes (exact matching), and conflicting replaces."""
+    rng = random.Random(42)
+    stream = []
+    fresh = 0
+    while len(stream) < count:
+        i = rng.randrange(n_rows)
+        stream.append(DownvoteMessage(value=RowValue({"name": f"Player {i}"})))
+        stream.append(UpvoteMessage(value=_row_value(rng.randrange(n_rows))))
+        fresh += 1
+        stream.append(ReplaceMessage(
+            old_id=f"w1#ghost{fresh}", new_id=f"w1#{fresh}",
+            value=RowValue({"name": f"Fresh {fresh}", "caps": 80 + fresh % 20}),
+            column="caps", filled_value=80 + fresh % 20,
+        ))
+    return stream[:count]
+
+
+MESSAGES_MEASURED = 300
+
+
+@pytest.mark.parametrize("n_rows", [100, 500, 2000])
+def test_bench_server_message_loop(benchmark, n_rows):
+    """End-to-end messages/second through the back-end server loop."""
+    stream = _message_stream(n_rows, MESSAGES_MEASURED)
+
+    def setup():
+        return (_server_with_rows(n_rows), stream), {}
+
+    def feed(backend, messages):
+        for k, message in enumerate(messages):
+            backend.on_message(f"w{1 + k % 3}", message)
+
+    benchmark.pedantic(feed, setup=setup, rounds=2, warmup_rounds=0)
+    mean = benchmark.stats.stats.mean
+    rate = MESSAGES_MEASURED / mean
+    benchmark.extra_info["msgs_per_sec"] = round(rate, 1)
+    print(f"\ncore-throughput n={n_rows:>4}: "
+          f"{MESSAGES_MEASURED} messages in {mean:.3f}s -> {rate:,.0f} msgs/sec")
 
 
 @pytest.mark.parametrize("indexed", [False, True])

@@ -109,6 +109,7 @@ class CentralClient:
         self.matching = IncrementalMatching(row.label for row in self.template_rows)
         self.stats = PriStats()
         self._known_probable: set[str] = set()
+        self._probable_token = self.replica.table.register_probable_consumer()
         self._initialized = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -142,17 +143,23 @@ class CentralClient:
         if not self._initialized:
             return
         self.stats.refreshes += 1
-        guard = 0
-        while True:
-            guard += 1
-            if guard > 10 * (len(self.template_rows) + 2):
-                raise RuntimeError("PRI repair did not converge")
-            self._sync_probable_set()
-            self.matching.maximize()
-            free = self.matching.free_lefts()
-            if not free:
-                return
-            self._handle_free_row(str(free[0]))
+        augments_before = self.matching.augment_count
+        try:
+            guard = 0
+            while True:
+                guard += 1
+                if guard > 10 * (len(self.template_rows) + 2):
+                    raise RuntimeError("PRI repair did not converge")
+                self._sync_probable_set()
+                self.matching.maximize()
+                free = self.matching.free_lefts()
+                if not free:
+                    return
+                self._handle_free_row(str(free[0]))
+        finally:
+            self.stats.augmentations += (
+                self.matching.augment_count - augments_before
+            )
 
     def pri_holds(self) -> bool:
         """Is the PRI currently satisfied (on CC's copy of the table)?"""
@@ -175,25 +182,43 @@ class CentralClient:
         raise KeyError(label)
 
     def _sync_probable_set(self) -> None:
-        """Diff the probable set into the bipartite matching.
+        """Drain the table's probable-set delta into the bipartite matching.
 
         Row values never change (fills replace rows), so surviving
-        probable rows keep their edges; only additions and removals
-        need processing.
+        probable rows keep their edges; only additions and removals need
+        processing — and the table journals exactly those, so the cost
+        is O(|membership changes|), not O(|probable set|).  A ``full``
+        delta (first drain, or journal overflow) falls back to the
+        original whole-set diff.
         """
-        current = {row.row_id: row for row in probable_rows(self.replica.table)}
-        removed = self._known_probable - current.keys()
-        added = current.keys() - self._known_probable
-        for row_id in sorted(removed):
-            freed = self.matching.remove_right(row_id)
-            self.stats.augmentations += 0 if not freed else 0
-        for row_id in sorted(added):
-            value = current[row_id].value
-            neighbors = [
-                t.label for t in self.template_rows if t.connects(value)
+        table = self.replica.table
+        added_rows, removed_ids, full = table.drain_probable_delta(
+            self._probable_token
+        )
+        if full:
+            current = {row.row_id: row for row in table.probable_rows()}
+            removed = sorted(self._known_probable - current.keys())
+            added = [
+                current[row_id]
+                for row_id in sorted(current.keys() - self._known_probable)
             ]
-            self.matching.add_right(row_id, neighbors)
-        self._known_probable = set(current)
+        else:
+            removed = sorted(
+                row_id for row_id in removed_ids if row_id in self._known_probable
+            )
+            added = sorted(
+                (row for row in added_rows if row.row_id not in self._known_probable),
+                key=lambda row: row.row_id,
+            )
+        for row_id in removed:
+            self.matching.remove_right(row_id)
+            self._known_probable.discard(row_id)
+        for row in added:
+            neighbors = [
+                t.label for t in self.template_rows if t.connects(row.value)
+            ]
+            self.matching.add_right(row.row_id, neighbors)
+            self._known_probable.add(row.row_id)
 
     def _handle_free_row(self, label: str) -> None:
         """A template row stayed free after augmentation: insert or shuffle."""

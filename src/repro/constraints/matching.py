@@ -29,6 +29,9 @@ class IncrementalMatching:
         self._edges: dict[Hashable, set[Hashable]] = {l: set() for l in self._left}
         self._match_of_left: dict[Hashable, Hashable] = {}
         self._match_of_right: dict[Hashable, Hashable] = {}
+        self._free_lefts: set[Hashable] = set(self._left)
+        #: Successful augmenting-path flips over this matching's lifetime.
+        self.augment_count = 0
 
     # -- structure ------------------------------------------------------------
 
@@ -49,6 +52,7 @@ class IncrementalMatching:
         if left in self._left:
             raise ValueError(f"left node already present: {left!r}")
         self._left.add(left)
+        self._free_lefts.add(left)
         self._edges[left] = set()
         for right in neighbors:
             self.add_edge(left, right)
@@ -61,6 +65,7 @@ class IncrementalMatching:
         if matched is not None:
             del self._match_of_right[matched]
         self._left.discard(left)
+        self._free_lefts.discard(left)
         self._edges.pop(left, None)
 
     def add_right(self, right: Hashable, neighbor_lefts: Iterable[Hashable]) -> None:
@@ -88,6 +93,7 @@ class IncrementalMatching:
         if matched_left is None:
             return []
         del self._match_of_left[matched_left]
+        self._free_lefts.add(matched_left)
         return [matched_left]
 
     def add_edge(self, left: Hashable, right: Hashable) -> None:
@@ -114,10 +120,8 @@ class IncrementalMatching:
         return self._match_of_right.get(right)
 
     def free_lefts(self) -> list[Hashable]:
-        """Template rows currently unmatched."""
-        return sorted(
-            (l for l in self._left if l not in self._match_of_left), key=repr
-        )
+        """Template rows currently unmatched (maintained set, not a scan)."""
+        return sorted(self._free_lefts, key=repr)
 
     def pairs(self) -> dict[Hashable, Hashable]:
         """The current matching as {left: right}."""
@@ -167,6 +171,8 @@ class IncrementalMatching:
             if previous_right is None:
                 break
             right = previous_right
+        self._free_lefts.discard(left)
+        self.augment_count += 1
         return True
 
     def maximize(self) -> int:
@@ -190,11 +196,13 @@ class IncrementalMatching:
             return False
         surrendered = self._match_of_left.pop(other)
         del self._match_of_right[surrendered]
+        self._free_lefts.add(other)
         if self.augment(left):
             return True
         # Restore: `augment` failed without touching the matching.
         self._match_of_left[other] = surrendered
         self._match_of_right[surrendered] = other
+        self._free_lefts.discard(other)
         return False
 
     def verify(self) -> None:
@@ -211,6 +219,12 @@ class IncrementalMatching:
                 raise AssertionError(f"matched pair {left!r}-{right!r} is not an edge")
         if len(self._match_of_right) != len(self._match_of_left):
             raise AssertionError("match maps have different sizes")
+        actual_free = {l for l in self._left if l not in self._match_of_left}
+        if actual_free != self._free_lefts:
+            raise AssertionError(
+                f"maintained free-left set {self._free_lefts!r} disagrees "
+                f"with matching state {actual_free!r}"
+            )
 
 
 def maximum_matching_size(

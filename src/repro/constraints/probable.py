@@ -10,6 +10,14 @@ to the final table — when one of three conditions holds:
    key has a greater score (score ties within a key group make exactly
    one row probable, chosen deterministically — smallest identifier,
    consistent with the final-table tie-break).
+
+All three conditions are local to one primary-key group, which is what
+lets :class:`~repro.core.table.CandidateTable` maintain the probable set
+incrementally: :func:`probable_rows` and :func:`is_probable` delegate to
+the table's index-backed view, which reclassifies only the key groups
+touched since the last call.  :func:`probable_rows_from_scratch` keeps
+the original full-scan algorithm as the oracle the incremental view is
+property-tested against.
 """
 
 from __future__ import annotations
@@ -20,6 +28,16 @@ from repro.core.table import CandidateTable
 
 def probable_rows(table: CandidateTable) -> list[Row]:
     """All probable rows of *table*, in this copy's insertion order."""
+    return table.probable_rows()
+
+
+def probable_rows_from_scratch(table: CandidateTable) -> list[Row]:
+    """Reference implementation: full-scan classification of every row.
+
+    This is the oracle for the table's incremental probable view; tests
+    assert the two never diverge.  O(n) per call — do not use on hot
+    paths.
+    """
     key_columns = table.schema.key_columns
     all_columns = table.schema.column_names
 
@@ -59,11 +77,11 @@ def probable_rows(table: CandidateTable) -> list[Row]:
 
 
 def is_probable(table: CandidateTable, row_id: str) -> bool:
-    """Is the row with *row_id* probable in *table*?"""
-    target = table.get(row_id)
-    if target is None:
-        return False
-    return any(row is target for row in probable_rows(table))
+    """Is the row with *row_id* probable in *table*?
+
+    O(dirty key groups) via the table's incremental view, not O(n).
+    """
+    return table.is_row_probable(row_id)
 
 
 def hypothetical_row_probable(table: CandidateTable, value) -> bool:
@@ -75,18 +93,15 @@ def hypothetical_row_probable(table: CandidateTable, value) -> bool:
     already held by a probable row with a higher score.
 
     The hypothetical row's vote counts follow the replace-message rule:
-    u = UH[value] if complete else 0, d = Σ_{w ⊆ value} DH[w].
+    u = UH[value] if complete else 0, d = Σ_{w ⊆ value} DH[w].  Only the
+    hypothetical row's own key group is examined, via the key index.
     """
     upvotes = (
         table.upvote_history.get(value, 0)
         if value.is_complete(table.schema.column_names)
         else 0
     )
-    downvotes = sum(
-        count
-        for voted, count in table.downvote_history.items()
-        if voted.issubset(value)
-    )
+    downvotes = table.downvotes_subsumed_by(value)
     score = table.scoring.score(upvotes, downvotes)
 
     key = value.key(table.schema.key_columns)
@@ -97,21 +112,17 @@ def hypothetical_row_probable(table: CandidateTable, value) -> bool:
         # Condition 3: must beat every existing complete row on this key.
         # A new row's identifier is larger than existing ones, so a score
         # tie goes to the incumbent.
-        for row in table.rows():
-            if row.value.key(table.schema.key_columns) == key:
-                if table.score(row) >= score and row.value.is_complete(
-                    table.schema.column_names
-                ):
-                    return False
+        for row in table.rows_in_group(key):
+            if table.score(row) >= score and row.value.is_complete(
+                table.schema.column_names
+            ):
+                return False
         return True
 
     if score != 0:
         return False
     # Condition 2: no positive-score sibling on this key.
-    for row in table.rows():
-        if row.value.key(table.schema.key_columns) == key and table.score(row) > 0:
-            return False
-    return True
+    return not table.group_has_positive_score(key)
 
 
 def _beats(table: CandidateTable, challenger: Row, incumbent: Row) -> bool:

@@ -8,11 +8,17 @@ downvoted vector, and template subsumption (s ⊇ t) is defined on them.
 
 :class:`RowValue` is therefore immutable and hashable; :class:`Row`
 pairs an identifier and a value with its mutable vote counts.
+
+Because value-vectors are compared millions of times in a long
+collection (every downvote, every probable-set refresh), a RowValue
+precomputes the derived views the hot paths need: the (column, value)
+pair set for subsumption tests, the plain mapping for lookups, and the
+filled-column set for completeness checks.
 """
 
 from __future__ import annotations
 
-from typing import Any, ItemsView, Iterator, Mapping
+from typing import Any, Callable, ItemsView, Iterator, Mapping
 
 
 class RowValue(Mapping[str, Any]):
@@ -31,7 +37,7 @@ class RowValue(Mapping[str, Any]):
         False
     """
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_map", "_itemset", "_columns")
 
     def __init__(self, values: Mapping[str, Any] | None = None) -> None:
         items = dict(values or {})
@@ -42,14 +48,14 @@ class RowValue(Mapping[str, Any]):
             sorted(items.items(), key=lambda kv: kv[0])
         )
         self._hash = hash(self._items)
+        self._map: dict[str, Any] = dict(self._items)
+        self._itemset: frozenset[tuple[str, Any]] = frozenset(self._items)
+        self._columns: frozenset[str] = frozenset(self._map)
 
     # -- Mapping interface ---------------------------------------------------
 
     def __getitem__(self, column: str) -> Any:
-        for name, value in self._items:
-            if name == column:
-                return value
-        raise KeyError(column)
+        return self._map[column]
 
     def __iter__(self) -> Iterator[str]:
         return (name for name, _ in self._items)
@@ -79,15 +85,11 @@ class RowValue(Mapping[str, Any]):
 
     def subsumes(self, other: "RowValue") -> bool:
         """True when self ⊇ other: every pair of *other* appears in self."""
-        mine = dict(self._items)
-        return all(
-            column in mine and mine[column] == value
-            for column, value in other._items
-        )
+        return other._itemset <= self._itemset
 
     def issubset(self, other: "RowValue") -> bool:
         """True when self ⊆ other."""
-        return other.subsumes(self)
+        return self._itemset <= other._itemset
 
     def with_value(self, column: str, value: Any) -> "RowValue":
         """A new value with *column* additionally filled in.
@@ -96,9 +98,9 @@ class RowValue(Mapping[str, Any]):
             ValueError: if *column* is already filled (the model's fill
                 applies only to empty cells).
         """
-        current = dict(self._items)
-        if column in current:
+        if column in self._map:
             raise ValueError(f"column {column!r} already filled")
+        current = dict(self._items)
         current[column] = value
         return RowValue(current)
 
@@ -124,7 +126,7 @@ class RowValue(Mapping[str, Any]):
 
     def compatible_with(self, other: "RowValue") -> bool:
         """True when no column is assigned differently by the two values."""
-        mine = dict(self._items)
+        mine = self._map
         return all(
             mine.get(column, value) == value for column, value in other._items
         )
@@ -136,23 +138,23 @@ class RowValue(Mapping[str, Any]):
 
     def filled_columns(self) -> frozenset[str]:
         """Names of the columns this value assigns."""
-        return frozenset(name for name, _ in self._items)
+        return self._columns
 
     def is_complete(self, column_names: tuple[str, ...]) -> bool:
         """True when every column in *column_names* is assigned."""
-        filled = self.filled_columns()
+        filled = self._columns
         return all(name in filled for name in column_names)
 
     def key(self, key_columns: tuple[str, ...]) -> tuple | None:
         """The primary-key tuple, or None if any key column is empty."""
-        mine = dict(self._items)
+        mine = self._map
         if any(column not in mine for column in key_columns):
             return None
         return tuple(mine[column] for column in key_columns)
 
     def missing_columns(self, column_names: tuple[str, ...]) -> tuple[str, ...]:
         """Columns of *column_names* this value leaves empty, in order."""
-        filled = self.filled_columns()
+        filled = self._columns
         return tuple(name for name in column_names if name not in filled)
 
 
@@ -166,9 +168,15 @@ class Row:
     replaces a row (new identifier) whenever a cell is filled, which is
     the key ingredient enabling conflict-free concurrency (section
     2.4.1).
+
+    A row installed in a :class:`~repro.core.table.CandidateTable`
+    carries an observer callback so that *any* vote-count mutation —
+    including direct assignment from outside the table — invalidates
+    the table's cached score and derived probable/final classification
+    for the row's key group.
     """
 
-    __slots__ = ("row_id", "value", "upvotes", "downvotes")
+    __slots__ = ("row_id", "value", "_upvotes", "_downvotes", "_observer")
 
     def __init__(
         self,
@@ -179,8 +187,29 @@ class Row:
     ) -> None:
         self.row_id = row_id
         self.value = value
-        self.upvotes = upvotes
-        self.downvotes = downvotes
+        self._observer: Callable[["Row"], None] | None = None
+        self._upvotes = upvotes
+        self._downvotes = downvotes
+
+    @property
+    def upvotes(self) -> int:
+        return self._upvotes
+
+    @upvotes.setter
+    def upvotes(self, count: int) -> None:
+        self._upvotes = count
+        if self._observer is not None:
+            self._observer(self)
+
+    @property
+    def downvotes(self) -> int:
+        return self._downvotes
+
+    @downvotes.setter
+    def downvotes(self, count: int) -> None:
+        self._downvotes = count
+        if self._observer is not None:
+            self._observer(self)
 
     def __repr__(self) -> str:
         return (
@@ -190,7 +219,7 @@ class Row:
 
     def snapshot(self) -> tuple[str, tuple[tuple[str, Any], ...], int, int]:
         """A hashable snapshot used for convergence comparison."""
-        return (self.row_id, self.value.items_tuple(), self.upvotes, self.downvotes)
+        return (self.row_id, self.value.items_tuple(), self._upvotes, self._downvotes)
 
     def items(self) -> ItemsView[str, Any]:
         """The filled (column, value) pairs."""

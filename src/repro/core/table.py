@@ -19,15 +19,89 @@ The final table (section 2.2) contains each complete row with positive
 score that has the highest score among rows sharing its primary key;
 ties are broken deterministically by smallest row identifier (section
 4.1 requires a deterministic tie-break for probable-row bookkeeping).
+
+Complexity.  Message application and the derived views (probable rows
+of section 4.1, final rows of section 2.2) are maintained
+*incrementally*: the table keeps secondary indexes — rows by exact
+value, rows by (column, value) cell, rows by primary-key group,
+downvote-history entries by cell — plus a per-row score cache, and
+tracks which key groups were touched since the derived views were last
+refreshed.  Each message therefore costs O(|affected rows|) rather than
+O(|table|), and a refresh reclassifies only dirty key groups.
+Consumers that need to react to changes (the Central Client's PRI
+matching, the back-end server's completion check) register cursors and
+drain per-message deltas via :meth:`drain_dirty` /
+:meth:`drain_probable_delta` instead of rescanning the table.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+import itertools
+from typing import Any, Callable, Iterator
 
 from repro.core.row import EMPTY_VALUE, Row, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
+
+
+class DirtyDelta:
+    """What changed between two :meth:`CandidateTable.drain_dirty` calls.
+
+    Attributes:
+        keys: primary-key groups whose rows/votes changed.
+        keyless: identifiers of keyless rows that changed.
+        full: True when the consumer must resync from scratch (its
+            first drain, or after a journal overflow).
+    """
+
+    __slots__ = ("keys", "keyless", "full")
+
+    def __init__(self, full: bool = False) -> None:
+        self.keys: set[tuple] = set()
+        self.keyless: set[str] = set()
+        self.full = full
+
+
+class _DownvoteHistory(dict):
+    """DH with an inverted cell index maintained on every write.
+
+    The index makes Σ_{w ⊆ v} DH[w] (the replace-message downvote
+    reconstruction) proportional to the entries sharing a cell with v
+    instead of to |DH|.  Writing through ``table.downvote_history[w] =
+    n`` — as the bootstrap restore does — keeps the index consistent.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cells: dict[tuple[str, Any], set[RowValue]] = {}
+
+    def __setitem__(self, value: RowValue, count: int) -> None:
+        if value not in self:
+            for cell in value.items_tuple():
+                self._cells.setdefault(cell, set()).add(value)
+        super().__setitem__(value, count)
+
+    def subset_sum(self, value: RowValue) -> int:
+        """Σ_{w ⊆ value} DH[w], via the cell index."""
+        if not self:
+            return 0
+        total = self.get(EMPTY_VALUE, 0)
+        seen: set[RowValue] = set()
+        cells = self._cells
+        for cell in value.items_tuple():
+            for entry in cells.get(cell, ()):
+                if entry not in seen:
+                    seen.add(entry)
+                    if entry.issubset(value):
+                        total += dict.__getitem__(self, entry)
+        return total
+
+
+# Journal safety valve: past this many undrained entries, stalled
+# consumers are flipped to full-resync and the journal is truncated.
+_JOURNAL_LIMIT = 65536
 
 
 class CandidateTable:
@@ -39,7 +113,37 @@ class CandidateTable:
         self._rows: dict[str, Row] = {}
         # Vote histories (section 2.4), keyed by value-vector.
         self.upvote_history: dict[RowValue, int] = {}
-        self.downvote_history: dict[RowValue, int] = {}
+        self.downvote_history: _DownvoteHistory = _DownvoteHistory()
+
+        self._key_columns = schema.key_columns
+        self._all_columns = schema.column_names
+
+        # -- secondary indexes over the rows ------------------------------
+        self._seq = itertools.count()
+        self._row_seq: dict[str, int] = {}          # insertion order
+        self._by_value: dict[RowValue, set[str]] = {}
+        self._by_cell: dict[tuple[str, Any], set[str]] = {}
+        self._by_key: dict[tuple, set[str]] = {}
+        self._keyless: set[str] = set()
+        self._key_of: dict[str, tuple | None] = {}
+        self._score_cache: dict[str, float] = {}
+
+        # -- derived views (probable / final), refreshed lazily ------------
+        self._dirty_keys: set[tuple] = set()
+        self._dirty_keyless: set[str] = set()
+        self._probable_by_key: dict[tuple, frozenset[str]] = {}
+        self._final_by_key: dict[tuple, str] = {}
+        self._probable_keyless: set[str] = set()
+        self._probable_set: set[str] = set()
+        self._probable_list: list[Row] | None = None
+        self._final_list: list[Row] | None = None
+
+        # -- change-journal consumers --------------------------------------
+        self._tokens = itertools.count(1)
+        self._dirty_consumers: dict[int, DirtyDelta] = {}
+        self._probable_journal: list[tuple[str, Row | None]] = []
+        self._probable_offsets: dict[int, int] = {}
+        self._probable_resync: set[int] = set()
 
     # -- row access ---------------------------------------------------------
 
@@ -70,16 +174,62 @@ class CandidateTable:
         return list(self._rows)
 
     def rows_with_value(self, value: RowValue) -> list[Row]:
-        """Rows whose value equals *value* exactly."""
-        return [row for row in self._rows.values() if row.value == value]
+        """Rows whose value equals *value* exactly (index lookup)."""
+        ids = self._by_value.get(value)
+        if not ids:
+            return []
+        return [self._rows[i] for i in sorted(ids, key=self._row_seq.__getitem__)]
 
     def rows_subsuming(self, value: RowValue) -> list[Row]:
         """Rows whose value is equal to or a superset of *value*."""
-        return [row for row in self._rows.values() if row.value.subsumes(value)]
+        ids = self._subsuming_ids(value)
+        return [self._rows[i] for i in sorted(ids, key=self._row_seq.__getitem__)]
+
+    def _subsuming_ids(self, value: RowValue) -> list[str]:
+        """Identifiers of rows subsuming *value*, via the cell index.
+
+        The candidates are the shortest posting list among the value's
+        cells (a subsuming row must carry every cell); with a single
+        cell no further filtering is needed.
+        """
+        cells = value.items_tuple()
+        if not cells:
+            return list(self._rows)
+        postings = []
+        for cell in cells:
+            ids = self._by_cell.get(cell)
+            if not ids:
+                return []
+            postings.append(ids)
+        smallest = min(postings, key=len)
+        if len(cells) == 1:
+            return list(smallest)
+        rows = self._rows
+        return [i for i in smallest if rows[i].value.subsumes(value)]
+
+    def rows_in_group(self, key: tuple) -> list[Row]:
+        """Rows whose primary key equals *key* (index lookup)."""
+        ids = self._by_key.get(key)
+        if not ids:
+            return []
+        return [self._rows[i] for i in ids]
+
+    def group_has_positive_score(self, key: tuple) -> bool:
+        """Does any row with primary key *key* have a positive score?"""
+        ids = self._by_key.get(key, ())
+        return any(self.score(self._rows[i]) > 0 for i in ids)
+
+    def downvotes_subsumed_by(self, value: RowValue) -> int:
+        """Σ_{w ⊆ value} DH[w] — the replace-message downvote rule."""
+        return self.downvote_history.subset_sum(value)
 
     def score(self, row: Row) -> float:
-        """The row's score under this table's scoring function."""
-        return self.scoring.score(row.upvotes, row.downvotes)
+        """The row's score under this table's scoring function (cached)."""
+        cached = self._score_cache.get(row.row_id)
+        if cached is None:
+            cached = self.scoring.score(row.upvotes, row.downvotes)
+            self._score_cache[row.row_id] = cached
+        return cached
 
     def load_row(
         self, row_id: str, value: RowValue, upvotes: int, downvotes: int
@@ -93,7 +243,76 @@ class CandidateTable:
             raise ValueError(f"duplicate row identifier {row_id!r}")
         row = Row(row_id, value, upvotes, downvotes)
         self._rows[row_id] = row
+        self._index_row(row)
         return row
+
+    # -- index maintenance ----------------------------------------------------
+
+    def _index_row(self, row: Row) -> None:
+        row_id = row.row_id
+        self._row_seq[row_id] = next(self._seq)
+        self._by_value.setdefault(row.value, set()).add(row_id)
+        for cell in row.value.items_tuple():
+            self._by_cell.setdefault(cell, set()).add(row_id)
+        key = row.value.key(self._key_columns)
+        self._key_of[row_id] = key
+        if key is None:
+            self._keyless.add(row_id)
+            self._mark_keyless_dirty(row_id)
+        else:
+            self._by_key.setdefault(key, set()).add(row_id)
+            self._mark_key_dirty(key)
+        row._observer = self._on_votes_changed
+
+    def _deindex_row(self, row: Row) -> None:
+        row_id = row.row_id
+        row._observer = None
+        del self._row_seq[row_id]
+        self._score_cache.pop(row_id, None)
+        ids = self._by_value.get(row.value)
+        if ids is not None:
+            ids.discard(row_id)
+            if not ids:
+                del self._by_value[row.value]
+        for cell in row.value.items_tuple():
+            ids = self._by_cell.get(cell)
+            if ids is not None:
+                ids.discard(row_id)
+                if not ids:
+                    del self._by_cell[cell]
+        key = self._key_of.pop(row_id)
+        if key is None:
+            self._keyless.discard(row_id)
+            self._mark_keyless_dirty(row_id)
+        else:
+            ids = self._by_key.get(key)
+            if ids is not None:
+                ids.discard(row_id)
+                if not ids:
+                    del self._by_key[key]
+            self._mark_key_dirty(key)
+
+    def _on_votes_changed(self, row: Row) -> None:
+        """Row observer: a vote count changed (table method or direct)."""
+        row_id = row.row_id
+        self._score_cache.pop(row_id, None)
+        key = self._key_of.get(row_id)
+        if key is None:
+            self._mark_keyless_dirty(row_id)
+        else:
+            self._mark_key_dirty(key)
+
+    def _mark_key_dirty(self, key: tuple) -> None:
+        self._dirty_keys.add(key)
+        for delta in self._dirty_consumers.values():
+            if not delta.full:
+                delta.keys.add(key)
+
+    def _mark_keyless_dirty(self, row_id: str) -> None:
+        self._dirty_keyless.add(row_id)
+        for delta in self._dirty_consumers.values():
+            if not delta.full:
+                delta.keyless.add(row_id)
 
     # -- message application (section 2.4) -----------------------------------
 
@@ -108,6 +327,7 @@ class CandidateTable:
             raise ValueError(f"duplicate row identifier {row_id!r}")
         row = Row(row_id, EMPTY_VALUE)
         self._rows[row_id] = row
+        self._index_row(row)
         return row
 
     def apply_replace(self, old_id: str, new_id: str, value: RowValue) -> Row:
@@ -120,37 +340,34 @@ class CandidateTable:
         """
         if new_id in self._rows:
             raise ValueError(f"duplicate row identifier {new_id!r}")
-        self._rows.pop(old_id, None)
-        row = Row(new_id, value)
-        if value.is_complete(self.schema.column_names):
-            row.upvotes = self.upvote_history.get(value, 0)
+        old = self._rows.pop(old_id, None)
+        if old is not None:
+            self._deindex_row(old)
+        if value.is_complete(self._all_columns):
+            upvotes = self.upvote_history.get(value, 0)
         else:
-            row.upvotes = 0
-        row.downvotes = sum(
-            count
-            for voted_value, count in self.downvote_history.items()
-            if voted_value.issubset(value)
-        )
+            upvotes = 0
+        row = Row(new_id, value, upvotes, self.downvotes_subsumed_by(value))
         self._rows[new_id] = row
+        self._index_row(row)
         return row
 
     def apply_upvote(self, value: RowValue) -> int:
         """Process an upvote message; returns the number of rows bumped."""
         bumped = 0
-        for row in self._rows.values():
-            if row.value == value:
-                row.upvotes += 1
-                bumped += 1
+        for row_id in self._by_value.get(value, ()):
+            row = self._rows[row_id]
+            row.upvotes += 1
+            bumped += 1
         self.upvote_history[value] = self.upvote_history.get(value, 0) + 1
         return bumped
 
     def apply_downvote(self, value: RowValue) -> int:
         """Process a downvote message; returns the number of rows bumped."""
         bumped = 0
-        for row in self._rows.values():
-            if row.value.subsumes(value):
-                row.downvotes += 1
-                bumped += 1
+        for row_id in self._subsuming_ids(value):
+            self._rows[row_id].downvotes += 1
+            bumped += 1
         self.downvote_history[value] = self.downvote_history.get(value, 0) + 1
         return bumped
 
@@ -168,10 +385,9 @@ class CandidateTable:
         if self.upvote_history.get(value, 0) <= 0:
             raise ValueError(f"no upvote recorded for {value!r}")
         bumped = 0
-        for row in self._rows.values():
-            if row.value == value:
-                row.upvotes -= 1
-                bumped += 1
+        for row_id in self._by_value.get(value, ()):
+            self._rows[row_id].upvotes -= 1
+            bumped += 1
         self.upvote_history[value] -= 1
         return bumped
 
@@ -180,12 +396,215 @@ class CandidateTable:
         if self.downvote_history.get(value, 0) <= 0:
             raise ValueError(f"no downvote recorded for {value!r}")
         bumped = 0
-        for row in self._rows.values():
-            if row.value.subsumes(value):
-                row.downvotes -= 1
-                bumped += 1
+        for row_id in self._subsuming_ids(value):
+            self._rows[row_id].downvotes -= 1
+            bumped += 1
         self.downvote_history[value] -= 1
         return bumped
+
+    # -- derived views: probable rows (4.1) and final table (2.2) -------------
+
+    def _refresh_derived(self) -> None:
+        """Reclassify dirty key groups and dirty keyless rows only."""
+        if not self._dirty_keys and not self._dirty_keyless:
+            return
+        journal = self._probable_journal if self._probable_offsets else None
+        probable_set = self._probable_set
+        for key in self._dirty_keys:
+            old = self._probable_by_key.get(key, frozenset())
+            ids = self._by_key.get(key)
+            if not ids:
+                new = frozenset()
+                winner = None
+                self._probable_by_key.pop(key, None)
+            else:
+                new, winner = self._classify_group(ids)
+                self._probable_by_key[key] = new
+            if winner is None:
+                self._final_by_key.pop(key, None)
+            else:
+                self._final_by_key[key] = winner
+            if new != old:
+                for row_id in old - new:
+                    probable_set.discard(row_id)
+                    if journal is not None:
+                        journal.append((row_id, None))
+                for row_id in new - old:
+                    probable_set.add(row_id)
+                    if journal is not None:
+                        journal.append((row_id, self._rows[row_id]))
+        for row_id in self._dirty_keyless:
+            row = self._rows.get(row_id)
+            now = (
+                row is not None
+                and row_id in self._keyless
+                and self.score(row) == 0
+            )
+            was = row_id in self._probable_keyless
+            if now and not was:
+                self._probable_keyless.add(row_id)
+                probable_set.add(row_id)
+                if journal is not None:
+                    journal.append((row_id, row))
+            elif was and not now:
+                self._probable_keyless.discard(row_id)
+                probable_set.discard(row_id)
+                if journal is not None:
+                    journal.append((row_id, None))
+        self._dirty_keys.clear()
+        self._dirty_keyless.clear()
+        self._probable_list = None
+        self._final_list = None
+        if journal is not None:
+            self._compact_journal()
+
+    def _classify_group(
+        self, ids: set[str]
+    ) -> tuple[frozenset[str], str | None]:
+        """Probable members and final-table winner of one key group."""
+        rows = [self._rows[i] for i in ids]
+        all_columns = self._all_columns
+        positive = False
+        best: Row | None = None
+        best_score = 0.0
+        for row in rows:
+            score = self.score(row)
+            if score > 0:
+                positive = True
+                if row.value.is_complete(all_columns):
+                    if (
+                        best is None
+                        or score > best_score
+                        or (score == best_score and row.row_id < best.row_id)
+                    ):
+                        best = row
+                        best_score = score
+        probable: list[str] = []
+        for row in rows:
+            score = self.score(row)
+            if score > 0 and row.value.is_complete(all_columns):
+                if row is best:
+                    probable.append(row.row_id)
+            elif score == 0 and not positive:
+                probable.append(row.row_id)
+        return frozenset(probable), (best.row_id if best is not None else None)
+
+    def _compact_journal(self) -> None:
+        journal = self._probable_journal
+        offsets = self._probable_offsets
+        if offsets and min(offsets.values()) >= len(journal):
+            journal.clear()
+            for token in offsets:
+                offsets[token] = 0
+        elif len(journal) > _JOURNAL_LIMIT:
+            # A consumer stalled; force it to resync rather than let the
+            # journal grow without bound.
+            self._probable_resync.update(offsets)
+            journal.clear()
+            for token in offsets:
+                offsets[token] = 0
+
+    def probable_rows(self) -> list[Row]:
+        """All probable rows (section 4.1), in insertion order."""
+        self._refresh_derived()
+        if self._probable_list is None:
+            member = self._probable_set
+            self._probable_list = [
+                row for row in self._rows.values() if row.row_id in member
+            ]
+        return list(self._probable_list)
+
+    def is_row_probable(self, row_id: str) -> bool:
+        """Is *row_id* currently probable?  O(dirty groups), not O(n)."""
+        if row_id not in self._rows:
+            return False
+        self._refresh_derived()
+        return row_id in self._probable_set
+
+    def final_in_group(self, key: tuple) -> Row | None:
+        """The final-table row for primary key *key*, or None."""
+        self._refresh_derived()
+        row_id = self._final_by_key.get(key)
+        return self._rows[row_id] if row_id is not None else None
+
+    def final_groups(self) -> list[tuple[tuple, Row]]:
+        """(key, final row) for every key group with a final row."""
+        self._refresh_derived()
+        return [
+            (key, self._rows[row_id])
+            for key, row_id in self._final_by_key.items()
+        ]
+
+    # -- change-journal consumers ---------------------------------------------
+
+    def register_dirty_consumer(self) -> int:
+        """Register a cursor over touched key groups; returns a token.
+
+        The first :meth:`drain_dirty` returns a delta with ``full``
+        set, telling the consumer to build its state from scratch.
+        """
+        token = next(self._tokens)
+        self._dirty_consumers[token] = DirtyDelta(full=True)
+        return token
+
+    def drain_dirty(self, token: int) -> DirtyDelta:
+        """The key groups / keyless rows touched since the last drain.
+
+        Derived views are refreshed first, so the consumer can read
+        :meth:`final_in_group` / :meth:`is_row_probable` for exactly the
+        returned keys.
+        """
+        self._refresh_derived()
+        delta = self._dirty_consumers[token]
+        self._dirty_consumers[token] = DirtyDelta()
+        return delta
+
+    def register_probable_consumer(self) -> int:
+        """Register a cursor over probable-set membership changes."""
+        token = next(self._tokens)
+        self._probable_offsets[token] = len(self._probable_journal)
+        self._probable_resync.add(token)
+        return token
+
+    def drain_probable_delta(
+        self, token: int
+    ) -> tuple[list[Row], list[str], bool]:
+        """(added rows, removed row ids, full) since the last drain.
+
+        Membership toggles that cancelled out between drains are
+        coalesced away.  ``full`` is True when the consumer must resync
+        from :meth:`probable_rows` instead (first drain, or after a
+        journal overflow).
+        """
+        self._refresh_derived()
+        journal = self._probable_journal
+        if token in self._probable_resync:
+            self._probable_resync.discard(token)
+            self._probable_offsets[token] = len(journal)
+            return [], [], True
+        offset = self._probable_offsets[token]
+        events = journal[offset:]
+        self._probable_offsets[token] = len(journal)
+        self._compact_journal()
+        if not events:
+            return [], [], False
+        first_was_add: dict[str, bool] = {}
+        last: dict[str, Row | None] = {}
+        for row_id, row in events:
+            if row_id not in first_was_add:
+                first_was_add[row_id] = row is not None
+            last[row_id] = row
+        added = [
+            row
+            for row_id, row in last.items()
+            if row is not None and first_was_add[row_id]
+        ]
+        removed = [
+            row_id
+            for row_id, row in last.items()
+            if row is None and not first_was_add[row_id]
+        ]
+        return added, removed, False
 
     # -- final table (section 2.2) -------------------------------------------
 
@@ -195,30 +614,17 @@ class CandidateTable:
         Each complete row with positive score whose score is the highest
         among rows with its primary key; ties broken by smallest row id.
         """
-        key_columns = self.schema.key_columns
-        best: dict[tuple, Row] = {}
-        for row in self._rows.values():
-            if not row.value.is_complete(self.schema.column_names):
-                continue
-            if self.score(row) <= 0:
-                continue
-            key = row.value.key(key_columns)
-            assert key is not None  # complete rows have complete keys
-            incumbent = best.get(key)
-            if incumbent is None or self._beats(row, incumbent):
-                best[key] = row
-        return sorted(best.values(), key=lambda r: r.row_id)
+        self._refresh_derived()
+        if self._final_list is None:
+            self._final_list = sorted(
+                (self._rows[row_id] for row_id in self._final_by_key.values()),
+                key=lambda r: r.row_id,
+            )
+        return list(self._final_list)
 
     def final_table(self) -> list[RowValue]:
         """Final-table values (deduplicated, key-respecting)."""
         return [row.value for row in self.final_rows()]
-
-    def _beats(self, challenger: Row, incumbent: Row) -> bool:
-        challenger_score = self.score(challenger)
-        incumbent_score = self.score(incumbent)
-        if challenger_score != incumbent_score:
-            return challenger_score > incumbent_score
-        return challenger.row_id < incumbent.row_id
 
     # -- convergence/consistency helpers --------------------------------------
 
@@ -239,6 +645,9 @@ class CandidateTable:
 
     def check_vote_invariants(self) -> None:
         """Assert Lemma 3: u(r) = UH[r̄] for complete rows, d(r) = Σ DH[w ⊆ r̄].
+
+        Deliberately brute-force (no indexes): this is the oracle the
+        indexed fast paths are tested against.
 
         Raises:
             AssertionError: when a row's counts deviate from the histories.

@@ -20,12 +20,14 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.constraints.central import CENTRAL_CLIENT_ID, CentralClient
-from repro.constraints.template import Template, satisfies_template
+from repro.constraints.matching import IncrementalMatching
+from repro.constraints.template import Template, TemplateRow
 from repro.core.messages import Message, TraceRecord
 from repro.core.replica import Replica
 from repro.core.row import Row, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
+from repro.core.table import CandidateTable
 from repro.net import Network
 from repro.sim import Simulator
 
@@ -73,6 +75,92 @@ class BootstrapState:
             table.downvote_history[RowValue(value)] = count
 
 
+class _CompletionTracker:
+    """Incrementally maintained completion check (section 3.3).
+
+    The master's final table satisfies the template iff there is an
+    injective template-row → final-row assignment with s ⊇* t.  Empty
+    template rows (absorbed cardinality constraints) are satisfied by
+    *any* final row, so they decompose out of the matching: the template
+    is satisfied exactly when a maintained matching of the *non-empty*
+    template rows saturates them AND the final table has enough rows
+    left over for the empty ones.  That keeps the maintained graph free
+    of the O(n_final · n_empty) everything-edges a cardinality template
+    would otherwise contribute.
+
+    The final table is tracked per primary-key group via the candidate
+    table's dirty-consumer journal: each check re-examines only the key
+    groups touched since the previous check, swapping the group's final
+    row in or out of the matching.  A full rebuild happens only on the
+    first check, after a journal overflow, or when the Central Client
+    reduces the template.
+    """
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        template_rows: Callable[[], list[TemplateRow]],
+    ) -> None:
+        self._table = table
+        self._template_rows = template_rows
+        self._token = table.register_dirty_consumer()
+        self._sig: tuple[str, ...] | None = None
+        self._nonempty: list[TemplateRow] = []
+        self._n_empty = 0
+        self._matching: IncrementalMatching | None = None
+        self._right_by_key: dict[tuple, str] = {}
+
+    def satisfied(self) -> bool:
+        """Does the master's final table currently satisfy the template?"""
+        rows = self._template_rows()
+        sig = tuple(row.label for row in rows)
+        delta = self._table.drain_dirty(self._token)
+        if self._matching is None or sig != self._sig or delta.full:
+            self._rebuild(rows, sig)
+        else:
+            for key in delta.keys:
+                self._update_key(key)
+        assert self._matching is not None
+        size = self._matching.maximize()
+        return (
+            size == len(self._nonempty)
+            and len(self._right_by_key) >= len(self._nonempty) + self._n_empty
+        )
+
+    def _rebuild(self, rows: list[TemplateRow], sig: tuple[str, ...]) -> None:
+        self._sig = sig
+        self._nonempty = [row for row in rows if not row.is_empty]
+        self._n_empty = len(rows) - len(self._nonempty)
+        self._matching = IncrementalMatching(row.label for row in self._nonempty)
+        self._right_by_key = {}
+        for key, final_row in self._table.final_groups():
+            self._add_right(key, final_row)
+
+    def _add_right(self, key: tuple, final_row: Row) -> None:
+        self._right_by_key[key] = final_row.row_id
+        self._matching.add_right(
+            final_row.row_id,
+            [
+                row.label
+                for row in self._nonempty
+                if row.satisfied_by(final_row.value)
+            ],
+        )
+
+    def _update_key(self, key: tuple) -> None:
+        """The key group changed: swap its final row in the matching."""
+        final_row = self._table.final_in_group(key)
+        old_id = self._right_by_key.get(key)
+        new_id = final_row.row_id if final_row is not None else None
+        if old_id == new_id:
+            return
+        if old_id is not None:
+            self._matching.remove_right(old_id)
+            del self._right_by_key[key]
+        if final_row is not None:
+            self._add_right(key, final_row)
+
+
 class BackendServer:
     """Master replica + broadcast hub + trace keeper + CC host.
 
@@ -116,6 +204,9 @@ class BackendServer:
             send=self._central_send,
             on_unsatisfiable=on_unsatisfiable,  # type: ignore[arg-type]
             clock=lambda: sim.now,
+        )
+        self._completion = _CompletionTracker(
+            self.replica.table, lambda: self.central.template_rows
         )
         network.register(SERVER_NAME, self)
         self._started = False
@@ -216,11 +307,7 @@ class BackendServer:
     def _check_completion(self) -> None:
         if self.completed:
             return
-        final_values = self.replica.table.final_table()
-        template = self.current_template()
-        if len(final_values) >= len(template) and satisfies_template(
-            final_values, template
-        ):
+        if self._completion.satisfied():
             self.completed = True
             self.completion_time = self.sim.now
             if self.on_complete is not None:

@@ -139,6 +139,7 @@ def test_section_43_walkthrough():
     assert cc.pri_holds()
     assert len(cc.probable_now()) >= 4
     inserts_before = cc.stats.inserts
+    augmentations_before = cc.stats.augmentations
 
     # Downvote row 2 twice: score -2, out of P; augmenting path repairs.
     value2 = cc.replica.table.row(row2).value
@@ -147,6 +148,8 @@ def test_section_43_walkthrough():
     assert cc.pri_holds()
     assert cc.stats.inserts == inserts_before
     assert cc.stats.drops == 0
+    # The b-1-a-4 repair is an augmenting path; the counter must see it.
+    assert cc.stats.augmentations > augmentations_before
 
     # Row 4': caps filled in, then killed: no augmenting path for 'a'.
     message = worker2.fill(row4, "caps", 82)
@@ -197,6 +200,18 @@ def test_pri_events_are_recorded():
     cc.on_message(DownvoteMessage(value=brazil))
     kinds = {event.kind for event in cc.stats.events}
     assert "drop" in kinds
+
+
+def test_augmentation_counter_moves():
+    """stats.augmentations tracks successful augmenting paths (it was
+    previously dead: the counter only ever added zero)."""
+    cc, _ = make_cc(paper_template())
+    assert cc.stats.augmentations == 0
+    cc.initialize()
+    # Matching each of the three template rows to its seeded probable
+    # row takes one augmenting path apiece.
+    assert cc.stats.augmentations >= 3
+    assert cc.stats.augmentations == cc.matching.augment_count
 
 
 def test_refresh_before_initialize_is_noop():

@@ -1,0 +1,193 @@
+"""Property tests: the incremental index-backed views never diverge.
+
+The candidate table maintains its probable set, final table, and row
+scores incrementally (dirty key groups only).  These tests drive one
+long-lived table through arbitrary interleaved message sequences —
+querying the derived views at random points so the dirty tracking is
+exercised mid-stream, not just once at the end — and assert that every
+view exactly equals a from-scratch recomputation on a fresh replica fed
+the same messages.  The same sequences also exercise the consumer-delta
+APIs (`drain_dirty` / `drain_probable_delta`): a consumer that applies
+the drained deltas must track the true probable set and final table.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.probable import probable_rows, probable_rows_from_scratch
+from repro.core import Column, DataType, Schema
+from repro.core.row import RowValue
+from repro.core.scoring import ThresholdScoring
+from repro.core.table import CandidateTable
+
+SCHEMA = Schema(
+    name="Mini",
+    columns=(
+        Column("k", DataType.STRING),
+        Column("a", DataType.INT),
+        Column("b", DataType.STRING),
+    ),
+    primary_key=("k",),
+)
+
+KEYS = ["x", "y", "z"]
+INTS = [1, 2]
+STRS = ["p", "q"]
+
+_values = st.builds(
+    lambda k, a, b: RowValue(
+        {
+            name: value
+            for name, value in (("k", k), ("a", a), ("b", b))
+            if value is not None
+        }
+    ),
+    st.sampled_from(KEYS + [None]),
+    st.sampled_from(INTS + [None]),
+    st.sampled_from(STRS + [None]),
+)
+
+# One operation: (kind, value-ish payload).  Replace targets and row ids
+# are resolved against the table as the sequence is applied, so the same
+# abstract sequence is replayable on any copy.
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "replace", "upvote", "downvote",
+             "undo_upvote", "undo_downvote", "query"]
+        ),
+        _values,
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _apply(table, concrete_ops):
+    """Replay an already-concretized message sequence."""
+    for op, payload in concrete_ops:
+        getattr(table, f"apply_{op}")(*payload)
+
+
+def _concretize(ops):
+    """Turn abstract ops into a replayable message sequence.
+
+    Runs the sequence once on a scratch table to resolve replace
+    targets (which depend on which rows exist at that point) and to
+    drop undo messages that would be rejected.
+    """
+    scratch = CandidateTable(SCHEMA, ThresholdScoring(2))
+    concrete = []
+    counter = 0
+    query_points = []
+    for kind, value, pick in ops:
+        if kind == "query":
+            query_points.append(len(concrete))
+            continue
+        if kind == "insert":
+            counter += 1
+            message = ("insert", (f"r{counter}",))
+        elif kind == "replace":
+            ids = scratch.row_ids()
+            old_id = ids[pick % len(ids)] if ids and pick % 3 else f"ghost{pick}"
+            counter += 1
+            message = ("replace", (old_id, f"r{counter}", value))
+        elif kind in ("undo_upvote", "undo_downvote"):
+            history = (
+                scratch.upvote_history
+                if kind == "undo_upvote"
+                else scratch.downvote_history
+            )
+            if history.get(value, 0) <= 0:
+                continue
+            message = (kind, (value,))
+        else:
+            message = (kind, (value,))
+        _apply(scratch, [message])
+        concrete.append(message)
+    return concrete, query_points
+
+
+def _from_scratch_views(concrete_ops):
+    """Fresh replica fed the same messages, queried exactly once."""
+    fresh = CandidateTable(SCHEMA, ThresholdScoring(2))
+    _apply(fresh, concrete_ops)
+    return fresh
+
+
+def _assert_views_match(incremental, concrete_so_far):
+    fresh = _from_scratch_views(concrete_so_far)
+    # Probable set: incremental view == full-scan oracle on both copies.
+    oracle = [r.row_id for r in probable_rows_from_scratch(fresh)]
+    assert [r.row_id for r in probable_rows(incremental)] == oracle
+    assert [r.row_id for r in probable_rows_from_scratch(incremental)] == oracle
+    for row_id in incremental.row_ids():
+        assert incremental.is_row_probable(row_id) == (row_id in set(oracle))
+    # Final table.
+    assert [r.snapshot() for r in incremental.final_rows()] == [
+        r.snapshot() for r in fresh.final_rows()
+    ]
+    # Cached scores equal recomputed scores.
+    for row in incremental.rows():
+        assert incremental.score(row) == fresh.scoring.score(
+            row.upvotes, row.downvotes
+        )
+    # Snapshots (rows + vote counts) and Lemma-3 invariants.
+    assert incremental.snapshot() == fresh.snapshot()
+    incremental.check_vote_invariants()
+
+
+@settings(max_examples=60)
+@given(_operations)
+def test_incremental_views_equal_from_scratch(ops):
+    concrete, query_points = _concretize(ops)
+    table = CandidateTable(SCHEMA, ThresholdScoring(2))
+    position = 0
+    for point in query_points + [len(concrete)]:
+        _apply(table, concrete[position:point])
+        position = point
+        _assert_views_match(table, concrete[:position])
+
+
+@settings(max_examples=40)
+@given(_operations)
+def test_consumer_deltas_track_true_views(ops):
+    concrete, query_points = _concretize(ops)
+    table = CandidateTable(SCHEMA, ThresholdScoring(2))
+    probable_token = table.register_probable_consumer()
+    dirty_token = table.register_dirty_consumer()
+    tracked_probable: set[str] = set()
+    tracked_final: dict[tuple, str] = {}
+    position = 0
+    for point in query_points + [len(concrete)]:
+        _apply(table, concrete[position:point])
+        position = point
+
+        added, removed, full = table.drain_probable_delta(probable_token)
+        if full:
+            tracked_probable = {r.row_id for r in table.probable_rows()}
+        else:
+            for row_id in removed:
+                tracked_probable.discard(row_id)
+            for row in added:
+                tracked_probable.add(row.row_id)
+        assert tracked_probable == {r.row_id for r in table.probable_rows()}
+
+        delta = table.drain_dirty(dirty_token)
+        if delta.full:
+            tracked_final = {
+                key: row.row_id for key, row in table.final_groups()
+            }
+        else:
+            for key in delta.keys:
+                final = table.final_in_group(key)
+                if final is None:
+                    tracked_final.pop(key, None)
+                else:
+                    tracked_final[key] = final.row_id
+        assert tracked_final == {
+            key: row.row_id for key, row in table.final_groups()
+        }
