@@ -76,6 +76,11 @@ class WorkerClient:
         self._successor: dict[str, str] = {}  # replaced row -> its heir
         self._listeners: list[Callable[[Message], None]] = []
         self.actions_performed = 0
+        self._connected = True
+        self._outbox: list[Message] = []
+        self.messages_received = 0
+        self.disconnect_count = 0
+        self.resync_kinds: list[str] = []
         network.register(worker_id, self)
 
     # -- wiring ------------------------------------------------------------------
@@ -92,12 +97,80 @@ class WorkerClient:
 
     def on_message(self, source: str, payload: Message) -> None:
         """Network entry point: a broadcast from the server."""
+        self.messages_received += 1
         self.replica.receive(payload)
         if hasattr(payload, "old_id"):
             self._note_replacement(payload.old_id, payload.new_id)
         self._assign_order_keys()
         for listener in self._listeners:
             listener(payload)
+
+    # -- connection lifecycle ----------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """False while the client's server connection is broken."""
+        return self._connected
+
+    @property
+    def pending_ops(self) -> int:
+        """Operations performed offline, awaiting replay on reconnect."""
+        return len(self._outbox)
+
+    def disconnect(self) -> None:
+        """The connection broke: buffer sends until :meth:`reconnect`.
+
+        Local operations keep working against the local copy — the
+        worker can keep typing into a stale table, exactly like a
+        browser that lost its socket.
+        """
+        if not self._connected:
+            return
+        self._connected = False
+        self.disconnect_count += 1
+
+    def requeue_unsent(self, messages: list[Message]) -> None:
+        """Hand back messages purged from the wire mid-flight.
+
+        They were sent (and applied locally) *before* anything buffered
+        offline, so they go to the front of the outbox.
+        """
+        self._outbox[:0] = messages
+
+    def reconnect(self, backend) -> str:
+        """Reattach to *backend* and replay buffered operations.
+
+        Runs the resync protocol: reports this client's received-message
+        count, loads the bootstrap snapshot if the server's op-log could
+        not cover the gap, then flushes the offline outbox through the
+        normal send path so pending fills/votes merge via the ordinary
+        operation model.  Returns the resync kind (``"incremental"`` or
+        ``"snapshot"``).
+        """
+        if self._connected:
+            raise OperationError(
+                f"client {self.worker_id!r} is already connected"
+            )
+        result = backend.reattach_client(self.worker_id, self.messages_received)
+        if result.kind == "snapshot":
+            self.messages_received = 0
+            self._restore_from_snapshot(result.bootstrap)
+        self._connected = True
+        self.resync_kinds.append(result.kind)
+        outbox, self._outbox = self._outbox, []
+        for message in outbox:
+            self._send(message)
+        return result.kind
+
+    def _restore_from_snapshot(self, state: BootstrapState) -> None:
+        """Replace the local copy with the master's snapshot, then
+        re-apply the offline outbox locally — the snapshot cannot
+        contain operations the server never received."""
+        self.replica.reset()
+        state.restore_into(self.replica)
+        for message in self._outbox:
+            self.replica.receive(message)
+        self._assign_order_keys()
 
     def _note_replacement(self, old_id: str, new_id: str) -> None:
         self._successor[old_id] = new_id
@@ -122,6 +195,9 @@ class WorkerClient:
         return current
 
     def _send(self, message: Message) -> None:
+        if not self._connected:
+            self._outbox.append(message)
+            return
         self.network.send(self.worker_id, SERVER_NAME, message)
 
     def _assign_order_keys(self) -> None:

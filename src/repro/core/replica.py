@@ -49,9 +49,19 @@ class Replica:
     ) -> None:
         self.name = name
         self.schema = schema
+        self.scoring = scoring
         self.table = CandidateTable(schema, scoring)
         self._row_counter = itertools.count(1)
         self.messages_processed = 0
+
+    def reset(self) -> None:
+        """Discard the table copy, keeping the replica's identity.
+
+        Used by the snapshot-resync path: the row-id counter is *not*
+        reset, so identifiers generated after a resync stay globally
+        unique across the replica's whole lifetime.
+        """
+        self.table = CandidateTable(self.schema, self.scoring)
 
     def _fresh_row_id(self) -> str:
         return f"{self.name}#{next(self._row_counter)}"

@@ -17,6 +17,13 @@ from repro.experiments.harness import (
     ExperimentConfig,
     ExperimentResult,
 )
+from repro.experiments.churn import (
+    ChurnConfig,
+    ChurnReport,
+    WorkerChurnOutcome,
+    build_churn_plan,
+    run_churn_experiment,
+)
 from repro.experiments.effectiveness import EffectivenessReport, run_effectiveness
 from repro.experiments.compensation import (
     CompensationReport,
@@ -62,6 +69,11 @@ __all__ = [
     "CrowdFillExperiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "ChurnConfig",
+    "ChurnReport",
+    "WorkerChurnOutcome",
+    "build_churn_plan",
+    "run_churn_experiment",
     "EffectivenessReport",
     "run_effectiveness",
     "CompensationReport",

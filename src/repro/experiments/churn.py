@@ -1,0 +1,248 @@
+"""The churn scenario: a collection that survives worker disconnects.
+
+Production crowdsourcing crews are churn-heavy: workers drop mid-session
+and (sometimes) come back.  This rig runs a standard CrowdFill
+collection while a seeded :class:`~repro.net.faults.FaultPlan`
+disconnects a chosen fraction of the crew mid-collection and rejoins
+them, exercising the whole robustness stack end to end:
+
+- the fault injector purges the wire and drops link traffic;
+- the back-end retains per-client sessions and resyncs rejoiners from
+  its bounded op-log (or a snapshot when the log was truncated);
+- clients keep working offline, buffering operations that merge via the
+  normal operation model on reconnect.
+
+The run's success criteria mirror the convergence theorem under faults:
+the collection still terminates with a final table satisfying the
+constraint template, and — once every survivor is back online and the
+network quiesces — every client copy equals the master.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.client import WorkerClient
+from repro.constraints.template import Template
+from repro.core.scoring import ScoringFunction, ThresholdScoring
+from repro.experiments.harness import (
+    ExperimentConfig,
+    make_policy,
+    resolve_domain,
+)
+from repro.net import DisconnectWindow, FaultInjector, FaultPlan, Network
+from repro.net import UniformLatency
+from repro.server.backend import BackendServer
+from repro.sim import RngStreams, Simulator
+from repro.workers import ActionLatencies, SimulatedWorker
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Fault-schedule knobs layered over a base experiment config."""
+
+    base: ExperimentConfig = field(default_factory=ExperimentConfig)
+    disconnect_fraction: float = 0.4
+    """Fraction of the crew that disconnects mid-collection (>= 0.3 for
+    the paper-plus demo scenario)."""
+    first_outage: float = 90.0
+    """Earliest outage start, seconds of simulated time."""
+    outage_spread: float = 600.0
+    """Outage starts are drawn from [first_outage, first_outage+spread)."""
+    min_outage: float = 30.0
+    max_outage: float = 300.0
+    waves: int = 2
+    """How many disconnect/rejoin rounds each victim goes through."""
+    oplog_capacity: int = 256
+    """Bounded op-log size; small values force snapshot resyncs."""
+
+
+@dataclass
+class WorkerChurnOutcome:
+    """One worker's fault-and-recovery story."""
+
+    worker_id: str
+    disconnects: int
+    reconnects: int
+    offline_actions: int
+    resync_kinds: list[str]
+
+
+@dataclass
+class ChurnReport:
+    """Everything the churn scenario asserts on (and reports)."""
+
+    completed: bool
+    duration: float | None
+    accuracy: float
+    final_rows: int
+    template_satisfied: bool
+    all_converged: bool
+    victims: list[str]
+    outcomes: list[WorkerChurnOutcome]
+    incremental_resyncs: int
+    snapshot_resyncs: int
+    messages_dropped: int
+    fault_events: int
+
+    @property
+    def rejoined_workers(self) -> int:
+        return sum(1 for o in self.outcomes if o.reconnects > 0)
+
+
+def build_churn_plan(config: ChurnConfig, worker_ids: list[str]) -> FaultPlan:
+    """Derive the deterministic fault schedule for one run.
+
+    The victim set is the first ``ceil(fraction * n)`` workers (victim
+    *identity* is part of the scenario, not of the random draw, so the
+    fraction is exact); outage windows are drawn from the seeded
+    ``faults`` stream.
+    """
+    streams = RngStreams(config.base.seed)
+    rng = streams.stream("faults")
+    count = math.ceil(config.disconnect_fraction * len(worker_ids))
+    victims = worker_ids[:count]
+    windows: list[DisconnectWindow] = []
+    for victim in victims:
+        for _ in range(config.waves):
+            start = config.first_outage + rng.random() * config.outage_spread
+            length = config.min_outage + rng.random() * (
+                config.max_outage - config.min_outage
+            )
+            windows.append(DisconnectWindow(victim, start, start + length))
+    return FaultPlan(disconnects=tuple(windows))
+
+
+def run_churn_experiment(config: ChurnConfig | None = None) -> ChurnReport:
+    """Run one collection under the churn fault schedule."""
+    config = config or ChurnConfig()
+    base = config.base
+    streams = RngStreams(base.seed)
+    sim = Simulator()
+    network = Network(
+        sim,
+        default_latency=UniformLatency(base.latency_low, base.latency_high),
+        rng=streams.stream("network"),
+    )
+    schema, full_truth, truth_band = resolve_domain(base)
+    scoring: ScoringFunction = ThresholdScoring(base.min_votes)
+    template = Template.cardinality(base.target_rows)
+    backend = BackendServer(
+        sim,
+        network,
+        schema,
+        scoring,
+        template,
+        oplog_capacity=config.oplog_capacity,
+    )
+
+    profiles = base.resolved_profiles()
+    kinds = base.resolved_policy_kinds()
+    latencies = ActionLatencies()
+    worker_ids = [f"worker-{i}" for i in range(base.num_workers)]
+    clients: dict[str, WorkerClient] = {}
+    workers: dict[str, SimulatedWorker] = {}
+    for index, worker_id in enumerate(worker_ids):
+        profile = profiles[index]
+        client = WorkerClient(
+            worker_id,
+            schema,
+            scoring,
+            network,
+            rng=streams.stream(f"order-{worker_id}"),
+            vote_cap=base.vote_cap,
+        )
+        client.bootstrap(backend.attach_client(worker_id))
+        policy = make_policy(
+            kinds[index], truth_band, profile, streams, worker_id
+        )
+        worker = SimulatedWorker(
+            client,
+            policy,
+            profile,
+            sim,
+            rng=streams.stream(f"behavior-{worker_id}"),
+            latencies=latencies,
+            is_done=lambda: backend.completed,
+        )
+        clients[worker_id] = client
+        workers[worker_id] = worker
+        worker.start()
+
+    plan = build_churn_plan(config, worker_ids)
+    injector = FaultInjector(sim, network, plan)
+    for victim in plan.faulted_endpoints():
+        client = clients[victim]
+        worker = workers[victim]
+        injector.bind(
+            victim,
+            on_disconnect=_make_on_disconnect(backend, client, worker),
+            on_reconnect=_make_on_reconnect(backend, client, worker),
+            on_requeue=client.requeue_unsent,
+        )
+    injector.install()
+
+    backend.start()
+    sim.run(until=base.max_sim_time)
+
+    # End-of-run: bring every still-disconnected victim back online so
+    # convergence is checkable, then drain the network.
+    injector.force_reconnect_all()
+    sim.run()
+    assert network.quiescent()
+
+    reference = backend.replica.snapshot()
+    all_converged = all(
+        client.snapshot() == reference for client in clients.values()
+    )
+    final_values = [row.value for row in backend.final_rows()]
+    outcomes = [
+        WorkerChurnOutcome(
+            worker_id=worker_id,
+            disconnects=workers[worker_id].log.disconnects,
+            reconnects=workers[worker_id].log.reconnects,
+            offline_actions=workers[worker_id].log.offline_actions,
+            resync_kinds=list(clients[worker_id].resync_kinds),
+        )
+        for worker_id in worker_ids
+    ]
+    return ChurnReport(
+        completed=backend.completed,
+        duration=backend.completion_time,
+        accuracy=full_truth.accuracy_of(final_values),
+        final_rows=len(final_values),
+        template_satisfied=backend.completed,
+        all_converged=all_converged,
+        victims=plan.faulted_endpoints(),
+        outcomes=outcomes,
+        incremental_resyncs=sum(
+            o.resync_kinds.count("incremental") for o in outcomes
+        ),
+        snapshot_resyncs=sum(
+            o.resync_kinds.count("snapshot") for o in outcomes
+        ),
+        messages_dropped=network.stats.messages_dropped,
+        fault_events=len(injector.events),
+    )
+
+
+def _make_on_disconnect(
+    backend: BackendServer, client: WorkerClient, worker: SimulatedWorker
+):
+    def on_disconnect() -> None:
+        backend.detach_client(client.worker_id)
+        client.disconnect()
+        worker.note_disconnect()
+
+    return on_disconnect
+
+
+def _make_on_reconnect(
+    backend: BackendServer, client: WorkerClient, worker: SimulatedWorker
+):
+    def on_reconnect() -> None:
+        client.reconnect(backend)
+        worker.note_reconnect()
+
+    return on_reconnect

@@ -52,6 +52,24 @@ from repro.workers.profile import representative_crew
 PolicyKind = Literal["diligent", "spammer", "copier"]
 
 
+def make_policy(
+    kind: PolicyKind,
+    truth: GroundTruth,
+    profile: WorkerProfile,
+    streams: RngStreams,
+    worker_id: str,
+):
+    """Build one worker's decision policy (shared by all scenario rigs)."""
+    if kind == "spammer":
+        return SpammerPolicy()
+    if kind == "copier":
+        return CopierPolicy()
+    knowledge = truth.sample_known_subset(
+        streams.stream(f"knowledge-{worker_id}"), profile.knowledge_fraction
+    )
+    return DiligentPolicy(knowledge, profile, reference=truth)
+
+
 def resolve_domain(
     config: "ExperimentConfig",
 ) -> tuple[Schema, GroundTruth, GroundTruth]:
@@ -353,11 +371,4 @@ class CrowdFillExperiment:
         streams: RngStreams,
         worker_id: str,
     ):
-        if kind == "spammer":
-            return SpammerPolicy()
-        if kind == "copier":
-            return CopierPolicy()
-        knowledge = truth.sample_known_subset(
-            streams.stream(f"knowledge-{worker_id}"), profile.knowledge_fraction
-        )
-        return DiligentPolicy(knowledge, profile, reference=truth)
+        return make_policy(kind, truth, profile, streams, worker_id)

@@ -116,7 +116,7 @@ class MicrotaskCoordinator:
             self._issue_enumerate(slot)
 
     def register_worker(self, worker_id: str) -> None:
-        """Declare a worker in the pool.
+        """Declare a worker in the pool (idempotent; rejoiners re-register).
 
         Knowing the pool lets the coordinator detect *voter exhaustion*:
         a row whose eligible verifiers (everyone but its enumerator and
@@ -125,6 +125,30 @@ class MicrotaskCoordinator:
         a 1-1 split with nobody left to break the tie.
         """
         self._registered.add(worker_id)
+
+    def release_worker(self, worker_id: str, deregister: bool = False) -> int:
+        """A worker dropped mid-assignment: reopen their in-flight tasks.
+
+        The microtask analogue of a HIT abandonment/return — the
+        assignment goes back to the open pool for anyone (including the
+        same worker after rejoining) to pick up.  With *deregister* the
+        worker also leaves the known pool, which may resolve rows whose
+        remaining verifiers all just left.  Returns the number of tasks
+        reopened.
+        """
+        abandoned = [
+            task_id
+            for task_id, (_, assignee) in self._in_flight.items()
+            if assignee == worker_id
+        ]
+        for task_id in abandoned:
+            task, _ = self._in_flight.pop(task_id)
+            self._open.append(task)
+        if deregister:
+            self._registered.discard(worker_id)
+        for slot in self.slots:
+            self._check_verify_exhaustion(slot)
+        return len(abandoned)
 
     # -- progress -----------------------------------------------------------
 

@@ -88,6 +88,7 @@ class MicrotaskWorker:
         self.log = MicrotaskWorkerLog()
         self._verdict_memo: dict[RowValue, bool] = {}
         self._started = False
+        self._offline = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -98,8 +99,24 @@ class MicrotaskWorker:
         self.coordinator.register_worker(self.worker_id)
         self.sim.schedule(self.profile.start_delay, self._cycle)
 
+    def interrupt(self) -> None:
+        """The worker dropped (connection/browser gone): abandon the
+        current assignment so the coordinator can reissue it."""
+        if self._offline:
+            return
+        self._offline = True
+        self.coordinator.release_worker(self.worker_id)
+
+    def resume(self) -> None:
+        """The worker rejoined: re-register and restart the pull loop."""
+        if not self._offline:
+            return
+        self._offline = False
+        self.coordinator.register_worker(self.worker_id)
+        self.sim.schedule(0.0, self._cycle)
+
     def _cycle(self) -> None:
-        if self.is_done():
+        if self._offline or self.is_done():
             return
         task = self.coordinator.next_task(self.worker_id)
         if task is None:
@@ -117,6 +134,8 @@ class MicrotaskWorker:
         self.sim.schedule(overhead + work, lambda: self._finish(task))
 
     def _finish(self, task: Microtask) -> None:
+        if self._offline:
+            return  # the assignment was released by interrupt()
         payload = self._answer(task)
         if payload is None:
             self.log.tasks_skipped += 1

@@ -1,0 +1,352 @@
+"""Seedable link-level fault injection for the simulated network.
+
+The convergence theorem (paper section 2.4) assumes reliable, in-order
+delivery.  This module is the controlled way to *violate* that
+assumption so the rest of the system — sessions, op-log resync, offline
+buffering — can be shown to restore it.
+
+Fault model (connection-breaking):
+
+- Faults are expressed as *windows* of simulated time attached to
+  endpoints (disconnects, server-side partitions) or links (latency
+  spikes).
+- A disconnect or partition window **breaks the endpoint's
+  connection**: at window start every in-flight message to or from the
+  endpoint is purged from the wire (TCP teardown loses unacked data),
+  and while the window is open any new send touching the endpoint is
+  dropped.  Purged *outbound* messages can be handed back to the sender
+  (see :meth:`FaultInjector.bind`) the way an application-level resend
+  buffer would keep them.
+- A latency spike multiplies sampled link latencies during its window.
+  It never reorders: the channel's monotone delivery-time clamp keeps
+  each link FIFO no matter how the spike starts or ends.
+
+Because drops only ever happen as part of connection breaking, any
+message stream actually *delivered* on a link is a prefix of the stream
+sent on it — the invariant the back-end's count-acknowledged resync
+protocol (``BackendServer.reattach_client``) relies on.
+
+Everything is seedable: :meth:`FaultPlan.generate` derives a plan from a
+``random.Random``, and the injector schedules its window events
+deterministically, so one seed reproduces one fault schedule exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.network import DroppedMessage, Network
+from repro.sim import Simulator
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (bad window bounds, bad factor)."""
+
+
+@dataclass(frozen=True)
+class DisconnectWindow:
+    """Endpoint *endpoint* is disconnected during [start, end).
+
+    ``end`` may be ``math.inf`` for a crash that never rejoins.
+    """
+
+    endpoint: str
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or not self.end > self.start:
+            raise FaultPlanError(
+                f"bad disconnect window [{self.start}, {self.end}) "
+                f"for {self.endpoint!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A server-side partition: every listed endpoint is cut off during
+    [start, end) — sugar for simultaneous disconnect windows."""
+
+    endpoints: tuple[str, ...]
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise FaultPlanError("partition window needs at least one endpoint")
+        if self.start < 0 or not self.end > self.start:
+            raise FaultPlanError(
+                f"bad partition window [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Multiply sampled latencies by *factor* during [start, end).
+
+    ``source``/``destination`` of ``None`` match any endpoint, so a
+    spike can target one directed link, everything into or out of one
+    endpoint, or the whole network.
+    """
+
+    start: float
+    end: float
+    factor: float
+    source: str | None = None
+    destination: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or not self.end > self.start:
+            raise FaultPlanError(f"bad spike window [{self.start}, {self.end})")
+        if self.factor <= 0:
+            raise FaultPlanError(f"spike factor must be positive: {self.factor}")
+
+    def matches(self, source: str, destination: str) -> bool:
+        return (self.source is None or self.source == source) and (
+            self.destination is None or self.destination == destination
+        )
+
+
+def _merge_windows(
+    windows: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Merge overlapping/touching [start, end) windows into disjoint ones."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, immutable schedule of faults.
+
+    Plans compose: windows for the same endpoint may overlap; the
+    injector acts on the merged union, so an endpoint disconnects once
+    per contiguous outage regardless of how the plan expressed it.
+    """
+
+    disconnects: tuple[DisconnectWindow, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    spikes: tuple[LatencySpike, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.disconnects or self.partitions or self.spikes)
+
+    def faulted_endpoints(self) -> list[str]:
+        """Endpoints with at least one outage window, sorted."""
+        names = {window.endpoint for window in self.disconnects}
+        for partition in self.partitions:
+            names.update(partition.endpoints)
+        return sorted(names)
+
+    def outage_windows(self, endpoint: str) -> list[tuple[float, float]]:
+        """Merged, disjoint outage windows for *endpoint*."""
+        windows = [
+            (w.start, w.end) for w in self.disconnects if w.endpoint == endpoint
+        ]
+        windows.extend(
+            (p.start, p.end)
+            for p in self.partitions
+            if endpoint in p.endpoints
+        )
+        return _merge_windows(windows)
+
+    def latency_factor(
+        self, source: str, destination: str, now: float
+    ) -> float:
+        """Combined spike multiplier for one link at time *now*."""
+        factor = 1.0
+        for spike in self.spikes:
+            if spike.start <= now < spike.end and spike.matches(
+                source, destination
+            ):
+                factor *= spike.factor
+        return factor
+
+    @classmethod
+    def generate(
+        cls,
+        rng: random.Random,
+        endpoints: list[str],
+        horizon: float,
+        outage_prob: float = 0.5,
+        max_outages_per_endpoint: int = 2,
+        min_outage: float = 0.0,
+        max_outage: float | None = None,
+        spike_prob: float = 0.25,
+        max_spike_factor: float = 20.0,
+    ) -> "FaultPlan":
+        """Draw a random plan over *endpoints* within [0, horizon).
+
+        Deterministic in *rng*: the same seeded stream yields the same
+        plan.  Outage windows always close before *horizon*, so every
+        generated fault heals and convergence remains checkable.
+        """
+        if horizon <= 0:
+            raise FaultPlanError(f"horizon must be positive: {horizon}")
+        max_outage = horizon if max_outage is None else max_outage
+        disconnects: list[DisconnectWindow] = []
+        spikes: list[LatencySpike] = []
+        for endpoint in endpoints:
+            if rng.random() >= outage_prob:
+                continue
+            for _ in range(rng.randint(1, max_outages_per_endpoint)):
+                start = rng.uniform(0.0, horizon * 0.9)
+                length = rng.uniform(
+                    min_outage, min(max_outage, horizon - start)
+                )
+                end = min(start + max(length, 1e-9), horizon)
+                disconnects.append(DisconnectWindow(endpoint, start, end))
+        if endpoints and rng.random() < spike_prob:
+            start = rng.uniform(0.0, horizon * 0.9)
+            end = rng.uniform(start, horizon) + 1e-9
+            spikes.append(
+                LatencySpike(
+                    start=start,
+                    end=end,
+                    factor=rng.uniform(1.0, max_spike_factor),
+                )
+            )
+        return cls(disconnects=tuple(disconnects), spikes=tuple(spikes))
+
+
+@dataclass
+class _Handlers:
+    """Per-endpoint callbacks driving the detach/reattach choreography."""
+
+    on_disconnect: Callable[[], None] | None = None
+    on_reconnect: Callable[[], None] | None = None
+    on_requeue: Callable[[list], None] | None = None
+
+
+@dataclass
+class FaultEvent:
+    """One injector action, for forensics and deterministic-replay tests."""
+
+    time: float
+    kind: str  # "disconnect" | "reconnect"
+    endpoint: str
+    purged: int = 0
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one network.
+
+    The injector is the network's :class:`~repro.net.network.FaultFilter`
+    *and* the scheduler of the plan's window events.  At each outage
+    start it purges the endpoint's in-flight messages, requeues purged
+    outbound ones through the bound ``on_requeue`` handler, and invokes
+    ``on_disconnect`` (typically wired to ``BackendServer.detach_client``
+    plus ``WorkerClient.disconnect``).  At the outage end it invokes
+    ``on_reconnect`` (typically ``WorkerClient.reconnect``).
+    """
+
+    def __init__(
+        self, sim: Simulator, network: Network, plan: FaultPlan
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        self._down: set[str] = set()
+        self._handlers: dict[str, _Handlers] = {}
+        self.events: list[FaultEvent] = []
+        self._installed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(
+        self,
+        endpoint: str,
+        on_disconnect: Callable[[], None] | None = None,
+        on_reconnect: Callable[[], None] | None = None,
+        on_requeue: Callable[[list], None] | None = None,
+    ) -> None:
+        """Attach session-choreography callbacks for *endpoint*.
+
+        ``on_requeue`` receives the payloads of purged messages *sent
+        by* the endpoint (oldest first) — a client hands them back to
+        its outbox so nothing it performed is ever lost.
+        """
+        self._handlers[endpoint] = _Handlers(
+            on_disconnect, on_reconnect, on_requeue
+        )
+
+    def install(self) -> None:
+        """Register as the network's fault filter and schedule the plan."""
+        if self._installed:
+            raise RuntimeError("fault injector already installed")
+        self._installed = True
+        self.network.set_fault_filter(self)
+        for endpoint in self.plan.faulted_endpoints():
+            for start, end in self.plan.outage_windows(endpoint):
+                self.sim.schedule_at(
+                    start, lambda e=endpoint: self._begin_outage(e)
+                )
+                if end != math.inf:
+                    self.sim.schedule_at(
+                        end, lambda e=endpoint: self._end_outage(e)
+                    )
+
+    # -- FaultFilter protocol ----------------------------------------------
+
+    def should_drop(self, source: str, destination: str) -> bool:
+        return source in self._down or destination in self._down
+
+    def latency_factor(self, source: str, destination: str) -> float:
+        return self.plan.latency_factor(source, destination, self.sim.now)
+
+    # -- state -------------------------------------------------------------
+
+    def is_down(self, endpoint: str) -> bool:
+        """Is *endpoint* currently inside an outage window?"""
+        return endpoint in self._down
+
+    @property
+    def down(self) -> frozenset[str]:
+        return frozenset(self._down)
+
+    def force_reconnect_all(self) -> None:
+        """Close every open outage now (end-of-run convergence checks)."""
+        for endpoint in sorted(self._down):
+            self._end_outage(endpoint)
+
+    # -- window events ----------------------------------------------------
+
+    def _begin_outage(self, endpoint: str) -> None:
+        if endpoint in self._down:
+            return
+        self._down.add(endpoint)
+        dropped = self.network.drop_in_flight(endpoint)
+        self.events.append(
+            FaultEvent(self.sim.now, "disconnect", endpoint, len(dropped))
+        )
+        handlers = self._handlers.get(endpoint)
+        if handlers is None:
+            return
+        if handlers.on_requeue is not None:
+            outbound = [
+                d.payload
+                for d in dropped
+                if isinstance(d, DroppedMessage) and d.source == endpoint
+            ]
+            if outbound:
+                handlers.on_requeue(outbound)
+        if handlers.on_disconnect is not None:
+            handlers.on_disconnect()
+
+    def _end_outage(self, endpoint: str) -> None:
+        if endpoint not in self._down:
+            return
+        self._down.discard(endpoint)
+        self.events.append(FaultEvent(self.sim.now, "reconnect", endpoint))
+        handlers = self._handlers.get(endpoint)
+        if handlers is not None and handlers.on_reconnect is not None:
+            handlers.on_reconnect()

@@ -29,16 +29,49 @@ class Endpoint(Protocol):
 
 @dataclass
 class NetworkStats:
-    """Counters for observability and benchmarks."""
+    """Counters for observability and benchmarks.
+
+    Every sent message is eventually accounted for exactly once, as
+    either delivered or dropped, so :attr:`in_flight` re-reaches zero at
+    quiescence even under faults, endpoint unregistration, or in-flight
+    purges.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
+    messages_dropped: int = 0
     bytes_sent: int = 0
     per_link_sent: dict[tuple[str, str], int] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
-        return self.messages_sent - self.messages_delivered
+        return self.messages_sent - self.messages_delivered - self.messages_dropped
+
+
+@runtime_checkable
+class FaultFilter(Protocol):
+    """Decides, at send time, the fate of a message on a link.
+
+    Implemented by :class:`repro.net.faults.FaultInjector`; the network
+    consults it on every ``send``.
+    """
+
+    def should_drop(self, source: str, destination: str) -> bool:
+        """True to silently drop the message (link is down)."""
+        ...
+
+    def latency_factor(self, source: str, destination: str) -> float:
+        """Multiplier (>= 0) applied to the sampled link latency."""
+        ...
+
+
+@dataclass(frozen=True)
+class DroppedMessage:
+    """One in-flight message purged from a link (for requeue/forensics)."""
+
+    source: str
+    destination: str
+    payload: Any
 
 
 class _Channel:
@@ -57,6 +90,9 @@ class _Channel:
         self.rng = rng
         self.last_delivery_time = 0.0
         self.in_flight = 0
+        # FIFO of (event, payload) for deliveries not yet fired; lets a
+        # fault purge the wire when an endpoint's connection breaks.
+        self.pending: list[tuple[Any, Any]] = []
 
 
 class Network:
@@ -92,6 +128,11 @@ class Network:
         self._endpoints: dict[str, Endpoint] = {}
         self._channels: dict[tuple[str, str], _Channel] = {}
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._fault_filter: FaultFilter | None = None
+
+    def set_fault_filter(self, fault_filter: FaultFilter | None) -> None:
+        """Install (or clear) the fault filter consulted on every send."""
+        self._fault_filter = fault_filter
 
     def register(self, name: str, endpoint: Endpoint) -> None:
         """Attach *endpoint* under *name*.
@@ -130,17 +171,52 @@ class Network:
             raise KeyError(f"unknown source endpoint: {source!r}")
         if destination not in self._endpoints:
             raise KeyError(f"unknown destination endpoint: {destination!r}")
-        channel = self._channel(source, destination)
-        delay = channel.latency.sample(channel.rng)
-        deliver_at = max(self.sim.now + delay, channel.last_delivery_time)
-        channel.last_delivery_time = deliver_at
-        channel.in_flight += 1
         self.stats.messages_sent += 1
         key = (source, destination)
         self.stats.per_link_sent[key] = self.stats.per_link_sent.get(key, 0) + 1
-        self.sim.schedule_at(
+        channel = self._channel(source, destination)
+        factor = 1.0
+        if self._fault_filter is not None:
+            if self._fault_filter.should_drop(source, destination):
+                self.stats.messages_dropped += 1
+                return
+            factor = self._fault_filter.latency_factor(source, destination)
+        delay = channel.latency.sample(channel.rng) * factor
+        deliver_at = max(self.sim.now + delay, channel.last_delivery_time)
+        channel.last_delivery_time = deliver_at
+        channel.in_flight += 1
+        event = self.sim.schedule_at(
             deliver_at, lambda: self._deliver(channel, source, destination, payload)
         )
+        channel.pending.append((event, payload))
+
+    def drop_in_flight(self, endpoint: str) -> list[DroppedMessage]:
+        """Purge every undelivered message to or from *endpoint*.
+
+        Models the endpoint's transport connections breaking: whatever
+        was on the wire is lost.  Returns the purged messages (ordered
+        by scheduled delivery) so a caller may requeue outbound ones
+        into a client's resend buffer.
+        """
+        purged: list[tuple[Any, DroppedMessage]] = []
+        for channel in self._channels.values():
+            if endpoint not in (channel.source, channel.destination):
+                continue
+            for event, payload in channel.pending:
+                event.cancel()
+                purged.append(
+                    (
+                        event,
+                        DroppedMessage(
+                            channel.source, channel.destination, payload
+                        ),
+                    )
+                )
+            channel.in_flight = 0
+            channel.pending.clear()
+        self.stats.messages_dropped += len(purged)
+        purged.sort(key=lambda pair: (pair[0].time, pair[0].seq))
+        return [dropped for _, dropped in purged]
 
     def quiescent(self) -> bool:
         """True when no message is in flight on any channel."""
@@ -158,7 +234,13 @@ class Network:
         self, channel: _Channel, source: str, destination: str, payload: Any
     ) -> None:
         channel.in_flight -= 1
-        self.stats.messages_delivered += 1
+        if channel.pending:
+            channel.pending.pop(0)
         endpoint = self._endpoints.get(destination)
-        if endpoint is not None:
-            endpoint.on_message(source, payload)
+        if endpoint is None:
+            # The destination unregistered mid-flight: the message is
+            # dropped, not delivered — in_flight still re-reaches zero.
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        endpoint.on_message(source, payload)

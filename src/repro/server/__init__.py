@@ -8,9 +8,23 @@
   payment (section 3.2), persisting to the document store.
 """
 
-from repro.server.backend import BackendServer, BootstrapState
+from repro.server.backend import (
+    BackendServer,
+    BootstrapState,
+    ClientSession,
+    OpLog,
+    ResyncResult,
+)
 
-__all__ = ["BackendServer", "BootstrapState", "FrontendServer", "ApiError"]
+__all__ = [
+    "BackendServer",
+    "BootstrapState",
+    "ClientSession",
+    "OpLog",
+    "ResyncResult",
+    "FrontendServer",
+    "ApiError",
+]
 
 
 def __getattr__(name):

@@ -11,13 +11,25 @@ message to every client except the originator.  Beyond the model it:
 - detects *completion*: the first instant the master's final table
   satisfies the (possibly reduced) constraint template;
 - supplies bootstrap snapshots so clients joining mid-collection start
-  from a copy identical to the master.
+  from a copy identical to the master;
+- keeps a *session* per client so a disconnected client can reattach
+  and be resynced — incrementally from a bounded in-memory op-log when
+  the gap is still covered, or by a fresh bootstrap snapshot when the
+  log has been truncated past the gap (the DBLog-style snapshot
+  fallback).
+
+The resync protocol is acknowledged by *count*: per-link FIFO makes the
+stream a client actually received a prefix of the stream the server
+sent it (faults only drop messages by breaking the connection, see
+:mod:`repro.net.faults`), so the client's received-message count alone
+identifies exactly which sent messages were lost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Literal
 
 from repro.constraints.central import CENTRAL_CLIENT_ID, CentralClient
 from repro.constraints.matching import IncrementalMatching
@@ -73,6 +85,107 @@ class BootstrapState:
             table.upvote_history[RowValue(value)] = count
         for value, count in self.downvote_history:
             table.downvote_history[RowValue(value)] = count
+
+
+class OpLog:
+    """A bounded, contiguous suffix of the server's applied-message log.
+
+    Entries are :class:`TraceRecord`s in seq order; when the log
+    overflows ``capacity`` the oldest entries are truncated.  Resync
+    needs a *contiguous* range, so consumers must check :meth:`covers`
+    before replaying — a gap below :attr:`first_seq` forces the
+    snapshot path.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"op-log capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._records: deque[TraceRecord] = deque()
+        self.truncated = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+        while len(self._records) > self.capacity:
+            self._records.popleft()
+            self.truncated += 1
+
+    @property
+    def first_seq(self) -> int | None:
+        return self._records[0].seq if self._records else None
+
+    @property
+    def last_seq(self) -> int | None:
+        return self._records[-1].seq if self._records else None
+
+    def covers(self, seq: int) -> bool:
+        """Is the entry with *seq* still in the log?"""
+        first, last = self.first_seq, self.last_seq
+        return first is not None and first <= seq <= last  # type: ignore[operator]
+
+    def get(self, seq: int) -> TraceRecord | None:
+        """The record with *seq*, or None if truncated/not yet applied."""
+        first = self.first_seq
+        if first is None or not self.covers(seq):
+            return None
+        return self._records[seq - first]
+
+    def entries_after(self, seq: int) -> Iterator[TraceRecord]:
+        """All retained records with seq strictly greater than *seq*."""
+        first = self.first_seq
+        if first is None:
+            return
+        start = max(seq + 1 - first, 0)
+        for index in range(start, len(self._records)):
+            yield self._records[index]
+
+
+@dataclass
+class ClientSession:
+    """Server-side per-client broadcast bookkeeping for resync.
+
+    ``sent_count`` counts every message sent to the client since the
+    session's last *sync epoch* (attach or snapshot resync); the seqs of
+    the most recent ones are retained in ``sent_seqs`` (bounded).  While
+    detached, ``detach_seq`` pins the last server seq applied before the
+    client went away.
+    """
+
+    name: str
+    attached: bool = True
+    sent_count: int = 0
+    sent_seqs: deque[int] = field(default_factory=deque)
+    detach_seq: int | None = None
+    resyncs_incremental: int = 0
+    resyncs_snapshot: int = 0
+
+    def record_send(self, seq: int, capacity: int) -> None:
+        self.sent_count += 1
+        self.sent_seqs.append(seq)
+        while len(self.sent_seqs) > capacity:
+            self.sent_seqs.popleft()
+
+    @property
+    def dropped_prefix(self) -> int:
+        """Sent messages whose seqs have been forgotten (acked-or-bust)."""
+        return self.sent_count - len(self.sent_seqs)
+
+    def reset_epoch(self) -> None:
+        """A snapshot resync starts a fresh count epoch on both sides."""
+        self.sent_count = 0
+        self.sent_seqs.clear()
+
+
+@dataclass(frozen=True)
+class ResyncResult:
+    """What ``reattach_client`` did to bring a client back in sync."""
+
+    kind: Literal["incremental", "snapshot"]
+    replayed: int = 0
+    bootstrap: BootstrapState | None = None
 
 
 class _CompletionTracker:
@@ -175,6 +288,9 @@ class BackendServer:
         on_complete: called once, when the final table first satisfies
             the template.
         on_unsatisfiable: Central Client fallback policy.
+        oplog_capacity: how many applied messages the bounded in-memory
+            op-log retains for incremental resync; a rejoin whose gap
+            reaches past the log falls back to a snapshot.
     """
 
     def __init__(
@@ -186,14 +302,17 @@ class BackendServer:
         template: Template,
         on_complete: Callable[[], None] | None = None,
         on_unsatisfiable: str = "drop",
+        oplog_capacity: int = 512,
     ) -> None:
         self.sim = sim
         self.network = network
         self.schema = schema
         self.replica = Replica(SERVER_NAME, schema, scoring)
         self.trace: list[TraceRecord] = []
+        self.oplog = OpLog(oplog_capacity)
         self._seq = 0
         self._clients: list[str] = []
+        self._sessions: dict[str, ClientSession] = {}
         self.on_complete = on_complete
         self.completed = False
         self.completion_time: float | None = None
@@ -232,17 +351,125 @@ class BackendServer:
         """Register a worker client for broadcast; returns its bootstrap.
 
         The returned snapshot makes the client's initial copy identical
-        to the master, as the model requires.
+        to the master, as the model requires.  Attaching starts a fresh
+        session; a retained session from an earlier detach is discarded
+        (use :meth:`reattach_client` to resume one instead).
         """
         if name in self._clients:
             raise ValueError(f"client already attached: {name!r}")
         self._clients.append(name)
+        self._sessions[name] = ClientSession(name)
         return BootstrapState.capture(self.replica)
 
     def detach_client(self, name: str) -> None:
-        """Stop broadcasting to a departed client."""
+        """Stop broadcasting to a departed client.
+
+        The client's session is *retained*: it records how far the
+        broadcast stream to this client had progressed, so a later
+        :meth:`reattach_client` can resync the gap.
+        """
         if name in self._clients:
             self._clients.remove(name)
+            session = self._sessions.get(name)
+            if session is not None:
+                session.attached = False
+                session.detach_seq = self._seq - 1
+
+    def reattach_client(self, name: str, received_count: int) -> ResyncResult:
+        """Resume a detached client's session and resync its copy.
+
+        Args:
+            name: the client's endpoint name.
+            received_count: how many broadcast messages the client has
+                received from the server in the current sync epoch —
+                its acknowledgement of the prefix it holds.
+
+        The server replays the unacknowledged suffix of what it sent
+        plus everything applied while the client was detached (its own
+        operations excluded — the client applied those locally), in seq
+        order, through the normal FIFO link.  When the bounded op-log no
+        longer covers the gap, the client instead gets a fresh
+        :class:`BootstrapState` and both sides reset their counters.
+
+        Unacknowledged messages are treated as *dead*: reattach assumes
+        no traffic toward the client is still in flight, which holds
+        because faults purge the link when the outage begins and a
+        gracefully detached client reattaches only after the network
+        drains.
+
+        Raises:
+            ValueError: unknown session, client still attached, or an
+                impossible ``received_count``.
+        """
+        session = self._sessions.get(name)
+        if session is None:
+            raise ValueError(f"no session for client {name!r}; attach first")
+        if session.attached:
+            raise ValueError(f"client {name!r} is already attached")
+        if received_count < 0 or received_count > session.sent_count:
+            raise ValueError(
+                f"client {name!r} acknowledged {received_count} messages "
+                f"but only {session.sent_count} were sent"
+            )
+        replay = self._incremental_replay(session, received_count)
+        # Everything past the acknowledged prefix is dead: the outage
+        # purged the link, and nothing is sent to a detached client.
+        # Roll the stream back to the prefix the client actually holds,
+        # so replayed messages extend it as fresh sends — otherwise a
+        # second outage interrupting the replay would leave stale
+        # positions behind and the next resync would replay (and the
+        # client double-apply) the same seqs again.
+        dead = session.sent_count - received_count
+        for _ in range(min(dead, len(session.sent_seqs))):
+            session.sent_seqs.pop()
+        session.sent_count = received_count
+        session.attached = True
+        session.detach_seq = None
+        self._clients.append(name)
+        if replay is None:
+            session.reset_epoch()
+            session.resyncs_snapshot += 1
+            return ResyncResult(
+                kind="snapshot", bootstrap=BootstrapState.capture(self.replica)
+            )
+        session.resyncs_incremental += 1
+        for record in replay:
+            self.network.send(SERVER_NAME, name, record.message)
+            session.record_send(record.seq, self.oplog.capacity)
+        return ResyncResult(kind="incremental", replayed=len(replay))
+
+    def _incremental_replay(
+        self, session: ClientSession, received_count: int
+    ) -> list[TraceRecord] | None:
+        """The records to replay for an incremental resync, or None when
+        the op-log has been truncated past the gap (snapshot needed)."""
+        if received_count < session.dropped_prefix:
+            return None  # the unacked suffix starts before retained seqs
+        unacked = list(session.sent_seqs)[
+            received_count - session.dropped_prefix:
+        ]
+        replay: list[TraceRecord] = []
+        for seq in unacked:
+            record = self.oplog.get(seq)
+            if record is None:
+                return None
+            replay.append(record)
+        detach_seq = session.detach_seq
+        assert detach_seq is not None
+        if self._seq - 1 > detach_seq:
+            first = self.oplog.first_seq
+            if first is None or first > detach_seq + 1:
+                return None  # entries applied while detached already truncated
+            replay.extend(
+                record
+                for record in self.oplog.entries_after(detach_seq)
+                if record.worker_id != session.name
+            )
+        return replay
+
+    def session(self, name: str) -> ClientSession | None:
+        """The retained session for *name*, if any (observability)."""
+        return self._sessions.get(name)
 
     @property
     def clients(self) -> tuple[str, ...]:
@@ -256,23 +483,29 @@ class BackendServer:
 
     def _central_send(self, message: Message) -> None:
         """CC generated a message; it has already applied it locally."""
-        self._apply_and_trace(message, CENTRAL_CLIENT_ID)
+        record = self._apply_and_trace(message, CENTRAL_CLIENT_ID)
         for client in self._clients:
-            self.network.send(SERVER_NAME, client, message)
+            self._broadcast_to(client, record)
         # No completion check here: CC sends arrive mid-repair; the
         # outermost _process (or start()) checks afterwards.
 
     def _process(self, message: Message, worker_id: str, exclude: str) -> None:
-        self._apply_and_trace(message, worker_id)
+        record = self._apply_and_trace(message, worker_id)
         for client in self._clients:
             if client != exclude:
-                self.network.send(SERVER_NAME, client, message)
+                self._broadcast_to(client, record)
         # The colocated Central Client sees the message immediately and
         # may emit repairs (broadcast via _central_send).
         self.central.on_message(message)
         self._check_completion()
 
-    def _apply_and_trace(self, message: Message, worker_id: str) -> None:
+    def _broadcast_to(self, client: str, record: TraceRecord) -> None:
+        self.network.send(SERVER_NAME, client, record.message)
+        session = self._sessions.get(client)
+        if session is not None:
+            session.record_send(record.seq, self.oplog.capacity)
+
+    def _apply_and_trace(self, message: Message, worker_id: str) -> TraceRecord:
         self.replica.receive(message)
         record = TraceRecord(
             seq=self._seq,
@@ -281,10 +514,12 @@ class BackendServer:
             message=message,
         )
         self.trace.append(record)
+        self.oplog.append(record)
         self._seq += 1
         if worker_id != CENTRAL_CLIENT_ID:
             for listener in self._trace_listeners:
                 listener(record)
+        return record
 
     # -- results ------------------------------------------------------------------
 

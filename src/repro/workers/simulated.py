@@ -38,6 +38,9 @@ class WorkerActivityLog:
     downvotes: int = 0
     conflicts: int = 0
     idles: int = 0
+    disconnects: int = 0
+    reconnects: int = 0
+    offline_actions: int = 0
     action_times: list[tuple[float, str]] = field(default_factory=list)
 
     @property
@@ -107,6 +110,16 @@ class SimulatedWorker:
         """Stop after the in-flight action (if any)."""
         self._stopped = True
 
+    def note_disconnect(self) -> None:
+        """The client's connection broke.  The think-act loop keeps
+        running — the worker keeps typing into the (now stale) local
+        copy and the client buffers the operations for replay."""
+        self.log.disconnects += 1
+
+    def note_reconnect(self) -> None:
+        """The client resynced; buffered operations are on the wire."""
+        self.log.reconnects += 1
+
     # -- the think-act loop --------------------------------------------------------
 
     def _cycle(self) -> None:
@@ -148,6 +161,8 @@ class SimulatedWorker:
 
     def _apply(self, action: Action) -> None:
         now = self.sim.now
+        if not getattr(self.client, "connected", True):
+            self.log.offline_actions += 1
         if isinstance(action, FillAction):
             # The UI updates rows in place: an entry begun on a row that
             # was concurrently replaced lands on its heir.  Only a race

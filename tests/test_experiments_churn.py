@@ -1,0 +1,80 @@
+"""The churn demo scenario: collection survives worker disconnects.
+
+Acceptance criterion from the fault-injection milestone: with at least
+30% of the crew disconnecting (and rejoining) mid-run, the collection
+still terminates with a final table satisfying the constraint template,
+and every client copy converges to the master once the faults heal.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ChurnConfig,
+    ExperimentConfig,
+    build_churn_plan,
+    run_churn_experiment,
+)
+
+
+def small_config(**churn_kwargs):
+    base = ExperimentConfig(
+        seed=7,
+        num_workers=6,
+        target_rows=8,
+        max_sim_time=2400.0,
+    )
+    defaults = dict(
+        base=base,
+        disconnect_fraction=0.34,
+        first_outage=60.0,
+        outage_spread=500.0,
+        min_outage=20.0,
+        max_outage=180.0,
+        waves=2,
+    )
+    defaults.update(churn_kwargs)
+    return ChurnConfig(**defaults)
+
+
+def test_build_churn_plan_is_deterministic_and_covers_fraction():
+    config = small_config()
+    ids = [f"worker-{i}" for i in range(6)]
+    plan_a = build_churn_plan(config, ids)
+    plan_b = build_churn_plan(config, ids)
+    assert plan_a == plan_b
+    # ceil(0.34 * 6) = 3 victims, 2 windows each.
+    assert plan_a.faulted_endpoints() == ids[:3]
+    assert len(plan_a.disconnects) == 6
+
+
+@pytest.mark.slow
+def test_collection_survives_30_percent_churn():
+    report = run_churn_experiment(small_config())
+    assert report.completed and report.template_satisfied
+    assert report.all_converged
+    assert len(report.victims) >= 2
+    assert report.rejoined_workers >= 1
+    assert report.incremental_resyncs + report.snapshot_resyncs >= 1
+    # Faults were real: link traffic was actually lost and recovered.
+    assert report.fault_events >= 2
+
+
+@pytest.mark.slow
+def test_tiny_oplog_forces_snapshot_resyncs_and_still_converges():
+    report = run_churn_experiment(
+        small_config(oplog_capacity=4, min_outage=120.0, max_outage=400.0)
+    )
+    assert report.completed
+    assert report.all_converged
+    assert report.snapshot_resyncs >= 1
+
+
+@pytest.mark.slow
+def test_churn_run_is_reproducible():
+    first = run_churn_experiment(small_config())
+    second = run_churn_experiment(small_config())
+    assert first.duration == second.duration
+    assert first.accuracy == second.accuracy
+    assert first.incremental_resyncs == second.incremental_resyncs
+    assert first.snapshot_resyncs == second.snapshot_resyncs
+    assert first.messages_dropped == second.messages_dropped

@@ -1,0 +1,195 @@
+"""Unit tests for the fault-injection subsystem (repro.net.faults)."""
+
+import math
+import random
+
+import pytest
+
+from repro.net import (
+    ConstantLatency,
+    DisconnectWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    LatencySpike,
+    Network,
+    PartitionWindow,
+)
+from repro.sim import Simulator
+
+
+class Sink:
+    def __init__(self):
+        self.got = []
+
+    def on_message(self, source, payload):
+        self.got.append((source, payload))
+
+
+def make_net(latency=None, seed=0):
+    sim = Simulator()
+    net = Network(sim, default_latency=latency or ConstantLatency(0.1),
+                  rng=random.Random(seed))
+    return sim, net
+
+
+# -- FaultPlan ---------------------------------------------------------------
+
+
+def test_window_validation():
+    with pytest.raises(FaultPlanError):
+        DisconnectWindow("a", start=-1.0, end=2.0)
+    with pytest.raises(FaultPlanError):
+        DisconnectWindow("a", start=2.0, end=2.0)
+    with pytest.raises(FaultPlanError):
+        PartitionWindow((), start=0.0, end=1.0)
+    with pytest.raises(FaultPlanError):
+        LatencySpike(start=0.0, end=1.0, factor=0.0)
+
+
+def test_outage_windows_merge_overlaps():
+    plan = FaultPlan(
+        disconnects=(
+            DisconnectWindow("a", 1.0, 3.0),
+            DisconnectWindow("a", 2.0, 5.0),
+            DisconnectWindow("a", 7.0, 8.0),
+        ),
+        partitions=(PartitionWindow(("a", "b"), 4.5, 6.0),),
+    )
+    assert plan.outage_windows("a") == [(1.0, 6.0), (7.0, 8.0)]
+    assert plan.outage_windows("b") == [(4.5, 6.0)]
+    assert plan.faulted_endpoints() == ["a", "b"]
+
+
+def test_permanent_disconnect_window():
+    plan = FaultPlan(disconnects=(DisconnectWindow("a", 1.0),))
+    assert plan.outage_windows("a") == [(1.0, math.inf)]
+
+
+def test_latency_factor_combines_matching_spikes():
+    plan = FaultPlan(
+        spikes=(
+            LatencySpike(start=0.0, end=10.0, factor=2.0),
+            LatencySpike(start=0.0, end=5.0, factor=3.0, source="a"),
+            LatencySpike(start=0.0, end=10.0, factor=7.0, source="z"),
+        )
+    )
+    assert plan.latency_factor("a", "b", now=1.0) == pytest.approx(6.0)
+    assert plan.latency_factor("a", "b", now=6.0) == pytest.approx(2.0)
+    assert plan.latency_factor("b", "a", now=1.0) == pytest.approx(2.0)
+    assert plan.latency_factor("a", "b", now=10.0) == pytest.approx(1.0)
+
+
+def test_generate_is_deterministic_in_the_seed():
+    endpoints = [f"c{i}" for i in range(6)]
+    plan_a = FaultPlan.generate(random.Random(42), endpoints, horizon=100.0)
+    plan_b = FaultPlan.generate(random.Random(42), endpoints, horizon=100.0)
+    plan_c = FaultPlan.generate(random.Random(43), endpoints, horizon=100.0)
+    assert plan_a == plan_b
+    assert plan_a != plan_c
+
+
+def test_generate_windows_close_before_horizon():
+    for seed in range(30):
+        plan = FaultPlan.generate(
+            random.Random(seed), ["a", "b", "c"], horizon=50.0
+        )
+        for window in plan.disconnects:
+            assert 0.0 <= window.start < window.end <= 50.0
+
+
+# -- FaultInjector -----------------------------------------------------------
+
+
+def test_injector_drops_sends_during_outage_only():
+    sim, net = make_net()
+    net.register("a", Sink())
+    sink = Sink()
+    net.register("b", sink)
+    plan = FaultPlan(disconnects=(DisconnectWindow("b", 1.0, 2.0),))
+    injector = FaultInjector(sim, net, plan)
+    injector.install()
+
+    for at in (0.0, 1.5, 3.0):
+        sim.schedule_at(at, lambda: net.send("a", "b", sim.now))
+    sim.run()
+    assert [round(p, 1) for _, p in sink.got] == [0.0, 3.0]
+    assert net.stats.messages_dropped == 1
+    assert net.quiescent()
+
+
+def test_injector_purges_wire_at_outage_start_and_requeues_outbound():
+    sim, net = make_net(latency=ConstantLatency(1.0))
+    net.register("server", Sink())
+    net.register("b", Sink())
+    requeued = []
+    plan = FaultPlan(disconnects=(DisconnectWindow("b", 0.5, 2.0),))
+    injector = FaultInjector(sim, net, plan)
+    injector.bind("b", on_requeue=requeued.extend)
+    injector.install()
+
+    net.send("b", "server", "mine")      # in flight at 0.5 -> requeued
+    net.send("server", "b", "broadcast")  # in flight at 0.5 -> lost
+    sim.run()
+    assert requeued == ["mine"]
+    assert net.stats.messages_dropped == 2
+    assert net.quiescent()
+
+
+def test_injector_calls_handlers_once_per_merged_window():
+    sim, net = make_net()
+    net.register("b", Sink())
+    events = []
+    plan = FaultPlan(
+        disconnects=(
+            DisconnectWindow("b", 1.0, 3.0),
+            DisconnectWindow("b", 2.0, 4.0),  # overlaps; merged
+        )
+    )
+    injector = FaultInjector(sim, net, plan)
+    injector.bind(
+        "b",
+        on_disconnect=lambda: events.append(("down", sim.now)),
+        on_reconnect=lambda: events.append(("up", sim.now)),
+    )
+    injector.install()
+    sim.run()
+    assert events == [("down", 1.0), ("up", 4.0)]
+    assert [e.kind for e in injector.events] == ["disconnect", "reconnect"]
+
+
+def test_injector_is_down_and_force_reconnect():
+    sim, net = make_net()
+    net.register("b", Sink())
+    plan = FaultPlan(disconnects=(DisconnectWindow("b", 1.0),))  # forever
+    injector = FaultInjector(sim, net, plan)
+    injector.install()
+    sim.run()
+    assert injector.is_down("b")
+    assert injector.down == frozenset({"b"})
+    injector.force_reconnect_all()
+    assert not injector.is_down("b")
+    assert [e.kind for e in injector.events] == ["disconnect", "reconnect"]
+
+
+def test_injector_latency_spike_preserves_fifo():
+    sim, net = make_net(latency=ConstantLatency(1.0))
+    net.register("a", Sink())
+    sink = Sink()
+    net.register("b", sink)
+    plan = FaultPlan(spikes=(LatencySpike(start=0.0, end=1.0, factor=30.0),))
+    injector = FaultInjector(sim, net, plan)
+    injector.install()
+    sim.schedule_at(0.0, lambda: net.send("a", "b", "spiked"))   # lands at 30
+    sim.schedule_at(2.0, lambda: net.send("a", "b", "normal"))   # clamped
+    sim.run()
+    assert [p for _, p in sink.got] == ["spiked", "normal"]
+    assert net.quiescent()
+
+
+def test_injector_install_twice_rejected():
+    sim, net = make_net()
+    injector = FaultInjector(sim, net, FaultPlan())
+    injector.install()
+    with pytest.raises(RuntimeError):
+        injector.install()

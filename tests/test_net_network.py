@@ -136,9 +136,106 @@ def test_unregistered_destination_drops_in_flight():
     net.register("b", sink)
     net.send("a", "b", "x")
     net.unregister("b")
+    assert not net.quiescent()
     sim.run()
     assert sink.got == []
-    assert net.stats.messages_delivered == 1  # counted, but no receiver
+    # Dropped, not delivered — and in_flight re-reaches zero.
+    assert net.stats.messages_delivered == 0
+    assert net.stats.messages_dropped == 1
+    assert net.stats.in_flight == 0
+    assert net.quiescent()
+
+
+class _DropAll:
+    """Fault filter that drops every message."""
+
+    def should_drop(self, source, destination):
+        return True
+
+    def latency_factor(self, source, destination):
+        return 1.0
+
+
+class _SlowDown:
+    """Fault filter that stretches latency without dropping."""
+
+    def __init__(self, factor):
+        self.factor = factor
+
+    def should_drop(self, source, destination):
+        return False
+
+    def latency_factor(self, source, destination):
+        return self.factor
+
+
+def test_fault_filter_drop_keeps_accounting_quiescent():
+    sim, net = make_net()
+    net.register("a", Sink())
+    sink = Sink()
+    net.register("b", sink)
+    net.set_fault_filter(_DropAll())
+    for _ in range(5):
+        net.send("a", "b", "x")
+    # Dropped at send time: never in flight, quiescence never wedges.
+    assert net.stats.messages_sent == 5
+    assert net.stats.messages_dropped == 5
+    assert net.stats.in_flight == 0
+    assert net.quiescent()
+    sim.run()
+    assert sink.got == []
+
+
+def test_fault_filter_latency_factor_preserves_fifo():
+    sim, net = make_net(latency=ConstantLatency(1.0))
+    net.register("a", Sink())
+    sink = Sink()
+    net.register("b", sink)
+    slow = _SlowDown(10.0)
+    net.set_fault_filter(slow)
+    net.send("a", "b", 0)  # delivers at 10.0
+    slow.factor = 1.0
+    net.send("a", "b", 1)  # would deliver at 1.0; clamped behind msg 0
+    sim.run()
+    assert [p for _, p in sink.got] == [0, 1]
+    assert sim.now >= 10.0
+
+
+def test_drop_in_flight_purges_and_returns_messages():
+    sim, net = make_net(latency=ConstantLatency(1.0))
+    net.register("a", Sink())
+    net.register("server", Sink())
+    b = Sink()
+    net.register("b", b)
+    net.send("b", "server", "out1")
+    net.send("b", "server", "out2")
+    net.send("server", "b", "in1")
+    net.send("a", "server", "unrelated")
+    dropped = net.drop_in_flight("b")
+    assert [(d.source, d.destination, d.payload) for d in dropped] == [
+        ("b", "server", "out1"),
+        ("b", "server", "out2"),
+        ("server", "b", "in1"),
+    ]
+    assert net.stats.messages_dropped == 3
+    assert not net.quiescent()  # the unrelated message is still flying
+    sim.run()
+    assert net.quiescent()
+    assert net.stats.messages_delivered == 1
+    assert b.got == []
+
+
+def test_drop_in_flight_then_reuse_link():
+    sim, net = make_net(latency=ConstantLatency(0.5))
+    net.register("a", Sink())
+    sink = Sink()
+    net.register("b", sink)
+    net.send("a", "b", "lost")
+    net.drop_in_flight("b")
+    net.send("a", "b", "kept")
+    sim.run()
+    assert [p for _, p in sink.got] == ["kept"]
+    assert net.quiescent()
 
 
 def test_endpoints_listing():

@@ -170,6 +170,159 @@ def test_double_start_rejected():
         backend.start()
 
 
+def test_detach_then_attach_round_trip_snapshot_path():
+    """The pre-session path: a detached client may attach anew and gets
+    a fresh snapshot identical to the master."""
+    sim, network, backend, clients = make_system()
+    backend.detach_client("w1")
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    assert clients[1].snapshot() != backend.replica.snapshot()
+    late = WorkerClient("w1b", soccer_player_schema(), SCORING, network,
+                        rng=random.Random(7))
+    late.bootstrap(backend.attach_client("w1b"))
+    assert late.snapshot() == backend.replica.snapshot()
+
+
+def test_reattach_resyncs_missed_broadcasts_incrementally():
+    sim, _, backend, clients = make_system(num_clients=3)
+    backend.detach_client("w1")
+    clients[1].disconnect()
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    sim.run()
+    assert clients[1].snapshot() != backend.replica.snapshot()
+    kind = clients[1].reconnect(backend)
+    sim.run()
+    assert kind == "incremental"
+    assert clients[1].snapshot() == backend.replica.snapshot()
+    assert backend.session("w1").resyncs_incremental == 1
+
+
+def test_reattach_replays_operations_buffered_while_detached():
+    sim, _, backend, clients = make_system(num_clients=2)
+    backend.detach_client("w1")
+    clients[1].disconnect()
+    # Both sides act during the outage.
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    other = clients[1].replica.table.row_ids()[1]
+    clients[1].fill(other, "name", "Xavi")
+    sim.run()
+    assert clients[1].pending_ops == 1
+    clients[1].reconnect(backend)
+    sim.run()
+    assert clients[1].pending_ops == 0
+    assert clients[1].snapshot() == backend.replica.snapshot()
+    assert clients[0].snapshot() == backend.replica.snapshot()
+    names = {dict(r.value).get("name") for r in backend.replica.table.rows()}
+    assert {"Messi", "Xavi"} <= names
+
+
+def test_detach_with_messages_in_flight_toward_client():
+    """Regression: messages already on the wire when the client detaches
+    are still delivered (plain detach does not purge the network), the
+    client's received count acknowledges them, and resync does not
+    re-apply them."""
+    sim, _, backend, clients = make_system(num_clients=2)
+    row_id = clients[0].replica.table.row_ids()[0]
+    clients[0].fill(row_id, "name", "Messi")
+    # Run past the server's receipt (+0.05) so the broadcast to w1 is
+    # on the wire, then detach before it lands (+0.10).
+    sim.run(until=sim.now + 0.06)
+    backend.detach_client("w1")
+    clients[1].disconnect()
+    sim.run()  # the in-flight broadcast lands anyway
+    assert clients[1].snapshot() == backend.replica.snapshot()
+    before = clients[1].replica.messages_processed
+    kind = clients[1].reconnect(backend)
+    sim.run()
+    assert kind == "incremental"
+    # Nothing was missed, so nothing was replayed or double-applied.
+    assert clients[1].replica.messages_processed == before
+    assert clients[1].snapshot() == backend.replica.snapshot()
+
+
+def test_reattach_falls_back_to_snapshot_when_oplog_truncated():
+    sim, network, backend, clients = make_system(num_clients=2,
+                                                 oplog_capacity=2)
+    backend.detach_client("w1")
+    clients[1].disconnect()
+    row_id = clients[0].replica.table.row_ids()[0]
+    for column, value in [
+        ("name", "Messi"), ("nationality", "Argentina"),
+        ("position", "FW"), ("caps", 83), ("goals", 37),
+    ]:
+        row_id = clients[0].fill(row_id, column, value)
+        sim.run()
+    kind = clients[1].reconnect(backend)
+    sim.run()
+    assert kind == "snapshot"
+    assert backend.session("w1").resyncs_snapshot == 1
+    assert clients[1].snapshot() == backend.replica.snapshot()
+
+
+def test_snapshot_resync_preserves_offline_operations():
+    sim, _, backend, clients = make_system(num_clients=2, oplog_capacity=2)
+    backend.detach_client("w1")
+    clients[1].disconnect()
+    mine = clients[1].replica.table.row_ids()[1]
+    clients[1].fill(mine, "name", "Xavi")  # buffered offline
+    row_id = clients[0].replica.table.row_ids()[0]
+    for column, value in [
+        ("name", "Messi"), ("nationality", "Argentina"),
+        ("position", "FW"), ("caps", 83), ("goals", 37),
+    ]:
+        row_id = clients[0].fill(row_id, column, value)
+        sim.run()
+    kind = clients[1].reconnect(backend)
+    sim.run()
+    assert kind == "snapshot"
+    assert clients[1].snapshot() == backend.replica.snapshot()
+    names = {dict(r.value).get("name") for r in backend.replica.table.rows()}
+    assert "Xavi" in names
+
+
+def test_reattach_errors():
+    sim, _, backend, clients = make_system(num_clients=2)
+    with pytest.raises(ValueError):
+        backend.reattach_client("ghost", 0)
+    with pytest.raises(ValueError):
+        backend.reattach_client("w1", 0)  # still attached
+    backend.detach_client("w1")
+    with pytest.raises(ValueError):
+        backend.reattach_client("w1", 10_000)  # acked more than sent
+    with pytest.raises(ValueError):
+        backend.reattach_client("w1", -1)
+
+
+def test_reconnect_while_connected_rejected():
+    from repro.core import OperationError
+
+    sim, _, backend, clients = make_system(num_clients=2)
+    with pytest.raises(OperationError):
+        clients[1].reconnect(backend)
+
+
+def test_oplog_truncation_bound():
+    from repro.server import OpLog
+    from repro.core.messages import TraceRecord, InsertMessage
+
+    log = OpLog(capacity=3)
+    for seq in range(5):
+        log.append(TraceRecord(seq=seq, timestamp=0.0, worker_id="w",
+                               message=InsertMessage(row_id=f"r{seq}")))
+    assert len(log) == 3
+    assert log.first_seq == 2 and log.last_seq == 4
+    assert log.truncated == 2
+    assert not log.covers(1) and log.covers(2)
+    assert log.get(1) is None
+    assert [r.seq for r in log.entries_after(2)] == [3, 4]
+    with pytest.raises(ValueError):
+        OpLog(capacity=0)
+
+
 def test_current_template_reflects_drops():
     sim, _, backend, clients = make_system(
         template=Template.from_values([{"nationality": "Brazil"}])
