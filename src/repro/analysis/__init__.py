@@ -1,0 +1,47 @@
+"""crowdlint — repo-specific static analysis for the CrowdFill repro.
+
+The reproduction's value rests on two guarantees the paper proves but
+code can silently break: deterministic, seedable interleavings (the
+DES substitution for Socket.IO) and convergence of independently
+evolving replicas (§2.4).  Both fail in ways pytest rarely catches —
+an unseeded ``random`` call, a set iteration feeding a trace log, a
+message object aliased between replicas.  This package makes that
+failure class loud and permanent:
+
+- :mod:`repro.analysis.rules` — per-file AST rules DET001 (ambient
+  entropy), DET002 (unsorted set/dict-view iteration into
+  order-sensitive sinks), DET003 (``id()`` in sort keys/hashes),
+  MUT001 (mutable defaults / module-level mutable state in the
+  replicated subsystems);
+- :mod:`repro.analysis.exhaustiveness` — EXH001, the project-level
+  check that every registered message type is handled end to end
+  (table apply loop, trace decode, server and client entry points);
+- :mod:`repro.analysis.linter` / :mod:`repro.analysis.report` — the
+  driver and the text/JSON reporters;
+- ``python -m repro.analysis`` — the CLI CI runs (exit 1 on any
+  violation; ``--warn-only`` for advisory passes).
+
+Suppress a finding with a line-scoped ``# crowdlint: disable=RULE``
+comment.  The runtime complement to this static pass is the
+replica-aliasing sanitizer in :mod:`repro.net.sanitizer`.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, disabled_rules
+from repro.analysis.exhaustiveness import (
+    ExhaustivenessConfig,
+    check_exhaustiveness,
+)
+from repro.analysis.linter import ALL_RULES, lint_file, lint_paths
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "ExhaustivenessConfig",
+    "check_exhaustiveness",
+    "disabled_rules",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

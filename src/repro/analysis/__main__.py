@@ -1,0 +1,80 @@
+"""``python -m repro.analysis`` — the crowdlint CLI.
+
+Usage::
+
+    python -m repro.analysis [paths ...] [--format text|json]
+                             [--select RULE[,RULE]] [--warn-only]
+                             [--no-exhaustiveness]
+
+With no paths, lints ``src/repro`` when it exists (repo root), else the
+current directory.  Exits 1 when violations are found, unless
+``--warn-only`` (the mode CI uses for ``tests/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.linter import ALL_RULES, iter_python_files, lint_paths
+from repro.analysis.report import render_json, render_text
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="crowdlint: determinism & replica-safety linter",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro or .)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help=f"comma-separated rule ids to run (of: {', '.join(ALL_RULES)})",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report violations but exit 0 (advisory pass)",
+    )
+    parser.add_argument(
+        "--no-exhaustiveness", action="store_true",
+        help="skip the project-level EXH001 message-coverage check",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        paths = [default if default.is_dir() else Path(".")]
+
+    select = None
+    if args.select:
+        select = frozenset(
+            rule.strip() for rule in args.select.split(",") if rule.strip()
+        )
+        unknown = select - set(ALL_RULES)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    diagnostics = lint_paths(
+        paths, select=select, exhaustiveness=not args.no_exhaustiveness
+    )
+    files_checked = len(iter_python_files(paths))
+    if args.format == "json":
+        print(render_json(diagnostics, files_checked))
+    else:
+        print(render_text(diagnostics, files_checked))
+    if diagnostics and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

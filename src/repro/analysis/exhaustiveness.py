@@ -1,0 +1,250 @@
+"""EXH001 — message-type exhaustiveness across the replicated stack.
+
+Every op/message type registered in ``repro.core.messages`` must be
+processable identically everywhere a replica lives (§2.4: "processing a
+message is identical at the server and at every client").  Statically,
+that decomposes into checks a forgotten registration would break:
+
+1. every member of the ``Message`` union defines ``apply`` and
+   ``to_dict``;
+2. every ``apply`` dispatches to a ``CandidateTable.apply_*`` method
+   that actually exists (the shared apply loop of server *and* client
+   replicas);
+3. every ``to_dict`` type tag has a decode branch in
+   ``message_from_dict`` (trace persistence / replay);
+4. every class in the messages module that looks like a message (has
+   ``apply`` + ``to_dict``) is registered in the ``Message`` union —
+   otherwise the server would broadcast objects clients never agreed
+   to handle;
+5. both network entry points — ``BackendServer.on_message`` and the
+   client replica's ``WorkerClient.on_message`` — exist.
+
+The checker is purely syntactic (stdlib ``ast``), so it runs in CI
+without importing the package under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+RULE = "EXH001"
+
+
+@dataclass(frozen=True)
+class ExhaustivenessConfig:
+    """Where the replicated-stack files live (parameterized for tests)."""
+
+    messages: Path
+    table: Path
+    handlers: tuple[tuple[Path, str], ...]
+
+    @classmethod
+    def locate(cls, root: Path) -> "ExhaustivenessConfig | None":
+        """Resolve the standard layout under *root* (the ``repro``
+        package directory or a directory containing it); None when the
+        tree being linted is not the replicated stack (e.g. tests)."""
+        for base in (root, root / "repro", root / "src" / "repro"):
+            messages = base / "core" / "messages.py"
+            if messages.is_file():
+                return cls(
+                    messages=messages,
+                    table=base / "core" / "table.py",
+                    handlers=(
+                        (base / "server" / "backend.py", "BackendServer"),
+                        (base / "client" / "worker_client.py", "WorkerClient"),
+                    ),
+                )
+        return None
+
+
+def _parse(path: Path) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+
+
+def _class_defs(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _union_members(tree: ast.Module) -> list[str]:
+    """Names in ``Message = Union[...]`` (or a PEP-604 ``A | B`` chain)."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "Message"
+        ):
+            names: list[str] = []
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id not in {"Union"}:
+                    names.append(sub.id)
+            return names
+    return []
+
+
+def _apply_targets(method: ast.FunctionDef) -> list[str]:
+    """``apply_*`` attribute names called on the table argument."""
+    targets = []
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr.startswith("apply_")
+        ):
+            targets.append(node.func.attr)
+    return targets
+
+
+def _type_tag(method: ast.FunctionDef) -> str | None:
+    """The ``"type"`` value in the dict literal ``to_dict`` returns."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "type"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    return value.value
+    return None
+
+
+def _decoded_tags(tree: ast.Module) -> set[str]:
+    """String literals compared against inside ``message_from_dict``."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == "message_from_dict"
+        ):
+            tags: set[str] = set()
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Compare):
+                    for comparator in [sub.left, *sub.comparators]:
+                        if isinstance(comparator, ast.Constant) and isinstance(
+                            comparator.value, str
+                        ):
+                            tags.add(comparator.value)
+            return tags
+    return set()
+
+
+def check_exhaustiveness(config: ExhaustivenessConfig) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+
+    def report(path: Path, node: ast.AST | None, message: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                rule=RULE,
+                path=str(path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    messages_tree = _parse(config.messages)
+    if messages_tree is None:
+        report(config.messages, None, "messages module missing or unparsable")
+        return diagnostics
+    classes = _class_defs(messages_tree)
+    union = _union_members(messages_tree)
+    if not union:
+        report(config.messages, None, "no `Message = Union[...]` registry found")
+        return diagnostics
+
+    table_tree = _parse(config.table)
+    table_methods: set[str] = set()
+    if table_tree is not None:
+        table_cls = _class_defs(table_tree).get("CandidateTable")
+        if table_cls is not None:
+            table_methods = set(_methods(table_cls))
+    if not table_methods:
+        report(config.table, None, "CandidateTable not found; cannot verify apply loop")
+
+    decoded = _decoded_tags(messages_tree)
+
+    for name in union:
+        cls = classes.get(name)
+        if cls is None:
+            report(
+                config.messages, None,
+                f"Message union member {name} has no class definition",
+            )
+            continue
+        methods = _methods(cls)
+        apply = methods.get("apply")
+        if apply is None:
+            report(config.messages, cls, f"{name} defines no apply() — "
+                   "replicas cannot process it")
+        else:
+            targets = _apply_targets(apply)
+            if not targets:
+                report(config.messages, apply,
+                       f"{name}.apply() never dispatches to a table "
+                       "apply_* method")
+            for target in targets:
+                if table_methods and target not in table_methods:
+                    report(
+                        config.messages, apply,
+                        f"{name}.apply() calls CandidateTable.{target}, "
+                        "which does not exist — server and client replicas "
+                        "would crash on receipt",
+                    )
+        to_dict = methods.get("to_dict")
+        if to_dict is None:
+            report(config.messages, cls,
+                   f"{name} defines no to_dict() — trace persistence broken")
+        else:
+            tag = _type_tag(to_dict)
+            if tag is None:
+                report(config.messages, to_dict,
+                       f"{name}.to_dict() has no literal \"type\" tag")
+            elif tag not in decoded:
+                report(
+                    config.messages, to_dict,
+                    f"message_from_dict has no branch for type tag {tag!r} "
+                    f"({name}) — trace replay would raise",
+                )
+
+    for name, cls in classes.items():
+        if name in union:
+            continue
+        methods = _methods(cls)
+        if "apply" in methods and "to_dict" in methods:
+            report(
+                config.messages, cls,
+                f"{name} looks like a message (apply + to_dict) but is not "
+                "registered in the Message union",
+            )
+
+    for path, class_name in config.handlers:
+        tree = _parse(path)
+        handler_cls = None if tree is None else _class_defs(tree).get(class_name)
+        if handler_cls is None or "on_message" not in _methods(handler_cls):
+            report(
+                path, handler_cls,
+                f"{class_name}.on_message missing — one side of the "
+                "replicated apply loop has no network entry point",
+            )
+
+    return diagnostics

@@ -1,0 +1,94 @@
+"""The crowdlint driver: walk files, run rules, filter pragmas."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, is_suppressed
+from repro.analysis.exhaustiveness import (
+    ExhaustivenessConfig,
+    check_exhaustiveness,
+)
+from repro.analysis.exhaustiveness import RULE as EXH_RULE
+from repro.analysis.rules import FILE_RULES, LintContext
+
+#: Every rule id crowdlint can emit.
+ALL_RULES = tuple(rule.rule for rule in FILE_RULES) + (EXH_RULE,)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """All ``.py`` files under *paths* (files pass through), sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            found.add(path)
+    return sorted(found)
+
+
+def lint_file(
+    path: Path, select: frozenset[str] | None = None
+) -> list[Diagnostic]:
+    """Run every per-file rule over one module.
+
+    A file that does not parse yields a single parse-error diagnostic
+    (rule ``PARSE``) rather than crashing the whole run.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+    except OSError as exc:
+        return [Diagnostic("PARSE", str(path), 1, 1, f"unreadable: {exc}")]
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                "PARSE", str(path), exc.lineno or 1, (exc.offset or 0) + 1,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=path, tree=tree)
+    for rule in FILE_RULES:
+        if select is None or rule.rule in select:
+            rule.check(ctx)
+    lines = source.splitlines()
+    return [
+        diagnostic
+        for diagnostic in ctx.diagnostics
+        if not is_suppressed(diagnostic, lines)
+    ]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: frozenset[str] | None = None,
+    exhaustiveness: bool = True,
+) -> list[Diagnostic]:
+    """Lint every Python file under *paths*, plus the project-level
+    exhaustiveness check when the replicated stack is found there."""
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(lint_file(path, select))
+    if exhaustiveness and (select is None or EXH_RULE in select):
+        seen: set[Path] = set()
+        for path in paths:
+            config = ExhaustivenessConfig.locate(Path(path))
+            if config is not None and config.messages not in seen:
+                seen.add(config.messages)
+                exh = check_exhaustiveness(config)
+                source_lines: dict[str, list[str]] = {}
+                for diagnostic in exh:
+                    lines = source_lines.setdefault(
+                        diagnostic.path,
+                        Path(diagnostic.path).read_text(
+                            encoding="utf-8"
+                        ).splitlines()
+                        if Path(diagnostic.path).is_file()
+                        else [],
+                    )
+                    if not is_suppressed(diagnostic, lines):
+                        diagnostics.append(diagnostic)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics

@@ -212,7 +212,7 @@ class CandidateTable:
         ids = self._by_key.get(key)
         if not ids:
             return []
-        return [self._rows[i] for i in ids]
+        return [self._rows[i] for i in sorted(ids, key=self._row_seq.__getitem__)]
 
     def group_has_positive_score(self, key: tuple) -> bool:
         """Does any row with primary key *key* have a positive score?"""
@@ -317,7 +317,14 @@ class CandidateTable:
     # -- message application (section 2.4) -----------------------------------
 
     def apply_insert(self, row_id: str) -> Row:
-        """Process an insert message: add an empty row with u = d = 0.
+        """Process an insert message: add an empty row.
+
+        Vote counts are reconstructed from the histories exactly like
+        :meth:`apply_replace` does — the UI never downvotes an empty
+        row, but a downvote of the empty value-vector can arrive over
+        the wire, and it subsumes into every row inserted afterwards
+        (Lemma 3's invariant d(r) = Σ_{w ⊆ r̄} DH[w] has no carve-out
+        for empty rows).
 
         Raises:
             ValueError: if the identifier already exists in this copy
@@ -325,7 +332,7 @@ class CandidateTable:
         """
         if row_id in self._rows:
             raise ValueError(f"duplicate row identifier {row_id!r}")
-        row = Row(row_id, EMPTY_VALUE)
+        row = Row(row_id, EMPTY_VALUE, 0, self.downvotes_subsumed_by(EMPTY_VALUE))
         self._rows[row_id] = row
         self._index_row(row)
         return row
@@ -410,7 +417,10 @@ class CandidateTable:
             return
         journal = self._probable_journal if self._probable_offsets else None
         probable_set = self._probable_set
-        for key in self._dirty_keys:
+        # Sorted iteration everywhere below: journal entries feed the
+        # Central Client's processing order, so their order must not
+        # depend on the process hash seed.
+        for key in sorted(self._dirty_keys, key=repr):
             old = self._probable_by_key.get(key, frozenset())
             ids = self._by_key.get(key)
             if not ids:
@@ -425,15 +435,15 @@ class CandidateTable:
             else:
                 self._final_by_key[key] = winner
             if new != old:
-                for row_id in old - new:
+                for row_id in sorted(old - new):
                     probable_set.discard(row_id)
                     if journal is not None:
                         journal.append((row_id, None))
-                for row_id in new - old:
+                for row_id in sorted(new - old):
                     probable_set.add(row_id)
                     if journal is not None:
                         journal.append((row_id, self._rows[row_id]))
-        for row_id in self._dirty_keyless:
+        for row_id in sorted(self._dirty_keyless):
             row = self._rows.get(row_id)
             now = (
                 row is not None
@@ -462,7 +472,7 @@ class CandidateTable:
         self, ids: set[str]
     ) -> tuple[frozenset[str], str | None]:
         """Probable members and final-table winner of one key group."""
-        rows = [self._rows[i] for i in ids]
+        rows = [self._rows[i] for i in sorted(ids)]
         all_columns = self._all_columns
         positive = False
         best: Row | None = None

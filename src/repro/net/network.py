@@ -15,6 +15,11 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.sanitizer import (
+    MessageSanitizer,
+    SealedMessage,
+    sanitize_enabled_by_env,
+)
 from repro.sim import Simulator
 
 
@@ -120,11 +125,28 @@ class Network:
         sim: Simulator,
         default_latency: LatencyModel | None = None,
         rng: random.Random | None = None,
+        sanitize: bool | None = None,
     ) -> None:
+        """Args:
+            sim / default_latency / rng: as before.
+            sanitize: enable the replica-aliasing sanitizer
+                (:mod:`repro.net.sanitizer`): every payload is
+                deep-copied and checksummed at send, verified at
+                delivery, and delivered deep-frozen; the central
+                drop-accounting debug check runs after every event.
+                ``None`` (the default) defers to the
+                ``REPRO_NET_SANITIZE`` environment variable, which is
+                how CI runs whole suites in sanitizer mode unchanged.
+        """
         self.sim = sim
         self.default_latency = default_latency or ConstantLatency(0.05)
         self.rng = rng or random.Random(0)
         self.stats = NetworkStats()
+        if sanitize is None:
+            sanitize = sanitize_enabled_by_env()
+        self.sanitizer: MessageSanitizer | None = (
+            MessageSanitizer() if sanitize else None
+        )
         self._endpoints: dict[str, Endpoint] = {}
         self._channels: dict[tuple[str, str], _Channel] = {}
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
@@ -185,10 +207,15 @@ class Network:
         deliver_at = max(self.sim.now + delay, channel.last_delivery_time)
         channel.last_delivery_time = deliver_at
         channel.in_flight += 1
+        item: Any = payload
+        if self.sanitizer is not None:
+            item = self.sanitizer.seal(source, destination, payload)
         event = self.sim.schedule_at(
-            deliver_at, lambda: self._deliver(channel, source, destination, payload)
+            deliver_at, lambda: self._deliver(channel, source, destination, item)
         )
-        channel.pending.append((event, payload))
+        channel.pending.append((event, item))
+        if self.sanitizer is not None:
+            self.check_accounting()
 
     def drop_in_flight(self, endpoint: str) -> list[DroppedMessage]:
         """Purge every undelivered message to or from *endpoint*.
@@ -199,11 +226,14 @@ class Network:
         into a client's resend buffer.
         """
         purged: list[tuple[Any, DroppedMessage]] = []
-        for channel in self._channels.values():
+        for _, channel in sorted(self._channels.items()):
             if endpoint not in (channel.source, channel.destination):
                 continue
-            for event, payload in channel.pending:
+            for event, item in channel.pending:
                 event.cancel()
+                payload = (
+                    item.original if isinstance(item, SealedMessage) else item
+                )
                 purged.append(
                     (
                         event,
@@ -216,11 +246,38 @@ class Network:
             channel.pending.clear()
         self.stats.messages_dropped += len(purged)
         purged.sort(key=lambda pair: (pair[0].time, pair[0].seq))
+        if self.sanitizer is not None:
+            self.check_accounting()
         return [dropped for _, dropped in purged]
 
     def quiescent(self) -> bool:
         """True when no message is in flight on any channel."""
         return self.stats.in_flight == 0
+
+    def check_accounting(self) -> None:
+        """Assert the drop-accounting invariant centrally.
+
+        ``in_flight = sent - delivered - dropped`` must equal both the
+        per-channel in-flight counters and the number of undelivered
+        scheduled messages, at every instant.  Sanitizer mode runs this
+        after every send, delivery, and purge; tests call it directly
+        instead of re-deriving the arithmetic per test.
+
+        Raises:
+            AssertionError: some message was double-counted or lost
+                from the accounting.
+        """
+        per_channel = sum(c.in_flight for c in self._channels.values())
+        pending = sum(len(c.pending) for c in self._channels.values())
+        stats = self.stats
+        if not (stats.in_flight == per_channel == pending):
+            raise AssertionError(
+                "network drop-accounting invariant violated: "
+                f"sent={stats.messages_sent} delivered="
+                f"{stats.messages_delivered} dropped={stats.messages_dropped} "
+                f"=> in_flight={stats.in_flight}, but channels carry "
+                f"{per_channel} in-flight / {pending} pending"
+            )
 
     def _channel(self, source: str, destination: str) -> _Channel:
         key = (source, destination)
@@ -231,7 +288,7 @@ class Network:
         return self._channels[key]
 
     def _deliver(
-        self, channel: _Channel, source: str, destination: str, payload: Any
+        self, channel: _Channel, source: str, destination: str, item: Any
     ) -> None:
         channel.in_flight -= 1
         if channel.pending:
@@ -241,6 +298,17 @@ class Network:
             # The destination unregistered mid-flight: the message is
             # dropped, not delivered — in_flight still re-reaches zero.
             self.stats.messages_dropped += 1
+            if self.sanitizer is not None:
+                self.check_accounting()
             return
         self.stats.messages_delivered += 1
+        if self.sanitizer is None:
+            endpoint.on_message(source, item)
+            return
+        # Sanitizer custody: verify the sender did not mutate the
+        # message in flight, hand the receiver a deep-frozen private
+        # copy, and re-verify that copy once the handler returns.
+        payload = self.sanitizer.release(item)
+        self.check_accounting()
         endpoint.on_message(source, payload)
+        self.sanitizer.verify_delivered(item)

@@ -1,0 +1,309 @@
+"""Replica-aliasing sanitizer: runtime enforcement of message isolation.
+
+The convergence theorem (§2.4) treats a broadcast message as an
+immutable value that each replica applies to its own copy.  In-process,
+nothing stops a message *object* from being aliased between the server
+and a client replica — a later mutation through either reference then
+time-travels into the other replica's state, producing divergence that
+surfaces far from the offending site (the hazard class certified-replay
+systems guard against).  The sanitizer makes such sharing impossible
+and such mutation loud:
+
+- at **send**, every payload is deep-copied and checksummed with a
+  structural fingerprint;
+- at **delivery**, the retained original is re-fingerprinted — a
+  mismatch means the *sender* mutated a message while it was on the
+  wire — and the receiver gets the deep copy, never the sender's
+  object;
+- the delivered copy is **deep-frozen**: its mutable containers are
+  replaced by raising variants, so a receiver that mutates a payload
+  raises :class:`AliasingViolation` at the exact offending statement;
+- after the receiver's handler returns, the delivered copy is
+  re-fingerprinted as a backstop for mutations freezing cannot
+  intercept (e.g. attributes of non-container objects).
+
+Enable it per network (``Network(sim, sanitize=True)``) or globally via
+the ``REPRO_NET_SANITIZE=1`` environment variable — CI runs the
+fault-convergence suite once in that mode.  Sanitizer mode also turns
+on the network's central drop-accounting debug check
+(:meth:`repro.net.network.Network.check_accounting`).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import os
+from typing import Any, Mapping
+
+
+def sanitize_enabled_by_env() -> bool:
+    """Is ``REPRO_NET_SANITIZE`` set to a truthy value?"""
+    return os.environ.get("REPRO_NET_SANITIZE", "") not in ("", "0", "false")
+
+
+class AliasingViolation(AssertionError):
+    """A message was mutated across the replica boundary."""
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprint
+# ---------------------------------------------------------------------------
+
+
+def _encode(obj: Any, update, memo: set[int]) -> None:
+    """Feed a canonical byte encoding of *obj* into *update*.
+
+    Abstract category tags (any Mapping encodes the same way, frozen or
+    not) keep the fingerprint stable across :func:`deep_freeze`.
+    Mapping items and set elements are sorted by their own encoding, so
+    the digest never depends on hash-seed iteration order.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        update(b"P")
+        update(repr(obj).encode("utf-8"))
+        return
+    identity = id(obj)
+    if identity in memo:
+        update(b"CYCLE")
+        return
+    memo.add(identity)
+    try:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            update(b"D")
+            update(type(obj).__name__.encode("utf-8"))
+            for field in sorted(dataclasses.fields(obj), key=lambda f: f.name):
+                update(field.name.encode("utf-8"))
+                _encode(getattr(obj, field.name), update, memo)
+        elif isinstance(obj, Mapping):
+            # No type name here: FrozenDict must hash like plain dict.
+            update(b"M")
+            entries = []
+            for key, value in obj.items():
+                digest = hashlib.sha256()
+                _encode(key, digest.update, memo)
+                _encode(value, digest.update, memo)
+                entries.append(digest.digest())
+            for entry in sorted(entries):
+                update(entry)
+        elif isinstance(obj, (list, tuple)):
+            update(b"L" if isinstance(obj, list) else b"T")
+            for item in obj:
+                _encode(item, update, memo)
+        elif isinstance(obj, (set, frozenset)):
+            update(b"S")
+            elements = []
+            for item in obj:
+                digest = hashlib.sha256()
+                _encode(item, digest.update, memo)
+                elements.append(digest.digest())
+            for element in sorted(elements):
+                update(element)
+        else:
+            # Arbitrary object: encode its attribute state structurally.
+            # Default repr() embeds the memory address, which would make
+            # the fingerprint of a deep copy differ from its original's.
+            state: dict[str, Any] = {}
+            for klass in type(obj).__mro__:
+                slots = getattr(klass, "__slots__", ())
+                if isinstance(slots, str):
+                    slots = (slots,)
+                for name in slots:
+                    try:
+                        state[name] = getattr(obj, name)
+                    except AttributeError:
+                        pass
+            state.update(getattr(obj, "__dict__", {}))
+            if state:
+                update(b"O")
+                update(type(obj).__name__.encode("utf-8"))
+                for name in sorted(state):
+                    value = state[name]
+                    if callable(value):
+                        continue
+                    update(name.encode("utf-8"))
+                    _encode(value, update, memo)
+            else:
+                update(b"R")
+                update(repr(obj).encode("utf-8"))
+    finally:
+        memo.discard(identity)
+
+
+def fingerprint(obj: Any) -> str:
+    """Hex digest of *obj*'s canonical structure (order-insensitive for
+    mappings and sets, freeze-stable, cycle-safe)."""
+    digest = hashlib.sha256()
+    _encode(obj, digest.update, set())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Deep freeze
+# ---------------------------------------------------------------------------
+
+
+def _refuse(self, *args, **kwargs):
+    raise AliasingViolation(
+        "mutation of a delivered message payload: replicas must treat "
+        "received messages as immutable values (replica-aliasing "
+        "sanitizer, repro.net.sanitizer)"
+    )
+
+
+class FrozenDict(dict):
+    """A dict whose mutators raise — still ``isinstance(..., dict)``.
+
+    Deep copies come back as plain mutable dicts, so a frozen payload a
+    replica re-sends (relay, broadcast) can be sealed again normally.
+    """
+
+    __setitem__ = __delitem__ = _refuse
+    clear = pop = popitem = setdefault = update = _refuse
+
+    def __deepcopy__(self, memo: dict[int, Any]) -> dict:
+        fresh: dict = {}
+        memo[id(self)] = fresh
+        for key, value in self.items():
+            fresh[copy.deepcopy(key, memo)] = copy.deepcopy(value, memo)
+        return fresh
+
+
+class FrozenList(list):
+    """A list whose mutators raise — still ``isinstance(..., list)``.
+
+    Deep copies come back as plain mutable lists (see
+    :class:`FrozenDict`).
+    """
+
+    __setitem__ = __delitem__ = __iadd__ = __imul__ = _refuse
+    append = extend = insert = remove = pop = _refuse
+    clear = sort = reverse = _refuse
+
+    def __deepcopy__(self, memo: dict[int, Any]) -> list:
+        fresh: list = []
+        memo[id(self)] = fresh
+        for item in self:
+            fresh.append(copy.deepcopy(item, memo))
+        return fresh
+
+
+def deep_freeze(obj: Any, _memo: dict[int, Any] | None = None) -> Any:
+    """Best-effort recursive freeze of *obj*, in place where possible.
+
+    Containers are replaced by raising variants (``dict`` →
+    :class:`FrozenDict`, ``list`` → :class:`FrozenList`, ``set`` →
+    ``frozenset``); attributes of dataclasses and slotted objects are
+    rewritten through ``object.__setattr__`` so even frozen dataclasses
+    get frozen *contents*.  What cannot be intercepted this way is
+    caught by the post-delivery fingerprint check instead.
+    """
+    memo = _memo if _memo is not None else {}
+    identity = id(obj)
+    if identity in memo:
+        return memo[identity]
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes, frozenset)):
+        return obj
+    if isinstance(obj, dict):
+        frozen = FrozenDict(
+            (deep_freeze(k, memo), deep_freeze(v, memo))
+            for k, v in obj.items()
+        )
+        memo[identity] = frozen
+        return frozen
+    if isinstance(obj, list):
+        frozen = FrozenList(deep_freeze(item, memo) for item in obj)
+        memo[identity] = frozen
+        return frozen
+    if isinstance(obj, tuple):
+        frozen = tuple(deep_freeze(item, memo) for item in obj)
+        memo[identity] = frozen
+        return frozen
+    if isinstance(obj, set):
+        frozen = frozenset(deep_freeze(item, memo) for item in obj)
+        memo[identity] = frozen
+        return frozen
+    memo[identity] = obj
+    slots = []
+    for klass in type(obj).__mro__:
+        slots.extend(getattr(klass, "__slots__", ()))
+    for name in [*slots, *getattr(obj, "__dict__", {})]:
+        try:
+            value = getattr(obj, name)
+        except AttributeError:
+            continue
+        if callable(value):
+            continue
+        frozen_value = deep_freeze(value, memo)
+        if frozen_value is not value:
+            object.__setattr__(obj, name, frozen_value)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# The sanitizer
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SealedMessage:
+    """One in-flight payload under sanitizer custody."""
+
+    source: str
+    destination: str
+    original: Any
+    copy: Any
+    digest: str
+
+
+class MessageSanitizer:
+    """Seals payloads at send, verifies and isolates them at delivery."""
+
+    def __init__(self) -> None:
+        self.messages_sealed = 0
+        self.violations_detected = 0
+
+    def seal(self, source: str, destination: str, payload: Any) -> SealedMessage:
+        """Deep-copy and checksum *payload* at send time."""
+        self.messages_sealed += 1
+        return SealedMessage(
+            source=source,
+            destination=destination,
+            original=payload,
+            copy=copy.deepcopy(payload),
+            digest=fingerprint(payload),
+        )
+
+    def release(self, sealed: SealedMessage) -> Any:
+        """Verify in-flight integrity; return the frozen copy to deliver.
+
+        Raises:
+            AliasingViolation: the sender (or anything holding a
+                reference) mutated the message after sending it.
+        """
+        if fingerprint(sealed.original) != sealed.digest:
+            self.violations_detected += 1
+            raise AliasingViolation(
+                f"message from {sealed.source!r} to {sealed.destination!r} "
+                "was mutated while in flight: the sending replica altered "
+                f"a sent message object ({sealed.original!r} no longer "
+                "matches its send-time checksum)"
+            )
+        return deep_freeze(sealed.copy)
+
+    def verify_delivered(self, sealed: SealedMessage) -> None:
+        """Post-delivery backstop: the receiver's handler must not have
+        mutated the payload it was handed.
+
+        Raises:
+            AliasingViolation: the receiving endpoint mutated the
+                delivered payload in a way freezing could not intercept.
+        """
+        if fingerprint(sealed.copy) != sealed.digest:
+            self.violations_detected += 1
+            raise AliasingViolation(
+                f"endpoint {sealed.destination!r} mutated the payload "
+                f"delivered from {sealed.source!r} ({sealed.copy!r} no "
+                "longer matches its send-time checksum)"
+            )

@@ -41,6 +41,7 @@ from repro.net import UniformLatency
 from repro.server.backend import BackendServer
 from repro.server.tracelog import replay_trace, trace_to_dicts
 from repro.sim import Simulator
+from repro.sim.rng import RngStreams
 
 SCHEMA = Schema(
     name="Mini",
@@ -102,9 +103,12 @@ def _run_faulty_schedule(
     )
     names = [f"c{i}" for i in range(num_clients)]
     clients: dict[str, WorkerClient] = {}
+    rng_streams = RngStreams(latency_seed)
     for name in names:
+        # Stable per-name stream: builtin hash() of strings varies per
+        # process (PYTHONHASHSEED), which crowdlint DET001 flags.
         client = WorkerClient(
-            name, SCHEMA, SCORING, network, rng=random.Random(hash(name) % 1000)
+            name, SCHEMA, SCORING, network, rng=rng_streams.stream(name)
         )
         client.bootstrap(backend.attach_client(name))
         clients[name] = client

@@ -123,10 +123,12 @@ def test_stats_and_quiescence():
     net.send("a", "b", "x")
     assert not net.quiescent()
     assert net.stats.messages_sent == 1
+    net.check_accounting()
     sim.run()
     assert net.quiescent()
     assert net.stats.messages_delivered == 1
     assert net.stats.per_link_sent[("a", "b")] == 1
+    net.check_accounting()
 
 
 def test_unregistered_destination_drops_in_flight():
@@ -139,10 +141,11 @@ def test_unregistered_destination_drops_in_flight():
     assert not net.quiescent()
     sim.run()
     assert sink.got == []
-    # Dropped, not delivered — and in_flight re-reaches zero.
+    # Dropped, not delivered — and the accounting invariant holds
+    # (in_flight = sent - delivered - dropped re-reaches zero).
     assert net.stats.messages_delivered == 0
     assert net.stats.messages_dropped == 1
-    assert net.stats.in_flight == 0
+    net.check_accounting()
     assert net.quiescent()
 
 
@@ -180,7 +183,7 @@ def test_fault_filter_drop_keeps_accounting_quiescent():
     # Dropped at send time: never in flight, quiescence never wedges.
     assert net.stats.messages_sent == 5
     assert net.stats.messages_dropped == 5
-    assert net.stats.in_flight == 0
+    net.check_accounting()
     assert net.quiescent()
     sim.run()
     assert sink.got == []
@@ -218,9 +221,11 @@ def test_drop_in_flight_purges_and_returns_messages():
         ("server", "b", "in1"),
     ]
     assert net.stats.messages_dropped == 3
+    net.check_accounting()
     assert not net.quiescent()  # the unrelated message is still flying
     sim.run()
     assert net.quiescent()
+    net.check_accounting()
     assert net.stats.messages_delivered == 1
     assert b.got == []
 
