@@ -7,6 +7,7 @@ end-to-end server message loop (apply + trace + PRI repair + completion
 check) at several table sizes.
 """
 
+import os
 import random
 
 import pytest
@@ -18,8 +19,9 @@ from repro.core.messages import DownvoteMessage, ReplaceMessage, UpvoteMessage
 from repro.core.schema import soccer_player_schema
 from repro.docstore import Collection
 from repro.net import ConstantLatency, Network
+from repro.obs import Observability
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCHEMA = soccer_player_schema()
 
@@ -93,16 +95,18 @@ def _row_value(i):
     })
 
 
-def _server_with_rows(n_rows):
+def _server_with_rows(n_rows, obs=None):
     """A backend server whose master table holds *n_rows* worker rows.
 
     The template pins primary keys no synthetic message ever completes,
     so the completion check runs (and fails) on every single message —
     the worst case for the server loop.
     """
-    sim = Simulator()
+    sim = Simulator(obs=obs)
+    if obs is not None:
+        obs.bind_clock(lambda: sim.now)
     network = Network(sim, default_latency=ConstantLatency(0.0),
-                      rng=random.Random(0))
+                      streams=RngStreams(0), obs=obs)
     template = Template.from_values([
         {"name": f"Target {k}", "nationality": f"Nowhere {k}"}
         for k in range(5)
@@ -157,6 +161,46 @@ def test_bench_server_message_loop(benchmark, n_rows):
     benchmark.extra_info["msgs_per_sec"] = round(rate, 1)
     print(f"\ncore-throughput n={n_rows:>4}: "
           f"{MESSAGES_MEASURED} messages in {mean:.3f}s -> {rate:,.0f} msgs/sec")
+
+
+@pytest.mark.parametrize("n_rows", [100, 500, 2000])
+def test_bench_server_message_loop_observed(benchmark, n_rows):
+    """The same server loop with the observability layer enabled.
+
+    Quantifies the metrics/tracing overhead on the hottest path, and —
+    when ``REPRO_BENCH_ARTIFACTS`` names a directory — exports the last
+    round's metrics and span-trace JSON there (the CI bench job uploads
+    them as build artifacts).
+    """
+    stream = _message_stream(n_rows, MESSAGES_MEASURED)
+    observed = []
+
+    def setup():
+        obs = Observability()
+        observed.append(obs)
+        return (_server_with_rows(n_rows, obs=obs), stream), {}
+
+    def feed(backend, messages):
+        for k, message in enumerate(messages):
+            backend.on_message(f"w{1 + k % 3}", message)
+
+    benchmark.pedantic(feed, setup=setup, rounds=2, warmup_rounds=0)
+    mean = benchmark.stats.stats.mean
+    rate = MESSAGES_MEASURED / mean
+    benchmark.extra_info["msgs_per_sec"] = round(rate, 1)
+    obs = observed[-1]
+    # The counter covers the table-seeding setup too, so >= measured.
+    applied = obs.metrics.counter_value("server.messages_applied")
+    assert applied >= MESSAGES_MEASURED
+    print(f"\ncore-throughput (observed) n={n_rows:>4}: "
+          f"{MESSAGES_MEASURED} messages in {mean:.3f}s -> {rate:,.0f} msgs/sec")
+    artifact_dir = os.environ.get("REPRO_BENCH_ARTIFACTS")
+    if artifact_dir:
+        os.makedirs(artifact_dir, exist_ok=True)
+        obs.write_metrics(
+            os.path.join(artifact_dir, f"metrics-n{n_rows}.json")
+        )
+        obs.write_trace(os.path.join(artifact_dir, f"trace-n{n_rows}.json"))
 
 
 @pytest.mark.parametrize("indexed", [False, True])

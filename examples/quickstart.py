@@ -9,12 +9,16 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    CollectionSession,
     Replica,
     RowValue,
     ThresholdScoring,
+    WorkerSpec,
     soccer_player_schema,
 )
-from repro.experiments import CrowdFillExperiment, ExperimentConfig
+from repro.datasets import SoccerPlayerUniverse
+from repro.workers import DiligentPolicy
+from repro.workers.profile import representative_crew
 
 
 def model_tour() -> None:
@@ -60,14 +64,50 @@ def model_tour() -> None:
 
 
 def tiny_collection() -> None:
-    """An end-to-end simulated collection: 5 rows, 3 workers."""
-    config = ExperimentConfig(seed=42, num_workers=3, target_rows=5)
-    result = CrowdFillExperiment(config).run()
-    print(f"\nCollected {len(result.final_values)} rows "
-          f"in {result.duration:.0f} simulated seconds "
-          f"(accuracy {result.accuracy:.0%}):")
-    for record in result.final_table_records():
+    """An end-to-end simulated collection: 5 rows, 3 workers.
+
+    One :class:`~repro.session.CollectionSession` wires the simulator,
+    entropy streams, network, marketplace, and back-end server; worker
+    specs describe the crew.  ``obs=True`` turns on the observability
+    layer (metrics, traces, periodic snapshots) for the whole run.
+    """
+    universe = SoccerPlayerUniverse(seed=42, size=200, include_dob=False)
+    truth = universe.ground_truth()
+    session = CollectionSession(
+        seed=42,
+        schema=universe.schema,
+        scoring=ThresholdScoring(2),
+        target_rows=5,
+        obs=True,
+    )
+
+    def policy(worker_id: str) -> DiligentPolicy:
+        knowledge = truth.sample_known_subset(
+            session.streams.stream(f"knowledge-{worker_id}"), 0.6
+        )
+        return DiligentPolicy(knowledge, profiles[0], reference=truth)
+
+    profiles = representative_crew(42)
+    specs = [
+        WorkerSpec(worker_id=f"worker-{i}", policy=policy,
+                   profile=profiles[i])
+        for i in range(3)
+    ]
+    session.recruit(specs, mean_interarrival=10.0)
+    session.run(until=3600.0)
+
+    backend = session.backend
+    final = [dict(row.value) for row in backend.final_rows()]
+    print(f"\nCollected {len(final)} rows "
+          f"in {backend.completion_time:.0f} simulated seconds:")
+    for record in final:
         print(" ", record)
+    metrics = session.obs.metrics
+    print("\nObservability:",
+          f"{metrics.counter_value('net.messages_delivered')} messages"
+          f" delivered, {metrics.counter_value('server.messages_applied')}"
+          f" operations applied,"
+          f" {len(session.obs.snapshots)} snapshots sampled")
 
 
 if __name__ == "__main__":

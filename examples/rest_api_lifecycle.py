@@ -7,32 +7,34 @@ and are redirected to the back-end, data is collected, retrieved, and
 the budget is paid out as marketplace bonuses.  Metadata, results, and
 payments persist in the document store.
 
+The simulation substrate (simulator, entropy streams, network,
+marketplace, document store) comes from one
+:class:`~repro.session.CollectionSession` constructed without a schema
+— the *application* owns the table specification here, so the back-end
+is created by the front-end's ``launch`` call rather than the session.
+
 Run:  python examples/rest_api_lifecycle.py
 """
-
-import random
 
 from repro.client import WorkerClient
 from repro.core import ThresholdScoring
 from repro.core.schema import soccer_player_schema
 from repro.datasets import SoccerPlayerUniverse
-from repro.docstore import Database
-from repro.marketplace import Marketplace
-from repro.net import Network, UniformLatency
+from repro.net import UniformLatency
 from repro.pay import AllocationScheme
-from repro.server import FrontendServer
-from repro.sim import Simulator
-from repro.workers import ActionLatencies, DiligentPolicy, SimulatedWorker
+from repro.session import CollectionSession
+from repro.workers import DiligentPolicy, SimulatedWorker
 from repro.workers.profile import WorkerProfile
 
 
 def main() -> None:
-    sim = Simulator()
-    network = Network(sim, default_latency=UniformLatency(0.02, 0.2),
-                      rng=random.Random(0))
-    marketplace = Marketplace(sim, rng=random.Random(1))
-    db = Database("crowdfill-demo")
-    front = FrontendServer(db)
+    # One facade wires the whole substrate; no schema => no backend yet.
+    session = CollectionSession(
+        seed=3,
+        latency=UniformLatency(0.02, 0.2),
+        db_name="crowdfill-demo",
+    )
+    front = session.frontend
     schema = soccer_player_schema()
     scoring = ThresholdScoring(2)
     truth = SoccerPlayerUniverse(seed=3, size=300,
@@ -53,39 +55,42 @@ def main() -> None:
     print("Created spec:", spec_id)
 
     # 2. Launch: posts a marketplace task; accepting workers get a
-    #    client attached to the back-end and a behaviour loop.
+    #    client attached to the back-end and a behaviour loop.  All
+    #    entropy comes from the session's named streams.
     workers = []
 
     def on_accept(worker_id, backend):
-        client = WorkerClient(worker_id, schema, scoring, network,
-                              rng=random.Random(len(workers)))
+        client = WorkerClient(worker_id, schema, scoring, session.network,
+                              streams=session.streams)
         client.bootstrap(backend.attach_client(worker_id))
         profile = WorkerProfile(fill_accuracy=1.0, knowledge_fraction=0.6)
         policy = DiligentPolicy(
-            truth.sample_known_subset(random.Random(len(workers)), 0.6),
+            truth.sample_known_subset(
+                session.streams.stream(f"knowledge-{worker_id}"), 0.6
+            ),
             profile,
             reference=truth,
         )
         worker = SimulatedWorker(
-            client, policy, profile, sim,
-            rng=random.Random(50 + len(workers)),
-            latencies=ActionLatencies(),
+            client, policy, profile, session.sim,
+            streams=session.streams,
+            latencies=session.latencies,
             is_done=lambda: backend.completed,
         )
         workers.append(worker)
         worker.start()
 
     launched = front.launch(
-        spec_id, sim, network, marketplace,
+        spec_id, session.sim, session.network, session.marketplace,
         max_workers=3, base_reward=0.05, on_worker_accept=on_accept,
     )
     print("Posted marketplace task:", launched["task_id"])
 
     # 3. Workers trickle in and work until completion.
-    marketplace.schedule_arrivals(
+    session.marketplace.schedule_arrivals(
         launched["task_id"], ["ann", "ben", "cem"], mean_interarrival=10.0
     )
-    sim.run(until=3600.0)
+    session.run(until=3600.0)
     status = front.status(spec_id)
     print("Status:", status)
 
@@ -95,15 +100,17 @@ def main() -> None:
     for record in collected["final_table"]:
         print(" ", record)
 
-    marketplace.approve_all(launched["task_id"])  # base rewards
+    session.marketplace.approve_all(launched["task_id"])  # base rewards
     payments = front.pay_workers(
-        spec_id, marketplace, AllocationScheme.COLUMN_WEIGHTED
+        spec_id, session.marketplace, AllocationScheme.COLUMN_WEIGHTED
     )
     print("\nBonuses:", {k: round(v, 2) for k, v in payments["by_worker"].items()})
     print("Ledger totals:", {
-        k: round(v, 2) for k, v in marketplace.ledger.by_worker().items()
+        k: round(v, 2)
+        for k, v in session.marketplace.ledger.by_worker().items()
     })
-    print("\nDocument store collections:", db.collection_names())
+    print("\nDocument store collections:",
+          session.database.collection_names())
 
 
 if __name__ == "__main__":

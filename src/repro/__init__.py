@@ -16,6 +16,16 @@ Quickstart::
     result = CrowdFillExperiment(config).run()
     print(result.final_table_records())
 
+Or assemble a custom run with the session facade::
+
+    from repro import CollectionSession, WorkerSpec
+
+    session = CollectionSession(seed=7, schema=..., scoring=...,
+                                target_rows=20, obs=True)
+    session.recruit(specs)
+    session.run(until=3600.0)
+    session.obs.write_metrics("metrics.json")
+
 Package map (see DESIGN.md for the full inventory):
 
 - ``repro.core``        — the formal model (section 2)
@@ -68,4 +78,12 @@ def __getattr__(name: str):
         from repro import experiments
 
         return getattr(experiments, name)
+    if name in ("CollectionSession", "WorkerSpec"):
+        from repro import session
+
+        return getattr(session, name)
+    if name == "Observability":
+        from repro.obs import Observability
+
+        return Observability
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

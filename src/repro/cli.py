@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--budget", type=float, default=10.0)
     run.add_argument("--recommender", action="store_true",
                      help="enable the section 8 cell-recommendation strategy")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="enable observability and write the metrics/"
+                          "snapshot export (JSON) to FILE")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="enable observability and write the span-trace "
+                          "export (JSON) to FILE")
 
     add("effectiveness", "E1: overall effectiveness")
 
@@ -120,7 +126,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             budget=args.budget,
             use_recommender=args.recommender,
         )
-        result = CrowdFillExperiment(config).run()
+        want_obs = bool(args.metrics_out or args.trace_out)
+        result = CrowdFillExperiment(config, obs=want_obs).run()
         status = (
             f"completed in {result.duration:.0f} simulated seconds"
             if result.completed
@@ -131,6 +138,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(" ", record)
         payouts = result.allocation(AllocationScheme.DUAL_WEIGHTED).by_worker
         print("payouts:", {k: round(v, 2) for k, v in sorted(payouts.items())})
+        if args.metrics_out:
+            result.obs.write_metrics(args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}")
+        if args.trace_out:
+            result.obs.write_trace(args.trace_out)
+            print(f"wrote trace to {args.trace_out}")
         return 0
 
     if args.command == "effectiveness":

@@ -88,6 +88,9 @@ class CentralClient:
             continues (the paper's current system); ``"error"`` raises
             :class:`UnsatisfiableTemplateError`.
         clock: returns the current simulated time (for event records).
+        obs: optional :class:`repro.obs.Observability` receiving refresh
+            spans, augmentation/insert/shuffle/drop counters, and a
+            matching-size gauge.  Keyword-only; defaults to the no-op.
     """
 
     def __init__(
@@ -98,9 +101,15 @@ class CentralClient:
         send: Callable[[Message], None],
         on_unsatisfiable: Literal["drop", "error"] = "drop",
         clock: Callable[[], float] | None = None,
+        *,
+        obs: object | None = None,
     ) -> None:
+        from repro.obs import resolve
+
+        self.obs = resolve(obs)  # type: ignore[arg-type]
         self.schema = schema
         self.replica = Replica("CC", schema, scoring)
+        self.replica.table.set_observability(self.obs, scope="cc")
         self.template_rows: list[TemplateRow] = list(template.rows)
         self.dropped_rows: list[TemplateRow] = []
         self.on_unsatisfiable = on_unsatisfiable
@@ -144,6 +153,8 @@ class CentralClient:
             return
         self.stats.refreshes += 1
         augments_before = self.matching.augment_count
+        obs = self.obs
+        span = obs.span("cc.refresh") if obs.enabled else None
         try:
             guard = 0
             while True:
@@ -157,9 +168,16 @@ class CentralClient:
                     return
                 self._handle_free_row(str(free[0]))
         finally:
-            self.stats.augmentations += (
-                self.matching.augment_count - augments_before
-            )
+            delta = self.matching.augment_count - augments_before
+            self.stats.augmentations += delta
+            if span is not None:
+                size = len(self.matching.pairs())
+                obs.inc("cc.refreshes")
+                if delta:
+                    obs.inc("cc.augmentations", delta)
+                obs.gauge("cc.matching_size", size)
+                span.set(augmentations=delta, matching_size=size)
+                span.close()
 
     def pri_holds(self) -> bool:
         """Is the PRI currently satisfied (on CC's copy of the table)?"""
@@ -259,6 +277,8 @@ class CentralClient:
         insert_message = self.replica.insert()
         self._send(insert_message)
         self.stats.inserts += 1
+        if self.obs.enabled:
+            self.obs.inc("cc.inserts")
         row_id = insert_message.row_id
         for column in self.schema.column_names:
             predicate = template_row.predicate_for(column)
@@ -281,3 +301,11 @@ class CentralClient:
             PriEvent(kind=kind, template_label=label, detail=detail,
                      time=self._clock())
         )
+        if self.obs.enabled:
+            if kind == "shuffle":
+                self.obs.inc("cc.shuffles")
+            elif kind == "drop":
+                self.obs.inc("cc.drops")
+            self.obs.event(
+                "cc.pri", kind=kind, template_label=label, detail=detail
+            )

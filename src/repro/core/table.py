@@ -145,6 +145,26 @@ class CandidateTable:
         self._probable_offsets: dict[int, int] = {}
         self._probable_resync: set[int] = set()
 
+        # -- observability (no-op unless set_observability is called) ------
+        from repro.obs import NULL_OBS
+
+        self._obs = NULL_OBS
+        self._obs_scope = "table"
+
+    def set_observability(self, obs: object, scope: str = "table") -> None:
+        """Attach an :class:`repro.obs.Observability` after construction.
+
+        The table is created inside a :class:`~repro.core.replica.Replica`,
+        so owners (the back-end server, the Central Client) thread their
+        handle in post-hoc.  *scope* prefixes the metric names — e.g.
+        ``server.table.dirty_drains`` vs ``cc.table.dirty_drains`` — so
+        the two master-side tables stay distinguishable in one registry.
+        """
+        from repro.obs import resolve
+
+        self._obs = resolve(obs)  # type: ignore[arg-type]
+        self._obs_scope = scope
+
     # -- row access ---------------------------------------------------------
 
     def __len__(self) -> int:
@@ -567,6 +587,16 @@ class CandidateTable:
         self._refresh_derived()
         delta = self._dirty_consumers[token]
         self._dirty_consumers[token] = DirtyDelta()
+        if self._obs.enabled:
+            scope = self._obs_scope
+            self._obs.inc(f"{scope}.table.dirty_drains")
+            if delta.full:
+                self._obs.inc(f"{scope}.table.dirty_full_resyncs")
+            else:
+                self._obs.observe(
+                    f"{scope}.table.dirty_keys_per_drain",
+                    len(delta.keys) + len(delta.keyless),
+                )
         return delta
 
     def register_probable_consumer(self) -> int:
@@ -587,10 +617,16 @@ class CandidateTable:
         journal overflow).
         """
         self._refresh_derived()
+        if self._obs.enabled:
+            self._obs.inc(f"{self._obs_scope}.table.probable_drains")
         journal = self._probable_journal
         if token in self._probable_resync:
             self._probable_resync.discard(token)
             self._probable_offsets[token] = len(journal)
+            if self._obs.enabled:
+                self._obs.inc(
+                    f"{self._obs_scope}.table.probable_full_resyncs"
+                )
             return [], [], True
         offset = self._probable_offsets[token]
         events = journal[offset:]
@@ -614,6 +650,11 @@ class CandidateTable:
             for row_id, row in last.items()
             if row is None and not first_was_add[row_id]
         ]
+        if self._obs.enabled:
+            self._obs.observe(
+                f"{self._obs_scope}.table.probable_changes_per_drain",
+                len(added) + len(removed),
+            )
         return added, removed, False
 
     # -- final table (section 2.2) -------------------------------------------

@@ -22,20 +22,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.client import WorkerClient
-from repro.constraints.template import Template
 from repro.core.scoring import ScoringFunction, ThresholdScoring
 from repro.experiments.harness import (
     ExperimentConfig,
     make_policy,
     resolve_domain,
 )
-from repro.net import DisconnectWindow, FaultInjector, FaultPlan, Network
+from repro.net import DisconnectWindow, FaultInjector, FaultPlan
 from repro.net import UniformLatency
 from repro.server.backend import BackendServer
-from repro.sim import RngStreams, Simulator
-from repro.workers import ActionLatencies, SimulatedWorker
+from repro.session import CollectionSession, WorkerSpec
+from repro.sim import RngStreams
+from repro.workers import SimulatedWorker
 
 
 @dataclass(frozen=True)
@@ -114,67 +115,51 @@ def build_churn_plan(config: ChurnConfig, worker_ids: list[str]) -> FaultPlan:
     return FaultPlan(disconnects=tuple(windows))
 
 
-def run_churn_experiment(config: ChurnConfig | None = None) -> ChurnReport:
-    """Run one collection under the churn fault schedule."""
+def run_churn_experiment(
+    config: ChurnConfig | None = None, obs: Any = None
+) -> ChurnReport:
+    """Run one collection under the churn fault schedule.
+
+    Args:
+        config: fault-schedule knobs over a base experiment config.
+        obs: forwarded to :class:`repro.session.CollectionSession`.
+    """
     config = config or ChurnConfig()
     base = config.base
-    streams = RngStreams(base.seed)
-    sim = Simulator()
-    network = Network(
-        sim,
-        default_latency=UniformLatency(base.latency_low, base.latency_high),
-        rng=streams.stream("network"),
-    )
     schema, full_truth, truth_band = resolve_domain(base)
     scoring: ScoringFunction = ThresholdScoring(base.min_votes)
-    template = Template.cardinality(base.target_rows)
-    backend = BackendServer(
-        sim,
-        network,
-        schema,
-        scoring,
-        template,
+    session = CollectionSession(
+        seed=base.seed,
+        schema=schema,
+        scoring=scoring,
+        target_rows=base.target_rows,
+        latency=UniformLatency(base.latency_low, base.latency_high),
         oplog_capacity=config.oplog_capacity,
+        obs=obs,
     )
+    backend = session.backend
+    assert backend is not None
 
     profiles = base.resolved_profiles()
     kinds = base.resolved_policy_kinds()
-    latencies = ActionLatencies()
     worker_ids = [f"worker-{i}" for i in range(base.num_workers)]
-    clients: dict[str, WorkerClient] = {}
-    workers: dict[str, SimulatedWorker] = {}
     for index, worker_id in enumerate(worker_ids):
-        profile = profiles[index]
-        client = WorkerClient(
-            worker_id,
-            schema,
-            scoring,
-            network,
-            rng=streams.stream(f"order-{worker_id}"),
-            vote_cap=base.vote_cap,
+        session.add_worker(
+            WorkerSpec(
+                worker_id=worker_id,
+                policy=lambda wid, i=index: make_policy(
+                    kinds[i], truth_band, profiles[i], session.streams, wid
+                ),
+                profile=profiles[index],
+                vote_cap=base.vote_cap,
+            )
         )
-        client.bootstrap(backend.attach_client(worker_id))
-        policy = make_policy(
-            kinds[index], truth_band, profile, streams, worker_id
-        )
-        worker = SimulatedWorker(
-            client,
-            policy,
-            profile,
-            sim,
-            rng=streams.stream(f"behavior-{worker_id}"),
-            latencies=latencies,
-            is_done=lambda: backend.completed,
-        )
-        clients[worker_id] = client
-        workers[worker_id] = worker
-        worker.start()
 
     plan = build_churn_plan(config, worker_ids)
-    injector = FaultInjector(sim, network, plan)
+    injector = FaultInjector(session.sim, session.network, plan)
     for victim in plan.faulted_endpoints():
-        client = clients[victim]
-        worker = workers[victim]
+        client = session.clients[victim]
+        worker = session.workers[victim]
         injector.bind(
             victim,
             on_disconnect=_make_on_disconnect(backend, client, worker),
@@ -183,27 +168,26 @@ def run_churn_experiment(config: ChurnConfig | None = None) -> ChurnReport:
         )
     injector.install()
 
-    backend.start()
-    sim.run(until=base.max_sim_time)
+    session.run(until=base.max_sim_time)
 
     # End-of-run: bring every still-disconnected victim back online so
     # convergence is checkable, then drain the network.
     injector.force_reconnect_all()
-    sim.run()
-    assert network.quiescent()
+    session.drain()
+    assert session.network.quiescent()
 
     reference = backend.replica.snapshot()
     all_converged = all(
-        client.snapshot() == reference for client in clients.values()
+        client.snapshot() == reference for client in session.clients.values()
     )
     final_values = [row.value for row in backend.final_rows()]
     outcomes = [
         WorkerChurnOutcome(
             worker_id=worker_id,
-            disconnects=workers[worker_id].log.disconnects,
-            reconnects=workers[worker_id].log.reconnects,
-            offline_actions=workers[worker_id].log.offline_actions,
-            resync_kinds=list(clients[worker_id].resync_kinds),
+            disconnects=session.workers[worker_id].log.disconnects,
+            reconnects=session.workers[worker_id].log.reconnects,
+            offline_actions=session.workers[worker_id].log.offline_actions,
+            resync_kinds=list(session.clients[worker_id].resync_kinds),
         )
         for worker_id in worker_ids
     ]
@@ -222,7 +206,7 @@ def run_churn_experiment(config: ChurnConfig | None = None) -> ChurnReport:
         snapshot_resyncs=sum(
             o.resync_kinds.count("snapshot") for o in outcomes
         ),
-        messages_dropped=network.stats.messages_dropped,
+        messages_dropped=session.network.stats.messages_dropped,
         fault_events=len(injector.events),
     )
 

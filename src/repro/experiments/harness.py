@@ -14,7 +14,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Literal, Mapping
 
-from repro.client import WorkerClient
 from repro.constraints.template import Template
 from repro.core.row import RowValue
 from repro.core.schema import Schema
@@ -25,8 +24,7 @@ from repro.datasets import (
     MovieUniverse,
     SoccerPlayerUniverse,
 )
-from repro.marketplace import Marketplace
-from repro.net import Network, UniformLatency
+from repro.net import UniformLatency
 from repro.pay import (
     AllocationResult,
     AllocationScheme,
@@ -35,11 +33,10 @@ from repro.pay import (
     allocate,
     analyze_contributions,
 )
-from repro.server.backend import BackendServer
 from repro.server.recommender import CellRecommender
-from repro.sim import RngStreams, Simulator
+from repro.session import CollectionSession, WorkerSpec
+from repro.sim import RngStreams
 from repro.workers import (
-    ActionLatencies,
     CopierPolicy,
     DiligentPolicy,
     SimulatedWorker,
@@ -192,6 +189,9 @@ class ExperimentResult:
     pri_inserts: int
     dropped_template_rows: int
     messages_sent: int
+    obs: Any = None
+    """The run's :class:`repro.obs.Observability` handle (the shared
+    no-op when observability was not requested)."""
     _allocations: dict[AllocationScheme, AllocationResult] = field(
         default_factory=dict
     )
@@ -230,22 +230,26 @@ class ExperimentResult:
 
 
 class CrowdFillExperiment:
-    """Assembles and runs one collection (the representative-run rig)."""
+    """Assembles and runs one collection (the representative-run rig).
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    Args:
+        config: the run's configuration (paper defaults when omitted).
+        obs: forwarded to :class:`repro.session.CollectionSession` —
+            pass ``True`` (or an :class:`repro.obs.Observability`) to
+            collect metrics, traces, and periodic snapshots; the handle
+            is returned on the result's ``obs`` field.
+    """
+
+    def __init__(
+        self, config: ExperimentConfig | None = None, obs: Any = None
+    ) -> None:
         self.config = config or ExperimentConfig()
+        self.obs = obs
+        self.session: CollectionSession | None = None
 
     def run(self) -> ExperimentResult:
         """Execute the run to completion (or the simulated-time cap)."""
         config = self.config
-        streams = RngStreams(config.seed)
-        sim = Simulator()
-        network = Network(
-            sim,
-            default_latency=UniformLatency(config.latency_low, config.latency_high),
-            rng=streams.stream("network"),
-        )
-
         schema, full_truth, truth_band = resolve_domain(config)
         scoring: ScoringFunction = ThresholdScoring(config.min_votes)
 
@@ -261,72 +265,60 @@ class CrowdFillExperiment:
         else:
             template = Template.cardinality(config.target_rows)
 
-        backend = BackendServer(sim, network, schema, scoring, template)
-        estimator = CompensationEstimator(
-            schema,
-            template,
-            scoring,
-            config.budget,
-            scheme=config.estimator_scheme,
+        session = CollectionSession(
+            seed=config.seed,
+            schema=schema,
+            scoring=scoring,
+            template=template,
+            latency=UniformLatency(config.latency_low, config.latency_high),
+            obs=self.obs,
         )
-        backend.add_trace_listener(
-            lambda record: estimator.on_record(record, backend.replica.table)
+        self.session = session
+        estimator = session.attach_estimator(
+            config.budget, scheme=config.estimator_scheme
         )
 
-        marketplace = Marketplace(sim, rng=streams.stream("marketplace"))
         profiles = config.resolved_profiles()
         kinds = config.resolved_policy_kinds()
-        latencies = ActionLatencies()
-        workers: list[SimulatedWorker] = []
         recommender = (
-            CellRecommender(backend) if config.use_recommender else None
+            CellRecommender(session.backend) if config.use_recommender else None
         )
 
-        def accept(worker_id: str) -> None:
-            index = int(worker_id.split("-")[1])
-            profile = profiles[index]
-            client = WorkerClient(
-                worker_id,
-                schema,
-                scoring,
-                network,
-                rng=streams.stream(f"order-{worker_id}"),
+        def policy_factory(index: int) -> Any:
+            def build(worker_id: str) -> Any:
+                policy = self._make_policy(
+                    kinds[index],
+                    truth_band,
+                    profiles[index],
+                    session.streams,
+                    worker_id,
+                )
+                if recommender is not None and isinstance(
+                    policy, DiligentPolicy
+                ):
+                    policy = GuidedPolicy(policy, recommender, worker_id)
+                return policy
+
+            return build
+
+        specs = [
+            WorkerSpec(
+                worker_id=f"worker-{index}",
+                policy=policy_factory(index),
+                profile=profiles[index],
                 vote_cap=config.vote_cap,
             )
-            client.bootstrap(backend.attach_client(worker_id))
-            policy = self._make_policy(
-                kinds[index], truth_band, profile, streams, worker_id
-            )
-            if recommender is not None and isinstance(policy, DiligentPolicy):
-                policy = GuidedPolicy(policy, recommender, worker_id)
-            worker = SimulatedWorker(
-                client,
-                policy,
-                profile,
-                sim,
-                rng=streams.stream(f"behavior-{worker_id}"),
-                latencies=latencies,
-                is_done=lambda: backend.completed,
-            )
-            workers.append(worker)
-            worker.start()
-
-        task = marketplace.post_task(
-            title=f"Fill in the {schema.name} table",
-            description="collect soccer players with 80-99 caps",
-            base_reward=0.0,
-            max_assignments=config.num_workers,
-            on_accept=accept,
-        )
-        marketplace.schedule_arrivals(
-            task.task_id,
-            [f"worker-{i}" for i in range(config.num_workers)],
+            for index in range(config.num_workers)
+        ]
+        session.recruit(
+            specs,
             mean_interarrival=config.mean_interarrival,
+            description="collect soccer players with 80-99 caps",
         )
+        session.run(until=config.max_sim_time)
 
-        backend.start()
-        sim.run(until=config.max_sim_time)
-
+        backend = session.backend
+        assert backend is not None
         final_rows = backend.final_rows()
         final_values = [row.value for row in final_rows]
         trace = backend.worker_trace()
@@ -341,7 +333,9 @@ class CrowdFillExperiment:
                 downvotes=w.log.downvotes,
                 conflicts=w.log.conflicts,
             )
-            for w in sorted(workers, key=lambda w: w.worker_id)
+            for w in sorted(
+                session.workers.values(), key=lambda w: w.worker_id
+            )
         ]
 
         return ExperimentResult(
@@ -360,7 +354,8 @@ class CrowdFillExperiment:
             ground_truth=truth_band,
             pri_inserts=backend.central.stats.inserts,
             dropped_template_rows=len(backend.central.dropped_rows),
-            messages_sent=network.stats.messages_sent,
+            messages_sent=session.network.stats.messages_sent,
+            obs=session.obs,
         )
 
     def _make_policy(

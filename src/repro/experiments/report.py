@@ -33,6 +33,69 @@ from repro.experiments.domains import run_domain_sweep
 from repro.pay import AllocationScheme
 
 
+_REPORT_COUNTERS = (
+    "net.messages_sent",
+    "net.messages_delivered",
+    "net.messages_dropped",
+    "server.messages_applied",
+    "server.broadcasts",
+    "server.resyncs_incremental",
+    "server.resyncs_snapshot",
+    "cc.refreshes",
+    "cc.inserts",
+    "cc.shuffles",
+    "market.assignments_accepted",
+    "market.assignments_approved",
+    "market.bonuses_granted",
+    "pay.estimates",
+)
+
+_SNAPSHOT_COLUMNS = (
+    "candidate_rows",
+    "probable_rows",
+    "final_rows",
+    "messages_sent",
+    "in_flight",
+    "total_paid",
+)
+
+
+def format_observability(obs) -> str:
+    """Summarize one run's telemetry: key counters + snapshot timeline.
+
+    Consumes the :mod:`repro.obs` export of an obs-enabled run — the
+    counter registry for the totals block and the periodic snapshots for
+    the collection-progress timeline.
+    """
+    lines = ["counters:"]
+    for name in _REPORT_COUNTERS:
+        lines.append(f"  {name:<30} {obs.metrics.counter_value(name)}")
+    latency = obs.metrics.histogram("net.latency_seconds")
+    if latency.count:
+        lines.append(
+            f"  {'net.latency_seconds (mean)':<30} {latency.mean:.4f}"
+        )
+
+    snapshots = obs.snapshots
+    if snapshots:
+        lines.append("")
+        lines.append("snapshot timeline (sampled on sim-time):")
+        header = "  " + " | ".join(
+            ["time".rjust(8)] + [c.rjust(len(c)) for c in _SNAPSHOT_COLUMNS]
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for row in snapshots:
+            cells = [f"{row['time']:8.1f}"]
+            for column in _SNAPSHOT_COLUMNS:
+                value = row.get(column, "")
+                if isinstance(value, float):
+                    value = f"{value:.2f}"
+                cells.append(str(value).rjust(len(column)))
+            lines.append("  " + " | ".join(cells))
+    return "\n".join(lines)
+
+
 def generate_report(
     seed: int = 7,
     mape_seeds: Sequence[int] = (3, 7, 11, 19, 23),
@@ -53,7 +116,7 @@ def generate_report(
         "paper-vs-measured discussion.",
     ]
 
-    result = CrowdFillExperiment(ExperimentConfig(seed=seed)).run()
+    result = CrowdFillExperiment(ExperimentConfig(seed=seed), obs=True).run()
 
     def add(title: str, body: str) -> None:
         sections.extend(["", f"## {title}", "", "```", body, "```"])
@@ -70,6 +133,8 @@ def generate_report(
         accuracy_from_result(result).format_table())
     add("E6 / Figure 6 — earning-rate stability",
         earning_report_from_result(result).format_table())
+    add("Observability — run telemetry (repro.obs)",
+        format_observability(result.obs))
 
     if not quick:
         add("E4 — estimate MAPE by scheme",

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import itertools
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.marketplace.ledger import PaymentLedger
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
+
+if TYPE_CHECKING:
+    from repro.obs import NullObservability, Observability
 
 
 class MarketplaceError(RuntimeError):
@@ -59,9 +63,41 @@ class Task:
 class Marketplace:
     """A simulated marketplace with a seedable arrival process."""
 
-    def __init__(self, sim: Simulator, rng: random.Random | None = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random | None = None,
+        *,
+        streams: RngStreams | None = None,
+        obs: "Observability | NullObservability | None" = None,
+    ) -> None:
+        """Args:
+            sim: the shared simulator (arrival scheduling, timestamps).
+            rng: deprecated — pass ``streams`` instead.  Kept as an
+                alias for one release; ignored when *streams* is given.
+            streams: named entropy source; the marketplace draws its
+                arrival process from the ``"marketplace"`` stream.
+            obs: optional :class:`repro.obs.Observability` receiving
+                task/assignment counters and budget/bonus flow.
+        """
+        from repro.obs import resolve
+
         self.sim = sim
-        self.rng = rng or random.Random(0)
+        if streams is not None:
+            if rng is not None:
+                raise TypeError("pass either streams= or rng=, not both")
+            self.rng = streams.stream("marketplace")
+        else:
+            if rng is not None:
+                warnings.warn(
+                    "Marketplace(rng=...) is deprecated; pass a named"
+                    " entropy source via"
+                    " Marketplace(streams=RngStreams(seed)) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            self.rng = rng or random.Random(0)
+        self.obs = resolve(obs)
         self.ledger = PaymentLedger()
         self._tasks: dict[str, Task] = {}
         self._task_counter = itertools.count(1)
@@ -97,6 +133,14 @@ class Marketplace:
         self._tasks[task.task_id] = task
         if on_accept is not None:
             self._on_accept[task.task_id] = on_accept
+        if self.obs.enabled:
+            self.obs.inc("market.tasks_posted")
+            self.obs.event(
+                "market.post_task",
+                task_id=task.task_id,
+                max_assignments=max_assignments,
+                base_reward=base_reward,
+            )
         return task
 
     def task(self, task_id: str) -> Task:
@@ -128,6 +172,14 @@ class Marketplace:
                     self.ledger.pay_base(
                         assignment.worker_id, task.base_reward, task.task_id
                     )
+                    if self.obs.enabled:
+                        self.obs.inc("market.assignments_approved")
+                        self.obs.observe(
+                            "market.base_payment", task.base_reward
+                        )
+                        self.obs.gauge(
+                            "market.total_paid", self.ledger.total()
+                        )
                     return
         raise MarketplaceError(f"unknown assignment: {assignment_id!r}")
 
@@ -139,6 +191,13 @@ class Marketplace:
     def grant_bonus(self, worker_id: str, amount: float, reason: str = "") -> None:
         """Pay a bonus — the channel CrowdFill's compensation uses."""
         self.ledger.pay_bonus(worker_id, amount, reason)
+        if self.obs.enabled:
+            self.obs.inc("market.bonuses_granted")
+            self.obs.observe("market.bonus_payment", amount)
+            self.obs.gauge("market.total_paid", self.ledger.total())
+            self.obs.event(
+                "market.bonus", worker_id=worker_id, amount=amount
+            )
 
     # -- worker side -------------------------------------------------------------
 
@@ -164,6 +223,11 @@ class Marketplace:
             accepted_at=self.sim.now,
         )
         task.assignments.append(assignment)
+        if self.obs.enabled:
+            self.obs.inc("market.assignments_accepted")
+            self.obs.event(
+                "market.accept", task_id=task_id, worker_id=worker_id
+            )
         callback = self._on_accept.get(task_id)
         if callback is not None:
             callback(worker_id)

@@ -11,8 +11,9 @@ Socket.IO transport of the paper's implementation.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.sanitizer import (
@@ -20,7 +21,10 @@ from repro.net.sanitizer import (
     SealedMessage,
     sanitize_enabled_by_env,
 )
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
+
+if TYPE_CHECKING:
+    from repro.obs import NullObservability, Observability
 
 
 @runtime_checkable
@@ -126,9 +130,14 @@ class Network:
         default_latency: LatencyModel | None = None,
         rng: random.Random | None = None,
         sanitize: bool | None = None,
+        *,
+        streams: RngStreams | None = None,
+        obs: "Observability | NullObservability | None" = None,
     ) -> None:
         """Args:
-            sim / default_latency / rng: as before.
+            sim / default_latency: as before.
+            rng: deprecated — pass ``streams`` instead.  Kept as an
+                alias for one release; ignored when *streams* is given.
             sanitize: enable the replica-aliasing sanitizer
                 (:mod:`repro.net.sanitizer`): every payload is
                 deep-copied and checksummed at send, verified at
@@ -137,10 +146,30 @@ class Network:
                 ``None`` (the default) defers to the
                 ``REPRO_NET_SANITIZE`` environment variable, which is
                 how CI runs whole suites in sanitizer mode unchanged.
+            streams: named entropy source; the network draws from its
+                ``"network"`` stream.  Keyword-only.
+            obs: optional :class:`repro.obs.Observability` receiving
+                send/deliver/drop counters, a latency histogram, and
+                trace events.  Defaults to the shared no-op.
         """
+        from repro.obs import resolve
+
         self.sim = sim
         self.default_latency = default_latency or ConstantLatency(0.05)
-        self.rng = rng or random.Random(0)
+        if streams is not None:
+            if rng is not None:
+                raise TypeError("pass either streams= or rng=, not both")
+            self.rng = streams.stream("network")
+        else:
+            if rng is not None:
+                warnings.warn(
+                    "Network(rng=...) is deprecated; pass a named entropy"
+                    " source via Network(streams=RngStreams(seed)) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            self.rng = rng or random.Random(0)
+        self.obs = resolve(obs)
         self.stats = NetworkStats()
         if sanitize is None:
             sanitize = sanitize_enabled_by_env()
@@ -196,14 +225,28 @@ class Network:
         self.stats.messages_sent += 1
         key = (source, destination)
         self.stats.per_link_sent[key] = self.stats.per_link_sent.get(key, 0) + 1
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("net.messages_sent")
+            obs.event("net.send", source=source, destination=destination)
         channel = self._channel(source, destination)
         factor = 1.0
         if self._fault_filter is not None:
             if self._fault_filter.should_drop(source, destination):
                 self.stats.messages_dropped += 1
+                if obs.enabled:
+                    obs.inc("net.messages_dropped")
+                    obs.event(
+                        "net.drop",
+                        source=source,
+                        destination=destination,
+                        reason="fault",
+                    )
                 return
             factor = self._fault_filter.latency_factor(source, destination)
         delay = channel.latency.sample(channel.rng) * factor
+        if obs.enabled:
+            obs.observe("net.latency_seconds", delay)
         deliver_at = max(self.sim.now + delay, channel.last_delivery_time)
         channel.last_delivery_time = deliver_at
         channel.in_flight += 1
@@ -245,6 +288,12 @@ class Network:
             channel.in_flight = 0
             channel.pending.clear()
         self.stats.messages_dropped += len(purged)
+        if purged and self.obs.enabled:
+            self.obs.inc("net.messages_dropped", len(purged))
+            self.obs.inc("net.messages_purged", len(purged))
+            self.obs.event(
+                "net.purge", endpoint=endpoint, purged=len(purged)
+            )
         purged.sort(key=lambda pair: (pair[0].time, pair[0].seq))
         if self.sanitizer is not None:
             self.check_accounting()
@@ -293,15 +342,27 @@ class Network:
         channel.in_flight -= 1
         if channel.pending:
             channel.pending.pop(0)
+        obs = self.obs
         endpoint = self._endpoints.get(destination)
         if endpoint is None:
             # The destination unregistered mid-flight: the message is
             # dropped, not delivered — in_flight still re-reaches zero.
             self.stats.messages_dropped += 1
+            if obs.enabled:
+                obs.inc("net.messages_dropped")
+                obs.event(
+                    "net.drop",
+                    source=source,
+                    destination=destination,
+                    reason="unregistered",
+                )
             if self.sanitizer is not None:
                 self.check_accounting()
             return
         self.stats.messages_delivered += 1
+        if obs.enabled:
+            obs.inc("net.messages_delivered")
+            obs.event("net.deliver", source=source, destination=destination)
         if self.sanitizer is None:
             endpoint.on_message(source, item)
             return

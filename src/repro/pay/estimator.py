@@ -69,6 +69,9 @@ class CompensationEstimator:
         budget: the user's budget B.
         scheme: which allocation scheme the estimates should anticipate.
         default_weight: initial weight before timing data accumulates.
+        obs: optional :class:`repro.obs.Observability`; every streamed
+            estimate is counted and its amount recorded in a histogram
+            (``pay.estimates`` / ``pay.estimate_amount``).
     """
 
     def __init__(
@@ -79,7 +82,12 @@ class CompensationEstimator:
         budget: float,
         scheme: AllocationScheme = AllocationScheme.DUAL_WEIGHTED,
         default_weight: float = 8.0,
+        *,
+        obs: object | None = None,
     ) -> None:
+        from repro.obs import resolve
+
+        self.obs = resolve(obs)  # type: ignore[arg-type]
         self.schema = schema
         self.scoring = scoring
         self.budget = budget
@@ -138,7 +146,19 @@ class CompensationEstimator:
                 amount=amount,
             )
         )
+        if self.obs.enabled:
+            self.obs.inc("pay.estimates")
+            self.obs.observe("pay.estimate_amount", amount)
         return amount
+
+    def estimated_totals(self) -> dict[str, float]:
+        """Per-worker raw estimate totals (for snapshot sampling)."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            totals[record.worker_id] = (
+                totals.get(record.worker_id, 0.0) + record.amount
+            )
+        return totals
 
     # -- reading back -----------------------------------------------------------
 

@@ -291,6 +291,11 @@ class BackendServer:
         oplog_capacity: how many applied messages the bounded in-memory
             op-log retains for incremental resync; a rejoin whose gap
             reaches past the log falls back to a snapshot.
+        obs: optional :class:`repro.obs.Observability` receiving apply
+            spans, broadcast counters, and resync events; threaded on to
+            the Central Client and the master candidate table.  Defaults
+            to the network's observability handle so one ``obs=`` at the
+            session level instruments the whole server stack.
     """
 
     def __init__(
@@ -303,11 +308,16 @@ class BackendServer:
         on_complete: Callable[[], None] | None = None,
         on_unsatisfiable: str = "drop",
         oplog_capacity: int = 512,
+        obs: object | None = None,
     ) -> None:
+        from repro.obs import resolve
+
         self.sim = sim
         self.network = network
         self.schema = schema
+        self.obs = resolve(obs) if obs is not None else network.obs  # type: ignore[arg-type]
         self.replica = Replica(SERVER_NAME, schema, scoring)
+        self.replica.table.set_observability(self.obs, scope="server")
         self.trace: list[TraceRecord] = []
         self.oplog = OpLog(oplog_capacity)
         self._seq = 0
@@ -323,6 +333,7 @@ class BackendServer:
             send=self._central_send,
             on_unsatisfiable=on_unsatisfiable,  # type: ignore[arg-type]
             clock=lambda: sim.now,
+            obs=self.obs,
         )
         self._completion = _CompletionTracker(
             self.replica.table, lambda: self.central.template_rows
@@ -429,10 +440,22 @@ class BackendServer:
         if replay is None:
             session.reset_epoch()
             session.resyncs_snapshot += 1
+            if self.obs.enabled:
+                self.obs.inc("server.resyncs_snapshot")
+                self.obs.event("server.resync", client=name, kind="snapshot")
             return ResyncResult(
                 kind="snapshot", bootstrap=BootstrapState.capture(self.replica)
             )
         session.resyncs_incremental += 1
+        if self.obs.enabled:
+            self.obs.inc("server.resyncs_incremental")
+            self.obs.inc("server.resync_replayed", len(replay))
+            self.obs.event(
+                "server.resync",
+                client=name,
+                kind="incremental",
+                replayed=len(replay),
+            )
         for record in replay:
             self.network.send(SERVER_NAME, name, record.message)
             session.record_send(record.seq, self.oplog.capacity)
@@ -504,8 +527,16 @@ class BackendServer:
         session = self._sessions.get(client)
         if session is not None:
             session.record_send(record.seq, self.oplog.capacity)
+        if self.obs.enabled:
+            self.obs.inc("server.broadcasts")
 
     def _apply_and_trace(self, message: Message, worker_id: str) -> TraceRecord:
+        obs = self.obs
+        span = (
+            obs.span("server.apply", worker_id=worker_id, seq=self._seq)
+            if obs.enabled
+            else None
+        )
         self.replica.receive(message)
         record = TraceRecord(
             seq=self._seq,
@@ -519,6 +550,10 @@ class BackendServer:
         if worker_id != CENTRAL_CLIENT_ID:
             for listener in self._trace_listeners:
                 listener(record)
+        if span is not None:
+            obs.inc("server.messages_applied")
+            span.set(kind=type(message).__name__)
+            span.close()
         return record
 
     # -- results ------------------------------------------------------------------
@@ -545,5 +580,9 @@ class BackendServer:
         if self._completion.satisfied():
             self.completed = True
             self.completion_time = self.sim.now
+            if self.obs.enabled:
+                self.obs.event(
+                    "server.completed", final_rows=len(self.final_rows())
+                )
             if self.on_complete is not None:
                 self.on_complete()

@@ -7,9 +7,12 @@ shared :class:`Simulator`.  Simulated time is in seconds.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.events import Event, EventQueue
+
+if TYPE_CHECKING:
+    from repro.obs import NullObservability, Observability
 
 
 class SimulationError(RuntimeError):
@@ -29,10 +32,21 @@ class Simulator:
         [1.0, 2.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, obs: "Observability | NullObservability | None" = None
+    ) -> None:
+        """Args:
+            obs: optional :class:`repro.obs.Observability`.  The event
+                loop itself stays uninstrumented per event; aggregate
+                counts are folded into the registry after each
+                :meth:`run` so the per-event cost is zero.
+        """
+        from repro.obs import resolve
+
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
+        self.obs = resolve(obs)
 
     @property
     def now(self) -> float:
@@ -102,6 +116,11 @@ class Simulator:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
+        if fired and self.obs.enabled:
+            self.obs.inc("sim.events_fired", fired)
+            self.obs.inc("sim.runs")
+            self.obs.gauge("sim.now", self._now)
+            self.obs.gauge("sim.pending_events", len(self._queue))
         return fired
 
     def step(self) -> bool:

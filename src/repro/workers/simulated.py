@@ -13,8 +13,9 @@ raises, the worker simply re-reads the table and picks again.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.client import WorkerClient
 from repro.core.replica import OperationError
@@ -58,11 +59,14 @@ class SimulatedWorker:
         policy: decision logic.
         profile: latency/engagement knobs.
         sim: the shared simulator.
-        rng: this worker's private random stream.
+        rng: deprecated — pass ``streams`` instead.  Kept as an alias
+            for one release; ignored when *streams* is given.
         latencies: action-latency medians (shared across the crew so
             column weights are estimable).
         is_done: callable polled before each action; True stops the
             worker (wired to the back-end's completion flag).
+        streams: named entropy source; the worker's behaviour draws
+            from the ``"behavior-<worker_id>"`` stream.  Keyword-only.
     """
 
     def __init__(
@@ -71,14 +75,33 @@ class SimulatedWorker:
         policy: WorkerPolicy,
         profile: WorkerProfile,
         sim: Simulator,
-        rng: random.Random,
+        rng: random.Random | None = None,
         latencies: ActionLatencies | None = None,
         is_done: Callable[[], bool] | None = None,
+        *,
+        streams: Any | None = None,
     ) -> None:
         self.client = client
         self.policy = policy
         self.profile = profile
         self.sim = sim
+        if streams is not None:
+            if rng is not None:
+                raise TypeError("pass either streams= or rng=, not both")
+            rng = streams.stream(f"behavior-{client.worker_id}")
+        elif rng is None:
+            raise TypeError(
+                "SimulatedWorker requires an entropy source: pass"
+                " streams=RngStreams(seed) (or the deprecated rng=)"
+            )
+        else:
+            warnings.warn(
+                "SimulatedWorker(rng=...) is deprecated; pass a named"
+                " entropy source via"
+                " SimulatedWorker(streams=RngStreams(seed)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.rng = rng
         self.latencies = latencies or ActionLatencies()
         self.is_done = is_done or (lambda: False)

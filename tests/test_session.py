@@ -1,0 +1,235 @@
+"""The CollectionSession facade and the entropy-normalization aliases.
+
+The facade must wire exactly the component graph the rigs used to build
+by hand — same named entropy streams, same event ordering — so a
+session-built run replays a hand-built run message for message.  The
+``rng=`` parameters it replaced survive one release as deprecated
+aliases; both halves are pinned down here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scoring import ThresholdScoring
+from repro.experiments.harness import (
+    ExperimentConfig,
+    make_policy,
+    resolve_domain,
+)
+from repro.marketplace import Marketplace
+from repro.net import Network
+from repro.session import CollectionSession, WorkerSpec
+from repro.sim import RngStreams, Simulator
+from repro.workers import DiligentPolicy, SimulatedWorker
+from repro.workers.profile import WorkerProfile
+
+
+def _session_and_specs(seed: int = 42, workers: int = 3, rows: int = 5):
+    config = ExperimentConfig(
+        seed=seed, num_workers=workers, target_rows=rows
+    )
+    schema, full_truth, truth_band = resolve_domain(config)
+    profiles = config.resolved_profiles()
+    session = CollectionSession(
+        seed=seed,
+        schema=schema,
+        scoring=ThresholdScoring(config.min_votes),
+        target_rows=rows,
+    )
+    specs = [
+        WorkerSpec(
+            worker_id=f"worker-{index}",
+            policy=lambda wid, i=index: make_policy(
+                "diligent", truth_band, profiles[i], session.streams, wid
+            ),
+            profile=profiles[index],
+            vote_cap=config.vote_cap,
+        )
+        for index in range(workers)
+    ]
+    return session, specs, full_truth
+
+
+class TestConstruction:
+    def test_schema_requires_scoring(self):
+        schema, _, _ = resolve_domain(ExperimentConfig())
+        with pytest.raises(ValueError, match="scoring"):
+            CollectionSession(schema=schema, target_rows=5)
+
+    def test_schema_requires_constraints(self):
+        schema, _, _ = resolve_domain(ExperimentConfig())
+        with pytest.raises(ValueError, match="template"):
+            CollectionSession(schema=schema, scoring=ThresholdScoring(2))
+
+    def test_substrate_only_session_has_no_backend(self):
+        session = CollectionSession(seed=1)
+        assert session.backend is None
+        with pytest.raises(RuntimeError, match="back-end server"):
+            session.recruit([])
+        with pytest.raises(RuntimeError, match="back-end server"):
+            session.attach_estimator(1.0)
+
+    def test_substrate_only_session_exposes_frontend(self):
+        session = CollectionSession(seed=1, db_name="session-test")
+        assert session.frontend.db is session.database
+        assert session.database.name == "session-test"
+
+    def test_target_rows_builds_cardinality_template(self):
+        session = _session_and_specs(rows=5)[0]
+        assert session.template is not None
+        assert len(session.template.rows) == 5
+
+    def test_disabled_obs_by_default(self):
+        session = CollectionSession(seed=1)
+        assert not session.obs.enabled
+
+
+class TestRunning:
+    def test_recruited_run_completes(self):
+        session, specs, full_truth = _session_and_specs()
+        session.recruit(specs, mean_interarrival=10.0)
+        session.run(until=3 * 3600.0)
+        backend = session.backend
+        assert backend is not None and backend.completed
+        final = [row.value for row in backend.final_rows()]
+        assert len(final) == 5
+        assert full_truth.accuracy_of(final) == 1.0
+        assert set(session.workers) == {spec.worker_id for spec in specs}
+
+    def test_recruit_rejects_duplicate_worker_ids(self):
+        session, specs, _ = _session_and_specs()
+        with pytest.raises(ValueError, match="duplicate"):
+            session.recruit([specs[0], specs[0]])
+
+    def test_add_workers_attaches_immediately(self):
+        session, specs, _ = _session_and_specs()
+        assert session.add_workers(specs) is session
+        assert set(session.clients) == {spec.worker_id for spec in specs}
+        session.run(until=3 * 3600.0)
+        assert session.backend is not None and session.backend.completed
+
+    def test_same_seed_sessions_replay_identically(self):
+        results = []
+        for _ in range(2):
+            session, specs, _ = _session_and_specs()
+            session.recruit(specs, mean_interarrival=10.0)
+            session.run(until=3 * 3600.0)
+            backend = session.backend
+            assert backend is not None
+            results.append(
+                (
+                    backend.completion_time,
+                    session.network.stats.messages_sent,
+                    [dict(row.value) for row in backend.final_rows()],
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_run_is_idempotent_about_backend_start(self):
+        session, specs, _ = _session_and_specs()
+        session.add_workers(specs)
+        session.run(until=60.0)
+        session.run(until=3 * 3600.0)  # must not start() the backend twice
+        assert session.backend is not None and session.backend.completed
+
+    def test_policy_instances_are_accepted_too(self):
+        # A WorkerSpec can carry a ready policy object instead of a
+        # factory; entropy-free policies don't need the indirection.
+        config = ExperimentConfig(seed=42, num_workers=1, target_rows=2)
+        schema, _, truth_band = resolve_domain(config)
+        profile = config.resolved_profiles()[0]
+        session = CollectionSession(
+            seed=42,
+            schema=schema,
+            scoring=ThresholdScoring(1),
+            target_rows=2,
+        )
+        knowledge = truth_band.sample_known_subset(
+            session.streams.stream("knowledge-worker-0"), 0.8
+        )
+        spec = WorkerSpec(
+            worker_id="worker-0",
+            policy=DiligentPolicy(knowledge, profile, reference=truth_band),
+            profile=profile,
+        )
+        worker = session.add_worker(spec)
+        assert worker is session.workers["worker-0"]
+        session.run(until=3600.0)
+        assert session.backend is not None
+        assert len(session.backend.final_rows()) >= 1
+
+
+class TestEntropyAliases:
+    """rng= is a one-release deprecated alias for the named streams."""
+
+    def test_network_rng_deprecated(self):
+        sim = Simulator()
+        with pytest.deprecated_call():
+            Network(sim, rng=random.Random(0))
+
+    def test_network_rejects_both_sources(self):
+        sim = Simulator()
+        with pytest.raises(TypeError, match="not both"):
+            Network(sim, rng=random.Random(0), streams=RngStreams(0))
+
+    def test_network_streams_draws_named_stream(self):
+        sim = Simulator()
+        streams = RngStreams(7)
+        network = Network(sim, streams=streams)
+        assert network.rng is streams.stream("network")
+
+    def test_marketplace_rng_deprecated(self):
+        sim = Simulator()
+        with pytest.deprecated_call():
+            Marketplace(sim, rng=random.Random(0))
+        with pytest.raises(TypeError, match="not both"):
+            Marketplace(sim, rng=random.Random(0), streams=RngStreams(0))
+
+    def test_worker_client_rng_deprecated(self):
+        from repro.client import WorkerClient
+
+        config = ExperimentConfig()
+        schema, _, _ = resolve_domain(config)
+        sim = Simulator()
+        network = Network(sim, streams=RngStreams(0))
+        with pytest.deprecated_call():
+            WorkerClient(
+                "w1",
+                schema,
+                ThresholdScoring(2),
+                network,
+                rng=random.Random(0),
+            )
+        with pytest.raises(TypeError, match="not both"):
+            WorkerClient(
+                "w2",
+                schema,
+                ThresholdScoring(2),
+                network,
+                rng=random.Random(0),
+                streams=RngStreams(0),
+            )
+
+    def test_simulated_worker_requires_entropy(self):
+        config = ExperimentConfig()
+        schema, _, truth = resolve_domain(config)
+        sim = Simulator()
+        streams = RngStreams(0)
+        network = Network(sim, streams=streams)
+        from repro.client import WorkerClient
+
+        client = WorkerClient(
+            "w1", schema, ThresholdScoring(2), network, streams=streams
+        )
+        profile = WorkerProfile()
+        knowledge = truth.sample_known_subset(random.Random(0), 0.5)
+        policy = DiligentPolicy(knowledge, profile, reference=truth)
+        with pytest.raises(TypeError, match="entropy"):
+            SimulatedWorker(client, policy, profile, sim)
+        with pytest.deprecated_call():
+            SimulatedWorker(
+                client, policy, profile, sim, rng=random.Random(0)
+            )
