@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Perf-regression smoke gate for the batched server message loop.
+
+Re-measures the P5 benchmark's n=500 configuration (warmed table,
+seeded vote stream, batched ``ingest``) and compares against the
+committed ``BENCH_P5.json`` baseline.  Exits non-zero when throughput
+falls below ``THRESHOLD`` (50%) of the baseline — loose enough to
+absorb machine variance, tight enough to catch an accidental return to
+per-message costs.
+
+Modes:
+    REPRO_PERF_GATE=advisory   warn on breach but exit 0 (shared CI
+                               runners, where absolute throughput is
+                               meaningless run to run)
+    REPRO_PERF_GATE=off        skip entirely
+A missing or unreadable baseline skips the gate (exit 0) so the first
+run on a fresh branch cannot fail.
+
+Usage: PYTHONPATH=src python scripts/perf_gate.py
+"""
+
+import gc
+import json
+import os
+import random
+import sys
+import time
+
+from repro.constraints import Template
+from repro.core import RowValue, ThresholdScoring
+from repro.core.messages import DownvoteMessage, ReplaceMessage, UpvoteMessage
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.server import BackendServer
+from repro.sim import RngStreams, Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "BENCH_P5.json")
+N_ROWS = 500
+MESSAGES = 900
+REPS = 3
+THRESHOLD = 0.50
+
+SCHEMA = soccer_player_schema()
+
+
+def _row_value(i):
+    return RowValue({
+        "name": f"Player {i}",
+        "nationality": f"Country {i % 20}",
+        "position": ["GK", "DF", "MF", "FW"][i % 4],
+        "caps": 80 + i % 20,
+        "goals": i % 40,
+    })
+
+
+def _warmed_server(n_rows):
+    """Same rig as test_bench_server_message_loop_batched (see
+    benchmarks/test_bench_core_throughput.py for the rationale)."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.0),
+                      streams=RngStreams(0))
+    template = Template.from_values([
+        {"name": f"Target {k}", "nationality": f"Nowhere {k}"}
+        for k in range(5)
+    ])
+    backend = BackendServer(sim, network, SCHEMA, ThresholdScoring(2),
+                            template)
+    backend.start()
+    for i in range(n_rows):
+        backend.on_message("w0", ReplaceMessage(
+            old_id=f"old{i}", new_id=f"r{i}", value=_row_value(i),
+            column="name", filled_value=f"Player {i}",
+        ))
+    backend.ingest("w0", [
+        UpvoteMessage(value=_row_value(i))
+        for i in range(n_rows) for _ in range(2)
+    ])
+    return backend
+
+
+def _vote_stream(n_rows, count):
+    rng = random.Random(7)
+    messages = []
+    for _ in range(count):
+        i = rng.randrange(n_rows)
+        if rng.random() < 0.5:
+            messages.append(UpvoteMessage(value=_row_value(i)))
+        else:
+            messages.append(
+                DownvoteMessage(value=RowValue({"name": f"Player {i}"}))
+            )
+    return messages
+
+
+def measure():
+    stream = _vote_stream(N_ROWS, MESSAGES)
+    best = float("inf")
+    for _ in range(REPS):
+        backend = _warmed_server(N_ROWS)
+        gc.collect()
+        start = time.perf_counter()
+        backend.ingest("w1", stream)
+        best = min(best, time.perf_counter() - start)
+    return MESSAGES / best
+
+
+def main():
+    mode = os.environ.get("REPRO_PERF_GATE", "strict").lower()
+    if mode == "off":
+        print("perf-gate: REPRO_PERF_GATE=off, skipping")
+        return 0
+    try:
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+        expected = float(baseline["msgs_per_sec"][str(N_ROWS)])
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"perf-gate: no usable baseline ({exc!r}), skipping")
+        return 0
+    rate = measure()
+    floor = THRESHOLD * expected
+    verdict = "ok" if rate >= floor else "BREACH"
+    print(
+        f"perf-gate: n={N_ROWS} batched loop {rate:,.0f} msgs/sec "
+        f"(baseline {expected:,.0f}, floor {floor:,.0f}) -> {verdict}"
+    )
+    if rate >= floor:
+        return 0
+    if mode == "advisory":
+        print("perf-gate: advisory mode, not failing the build")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,6 @@ action (downvote + fresh row + fills) and ``undo`` for votes.
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Any, Callable
 
 from repro.core.messages import (
@@ -46,8 +45,6 @@ class WorkerClient:
             endpoint name and the row-identifier prefix.
         schema / scoring: as configured for the collection.
         network: simulated network (must have the server registered).
-        rng: deprecated — pass ``streams`` instead.  Kept as an alias
-            for one release; ignored when *streams* is given.
         vote_cap: optional maximum u+d per row before the interface
             hides the vote buttons.
         allow_modify: enable the extension "modify" action, which may
@@ -63,7 +60,6 @@ class WorkerClient:
         schema: Schema,
         scoring: ScoringFunction,
         network: Network,
-        rng: random.Random | None = None,
         vote_cap: int | None = None,
         allow_modify: bool = False,
         *,
@@ -74,19 +70,9 @@ class WorkerClient:
         self.replica = Replica(worker_id, schema, scoring)
         self.network = network
         if streams is not None:
-            if rng is not None:
-                raise TypeError("pass either streams= or rng=, not both")
             self.rng = streams.stream(f"order-{worker_id}")
         else:
-            if rng is not None:
-                warnings.warn(
-                    "WorkerClient(rng=...) is deprecated; pass a named"
-                    " entropy source via"
-                    " WorkerClient(streams=RngStreams(seed)) instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            self.rng = rng or random.Random(0)
+            self.rng = random.Random(0)
         self.vote_cap = vote_cap
         self.allow_modify = allow_modify
         self._voted_row_ids: set[str] = set()

@@ -32,6 +32,7 @@ from repro.core.replica import Replica
 from repro.core.row import Row
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
+from repro.core.table import CandidateTable
 
 CENTRAL_CLIENT_ID = "__central__"
 """Worker identifier carried by CC's messages; excluded from payment."""
@@ -91,6 +92,13 @@ class CentralClient:
         obs: optional :class:`repro.obs.Observability` receiving refresh
             spans, augmentation/insert/shuffle/drop counters, and a
             matching-size gauge.  Keyword-only; defaults to the no-op.
+        table: an existing candidate table to operate on directly
+            instead of keeping a private copy — the back-end server
+            passes its master table, making CC's replica a view of the
+            master (one application per message instead of two).  In
+            this shared mode the owner applies incoming messages before
+            calling :meth:`on_message` / :meth:`refresh`, and the
+            owner's table observability scope stays in place.
     """
 
     def __init__(
@@ -103,13 +111,16 @@ class CentralClient:
         clock: Callable[[], float] | None = None,
         *,
         obs: object | None = None,
+        table: "CandidateTable | None" = None,
     ) -> None:
         from repro.obs import resolve
 
         self.obs = resolve(obs)  # type: ignore[arg-type]
         self.schema = schema
-        self.replica = Replica("CC", schema, scoring)
-        self.replica.table.set_observability(self.obs, scope="cc")
+        self.shares_table = table is not None
+        self.replica = Replica("CC", schema, scoring, table=table)
+        if not self.shares_table:
+            self.replica.table.set_observability(self.obs, scope="cc")
         self.template_rows: list[TemplateRow] = list(template.rows)
         self.dropped_rows: list[TemplateRow] = []
         self.on_unsatisfiable = on_unsatisfiable
@@ -141,8 +152,13 @@ class CentralClient:
         self.refresh()
 
     def on_message(self, message: Message) -> None:
-        """Process a message forwarded by the server, then repair the PRI."""
-        self.replica.receive(message)
+        """Process a message forwarded by the server, then repair the PRI.
+
+        In shared-table mode the owner already applied the message to
+        the shared table, so only the PRI repair runs here.
+        """
+        if not self.shares_table:
+            self.replica.receive(message)
         self.refresh()
 
     # -- PRI maintenance -------------------------------------------------------

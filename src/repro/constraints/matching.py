@@ -121,6 +121,8 @@ class IncrementalMatching:
 
     def free_lefts(self) -> list[Hashable]:
         """Template rows currently unmatched (maintained set, not a scan)."""
+        if not self._free_lefts:
+            return []
         return sorted(self._free_lefts, key=repr)
 
     def pairs(self) -> dict[Hashable, Hashable]:
@@ -138,6 +140,8 @@ class IncrementalMatching:
         """
         if left in self._match_of_left:
             return True  # already matched; nothing to do
+        if not self._edges.get(left):
+            return False  # no edges: no path, skip the BFS machinery
         # parents[right] = left used to reach it; BFS layers alternate.
         parent: dict[Hashable, Hashable] = {}
         visited_left: set[Hashable] = {left}
@@ -177,8 +181,9 @@ class IncrementalMatching:
 
     def maximize(self) -> int:
         """Augment from every free left node; returns the final size."""
-        for left in self.free_lefts():
-            self.augment(left)
+        if self._free_lefts:
+            for left in self.free_lefts():
+                self.augment(left)
         return self.size
 
     def try_free_instead(self, left: Hashable, other: Hashable) -> bool:

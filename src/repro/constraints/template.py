@@ -30,6 +30,10 @@ class TemplateError(ValueError):
     """Raised for malformed templates."""
 
 
+_MISSING = object()
+"""Sentinel distinguishing an empty cell from any stored value."""
+
+
 class PredicateOp(enum.Enum):
     """Comparison operators usable in predicates-constraint cells."""
 
@@ -218,9 +222,36 @@ class TemplateRow:
             {column: pred.operand for column, pred in self.cells if pred.is_equality}
         )
 
+    def _compiled_cells(
+        self,
+    ) -> tuple[tuple[tuple[str, Any], ...], tuple[tuple[str, "Predicate"], ...]]:
+        """(equality cells as (column, operand), non-equality cells).
+
+        Computed once per template row: :meth:`connects` runs for every
+        template row × every probable-set addition, so the per-call
+        dispatch through :meth:`Predicate.matches` is split out for the
+        (dominant) equality case.
+        """
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = (
+                tuple(
+                    (column, pred.operand)
+                    for column, pred in self.cells
+                    if pred.is_equality
+                ),
+                tuple(
+                    (column, pred)
+                    for column, pred in self.cells
+                    if not pred.is_equality
+                ),
+            )
+            object.__setattr__(self, "_compiled", cached)
+        return cached
+
     def satisfied_by(self, value: RowValue) -> bool:
         """The s ⊇* t relation: every predicate cell matched by s's value."""
-        assigned = dict(value)
+        assigned = value.mapping
         for column, pred in self.cells:
             if column not in assigned or not pred.matches(assigned[column]):
                 return False
@@ -236,14 +267,16 @@ class TemplateRow:
         may yet be filled to satisfy the predicate; a filled column must
         match.  On pure values templates this reduces exactly to ⊇.
         """
-        assigned = dict(value)
-        for column, pred in self.cells:
-            if pred.is_equality:
-                if column not in assigned or not pred.matches(assigned[column]):
-                    return False
-            else:
-                if column in assigned and not pred.matches(assigned[column]):
-                    return False
+        equalities, others = self._compiled_cells()
+        get = value.mapping.get
+        for column, operand in equalities:
+            assigned = get(column, _MISSING)
+            if assigned is _MISSING or assigned != operand:
+                return False
+        for column, pred in others:
+            assigned = get(column, _MISSING)
+            if assigned is not _MISSING and not pred.matches(assigned):
+                return False
         return True
 
     def key_values(self, schema: Schema) -> tuple | None:

@@ -45,12 +45,21 @@ class Replica:
     """
 
     def __init__(
-        self, name: str, schema: Schema, scoring: ScoringFunction
+        self,
+        name: str,
+        schema: Schema,
+        scoring: ScoringFunction,
+        table: CandidateTable | None = None,
     ) -> None:
+        """*table*, when given, is an existing candidate table this
+        replica operates on instead of creating its own copy — used to
+        colocate the Central Client with the back-end server on one
+        master table (their replicas are then views of the same state,
+        so the master applies each message once, not twice)."""
         self.name = name
         self.schema = schema
         self.scoring = scoring
-        self.table = CandidateTable(schema, scoring)
+        self.table = table if table is not None else CandidateTable(schema, scoring)
         self._row_counter = itertools.count(1)
         self.messages_processed = 0
 

@@ -83,6 +83,18 @@ class RowValue(Mapping[str, Any]):
         """The sorted (column, value) pairs backing this value."""
         return self._items
 
+    @property
+    def mapping(self) -> dict[str, Any]:
+        """The backing column → value dict, for read-only hot-path lookups.
+
+        Callers must not mutate it; use :meth:`with_value` /
+        :meth:`without_column` to derive new values.  Exists because
+        ``dict(value)`` on the generic Mapping interface re-iterates the
+        pairs on every predicate evaluation, which dominates the PRI
+        edge computation at scale.
+        """
+        return self._map
+
     def subsumes(self, other: "RowValue") -> bool:
         """True when self ⊇ other: every pair of *other* appears in self."""
         return other._itemset <= self._itemset

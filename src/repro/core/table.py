@@ -23,15 +23,25 @@ ties are broken deterministically by smallest row identifier (section
 Complexity.  Message application and the derived views (probable rows
 of section 4.1, final rows of section 2.2) are maintained
 *incrementally*: the table keeps secondary indexes — rows by exact
-value, rows by (column, value) cell, rows by primary-key group,
-downvote-history entries by cell — plus a per-row score cache, and
-tracks which key groups were touched since the derived views were last
-refreshed.  Each message therefore costs O(|affected rows|) rather than
-O(|table|), and a refresh reclassifies only dirty key groups.
-Consumers that need to react to changes (the Central Client's PRI
-matching, the back-end server's completion check) register cursors and
-drain per-message deltas via :meth:`drain_dirty` /
+value, rows by (column, value) cell, rows by primary-key group — plus a
+per-row score cache, and tracks which key groups were touched since the
+derived views were last refreshed.  Each message therefore costs
+O(|affected rows|) rather than O(|table|), and a refresh reclassifies
+only dirty key groups.  Consumers that need to react to changes (the
+Central Client's PRI matching, the back-end server's completion check)
+register cursors and drain per-message deltas via :meth:`drain_dirty` /
 :meth:`drain_probable_delta` instead of rescanning the table.
+
+Representation.  Value-vectors are interned to dense integer ids
+(:mod:`repro.core.intern`) on first sight; the secondary indexes are
+keyed by those ids, and the vote histories UH/DH live in columnar array
+tallies (:mod:`repro.core.votes`) indexed by them.  ``upvote_history``
+and ``downvote_history`` remain dict-compatible mapping views over the
+columns.  Batch consumers apply whole message runs through
+:meth:`apply_batch`, which reports — via the :attr:`probable_epoch` /
+:attr:`final_epoch` counters — exactly when a derived view changed, so
+callers can keep per-message reaction semantics while skipping the
+(empty) reaction for the vast majority of messages.
 """
 
 from __future__ import annotations
@@ -39,9 +49,11 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterator
 
+from repro.core.intern import ValueInterner
 from repro.core.row import EMPTY_VALUE, Row, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
+from repro.core.votes import DownvoteHistoryView, UpvoteHistoryView, VoteColumns
 
 
 class DirtyDelta:
@@ -62,46 +74,31 @@ class DirtyDelta:
         self.full = full
 
 
-class _DownvoteHistory(dict):
-    """DH with an inverted cell index maintained on every write.
-
-    The index makes Σ_{w ⊆ v} DH[w] (the replace-message downvote
-    reconstruction) proportional to the entries sharing a cell with v
-    instead of to |DH|.  Writing through ``table.downvote_history[w] =
-    n`` — as the bootstrap restore does — keeps the index consistent.
-    """
-
-    __slots__ = ("_cells",)
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._cells: dict[tuple[str, Any], set[RowValue]] = {}
-
-    def __setitem__(self, value: RowValue, count: int) -> None:
-        if value not in self:
-            for cell in value.items_tuple():
-                self._cells.setdefault(cell, set()).add(value)
-        super().__setitem__(value, count)
-
-    def subset_sum(self, value: RowValue) -> int:
-        """Σ_{w ⊆ value} DH[w], via the cell index."""
-        if not self:
-            return 0
-        total = self.get(EMPTY_VALUE, 0)
-        seen: set[RowValue] = set()
-        cells = self._cells
-        for cell in value.items_tuple():
-            for entry in cells.get(cell, ()):
-                if entry not in seen:
-                    seen.add(entry)
-                    if entry.issubset(value):
-                        total += dict.__getitem__(self, entry)
-        return total
-
-
 # Journal safety valve: past this many undrained entries, stalled
 # consumers are flipped to full-resync and the journal is truncated.
 _JOURNAL_LIMIT = 65536
+
+_UNSET = object()
+_EMPTY_FROZENSET: frozenset = frozenset()
+"""Cache-miss sentinel (None is a legitimate cached primary key)."""
+
+
+class BatchApplyError(RuntimeError):
+    """A message inside :meth:`CandidateTable.apply_batch` failed.
+
+    Message validation happens before any mutation, so the failing
+    message left no partial state — but the messages before it in the
+    batch *are* applied.  ``applied`` tells the caller how many, so it
+    can account for (trace, broadcast) that prefix before surfacing
+    ``cause``.
+    """
+
+    def __init__(self, applied: int, cause: Exception) -> None:
+        super().__init__(
+            f"batch application failed after {applied} messages: {cause}"
+        )
+        self.applied = applied
+        self.cause = cause
 
 
 class CandidateTable:
@@ -111,9 +108,13 @@ class CandidateTable:
         self.schema = schema
         self.scoring = scoring
         self._rows: dict[str, Row] = {}
-        # Vote histories (section 2.4), keyed by value-vector.
-        self.upvote_history: dict[RowValue, int] = {}
-        self.downvote_history: _DownvoteHistory = _DownvoteHistory()
+        # Value interning and columnar vote histories (section 2.4): UH/DH
+        # tallies live in arrays indexed by interned value id; the mapping
+        # views preserve the former dict-of-RowValue API.
+        self._interner = ValueInterner()
+        self._votes = VoteColumns(self._interner)
+        self.upvote_history = UpvoteHistoryView(self._votes)
+        self.downvote_history = DownvoteHistoryView(self._votes)
 
         self._key_columns = schema.key_columns
         self._all_columns = schema.column_names
@@ -121,16 +122,26 @@ class CandidateTable:
         # -- secondary indexes over the rows ------------------------------
         self._seq = itertools.count()
         self._row_seq: dict[str, int] = {}          # insertion order
-        self._by_value: dict[RowValue, set[str]] = {}
-        self._by_cell: dict[tuple[str, Any], set[str]] = {}
+        self._by_value: dict[int, set[str]] = {}    # value id -> row ids
+        self._by_cell: dict[int, set[str]] = {}     # cell id -> row ids
         self._by_key: dict[tuple, set[str]] = {}
         self._keyless: set[str] = set()
         self._key_of: dict[str, tuple | None] = {}
+        self._vid_of_row: dict[str, int] = {}       # row id -> value id
         self._score_cache: dict[str, float] = {}
+        # Per-value-id caches of schema-derived facts (computed on first
+        # sight of a vid; a value id never changes meaning).
+        self._key_by_vid: dict[int, tuple | None] = {}
+        self._complete_by_vid: dict[int, bool] = {}
 
         # -- derived views (probable / final), refreshed lazily ------------
         self._dirty_keys: set[tuple] = set()
         self._dirty_keyless: set[str] = set()
+        # Monotone counters bumped by _refresh_derived whenever the
+        # probable set's membership / the final table actually changed;
+        # batch consumers compare them instead of diffing the views.
+        self.probable_epoch = 0
+        self.final_epoch = 0
         self._probable_by_key: dict[tuple, frozenset[str]] = {}
         self._final_by_key: dict[tuple, str] = {}
         self._probable_keyless: set[str] = set()
@@ -195,7 +206,8 @@ class CandidateTable:
 
     def rows_with_value(self, value: RowValue) -> list[Row]:
         """Rows whose value equals *value* exactly (index lookup)."""
-        ids = self._by_value.get(value)
+        vid = self._interner.id_of(value)
+        ids = self._by_value.get(vid) if vid is not None else None
         if not ids:
             return []
         return [self._rows[i] for i in sorted(ids, key=self._row_seq.__getitem__)]
@@ -206,26 +218,32 @@ class CandidateTable:
         return [self._rows[i] for i in sorted(ids, key=self._row_seq.__getitem__)]
 
     def _subsuming_ids(self, value: RowValue) -> list[str]:
-        """Identifiers of rows subsuming *value*, via the cell index.
+        return self._subsuming_ids_vid(self._interner.intern(value))
+
+    def _subsuming_ids_vid(self, vid: int) -> list[str]:
+        """Identifiers of rows subsuming the value behind *vid*.
 
         The candidates are the shortest posting list among the value's
         cells (a subsuming row must carry every cell); with a single
         cell no further filtering is needed.
         """
-        cells = value.items_tuple()
+        interner = self._interner
+        cells = interner.cell_ids(vid)
         if not cells:
             return list(self._rows)
         postings = []
-        for cell in cells:
-            ids = self._by_cell.get(cell)
+        for cid in cells:
+            ids = self._by_cell.get(cid)
             if not ids:
                 return []
             postings.append(ids)
         smallest = min(postings, key=len)
         if len(cells) == 1:
             return list(smallest)
-        rows = self._rows
-        return [i for i in smallest if rows[i].value.subsumes(value)]
+        qset = interner.cell_set(vid)
+        cell_set = interner.cell_set
+        vid_of = self._vid_of_row
+        return [i for i in smallest if cell_set(vid_of[i]) >= qset]
 
     def rows_in_group(self, key: tuple) -> list[Row]:
         """Rows whose primary key equals *key* (index lookup)."""
@@ -241,7 +259,7 @@ class CandidateTable:
 
     def downvotes_subsumed_by(self, value: RowValue) -> int:
         """Σ_{w ⊆ value} DH[w] — the replace-message downvote rule."""
-        return self.downvote_history.subset_sum(value)
+        return self._votes.subset_sum(self._interner.intern(value))
 
     def score(self, row: Row) -> float:
         """The row's score under this table's scoring function (cached)."""
@@ -268,13 +286,32 @@ class CandidateTable:
 
     # -- index maintenance ----------------------------------------------------
 
-    def _index_row(self, row: Row) -> None:
+    def _vid_is_complete(self, vid: int, value: RowValue) -> bool:
+        """Cached ``value.is_complete`` for an interned value."""
+        complete = self._complete_by_vid.get(vid)
+        if complete is None:
+            complete = value.is_complete(self._all_columns)
+            self._complete_by_vid[vid] = complete
+        return complete
+
+    def _vid_key(self, vid: int, value: RowValue) -> tuple | None:
+        """Cached ``value.key`` for an interned value."""
+        key = self._key_by_vid.get(vid, _UNSET)
+        if key is _UNSET:
+            key = value.key(self._key_columns)
+            self._key_by_vid[vid] = key
+        return key
+
+    def _index_row(self, row: Row, vid: int | None = None) -> None:
         row_id = row.row_id
         self._row_seq[row_id] = next(self._seq)
-        self._by_value.setdefault(row.value, set()).add(row_id)
-        for cell in row.value.items_tuple():
-            self._by_cell.setdefault(cell, set()).add(row_id)
-        key = row.value.key(self._key_columns)
+        if vid is None:
+            vid = self._interner.intern(row.value)
+        self._vid_of_row[row_id] = vid
+        self._by_value.setdefault(vid, set()).add(row_id)
+        for cid in self._interner.cell_ids(vid):
+            self._by_cell.setdefault(cid, set()).add(row_id)
+        key = self._vid_key(vid, row.value)
         self._key_of[row_id] = key
         if key is None:
             self._keyless.add(row_id)
@@ -289,17 +326,18 @@ class CandidateTable:
         row._observer = None
         del self._row_seq[row_id]
         self._score_cache.pop(row_id, None)
-        ids = self._by_value.get(row.value)
+        vid = self._vid_of_row.pop(row_id)
+        ids = self._by_value.get(vid)
         if ids is not None:
             ids.discard(row_id)
             if not ids:
-                del self._by_value[row.value]
-        for cell in row.value.items_tuple():
-            ids = self._by_cell.get(cell)
+                del self._by_value[vid]
+        for cid in self._interner.cell_ids(vid):
+            ids = self._by_cell.get(cid)
             if ids is not None:
                 ids.discard(row_id)
                 if not ids:
-                    del self._by_cell[cell]
+                    del self._by_cell[cid]
         key = self._key_of.pop(row_id)
         if key is None:
             self._keyless.discard(row_id)
@@ -320,7 +358,11 @@ class CandidateTable:
         if key is None:
             self._mark_keyless_dirty(row_id)
         else:
-            self._mark_key_dirty(key)
+            # _mark_key_dirty, inlined: this runs once per vote bump.
+            self._dirty_keys.add(key)
+            for delta in self._dirty_consumers.values():
+                if not delta.full:
+                    delta.keys.add(key)
 
     def _mark_key_dirty(self, key: tuple) -> None:
         self._dirty_keys.add(key)
@@ -352,7 +394,8 @@ class CandidateTable:
         """
         if row_id in self._rows:
             raise ValueError(f"duplicate row identifier {row_id!r}")
-        row = Row(row_id, EMPTY_VALUE, 0, self.downvotes_subsumed_by(EMPTY_VALUE))
+        downvotes = self._votes.subset_sum(self._interner.intern(EMPTY_VALUE))
+        row = Row(row_id, EMPTY_VALUE, 0, downvotes)
         self._rows[row_id] = row
         self._index_row(row)
         return row
@@ -370,32 +413,38 @@ class CandidateTable:
         old = self._rows.pop(old_id, None)
         if old is not None:
             self._deindex_row(old)
-        if value.is_complete(self._all_columns):
-            upvotes = self.upvote_history.get(value, 0)
+        vid = self._interner.intern(value)
+        if self._vid_is_complete(vid, value):
+            upvotes = self._votes.up_count(vid)
         else:
             upvotes = 0
-        row = Row(new_id, value, upvotes, self.downvotes_subsumed_by(value))
+        row = Row(new_id, value, upvotes, self._votes.subset_sum(vid))
         self._rows[new_id] = row
-        self._index_row(row)
+        self._index_row(row, vid)
         return row
 
     def apply_upvote(self, value: RowValue) -> int:
         """Process an upvote message; returns the number of rows bumped."""
+        vid = self._interner.intern(value)
         bumped = 0
-        for row_id in self._by_value.get(value, ()):
-            row = self._rows[row_id]
-            row.upvotes += 1
-            bumped += 1
-        self.upvote_history[value] = self.upvote_history.get(value, 0) + 1
+        ids = self._by_value.get(vid)
+        if ids:
+            rows = self._rows
+            for row_id in ids:
+                rows[row_id].upvotes += 1
+                bumped += 1
+        self._votes.up_add(vid)
         return bumped
 
     def apply_downvote(self, value: RowValue) -> int:
         """Process a downvote message; returns the number of rows bumped."""
+        vid = self._interner.intern(value)
         bumped = 0
-        for row_id in self._subsuming_ids(value):
-            self._rows[row_id].downvotes += 1
+        rows = self._rows
+        for row_id in self._subsuming_ids_vid(vid):
+            rows[row_id].downvotes += 1
             bumped += 1
-        self.downvote_history[value] = self.downvote_history.get(value, 0) + 1
+        self._votes.down_add(vid)
         return bumped
 
     def apply_undo_upvote(self, value: RowValue) -> int:
@@ -409,24 +458,28 @@ class CandidateTable:
         Raises:
             ValueError: when UH records no upvote to undo.
         """
-        if self.upvote_history.get(value, 0) <= 0:
+        vid = self._interner.intern(value)
+        if self._votes.up_count(vid) <= 0:
             raise ValueError(f"no upvote recorded for {value!r}")
         bumped = 0
-        for row_id in self._by_value.get(value, ()):
-            self._rows[row_id].upvotes -= 1
+        rows = self._rows
+        for row_id in self._by_value.get(vid, ()):
+            rows[row_id].upvotes -= 1
             bumped += 1
-        self.upvote_history[value] -= 1
+        self._votes.up_add(vid, -1)
         return bumped
 
     def apply_undo_downvote(self, value: RowValue) -> int:
         """Process an undo-downvote (extension, paper section 8)."""
-        if self.downvote_history.get(value, 0) <= 0:
+        vid = self._interner.intern(value)
+        if self._votes.down_count(vid) <= 0:
             raise ValueError(f"no downvote recorded for {value!r}")
         bumped = 0
-        for row_id in self._subsuming_ids(value):
-            self._rows[row_id].downvotes -= 1
+        rows = self._rows
+        for row_id in self._subsuming_ids_vid(vid):
+            rows[row_id].downvotes -= 1
             bumped += 1
-        self.downvote_history[value] -= 1
+        self._votes.down_add(vid, -1)
         return bumped
 
     # -- derived views: probable rows (4.1) and final table (2.2) -------------
@@ -437,24 +490,62 @@ class CandidateTable:
             return
         journal = self._probable_journal if self._probable_offsets else None
         probable_set = self._probable_set
+        membership_changed = False
+        final_changed = False
         # Sorted iteration everywhere below: journal entries feed the
         # Central Client's processing order, so their order must not
-        # depend on the process hash seed.
-        for key in sorted(self._dirty_keys, key=repr):
-            old = self._probable_by_key.get(key, frozenset())
+        # depend on the process hash seed.  (A single dirty key — the
+        # common case under batching — needs no sort.)
+        dirty_keys = self._dirty_keys
+        for key in (
+            tuple(dirty_keys)
+            if len(dirty_keys) < 2
+            else sorted(dirty_keys, key=repr)
+        ):
+            old = self._probable_by_key.get(key, _EMPTY_FROZENSET)
             ids = self._by_key.get(key)
             if not ids:
-                new = frozenset()
+                new = _EMPTY_FROZENSET
                 winner = None
                 self._probable_by_key.pop(key, None)
+            elif len(ids) == 1:
+                # Fast path for the dominant case: a one-row key group
+                # re-scored by a vote.  Skips the general scored-list
+                # build and reuses *old* when membership is unchanged,
+                # so no frozenset is allocated per vote.
+                (only_id,) = ids
+                row = self._rows[only_id]
+                group_score = self.score(row)
+                winner = None
+                if group_score > 0:
+                    vid = self._vid_of_row[only_id]
+                    complete = self._complete_by_vid.get(vid)
+                    if complete is None:
+                        complete = self._vid_is_complete(vid, row.value)
+                    if complete:
+                        new = (old if len(old) == 1 and only_id in old
+                               else frozenset((only_id,)))
+                        winner = only_id
+                    else:
+                        new = _EMPTY_FROZENSET
+                elif group_score == 0:
+                    new = (old if len(old) == 1 and only_id in old
+                           else frozenset((only_id,)))
+                else:
+                    new = _EMPTY_FROZENSET
+                self._probable_by_key[key] = new
             else:
                 new, winner = self._classify_group(ids)
                 self._probable_by_key[key] = new
             if winner is None:
-                self._final_by_key.pop(key, None)
+                if self._final_by_key.pop(key, None) is not None:
+                    final_changed = True
             else:
-                self._final_by_key[key] = winner
+                if self._final_by_key.get(key) != winner:
+                    final_changed = True
+                    self._final_by_key[key] = winner
             if new != old:
+                membership_changed = True
                 for row_id in sorted(old - new):
                     probable_set.discard(row_id)
                     if journal is not None:
@@ -463,7 +554,7 @@ class CandidateTable:
                     probable_set.add(row_id)
                     if journal is not None:
                         journal.append((row_id, self._rows[row_id]))
-        for row_id in sorted(self._dirty_keyless):
+        for row_id in sorted(self._dirty_keyless) if self._dirty_keyless else ():
             row = self._rows.get(row_id)
             now = (
                 row is not None
@@ -472,11 +563,13 @@ class CandidateTable:
             )
             was = row_id in self._probable_keyless
             if now and not was:
+                membership_changed = True
                 self._probable_keyless.add(row_id)
                 probable_set.add(row_id)
                 if journal is not None:
                     journal.append((row_id, row))
             elif was and not now:
+                membership_changed = True
                 self._probable_keyless.discard(row_id)
                 probable_set.discard(row_id)
                 if journal is not None:
@@ -485,6 +578,10 @@ class CandidateTable:
         self._dirty_keyless.clear()
         self._probable_list = None
         self._final_list = None
+        if membership_changed:
+            self.probable_epoch += 1
+        if final_changed:
+            self.final_epoch += 1
         if journal is not None:
             self._compact_journal()
 
@@ -492,16 +589,23 @@ class CandidateTable:
         self, ids: set[str]
     ) -> tuple[frozenset[str], str | None]:
         """Probable members and final-table winner of one key group."""
-        rows = [self._rows[i] for i in sorted(ids)]
-        all_columns = self._all_columns
+        rows = self._rows
+        complete_by_vid = self._complete_by_vid
+        vid_of_row = self._vid_of_row
+        scored = []
         positive = False
         best: Row | None = None
         best_score = 0.0
-        for row in rows:
+        for row_id in sorted(ids):
+            row = rows[row_id]
             score = self.score(row)
+            complete = complete_by_vid.get(vid_of_row[row_id])
+            if complete is None:
+                complete = self._vid_is_complete(vid_of_row[row_id], row.value)
+            scored.append((row, score, complete))
             if score > 0:
                 positive = True
-                if row.value.is_complete(all_columns):
+                if complete:
                     if (
                         best is None
                         or score > best_score
@@ -510,9 +614,8 @@ class CandidateTable:
                         best = row
                         best_score = score
         probable: list[str] = []
-        for row in rows:
-            score = self.score(row)
-            if score > 0 and row.value.is_complete(all_columns):
+        for row, score, complete in scored:
+            if score > 0 and complete:
                 if row is best:
                     probable.append(row.row_id)
             elif score == 0 and not positive:
@@ -521,6 +624,8 @@ class CandidateTable:
 
     def _compact_journal(self) -> None:
         journal = self._probable_journal
+        if not journal:
+            return
         offsets = self._probable_offsets
         if offsets and min(offsets.values()) >= len(journal):
             journal.clear()
@@ -533,6 +638,56 @@ class CandidateTable:
             journal.clear()
             for token in offsets:
                 offsets[token] = 0
+
+    def refresh_derived(self) -> None:
+        """Refresh the probable/final views now (public epoch barrier).
+
+        After this returns, :attr:`probable_epoch` / :attr:`final_epoch`
+        reflect every message applied so far; callers snapshot the
+        counters around a message (or batch) to learn whether the views
+        actually changed.
+        """
+        self._refresh_derived()
+
+    # -- batched application ---------------------------------------------------
+
+    def apply_batch(self, messages: list, stop_on_view_change: bool = True) -> int:
+        """Apply a run of messages in order; returns how many were applied.
+
+        Equivalent, message for message, to calling ``message.apply``
+        in a loop — the batch only amortizes the dispatch and refreshes
+        the derived views once per applied message run.  With
+        *stop_on_view_change* (the default), application stops right
+        after the first message whose effects change the probable set's
+        membership or the final table (detected via
+        :attr:`probable_epoch` / :attr:`final_epoch`), so a caller
+        driving per-message consumers (PRI repair, completion checks)
+        can run them at exactly the point the sequential code would
+        have, then resume with the rest of the batch.
+
+        Raises:
+            BatchApplyError: a message failed validation; ``applied``
+                counts the fully-applied prefix (the failing message
+                mutated nothing).
+        """
+        probable_before = self.probable_epoch
+        final_before = self.final_epoch
+        applied = 0
+        refresh = self._refresh_derived
+        for message in messages:
+            try:
+                message.apply(self)
+            except Exception as exc:
+                refresh()
+                raise BatchApplyError(applied, exc) from exc
+            applied += 1
+            refresh()
+            if stop_on_view_change and (
+                self.probable_epoch != probable_before
+                or self.final_epoch != final_before
+            ):
+                break
+        return applied
 
     def probable_rows(self) -> list[Row]:
         """All probable rows (section 4.1), in insertion order."""

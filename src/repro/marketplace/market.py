@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import itertools
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -66,17 +65,15 @@ class Marketplace:
     def __init__(
         self,
         sim: Simulator,
-        rng: random.Random | None = None,
         *,
         streams: RngStreams | None = None,
         obs: "Observability | NullObservability | None" = None,
     ) -> None:
         """Args:
             sim: the shared simulator (arrival scheduling, timestamps).
-            rng: deprecated — pass ``streams`` instead.  Kept as an
-                alias for one release; ignored when *streams* is given.
             streams: named entropy source; the marketplace draws its
                 arrival process from the ``"marketplace"`` stream.
+                Defaults to a zero-seeded stream.
             obs: optional :class:`repro.obs.Observability` receiving
                 task/assignment counters and budget/bonus flow.
         """
@@ -84,19 +81,9 @@ class Marketplace:
 
         self.sim = sim
         if streams is not None:
-            if rng is not None:
-                raise TypeError("pass either streams= or rng=, not both")
             self.rng = streams.stream("marketplace")
         else:
-            if rng is not None:
-                warnings.warn(
-                    "Marketplace(rng=...) is deprecated; pass a named"
-                    " entropy source via"
-                    " Marketplace(streams=RngStreams(seed)) instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            self.rng = rng or random.Random(0)
+            self.rng = random.Random(0)
         self.obs = resolve(obs)
         self.ledger = PaymentLedger()
         self._tasks: dict[str, Task] = {}

@@ -11,7 +11,6 @@ Socket.IO transport of the paper's implementation.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
@@ -128,7 +127,6 @@ class Network:
         self,
         sim: Simulator,
         default_latency: LatencyModel | None = None,
-        rng: random.Random | None = None,
         sanitize: bool | None = None,
         *,
         streams: RngStreams | None = None,
@@ -136,8 +134,6 @@ class Network:
     ) -> None:
         """Args:
             sim / default_latency: as before.
-            rng: deprecated — pass ``streams`` instead.  Kept as an
-                alias for one release; ignored when *streams* is given.
             sanitize: enable the replica-aliasing sanitizer
                 (:mod:`repro.net.sanitizer`): every payload is
                 deep-copied and checksummed at send, verified at
@@ -147,7 +143,8 @@ class Network:
                 ``REPRO_NET_SANITIZE`` environment variable, which is
                 how CI runs whole suites in sanitizer mode unchanged.
             streams: named entropy source; the network draws from its
-                ``"network"`` stream.  Keyword-only.
+                ``"network"`` stream.  Keyword-only; defaults to a
+                zero-seeded stream.
             obs: optional :class:`repro.obs.Observability` receiving
                 send/deliver/drop counters, a latency histogram, and
                 trace events.  Defaults to the shared no-op.
@@ -157,18 +154,9 @@ class Network:
         self.sim = sim
         self.default_latency = default_latency or ConstantLatency(0.05)
         if streams is not None:
-            if rng is not None:
-                raise TypeError("pass either streams= or rng=, not both")
             self.rng = streams.stream("network")
         else:
-            if rng is not None:
-                warnings.warn(
-                    "Network(rng=...) is deprecated; pass a named entropy"
-                    " source via Network(streams=RngStreams(seed)) instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            self.rng = rng or random.Random(0)
+            self.rng = random.Random(0)
         self.obs = resolve(obs)
         self.stats = NetworkStats()
         if sanitize is None:
@@ -257,6 +245,73 @@ class Network:
             deliver_at, lambda: self._deliver(channel, source, destination, item)
         )
         channel.pending.append((event, item))
+        if self.sanitizer is not None:
+            self.check_accounting()
+
+    def broadcast(
+        self, source: str, destinations: list[str], payload: Any
+    ) -> None:
+        """Send one *payload* to many *destinations*, sealing it once.
+
+        Per destination this is exactly :meth:`send` — same stats, fault
+        consultation, per-channel latency sampling, and FIFO clamping,
+        in list order — except that under the sanitizer the payload is
+        deep-copied and fingerprinted a single time for the whole
+        fan-out; every recipient is handed the same deep-frozen copy.
+        That is safe precisely because the sanitizer freezes it: the
+        aliasing checks (PR 3) are the safety net for the sharing.
+
+        Raises:
+            KeyError: if the source or any destination is unknown.
+        """
+        if source not in self._endpoints:
+            raise KeyError(f"unknown source endpoint: {source!r}")
+        for destination in destinations:
+            if destination not in self._endpoints:
+                raise KeyError(
+                    f"unknown destination endpoint: {destination!r}"
+                )
+        item: Any = payload
+        if self.sanitizer is not None:
+            item = self.sanitizer.seal(source, "*broadcast*", payload)
+        stats = self.stats
+        obs = self.obs
+        fault_filter = self._fault_filter
+        for destination in destinations:
+            stats.messages_sent += 1
+            key = (source, destination)
+            stats.per_link_sent[key] = stats.per_link_sent.get(key, 0) + 1
+            if obs.enabled:
+                obs.inc("net.messages_sent")
+                obs.event("net.send", source=source, destination=destination)
+            channel = self._channel(source, destination)
+            factor = 1.0
+            if fault_filter is not None:
+                if fault_filter.should_drop(source, destination):
+                    stats.messages_dropped += 1
+                    if obs.enabled:
+                        obs.inc("net.messages_dropped")
+                        obs.event(
+                            "net.drop",
+                            source=source,
+                            destination=destination,
+                            reason="fault",
+                        )
+                    continue
+                factor = fault_filter.latency_factor(source, destination)
+            delay = channel.latency.sample(channel.rng) * factor
+            if obs.enabled:
+                obs.observe("net.latency_seconds", delay)
+            deliver_at = max(self.sim.now + delay, channel.last_delivery_time)
+            channel.last_delivery_time = deliver_at
+            channel.in_flight += 1
+            event = self.sim.schedule_at(
+                deliver_at,
+                lambda channel=channel, destination=destination: self._deliver(
+                    channel, source, destination, item
+                ),
+            )
+            channel.pending.append((event, item))
         if self.sanitizer is not None:
             self.check_accounting()
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Callable, Iterator, Literal
 
 from repro.constraints.central import CENTRAL_CLIENT_ID, CentralClient
@@ -39,7 +40,7 @@ from repro.core.replica import Replica
 from repro.core.row import Row, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
-from repro.core.table import CandidateTable
+from repro.core.table import BatchApplyError, CandidateTable
 from repro.net import Network
 from repro.sim import Simulator
 
@@ -291,11 +292,29 @@ class BackendServer:
         oplog_capacity: how many applied messages the bounded in-memory
             op-log retains for incremental resync; a rejoin whose gap
             reaches past the log falls back to a snapshot.
+        max_batch: how many queued messages one drain applies through
+            :meth:`CandidateTable.apply_batch` before re-checking the
+            derived-view consumers (PRI repair, completion).  Batching
+            never changes semantics — the table stops a batch early at
+            every derived-view change — only amortization.
         obs: optional :class:`repro.obs.Observability` receiving apply
-            spans, broadcast counters, and resync events; threaded on to
-            the Central Client and the master candidate table.  Defaults
-            to the network's observability handle so one ``obs=`` at the
-            session level instruments the whole server stack.
+            spans, broadcast counters, batch-size histograms, and resync
+            events; threaded on to the Central Client and the master
+            candidate table.  Defaults to the network's observability
+            handle so one ``obs=`` at the session level instruments the
+            whole server stack.
+
+    The Central Client shares the master candidate table (its replica is
+    constructed over the same :class:`CandidateTable`), so each message
+    is applied exactly once and PRI repair reads master state directly.
+    Its refresh is driven by the table's ``probable_epoch``: the server
+    invokes it only when a message actually changed probable-set
+    membership, which is the only condition under which a refresh can
+    act (the matching loses or gains rights only on membership changes,
+    and template reductions happen inside the refresh itself).
+    Likewise the completion check runs only when the final table changed
+    (``final_epoch``) or a PRI repair ran — the only events that can
+    change its verdict.
     """
 
     def __init__(
@@ -308,13 +327,17 @@ class BackendServer:
         on_complete: Callable[[], None] | None = None,
         on_unsatisfiable: str = "drop",
         oplog_capacity: int = 512,
+        max_batch: int = 64,
         obs: object | None = None,
     ) -> None:
         from repro.obs import resolve
 
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
         self.sim = sim
         self.network = network
         self.schema = schema
+        self.max_batch = max_batch
         self.obs = resolve(obs) if obs is not None else network.obs  # type: ignore[arg-type]
         self.replica = Replica(SERVER_NAME, schema, scoring)
         self.replica.table.set_observability(self.obs, scope="server")
@@ -334,6 +357,7 @@ class BackendServer:
             on_unsatisfiable=on_unsatisfiable,  # type: ignore[arg-type]
             clock=lambda: sim.now,
             obs=self.obs,
+            table=self.replica.table,
         )
         self._completion = _CompletionTracker(
             self.replica.table, lambda: self.central.template_rows
@@ -341,6 +365,9 @@ class BackendServer:
         network.register(SERVER_NAME, self)
         self._started = False
         self._trace_listeners: list[Callable[[TraceRecord], None]] = []
+        self._pending: deque[tuple[str, Message]] = deque()
+        self._drain_scheduled = False
+        self._draining = False
 
     def add_trace_listener(self, listener: Callable[[TraceRecord], None]) -> None:
         """Observe every worker trace record as the server logs it
@@ -501,43 +528,148 @@ class BackendServer:
     # -- message plumbing -------------------------------------------------------
 
     def on_message(self, source: str, payload: Message) -> None:
-        """Network entry point: a worker client's message arrives."""
-        self._process(payload, worker_id=source, exclude=source)
+        """Network entry point: a worker client's message arrives.
+
+        The message is queued; inside a simulator run the queue drains
+        in batches at the end of the current instant (all deliveries of
+        one instant join one drain), otherwise — direct calls from
+        tests or drivers — it drains synchronously before returning.
+        Either way every message is applied, traced, and broadcast at
+        the simulated instant it arrived, in arrival order.
+        """
+        self._pending.append((source, payload))
+        self._schedule_drain()
+
+    def ingest(self, source: str, messages: Iterator[Message] | list[Message]) -> None:
+        """Bulk entry point: queue a run of messages from one source.
+
+        Used by drivers and benchmarks that feed the server directly
+        (no network hop); drains under the same batching rules as
+        :meth:`on_message`.
+        """
+        pending = self._pending
+        for message in messages:
+            pending.append((source, message))
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or self._draining:
+            return
+        if self.sim.running:
+            self._drain_scheduled = True
+            self.sim.defer(self._drain)
+        else:
+            self._drain()
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            self._drain_pending()
+        finally:
+            self._draining = False
+
+    def _drain_pending(self) -> None:
+        """Apply queued messages in batches of up to :attr:`max_batch`.
+
+        Each batch runs through :meth:`CandidateTable.apply_batch`,
+        which stops early after any message that changed the probable
+        set or the final table; PRI repair and the completion check then
+        run at exactly the per-message point the sequential code would
+        have run them (and are skipped for the — typical — messages
+        that cannot affect them).
+        """
+        pending = self._pending
+        if not pending:
+            return
+        obs = self.obs
+        table = self.replica.table
+        max_batch = self.max_batch
+        popleft = pending.popleft
+        apply_and_trace = self._apply_and_trace
+        broadcast_record = self._broadcast_record
+        while pending:
+            batch = [
+                message
+                for _, message in islice(pending, min(len(pending), max_batch))
+            ]
+            probable_before = table.probable_epoch
+            final_before = table.final_epoch
+            error: Exception | None = None
+            try:
+                applied = table.apply_batch(batch)
+            except BatchApplyError as exc:
+                applied = exc.applied
+                error = exc.cause
+            self.replica.messages_processed += applied
+            if obs.enabled:
+                obs.inc("server.batches")
+                obs.observe("server.batch_size", applied)
+            for _ in range(applied):
+                source, message = popleft()
+                record = apply_and_trace(message, worker_id=source)
+                broadcast_record(record, exclude=source)
+            if error is not None:
+                # The failing message mutated nothing; drop it and
+                # surface the failure (matching the sequential path,
+                # where it raised out of the delivery event).
+                pending.popleft()
+                raise error
+            cc_ran = False
+            if table.probable_epoch != probable_before:
+                # The colocated Central Client reads the shared master
+                # table; it may emit repairs (broadcast via
+                # _central_send).
+                self.central.refresh()
+                cc_ran = True
+            if cc_ran or table.final_epoch != final_before:
+                self._check_completion()
 
     def _central_send(self, message: Message) -> None:
-        """CC generated a message; it has already applied it locally."""
+        """CC generated a message; it is already applied to the shared
+        master table by CC's replica."""
+        self.replica.messages_processed += 1
         record = self._apply_and_trace(message, CENTRAL_CLIENT_ID)
-        for client in self._clients:
-            self._broadcast_to(client, record)
+        self._broadcast_record(record, exclude=None)
         # No completion check here: CC sends arrive mid-repair; the
-        # outermost _process (or start()) checks afterwards.
+        # drain loop (or start()) checks afterwards.
 
-    def _process(self, message: Message, worker_id: str, exclude: str) -> None:
-        record = self._apply_and_trace(message, worker_id)
-        for client in self._clients:
-            if client != exclude:
-                self._broadcast_to(client, record)
-        # The colocated Central Client sees the message immediately and
-        # may emit repairs (broadcast via _central_send).
-        self.central.on_message(message)
-        self._check_completion()
+    def _broadcast_record(
+        self, record: TraceRecord, exclude: str | None
+    ) -> None:
+        """Fan one applied message out to every (other) client.
 
-    def _broadcast_to(self, client: str, record: TraceRecord) -> None:
-        self.network.send(SERVER_NAME, client, record.message)
-        session = self._sessions.get(client)
-        if session is not None:
-            session.record_send(record.seq, self.oplog.capacity)
+        The wire payload is the record's message, built exactly once —
+        the network's broadcast primitive shares one sealed encoding
+        across all recipients (see :meth:`repro.net.Network.broadcast`).
+        """
+        targets = [c for c in self._clients if c != exclude]
+        if not targets:
+            return
+        self.network.broadcast(SERVER_NAME, targets, record.message)
+        seq = record.seq
+        capacity = self.oplog.capacity
+        for client in targets:
+            session = self._sessions.get(client)
+            if session is not None:
+                session.record_send(seq, capacity)
         if self.obs.enabled:
-            self.obs.inc("server.broadcasts")
+            self.obs.inc("server.broadcasts", len(targets))
 
     def _apply_and_trace(self, message: Message, worker_id: str) -> TraceRecord:
+        """Trace one applied message: build its record (the wire payload
+        broadcast to every client), append to trace and op-log, and
+        notify listeners.  The table application itself happened in
+        :meth:`CandidateTable.apply_batch` (or in CC's replica for
+        central messages) just before this call."""
         obs = self.obs
         span = (
             obs.span("server.apply", worker_id=worker_id, seq=self._seq)
             if obs.enabled
             else None
         )
-        self.replica.receive(message)
         record = TraceRecord(
             seq=self._seq,
             timestamp=self.sim.now,

@@ -46,12 +46,18 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
+        self._microtasks: list[Callable[[], Any]] = []
         self.obs = resolve(obs)
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def running(self) -> bool:
+        """True while :meth:`run` is executing (inside an event/microtask)."""
+        return self._running
 
     @property
     def pending_events(self) -> int:
@@ -83,6 +89,21 @@ class Simulator:
             )
         return self._queue.push(time, action)
 
+    def defer(self, action: Callable[[], Any]) -> None:
+        """Run *action* at the end of the current simulated instant.
+
+        Deferred actions fire once every event scheduled at the current
+        clock value has fired, but before the clock advances — the
+        batch-drain hook: a server can collect the messages delivered at
+        one instant and apply them as a batch without perturbing
+        delivery timestamps or intra-instant event order.  Actions run
+        FIFO and may defer further actions (which join the same
+        instant); a deferred action scheduling a new event at the
+        current time extends the instant.  Outside :meth:`run`, the
+        action is held until the next call.
+        """
+        self._microtasks.append(action)
+
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run events until the queue drains, *until* passes, or *max_events*.
 
@@ -98,11 +119,19 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         fired = 0
+        microtasks = self._microtasks
         try:
             while True:
+                next_time = self._queue.peek_time()
+                # End of the current instant: run deferred actions before
+                # the clock advances (they may schedule events at the
+                # current time, extending the instant).
+                if microtasks and (next_time is None or next_time > self._now):
+                    task = microtasks.pop(0)
+                    task()
+                    continue
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self._queue.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:

@@ -13,7 +13,6 @@ raises, the worker simply re-reads the table and picks again.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -59,8 +58,6 @@ class SimulatedWorker:
         policy: decision logic.
         profile: latency/engagement knobs.
         sim: the shared simulator.
-        rng: deprecated — pass ``streams`` instead.  Kept as an alias
-            for one release; ignored when *streams* is given.
         latencies: action-latency medians (shared across the crew so
             column weights are estimable).
         is_done: callable polled before each action; True stops the
@@ -75,7 +72,6 @@ class SimulatedWorker:
         policy: WorkerPolicy,
         profile: WorkerProfile,
         sim: Simulator,
-        rng: random.Random | None = None,
         latencies: ActionLatencies | None = None,
         is_done: Callable[[], bool] | None = None,
         *,
@@ -85,24 +81,12 @@ class SimulatedWorker:
         self.policy = policy
         self.profile = profile
         self.sim = sim
-        if streams is not None:
-            if rng is not None:
-                raise TypeError("pass either streams= or rng=, not both")
-            rng = streams.stream(f"behavior-{client.worker_id}")
-        elif rng is None:
+        if streams is None:
             raise TypeError(
                 "SimulatedWorker requires an entropy source: pass"
-                " streams=RngStreams(seed) (or the deprecated rng=)"
+                " streams=RngStreams(seed)"
             )
-        else:
-            warnings.warn(
-                "SimulatedWorker(rng=...) is deprecated; pass a named"
-                " entropy source via"
-                " SimulatedWorker(streams=RngStreams(seed)) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        self.rng = rng
+        self.rng = streams.stream(f"behavior-{client.worker_id}")
         self.latencies = latencies or ActionLatencies()
         self.is_done = is_done or (lambda: False)
         self.log = WorkerActivityLog()

@@ -10,7 +10,7 @@ from repro.core import OperationError, ThresholdScoring
 from repro.core.schema import soccer_player_schema
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 FULL = {
@@ -22,8 +22,9 @@ FULL = {
 @pytest.fixture
 def system():
     sim = Simulator()
+    streams = RngStreams(0)
     network = Network(sim, default_latency=ConstantLatency(0.05),
-                      rng=random.Random(0))
+                      streams=streams)
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, Template.cardinality(3)
@@ -31,7 +32,7 @@ def system():
     clients = []
     for i in range(2):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i), vote_cap=4,
+                              streams=streams, vote_cap=4,
                               allow_modify=True)
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
@@ -193,7 +194,7 @@ def test_modify_own_voted_row_skips_downvote(system):
 
 def test_modify_requires_enabled_flag():
     sim = Simulator()
-    network = Network(sim, rng=random.Random(0))
+    network = Network(sim, streams=RngStreams(0))
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, Template.cardinality(1)

@@ -12,7 +12,7 @@ from repro.core.schema import soccer_player_schema
 from repro.net import ConstantLatency, Network
 from repro.pay import AllocationScheme, CompensationEstimator
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 
@@ -21,12 +21,12 @@ SCORING = ThresholdScoring(2)
 def world():
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     template = Template.cardinality(3)
     backend = BackendServer(sim, network, schema, SCORING, template)
     client = WorkerClient("w0", schema, SCORING, network,
-                          rng=random.Random(1))
+                          streams=RngStreams(1))
     client.bootstrap(backend.attach_client("w0"))
     backend.start()
     sim.run()

@@ -22,7 +22,7 @@ from hypothesis import strategies as st
 from repro.core import Column, DataType, OperationError, Replica, Schema
 from repro.core.scoring import DefaultScoring, ThresholdScoring
 from repro.net import Network, UniformLatency
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCHEMA = Schema(
     name="Mini",
@@ -96,7 +96,7 @@ def _run_schedule(num_clients, schedule, latency_seed, scoring):
     network = Network(
         sim,
         default_latency=UniformLatency(0.01, 3.0),
-        rng=random.Random(latency_seed),
+        streams=RngStreams(latency_seed),
     )
     names = [f"c{i}" for i in range(num_clients)]
     server = _ModelServer(sim, network, scoring, names)
@@ -170,7 +170,7 @@ def test_same_column_concurrent_fill_yields_two_rows():
     copies end with two rows, one per value."""
     sim = Simulator()
     network = Network(sim, default_latency=UniformLatency(0.5, 1.5),
-                      rng=random.Random(4))
+                      streams=RngStreams(4))
     server = _ModelServer(sim, network, DefaultScoring(), ["c0", "c1"])
     network.register("server", server)
     clients = [
@@ -205,7 +205,7 @@ def test_different_column_concurrent_fill_paper_example():
     same row produce two partial rows, not one merged (wrong) row."""
     sim = Simulator()
     network = Network(sim, default_latency=UniformLatency(0.5, 1.5),
-                      rng=random.Random(9))
+                      streams=RngStreams(9))
     server = _ModelServer(sim, network, DefaultScoring(), ["c0", "c1"])
     network.register("server", server)
     clients = [
@@ -242,7 +242,7 @@ def test_reliable_delivery_assumption_is_necessary():
     not decorative."""
     sim = Simulator()
     network = Network(sim, default_latency=UniformLatency(0.1, 0.5),
-                      rng=random.Random(2))
+                      streams=RngStreams(2))
     server = _ModelServer(sim, network, DefaultScoring(), ["c0", "c1"])
     network.register("server", server)
     clients = [

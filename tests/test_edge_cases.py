@@ -20,7 +20,7 @@ from repro.experiments.harness import ExperimentConfig
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
 from repro.server.backend import BootstrapState
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCHEMA = soccer_player_schema()
 SCORING = ThresholdScoring(2)
@@ -97,13 +97,13 @@ class TestWorkerClientEdges:
     def make_world(self):
         sim = Simulator()
         network = Network(sim, default_latency=ConstantLatency(0.01),
-                          rng=random.Random(0))
+                          streams=RngStreams(0))
         backend = BackendServer(
             sim, network, SCHEMA, SCORING,
             Template.cardinality(2),
         )
         client = WorkerClient("w0", SCHEMA, SCORING, network,
-                              rng=random.Random(0))
+                              streams=RngStreams(0))
         client.bootstrap(backend.attach_client("w0"))
         backend.start()
         sim.run()
@@ -173,7 +173,7 @@ def test_effectiveness_duration_str_incomplete():
 def test_network_send_to_self_is_allowed():
     """Self-sends are legal (a monitor could subscribe to itself)."""
     sim = Simulator()
-    network = Network(sim, rng=random.Random(0))
+    network = Network(sim, streams=RngStreams(0))
     got = []
 
     class Echo:

@@ -40,7 +40,7 @@ from repro.net import FaultInjector, FaultPlan, Network, PartitionWindow
 from repro.net import UniformLatency
 from repro.server.backend import BackendServer
 from repro.server.tracelog import replay_trace, trace_to_dicts
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 from repro.sim.rng import RngStreams
 
 SCHEMA = Schema(
@@ -91,7 +91,7 @@ def _run_faulty_schedule(
     network = Network(
         sim,
         default_latency=UniformLatency(0.01, 1.5),
-        rng=random.Random(latency_seed),
+        streams=RngStreams(latency_seed),
     )
     backend = BackendServer(
         sim,
@@ -108,7 +108,7 @@ def _run_faulty_schedule(
         # Stable per-name stream: builtin hash() of strings varies per
         # process (PYTHONHASHSEED), which crowdlint DET001 flags.
         client = WorkerClient(
-            name, SCHEMA, SCORING, network, rng=rng_streams.stream(name)
+            name, SCHEMA, SCORING, network, streams=rng_streams
         )
         client.bootstrap(backend.attach_client(name))
         clients[name] = client

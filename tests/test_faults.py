@@ -15,7 +15,7 @@ from repro.net import (
     Network,
     PartitionWindow,
 )
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 
 class Sink:
@@ -29,7 +29,7 @@ class Sink:
 def make_net(latency=None, seed=0):
     sim = Simulator()
     net = Network(sim, default_latency=latency or ConstantLatency(0.1),
-                  rng=random.Random(seed))
+                  streams=RngStreams(seed))
     return sim, net
 
 

@@ -12,7 +12,7 @@ from repro.datasets import GroundTruth, SoccerPlayerUniverse
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
 from repro.server.recommender import CellRecommender
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 from repro.workers import DiligentPolicy, FillAction, WorkerProfile
 from repro.workers.policy import GuidedPolicy
 
@@ -23,7 +23,7 @@ SCORING = ThresholdScoring(2)
 def world():
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, Template.cardinality(3)
@@ -31,7 +31,7 @@ def world():
     clients = []
     for i in range(2):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
     backend.start()

@@ -5,12 +5,12 @@ import random
 import pytest
 
 from repro.marketplace import Marketplace, MarketplaceError, PaymentLedger
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 
 @pytest.fixture
 def market():
-    return Marketplace(Simulator(), rng=random.Random(0))
+    return Marketplace(Simulator(), streams=RngStreams(0))
 
 
 def post(market, **kwargs):
@@ -121,7 +121,7 @@ def test_bonus_channel(market):
 
 def test_scheduled_arrivals_trickle_in():
     sim = Simulator()
-    market = Marketplace(sim, rng=random.Random(7))
+    market = Marketplace(sim, streams=RngStreams(7))
     accepted = []
     task = post(market, max_assignments=5, on_accept=accepted.append)
     market.schedule_arrivals(
@@ -136,7 +136,7 @@ def test_scheduled_arrivals_trickle_in():
 
 def test_arrivals_beyond_capacity_are_dropped_quietly():
     sim = Simulator()
-    market = Marketplace(sim, rng=random.Random(7))
+    market = Marketplace(sim, streams=RngStreams(7))
     task = post(market, max_assignments=2)
     market.schedule_arrivals(task.task_id, ["a", "b", "c", "d"])
     sim.run()

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.net import ConstantLatency, LogNormalLatency, Network, UniformLatency
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 
 class Sink:
@@ -18,7 +18,7 @@ class Sink:
 
 def make_net(latency=None, seed=0):
     sim = Simulator()
-    net = Network(sim, default_latency=latency, rng=random.Random(seed))
+    net = Network(sim, default_latency=latency, streams=RngStreams(seed))
     return sim, net
 
 

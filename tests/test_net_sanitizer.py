@@ -31,7 +31,7 @@ from repro.net import (
 )
 from repro.net.sanitizer import FrozenDict, FrozenList, MessageSanitizer
 from repro.server.backend import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 from repro.sim.rng import RngStreams
 
 
@@ -48,7 +48,7 @@ def make_net(sanitize=True, latency=None):
     net = Network(
         sim,
         default_latency=latency or ConstantLatency(0.1),
-        rng=random.Random(0),
+        streams=RngStreams(0),
         sanitize=sanitize,
     )
     return sim, net
@@ -292,7 +292,7 @@ def test_full_stack_converges_with_sanitizer_enabled():
     net = Network(
         sim,
         default_latency=ConstantLatency(0.05),
-        rng=random.Random(7),
+        streams=RngStreams(7),
         sanitize=True,
     )
     backend = BackendServer(
@@ -302,7 +302,7 @@ def test_full_stack_converges_with_sanitizer_enabled():
     clients = {}
     for name in ("c0", "c1"):
         client = WorkerClient(
-            name, schema, scoring, net, rng=streams.stream(name)
+            name, schema, scoring, net, streams=streams
         )
         client.bootstrap(backend.attach_client(name))
         clients[name] = client

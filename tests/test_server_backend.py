@@ -10,7 +10,7 @@ from repro.core import ThresholdScoring
 from repro.core.schema import soccer_player_schema
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 
@@ -18,14 +18,14 @@ SCORING = ThresholdScoring(2)
 def make_system(template=None, num_clients=2, **kwargs):
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.05),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     template = template or Template.cardinality(2)
     backend = BackendServer(sim, network, schema, SCORING, template, **kwargs)
     clients = []
     for i in range(num_clients):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
     backend.start()
@@ -139,7 +139,7 @@ def test_attach_client_after_start_bootstraps_current_state():
     clients[0].fill(row_id, "name", "Messi")
     sim.run()
     late = WorkerClient("late", soccer_player_schema(), SCORING, network,
-                        rng=random.Random(9))
+                        streams=RngStreams(9))
     late.bootstrap(backend.attach_client("late"))
     assert late.snapshot() == backend.replica.snapshot()
 
@@ -161,7 +161,7 @@ def test_detach_stops_broadcast():
 
 def test_double_start_rejected():
     sim = Simulator()
-    network = Network(sim, rng=random.Random(0))
+    network = Network(sim, streams=RngStreams(0))
     backend = BackendServer(
         sim, network, soccer_player_schema(), SCORING, Template.cardinality(1)
     )
@@ -180,7 +180,7 @@ def test_detach_then_attach_round_trip_snapshot_path():
     sim.run()
     assert clients[1].snapshot() != backend.replica.snapshot()
     late = WorkerClient("w1b", soccer_player_schema(), SCORING, network,
-                        rng=random.Random(7))
+                        streams=RngStreams(7))
     late.bootstrap(backend.attach_client("w1b"))
     assert late.snapshot() == backend.replica.snapshot()
 

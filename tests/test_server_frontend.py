@@ -1,6 +1,5 @@
 """Unit tests for the front-end server's REST-style API."""
 
-import random
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.marketplace import Marketplace
 from repro.net import ConstantLatency, Network
 from repro.pay import AllocationScheme
 from repro.server import ApiError, FrontendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 
@@ -97,7 +96,7 @@ def test_full_collection_lifecycle(front):
     """create -> launch -> workers fill -> collect -> pay."""
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     marketplace = Marketplace(sim)
     created = front.create_spec(spec_body(cardinality=1))
     spec_id = created["id"]
@@ -106,7 +105,7 @@ def test_full_collection_lifecycle(front):
     def on_accept(worker_id, backend):
         client = WorkerClient(
             worker_id, soccer_player_schema(), SCORING, network,
-            rng=random.Random(len(clients)),
+            streams=RngStreams(len(clients)),
         )
         client.bootstrap(backend.attach_client(worker_id))
         clients[worker_id] = client
@@ -161,7 +160,7 @@ def test_full_collection_lifecycle(front):
 
 def test_launch_twice_conflicts(front):
     sim = Simulator()
-    network = Network(sim, rng=random.Random(0))
+    network = Network(sim, streams=RngStreams(0))
     marketplace = Marketplace(sim)
     spec_id = front.create_spec(spec_body())["id"]
     front.launch(spec_id, sim, network, marketplace, max_workers=1)
@@ -172,7 +171,7 @@ def test_launch_twice_conflicts(front):
 
 def test_update_active_spec_conflicts(front):
     sim = Simulator()
-    network = Network(sim, rng=random.Random(0))
+    network = Network(sim, streams=RngStreams(0))
     marketplace = Marketplace(sim)
     spec_id = front.create_spec(spec_body())["id"]
     front.launch(spec_id, sim, network, marketplace, max_workers=1)
@@ -193,7 +192,7 @@ def test_worker_activity_aggregation(front):
     """The bookkeeping endpoint summarizes the persisted trace."""
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     marketplace = Marketplace(sim)
     spec_id = front.create_spec(spec_body(name="agg", cardinality=1))["id"]
     clients = {}
@@ -201,7 +200,7 @@ def test_worker_activity_aggregation(front):
     def on_accept(worker_id, backend):
         client = WorkerClient(
             worker_id, soccer_player_schema(), SCORING, network,
-            rng=random.Random(len(clients)),
+            streams=RngStreams(len(clients)),
         )
         client.bootstrap(backend.attach_client(worker_id))
         clients[worker_id] = client

@@ -11,7 +11,7 @@ from repro.core.schema import soccer_player_schema
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
 from repro.server.recommender import CellRecommender
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 
@@ -20,7 +20,7 @@ SCORING = ThresholdScoring(2)
 def world():
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, Template.cardinality(3)
@@ -28,7 +28,7 @@ def world():
     clients = []
     for i in range(2):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
     backend.start()

@@ -18,7 +18,7 @@ from repro.server.tracelog import (
     trace_from_dicts,
     trace_to_dicts,
 )
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 
@@ -27,7 +27,7 @@ SCORING = ThresholdScoring(2)
 def finished_run():
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.02),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     # Cardinality 3: one template row stays an untouched CC insert, so
     # the master is NOT reconstructible from worker messages alone.
@@ -37,7 +37,7 @@ def finished_run():
     clients = []
     for i in range(2):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
     backend.start()

@@ -3,8 +3,8 @@
 The facade must wire exactly the component graph the rigs used to build
 by hand — same named entropy streams, same event ordering — so a
 session-built run replays a hand-built run message for message.  The
-``rng=`` parameters it replaced survive one release as deprecated
-aliases; both halves are pinned down here.
+``rng=`` aliases the streams replaced are gone (they survived exactly
+the one promised release); constructors reject them outright.
 """
 
 from __future__ import annotations
@@ -162,18 +162,13 @@ class TestRunning:
         assert len(session.backend.final_rows()) >= 1
 
 
-class TestEntropyAliases:
-    """rng= is a one-release deprecated alias for the named streams."""
+class TestEntropySources:
+    """The ``rng=`` alias is gone; named streams are the only source."""
 
-    def test_network_rng_deprecated(self):
+    def test_network_rejects_rng_keyword(self):
         sim = Simulator()
-        with pytest.deprecated_call():
+        with pytest.raises(TypeError):
             Network(sim, rng=random.Random(0))
-
-    def test_network_rejects_both_sources(self):
-        sim = Simulator()
-        with pytest.raises(TypeError, match="not both"):
-            Network(sim, rng=random.Random(0), streams=RngStreams(0))
 
     def test_network_streams_draws_named_stream(self):
         sim = Simulator()
@@ -181,36 +176,25 @@ class TestEntropyAliases:
         network = Network(sim, streams=streams)
         assert network.rng is streams.stream("network")
 
-    def test_marketplace_rng_deprecated(self):
+    def test_marketplace_rejects_rng_keyword(self):
         sim = Simulator()
-        with pytest.deprecated_call():
+        with pytest.raises(TypeError):
             Marketplace(sim, rng=random.Random(0))
-        with pytest.raises(TypeError, match="not both"):
-            Marketplace(sim, rng=random.Random(0), streams=RngStreams(0))
 
-    def test_worker_client_rng_deprecated(self):
+    def test_worker_client_rejects_rng_keyword(self):
         from repro.client import WorkerClient
 
         config = ExperimentConfig()
         schema, _, _ = resolve_domain(config)
         sim = Simulator()
         network = Network(sim, streams=RngStreams(0))
-        with pytest.deprecated_call():
+        with pytest.raises(TypeError):
             WorkerClient(
                 "w1",
                 schema,
                 ThresholdScoring(2),
                 network,
                 rng=random.Random(0),
-            )
-        with pytest.raises(TypeError, match="not both"):
-            WorkerClient(
-                "w2",
-                schema,
-                ThresholdScoring(2),
-                network,
-                rng=random.Random(0),
-                streams=RngStreams(0),
             )
 
     def test_simulated_worker_requires_entropy(self):
@@ -229,7 +213,7 @@ class TestEntropyAliases:
         policy = DiligentPolicy(knowledge, profile, reference=truth)
         with pytest.raises(TypeError, match="entropy"):
             SimulatedWorker(client, policy, profile, sim)
-        with pytest.deprecated_call():
+        with pytest.raises(TypeError):
             SimulatedWorker(
                 client, policy, profile, sim, rng=random.Random(0)
             )

@@ -27,7 +27,7 @@ from repro.core.schema import soccer_player_schema
 from repro.net import Network, UniformLatency
 from repro.pay import AllocationScheme, allocate, analyze_contributions
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 SCHEMA = soccer_player_schema()
@@ -89,7 +89,7 @@ def test_full_stack_converges_under_random_actions(
     network = Network(
         sim,
         default_latency=UniformLatency(0.01, 2.0),
-        rng=random.Random(net_seed),
+        streams=RngStreams(net_seed),
     )
     backend = BackendServer(
         sim, network, SCHEMA, SCORING, Template.cardinality(3)
@@ -98,7 +98,7 @@ def test_full_stack_converges_under_random_actions(
     for i in range(num_clients):
         client = WorkerClient(
             f"w{i}", SCHEMA, SCORING, network,
-            rng=random.Random(i), allow_modify=True,
+            streams=RngStreams(i), allow_modify=True,
         )
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)

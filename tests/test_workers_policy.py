@@ -9,7 +9,7 @@ from repro.core.schema import Column, DataType, soccer_player_schema
 from repro.datasets import GroundTruth, SoccerPlayerUniverse
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 from repro.workers import (
     CopierPolicy,
     DiligentPolicy,
@@ -28,7 +28,7 @@ SCORING = ThresholdScoring(2)
 def make_world(template=None, num_clients=1):
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, template or Template.cardinality(3)
@@ -36,7 +36,7 @@ def make_world(template=None, num_clients=1):
     clients = []
     for i in range(num_clients):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
     backend.start()

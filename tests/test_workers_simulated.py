@@ -11,7 +11,7 @@ from repro.core.schema import soccer_player_schema
 from repro.datasets import SoccerPlayerUniverse
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 from repro.workers import (
     ActionLatencies,
     DiligentPolicy,
@@ -26,7 +26,7 @@ SCORING = ThresholdScoring(2)
 def build(num_workers=1, profile=None, template=None, is_done=None):
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, template or Template.cardinality(2)
@@ -35,7 +35,7 @@ def build(num_workers=1, profile=None, template=None, is_done=None):
     workers = []
     for i in range(num_workers):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         p = profile or WorkerProfile(fill_accuracy=1.0, pause_prob=0.0)
         worker = SimulatedWorker(
@@ -43,7 +43,7 @@ def build(num_workers=1, profile=None, template=None, is_done=None):
             DiligentPolicy(truth, p, reference=truth),
             p,
             sim,
-            rng=random.Random(100 + i),
+            streams=RngStreams(100 + i),
             latencies=ActionLatencies(),
             is_done=is_done or (lambda: backend.completed),
         )
@@ -179,8 +179,9 @@ def test_session_expiry_stops_worker():
 def test_collection_survives_worker_churn():
     """One of three workers leaves mid-run; the rest finish the job."""
     sim = Simulator()
+    streams = RngStreams(0)
     network = Network(sim, default_latency=ConstantLatency(0.01),
-                      rng=random.Random(0))
+                      streams=streams)
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING, Template.cardinality(6)
@@ -194,12 +195,12 @@ def test_collection_survives_worker_churn():
             session_seconds=40.0 if i == 0 else None,
         )
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=streams)
         client.bootstrap(backend.attach_client(client.worker_id))
         worker = SimulatedWorker(
             client,
             DiligentPolicy(truth, profile, reference=truth),
-            profile, sim, rng=random.Random(100 + i),
+            profile, sim, streams=streams,
             is_done=lambda: backend.completed,
         )
         workers.append(worker)
