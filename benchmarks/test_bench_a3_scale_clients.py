@@ -8,8 +8,6 @@ that "scaling the number of workers may be more effective in the
 microtask-based approach".
 """
 
-import random
-
 import pytest
 
 from repro.client import WorkerClient
@@ -18,7 +16,7 @@ from repro.core import ThresholdScoring
 from repro.core.schema import soccer_player_schema
 from repro.net import ConstantLatency, Network
 from repro.server import BackendServer
-from repro.sim import Simulator
+from repro.sim import RngStreams, Simulator
 
 SCORING = ThresholdScoring(2)
 OPS_PER_CLIENT = 12
@@ -27,7 +25,7 @@ OPS_PER_CLIENT = 12
 def run_broadcast_workload(num_clients):
     sim = Simulator()
     network = Network(sim, default_latency=ConstantLatency(0.05),
-                      rng=random.Random(0))
+                      streams=RngStreams(0))
     schema = soccer_player_schema()
     backend = BackendServer(
         sim, network, schema, SCORING,
@@ -36,7 +34,7 @@ def run_broadcast_workload(num_clients):
     clients = []
     for i in range(num_clients):
         client = WorkerClient(f"w{i}", schema, SCORING, network,
-                              rng=random.Random(i))
+                              streams=RngStreams(i))
         client.bootstrap(backend.attach_client(client.worker_id))
         clients.append(client)
     backend.start()

@@ -1,0 +1,190 @@
+"""P6 — sharded scale: thousands of workers on the 4-shard backend.
+
+The sharded multi-backend exists to take worker counts a single
+sequencer cannot: every committed operation still fans out to every
+attached client (the paper's broadcast model), but commitment and
+drain work is spread across shards and the shard-to-shard exchange
+ships batched, delta-compressed deltas instead of re-broadcasting
+per-op.
+
+This bench attaches a crew *orders of magnitude* past the paper's
+(≥2000 workers across 4 shards), has a slice of the crew author rows
+through the bulk ``ingest`` path, and measures the full drive-to-
+quiescence wall time.  Reported metrics:
+
+- ``ops_per_sec`` — committed worker operations per second of wall
+  time (end-to-end, including commit, exchange, and full fan-out);
+- ``deliveries_per_sec`` — network messages delivered per second, the
+  honest denominator at this scale (every op → ~W broadcast
+  deliveries, so ops/sec at W=2000 is three orders below it).
+
+Two configurations feed ``BENCH_P6.json``: the ``scale`` row is the
+headline (2000 workers); the cheap ``gate`` row (200 workers) is
+re-measured by ``scripts/perf_gate.py`` as an advisory regression
+probe on every CI run.
+"""
+
+import gc
+import json
+import os
+import platform
+import subprocess
+import time
+
+import pytest
+
+from repro.constraints import Template
+from repro.core import RowValue, ThresholdScoring
+from repro.core.messages import InsertMessage, ReplaceMessage
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.server import ShardedBackend
+from repro.sim import RngStreams, Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCORING = ThresholdScoring(2)
+N_SHARDS = 4
+
+#: (config name, attached workers, authoring workers)
+CONFIGS = (("gate", 200, 100), ("scale", 2000, 400))
+_results: dict[str, dict] = {}
+
+
+class _Sink:
+    """A wire-faithful but replica-free client endpoint: at this scale
+    the cost under measurement is the server/exchange/fan-out side, not
+    2000 client-side table replays."""
+
+    __slots__ = ("received",)
+
+    def __init__(self):
+        self.received = 0
+
+    def on_message(self, source, payload):
+        self.received += 1
+
+
+def build_sharded_crew(workers):
+    """A 4-shard backend with *workers* attached sink clients."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.05),
+                      streams=RngStreams(0))
+    schema = soccer_player_schema()
+    backend = ShardedBackend(
+        sim, network, schema, SCORING, Template.cardinality(4),
+        shards=N_SHARDS,
+    )
+    sinks = []
+    for i in range(workers):
+        name = f"w{i}"
+        sink = _Sink()
+        network.register(name, sink)
+        backend.attach_client(name)
+        sinks.append(sink)
+    backend.start()
+    sim.run()
+    return sim, network, backend, sinks
+
+
+def author_messages(actors):
+    """Each authoring worker inserts one row and fills one column —
+    ~1 visible fill per actor, the workload shape of a real crew where
+    most attendees read and a slice writes."""
+    batches = []
+    for i in range(actors):
+        name = f"w{i}"
+        row_id = f"{name}#1"
+        batches.append((name, [
+            InsertMessage(row_id=row_id),
+            ReplaceMessage(
+                old_id=row_id, new_id=f"{name}#2",
+                value=RowValue({"name": f"Player {i}"}),
+                column="name", filled_value=f"Player {i}",
+            ),
+        ]))
+    return batches
+
+
+def drive(sim, network, backend, batches):
+    """Ingest every batch and drain to quiescence; returns wall time."""
+    gc.collect()
+    start = time.perf_counter()
+    for source, messages in batches:
+        backend.ingest(source, messages)
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert network.quiescent()
+    assert backend.fully_exchanged()
+    return elapsed
+
+
+def _git_sha():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _record(name, payload):
+    """Flush BENCH_P6.json once every config has reported."""
+    _results[name] = payload
+    if any(cfg_name not in _results for cfg_name, _, _ in CONFIGS):
+        return
+    document = {
+        "benchmark": "test_bench_p6_sharded_scale",
+        "shards": N_SHARDS,
+        "configs": _results,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "git_sha": _git_sha(),
+    }
+    path = os.path.join(REPO_ROOT, "BENCH_P6.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.parametrize("name,workers,actors", CONFIGS)
+def test_bench_p6_sharded_scale(benchmark, name, workers, actors):
+    rigs = []
+
+    def setup():
+        sim, network, backend, sinks = build_sharded_crew(workers)
+        rigs.append((sim, network, backend, sinks))
+        return (sim, network, backend, author_messages(actors)), {}
+
+    elapsed = benchmark.pedantic(drive, setup=setup, rounds=1)
+    # Traffic accounting comes off the timed rig itself.
+    sim, network, backend, sinks = rigs[-1]
+    batches = author_messages(actors)
+    ops = sum(len(messages) for _, messages in batches)
+    deliveries = network.stats.messages_delivered
+    exchange_batches = sum(s.exchange_batches_sent for s in backend.shards)
+    payload = {
+        "workers": workers,
+        "actors": actors,
+        "shards": N_SHARDS,
+        "ops": ops,
+        "deliveries": deliveries,
+        "exchange_batches": exchange_batches,
+        "seconds": round(elapsed, 3),
+        "ops_per_sec": round(ops / elapsed, 1),
+        "deliveries_per_sec": round(deliveries / elapsed, 1),
+    }
+    benchmark.extra_info.update(payload)
+    _record(name, payload)
+    print(
+        f"\nP6 {name}: {workers} workers / {actors} actors / "
+        f"{N_SHARDS} shards: {ops} ops, {deliveries:,} deliveries, "
+        f"{exchange_batches} exchange batches in {elapsed:.2f}s -> "
+        f"{ops / elapsed:,.0f} ops/sec, "
+        f"{deliveries / elapsed:,.0f} deliveries/sec"
+    )
+    # The broadcast model really fanned out to the whole crew.
+    assert all(sink.received > 0 for sink in sinks)

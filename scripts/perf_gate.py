@@ -8,6 +8,14 @@ falls below ``THRESHOLD`` (50%) of the baseline — loose enough to
 absorb machine variance, tight enough to catch an accidental return to
 per-message costs.
 
+Also probes the P6 sharded-scale baseline (``BENCH_P6.json``): the
+cheap ``gate`` configuration (200 workers across 4 shards, see
+``benchmarks/test_bench_p6_sharded_scale.py``) is re-measured and
+compared on delivered messages/second.  The P6 probe is *always
+advisory* — a breach is reported but never fails the build, whatever
+the mode — because the fan-out workload is far more sensitive to
+runner contention than the single-process batched loop.
+
 Modes:
     REPRO_PERF_GATE=advisory   warn on breach but exit 0 (shared CI
                                runners, where absolute throughput is
@@ -36,10 +44,12 @@ from repro.sim import RngStreams, Simulator
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE = os.path.join(REPO_ROOT, "BENCH_P5.json")
+P6_BASELINE = os.path.join(REPO_ROOT, "BENCH_P6.json")
 N_ROWS = 500
 MESSAGES = 900
 REPS = 3
 THRESHOLD = 0.50
+P6_THRESHOLD = 0.50
 
 SCHEMA = soccer_player_schema()
 
@@ -105,11 +115,45 @@ def measure():
     return MESSAGES / best
 
 
+def probe_p6():
+    """Advisory re-measure of the P6 ``gate`` config (never fails the
+    build): the sharded fan-out rig from the P6 bench, compared on
+    delivered messages/second."""
+    try:
+        with open(P6_BASELINE) as handle:
+            baseline = json.load(handle)
+        gate = baseline["configs"]["gate"]
+        expected = float(gate["deliveries_per_sec"])
+        workers = int(gate["workers"])
+        actors = int(gate["actors"])
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(f"perf-gate[P6]: no usable baseline ({exc!r}), skipping")
+        return
+    sys.path.insert(0, REPO_ROOT)
+    from benchmarks.test_bench_p6_sharded_scale import (
+        author_messages,
+        build_sharded_crew,
+        drive,
+    )
+
+    sim, network, backend, _sinks = build_sharded_crew(workers)
+    elapsed = drive(sim, network, backend, author_messages(actors))
+    rate = network.stats.messages_delivered / elapsed
+    floor = P6_THRESHOLD * expected
+    verdict = "ok" if rate >= floor else "BREACH (advisory only)"
+    print(
+        f"perf-gate[P6]: {workers} workers / 4 shards "
+        f"{rate:,.0f} deliveries/sec "
+        f"(baseline {expected:,.0f}, floor {floor:,.0f}) -> {verdict}"
+    )
+
+
 def main():
     mode = os.environ.get("REPRO_PERF_GATE", "strict").lower()
     if mode == "off":
         print("perf-gate: REPRO_PERF_GATE=off, skipping")
         return 0
+    probe_p6()
     try:
         with open(BASELINE) as handle:
             baseline = json.load(handle)

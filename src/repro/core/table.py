@@ -108,6 +108,16 @@ class CandidateTable:
         self.schema = schema
         self.scoring = scoring
         self._rows: dict[str, Row] = {}
+        # Identifiers this copy has seen *superseded* — named as the
+        # old_id of an applied replace.  A creation that arrives later
+        # for such an id is skipped instead of resurrecting the row:
+        # cross-shard exchange (repro.server.shard) can deliver one
+        # lineage's messages out of causal order, and refusing the
+        # resurrect is exactly what makes replace application commute
+        # (the deletion half of a replace always wins, whichever side
+        # applies first).  Single-server streams are causal, so the
+        # skip never fires there and behavior is unchanged.
+        self.superseded: set[str] = set()
         # Value interning and columnar vote histories (section 2.4): UH/DH
         # tallies live in arrays indexed by interned value id; the mapping
         # views preserve the former dict-of-RowValue API.
@@ -378,7 +388,7 @@ class CandidateTable:
 
     # -- message application (section 2.4) -----------------------------------
 
-    def apply_insert(self, row_id: str) -> Row:
+    def apply_insert(self, row_id: str) -> Row | None:
         """Process an insert message: add an empty row.
 
         Vote counts are reconstructed from the histories exactly like
@@ -388,31 +398,47 @@ class CandidateTable:
         (Lemma 3's invariant d(r) = Σ_{w ⊆ r̄} DH[w] has no carve-out
         for empty rows).
 
+        Returns None (no row created) when *row_id* is already known
+        superseded — a replace naming it as old_id applied first, which
+        only happens on cross-shard out-of-causal-order delivery.
+
         Raises:
             ValueError: if the identifier already exists in this copy
                 (identifiers are globally unique by assumption).
         """
         if row_id in self._rows:
             raise ValueError(f"duplicate row identifier {row_id!r}")
+        if row_id in self.superseded:
+            return None
         downvotes = self._votes.subset_sum(self._interner.intern(EMPTY_VALUE))
         row = Row(row_id, EMPTY_VALUE, 0, downvotes)
         self._rows[row_id] = row
         self._index_row(row)
         return row
 
-    def apply_replace(self, old_id: str, new_id: str, value: RowValue) -> Row:
+    def apply_replace(self, old_id: str, new_id: str, value: RowValue) -> Row | None:
         """Process a replace message per the specification.
 
         If *old_id* is present it is deleted (it may legitimately be
         absent when a concurrent replace already superseded it).  The
         new row's vote counts are reconstructed from UH and DH, which
         is what makes out-of-order vote/replace interleavings converge.
+
+        The deletion half always runs; the creation half is skipped
+        (returning None) when *new_id* is itself already superseded —
+        i.e. a replace further down the lineage applied before this one
+        did, which only cross-shard exchange can produce.  Skipping the
+        resurrect makes any two replaces commute: whichever applies
+        second, the surviving row set is the same.
         """
         if new_id in self._rows:
             raise ValueError(f"duplicate row identifier {new_id!r}")
         old = self._rows.pop(old_id, None)
         if old is not None:
             self._deindex_row(old)
+        self.superseded.add(old_id)
+        if new_id in self.superseded:
+            return None
         vid = self._interner.intern(value)
         if self._vid_is_complete(vid, value):
             upvotes = self._votes.up_count(vid)

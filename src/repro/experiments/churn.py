@@ -136,6 +136,7 @@ def run_churn_experiment(
         latency=UniformLatency(base.latency_low, base.latency_high),
         oplog_capacity=config.oplog_capacity,
         obs=obs,
+        shards=base.shards,
     )
     backend = session.backend
     assert backend is not None
@@ -157,6 +158,9 @@ def run_churn_experiment(
 
     plan = build_churn_plan(config, worker_ids)
     injector = FaultInjector(session.sim, session.network, plan)
+    if hasattr(backend, "bind_faults"):
+        # Sharded runs: wire shard-exchange resync into heal events.
+        backend.bind_faults(injector)
     for victim in plan.faulted_endpoints():
         client = session.clients[victim]
         worker = session.workers[victim]

@@ -129,6 +129,9 @@ class ExperimentConfig:
     use_recommender: bool = False
     """Wrap diligent workers in the section 8 cell-recommendation
     strategy (see :mod:`repro.server.recommender`)."""
+    shards: int | None = None
+    """``None`` runs the classic single back-end; ``N >= 1`` runs the
+    sharded multi-backend (:mod:`repro.server.shard`) with N shards."""
 
     def resolved_profiles(self) -> list[WorkerProfile]:
         """The crew's profiles, defaulting to the representative five."""
@@ -272,6 +275,7 @@ class CrowdFillExperiment:
             template=template,
             latency=UniformLatency(config.latency_low, config.latency_high),
             obs=self.obs,
+            shards=config.shards,
         )
         self.session = session
         estimator = session.attach_estimator(

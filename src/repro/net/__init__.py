@@ -25,6 +25,7 @@ from repro.net.faults import (
     FaultPlanError,
     LatencySpike,
     PartitionWindow,
+    ShardPartitionWindow,
 )
 from repro.net.latency import (
     ConstantLatency,
@@ -68,4 +69,5 @@ __all__ = [
     "Network",
     "NetworkStats",
     "PartitionWindow",
+    "ShardPartitionWindow",
 ]

@@ -84,6 +84,60 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class ShardPartitionWindow:
+    """A link-level partition between endpoint *groups* during [start, end).
+
+    Unlike :class:`DisconnectWindow`/:class:`PartitionWindow`, no
+    endpoint goes down: every endpoint keeps talking within its own
+    group (and to endpoints in no group at all), but each directed link
+    crossing between two groups is severed — in-flight messages on the
+    crossing links are purged at window start, and sends on them are
+    dropped while the window is open.  This models a network partition
+    between backend shards (:mod:`repro.server.shard`): each side keeps
+    serving its own clients and committing its own operations, and the
+    shard exchange protocol must reconcile the halves at heal time.
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if len(self.groups) < 2 or any(not group for group in self.groups):
+            raise FaultPlanError(
+                "shard partition needs >= 2 non-empty groups"
+            )
+        seen: set[str] = set()
+        for group in self.groups:
+            for endpoint in group:
+                if endpoint in seen:
+                    raise FaultPlanError(
+                        f"endpoint {endpoint!r} appears in two groups"
+                    )
+                seen.add(endpoint)
+        if self.start < 0 or not self.end > self.start:
+            raise FaultPlanError(
+                f"bad shard-partition window [{self.start}, {self.end})"
+            )
+
+    def cut_links(self) -> list[tuple[str, str]]:
+        """Every directed link crossing between two groups, sorted."""
+        links: list[tuple[str, str]] = []
+        for i, group in enumerate(self.groups):
+            for j, other in enumerate(self.groups):
+                if i == j:
+                    continue
+                links.extend(
+                    (a, b) for a in group for b in other
+                )
+        return sorted(links)
+
+    def label(self) -> str:
+        """A stable human-readable id for events and forensics."""
+        return "|".join(",".join(group) for group in self.groups)
+
+
+@dataclass(frozen=True)
 class LatencySpike:
     """Multiply sampled latencies by *factor* during [start, end).
 
@@ -135,10 +189,16 @@ class FaultPlan:
     disconnects: tuple[DisconnectWindow, ...] = ()
     partitions: tuple[PartitionWindow, ...] = ()
     spikes: tuple[LatencySpike, ...] = ()
+    shard_partitions: tuple[ShardPartitionWindow, ...] = ()
 
     @property
     def is_empty(self) -> bool:
-        return not (self.disconnects or self.partitions or self.spikes)
+        return not (
+            self.disconnects
+            or self.partitions
+            or self.spikes
+            or self.shard_partitions
+        )
 
     def faulted_endpoints(self) -> list[str]:
         """Endpoints with at least one outage window, sorted."""
@@ -183,12 +243,21 @@ class FaultPlan:
         max_outage: float | None = None,
         spike_prob: float = 0.25,
         max_spike_factor: float = 20.0,
+        shard_groups: tuple[tuple[str, ...], ...] | None = None,
+        shard_partition_prob: float = 0.5,
+        max_shard_partitions: int = 2,
     ) -> "FaultPlan":
         """Draw a random plan over *endpoints* within [0, horizon).
 
         Deterministic in *rng*: the same seeded stream yields the same
         plan.  Outage windows always close before *horizon*, so every
         generated fault heals and convergence remains checkable.
+
+        When *shard_groups* names two or more endpoint groups, the plan
+        may additionally contain :class:`ShardPartitionWindow`s cutting
+        the links between the groups (each drawn with probability
+        *shard_partition_prob*, up to *max_shard_partitions* windows);
+        these too always close before *horizon*.
         """
         if horizon <= 0:
             raise FaultPlanError(f"horizon must be positive: {horizon}")
@@ -215,7 +284,24 @@ class FaultPlan:
                     factor=rng.uniform(1.0, max_spike_factor),
                 )
             )
-        return cls(disconnects=tuple(disconnects), spikes=tuple(spikes))
+        shard_partitions: list[ShardPartitionWindow] = []
+        if shard_groups is not None and len(shard_groups) >= 2:
+            for _ in range(max_shard_partitions):
+                if rng.random() >= shard_partition_prob:
+                    continue
+                start = rng.uniform(0.0, horizon * 0.9)
+                length = rng.uniform(
+                    min_outage, min(max_outage, horizon - start)
+                )
+                end = min(start + max(length, 1e-9), horizon)
+                shard_partitions.append(
+                    ShardPartitionWindow(shard_groups, start, end)
+                )
+        return cls(
+            disconnects=tuple(disconnects),
+            spikes=tuple(spikes),
+            shard_partitions=tuple(shard_partitions),
+        )
 
 
 @dataclass
@@ -259,6 +345,13 @@ class FaultInjector:
         self._handlers: dict[str, _Handlers] = {}
         self.events: list[FaultEvent] = []
         self._installed = False
+        # Link-level shard partitions: refcounted cut links (overlapping
+        # windows may cut the same link) and the windows currently open.
+        self._cut: dict[tuple[str, str], int] = {}
+        self._active_partitions: list[ShardPartitionWindow] = []
+        self._link_heal_callbacks: list[
+            Callable[[list[tuple[str, str]]], None]
+        ] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -279,6 +372,17 @@ class FaultInjector:
             on_disconnect, on_reconnect, on_requeue
         )
 
+    def on_link_heal(
+        self, callback: Callable[[list[tuple[str, str]]], None]
+    ) -> None:
+        """Register a callback fired when a shard partition heals.
+
+        The callback receives the directed links that just came back up
+        (sorted).  The sharded backend wires its shard-resync protocol
+        here, the way clients wire ``on_reconnect``.
+        """
+        self._link_heal_callbacks.append(callback)
+
     def install(self) -> None:
         """Register as the network's fault filter and schedule the plan."""
         if self._installed:
@@ -294,11 +398,23 @@ class FaultInjector:
                     self.sim.schedule_at(
                         end, lambda e=endpoint: self._end_outage(e)
                     )
+        for window in self.plan.shard_partitions:
+            self.sim.schedule_at(
+                window.start, lambda w=window: self._begin_partition(w)
+            )
+            if window.end != math.inf:
+                self.sim.schedule_at(
+                    window.end, lambda w=window: self._end_partition(w)
+                )
 
     # -- FaultFilter protocol ----------------------------------------------
 
     def should_drop(self, source: str, destination: str) -> bool:
-        return source in self._down or destination in self._down
+        return (
+            source in self._down
+            or destination in self._down
+            or (source, destination) in self._cut
+        )
 
     def latency_factor(self, source: str, destination: str) -> float:
         return self.plan.latency_factor(source, destination, self.sim.now)
@@ -309,14 +425,25 @@ class FaultInjector:
         """Is *endpoint* currently inside an outage window?"""
         return endpoint in self._down
 
+    def is_cut(self, source: str, destination: str) -> bool:
+        """Is the directed link currently severed by a shard partition?"""
+        return (source, destination) in self._cut
+
     @property
     def down(self) -> frozenset[str]:
         return frozenset(self._down)
 
+    @property
+    def cut_links(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._cut)
+
     def force_reconnect_all(self) -> None:
-        """Close every open outage now (end-of-run convergence checks)."""
+        """Close every open outage and partition now (end-of-run
+        convergence checks)."""
         for endpoint in sorted(self._down):
             self._end_outage(endpoint)
+        for window in list(self._active_partitions):
+            self._end_partition(window)
 
     # -- window events ----------------------------------------------------
 
@@ -350,3 +477,41 @@ class FaultInjector:
         handlers = self._handlers.get(endpoint)
         if handlers is not None and handlers.on_reconnect is not None:
             handlers.on_reconnect()
+
+    def _begin_partition(self, window: ShardPartitionWindow) -> None:
+        if window in self._active_partitions:
+            return
+        self._active_partitions.append(window)
+        fresh = []
+        for link in window.cut_links():
+            count = self._cut.get(link, 0)
+            if count == 0:
+                fresh.append(link)
+            self._cut[link] = count + 1
+        purged = (
+            self.network.drop_in_flight_links(fresh) if fresh else []
+        )
+        self.events.append(
+            FaultEvent(
+                self.sim.now, "shard-partition", window.label(), len(purged)
+            )
+        )
+
+    def _end_partition(self, window: ShardPartitionWindow) -> None:
+        if window not in self._active_partitions:
+            return
+        self._active_partitions.remove(window)
+        healed = []
+        for link in window.cut_links():
+            count = self._cut.get(link, 0)
+            if count <= 1:
+                self._cut.pop(link, None)
+                healed.append(link)
+            else:
+                self._cut[link] = count - 1
+        self.events.append(
+            FaultEvent(self.sim.now, "shard-heal", window.label())
+        )
+        if healed:
+            for callback in self._link_heal_callbacks:
+                callback(healed)

@@ -50,10 +50,21 @@ class NetworkStats:
     messages_dropped: int = 0
     bytes_sent: int = 0
     per_link_sent: dict[tuple[str, str], int] = field(default_factory=dict)
+    per_link_delivered: dict[tuple[str, str], int] = field(default_factory=dict)
+    per_link_dropped: dict[tuple[str, str], int] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
         return self.messages_sent - self.messages_delivered - self.messages_dropped
+
+    def link_in_flight(self, source: str, destination: str) -> int:
+        """Messages currently on the wire of one directed link."""
+        key = (source, destination)
+        return (
+            self.per_link_sent.get(key, 0)
+            - self.per_link_delivered.get(key, 0)
+            - self.per_link_dropped.get(key, 0)
+        )
 
 
 @runtime_checkable
@@ -222,6 +233,9 @@ class Network:
         if self._fault_filter is not None:
             if self._fault_filter.should_drop(source, destination):
                 self.stats.messages_dropped += 1
+                self.stats.per_link_dropped[key] = (
+                    self.stats.per_link_dropped.get(key, 0) + 1
+                )
                 if obs.enabled:
                     obs.inc("net.messages_dropped")
                     obs.event(
@@ -289,6 +303,9 @@ class Network:
             if fault_filter is not None:
                 if fault_filter.should_drop(source, destination):
                     stats.messages_dropped += 1
+                    stats.per_link_dropped[key] = (
+                        stats.per_link_dropped.get(key, 0) + 1
+                    )
                     if obs.enabled:
                         obs.inc("net.messages_dropped")
                         obs.event(
@@ -323,10 +340,47 @@ class Network:
         by scheduled delivery) so a caller may requeue outbound ones
         into a client's resend buffer.
         """
+        channels = [
+            channel
+            for _, channel in sorted(self._channels.items())
+            if endpoint in (channel.source, channel.destination)
+        ]
+        purged = self._purge_channels(channels)
+        if purged and self.obs.enabled:
+            self.obs.event(
+                "net.purge", endpoint=endpoint, purged=len(purged)
+            )
+        return purged
+
+    def drop_in_flight_links(
+        self, links: list[tuple[str, str]]
+    ) -> list[DroppedMessage]:
+        """Purge every undelivered message on the given directed links.
+
+        The link-level sibling of :meth:`drop_in_flight`, used by
+        shard-partition windows (:mod:`repro.net.faults`): a partition
+        severs specific shard-to-shard links while both endpoints stay
+        up for everyone else, so only those channels lose their
+        in-flight traffic.
+        """
+        wanted = set(links)
+        channels = [
+            channel
+            for key, channel in sorted(self._channels.items())
+            if key in wanted
+        ]
+        purged = self._purge_channels(channels)
+        if purged and self.obs.enabled:
+            self.obs.event(
+                "net.purge_links", links=len(wanted), purged=len(purged)
+            )
+        return purged
+
+    def _purge_channels(self, channels: list[_Channel]) -> list[DroppedMessage]:
+        """Cancel and account every pending delivery on *channels*."""
         purged: list[tuple[Any, DroppedMessage]] = []
-        for _, channel in sorted(self._channels.items()):
-            if endpoint not in (channel.source, channel.destination):
-                continue
+        per_link_dropped = self.stats.per_link_dropped
+        for channel in channels:
             for event, item in channel.pending:
                 event.cancel()
                 payload = (
@@ -340,15 +394,17 @@ class Network:
                         ),
                     )
                 )
+            if channel.pending:
+                key = (channel.source, channel.destination)
+                per_link_dropped[key] = (
+                    per_link_dropped.get(key, 0) + len(channel.pending)
+                )
             channel.in_flight = 0
             channel.pending.clear()
         self.stats.messages_dropped += len(purged)
         if purged and self.obs.enabled:
             self.obs.inc("net.messages_dropped", len(purged))
             self.obs.inc("net.messages_purged", len(purged))
-            self.obs.event(
-                "net.purge", endpoint=endpoint, purged=len(purged)
-            )
         purged.sort(key=lambda pair: (pair[0].time, pair[0].seq))
         if self.sanitizer is not None:
             self.check_accounting()
@@ -361,11 +417,17 @@ class Network:
     def check_accounting(self) -> None:
         """Assert the drop-accounting invariant centrally.
 
-        ``in_flight = sent - delivered - dropped`` must equal both the
-        per-channel in-flight counters and the number of undelivered
-        scheduled messages, at every instant.  Sanitizer mode runs this
-        after every send, delivery, and purge; tests call it directly
-        instead of re-deriving the arithmetic per test.
+        Globally, ``in_flight = sent - delivered - dropped`` must equal
+        both the per-channel in-flight counters and the number of
+        undelivered scheduled messages, at every instant.  The same
+        conservation law is asserted *per directed link*: each link's
+        sent count must decompose into delivered + dropped + on-wire.
+        The per-link check is what makes the invariant meaningful for
+        shard-to-shard exchange links — a global tally would let a
+        message lost on one link be silently offset by a double-count
+        on another.  Sanitizer mode runs this after every send,
+        delivery, and purge; tests call it directly instead of
+        re-deriving the arithmetic per test.
 
         Raises:
             AssertionError: some message was double-counted or lost
@@ -382,6 +444,18 @@ class Network:
                 f"=> in_flight={stats.in_flight}, but channels carry "
                 f"{per_channel} in-flight / {pending} pending"
             )
+        for key, sent in stats.per_link_sent.items():
+            channel = self._channels.get(key)
+            on_wire = channel.in_flight if channel is not None else 0
+            pending_here = len(channel.pending) if channel is not None else 0
+            delivered = stats.per_link_delivered.get(key, 0)
+            dropped = stats.per_link_dropped.get(key, 0)
+            if sent != delivered + dropped + on_wire or on_wire != pending_here:
+                raise AssertionError(
+                    f"link drop-accounting invariant violated on {key!r}: "
+                    f"sent={sent} delivered={delivered} dropped={dropped} "
+                    f"in-flight={on_wire} pending={pending_here}"
+                )
 
     def _channel(self, source: str, destination: str) -> _Channel:
         key = (source, destination)
@@ -398,11 +472,15 @@ class Network:
         if channel.pending:
             channel.pending.pop(0)
         obs = self.obs
+        key = (source, destination)
         endpoint = self._endpoints.get(destination)
         if endpoint is None:
             # The destination unregistered mid-flight: the message is
             # dropped, not delivered — in_flight still re-reaches zero.
             self.stats.messages_dropped += 1
+            self.stats.per_link_dropped[key] = (
+                self.stats.per_link_dropped.get(key, 0) + 1
+            )
             if obs.enabled:
                 obs.inc("net.messages_dropped")
                 obs.event(
@@ -415,6 +493,9 @@ class Network:
                 self.check_accounting()
             return
         self.stats.messages_delivered += 1
+        self.stats.per_link_delivered[key] = (
+            self.stats.per_link_delivered.get(key, 0) + 1
+        )
         if obs.enabled:
             obs.inc("net.messages_delivered")
             obs.event("net.deliver", source=source, destination=destination)

@@ -6,6 +6,10 @@
 - :mod:`repro.server.frontend` — the front-end server: a REST-style API
   over table specifications, data collection control, and worker
   payment (section 3.2), persisting to the document store.
+- :mod:`repro.server.shard` — the sharded multi-backend: key-group
+  partitioning across full-replica shards behind a shard-oblivious
+  router, with Sutra/Shapiro-style decentralised commit and batched
+  delta-compressed shard-to-shard exchange.
 """
 
 from repro.server.backend import (
@@ -15,6 +19,16 @@ from repro.server.backend import (
     OpLog,
     ResyncResult,
 )
+from repro.server.shard import (
+    ExchangeBatch,
+    ShardCommit,
+    ShardedBackend,
+    ShardExchangeError,
+    ShardRouter,
+    ShardServer,
+    decode_exchange,
+    encode_exchange,
+)
 
 __all__ = [
     "BackendServer",
@@ -22,6 +36,14 @@ __all__ = [
     "ClientSession",
     "OpLog",
     "ResyncResult",
+    "ExchangeBatch",
+    "ShardCommit",
+    "ShardedBackend",
+    "ShardExchangeError",
+    "ShardRouter",
+    "ShardServer",
+    "decode_exchange",
+    "encode_exchange",
     "FrontendServer",
     "ApiError",
 ]

@@ -54,6 +54,12 @@ class BootstrapState:
     rows: list[tuple[str, dict[str, Any], int, int]]
     upvote_history: list[tuple[dict[str, Any], int]]
     downvote_history: list[tuple[dict[str, Any], int]]
+    superseded: list[str] = field(default_factory=list)
+    """Row ids the master has seen superseded (sorted).  A client must
+    inherit them so that replaying the master's post-snapshot stream
+    makes the same resurrect-skip decisions the master made (only
+    relevant under sharding, where the master itself applies exchanged
+    messages out of causal order)."""
 
     @classmethod
     def capture(cls, replica: Replica) -> "BootstrapState":
@@ -73,6 +79,7 @@ class BootstrapState:
                 for value, count in table.downvote_history.items()
                 if count
             ],
+            superseded=sorted(table.superseded),
         )
 
     def restore_into(self, replica: Replica) -> None:
@@ -86,6 +93,7 @@ class BootstrapState:
             table.upvote_history[RowValue(value)] = count
         for value, count in self.downvote_history:
             table.downvote_history[RowValue(value)] = count
+        table.superseded.update(self.superseded)
 
 
 class OpLog:
@@ -329,6 +337,10 @@ class BackendServer:
         oplog_capacity: int = 512,
         max_batch: int = 64,
         obs: object | None = None,
+        *,
+        endpoint: str = SERVER_NAME,
+        broadcast_source: str | None = None,
+        hosts_central: bool = True,
     ) -> None:
         from repro.obs import resolve
 
@@ -338,9 +350,21 @@ class BackendServer:
         self.network = network
         self.schema = schema
         self.max_batch = max_batch
+        # Sharding hooks (repro.server.shard): a shard registers under
+        # its own endpoint name but keeps broadcasting to its clients as
+        # SERVER_NAME (clients are shard-oblivious), and only the
+        # primary shard hosts the Central Client + completion tracking.
+        # The plain server leaves all three at their defaults, which
+        # reproduce the pre-sharding behavior exactly.
+        self.endpoint = endpoint
+        self.broadcast_source = (
+            endpoint if broadcast_source is None else broadcast_source
+        )
+        self.hosts_central = hosts_central
         self.obs = resolve(obs) if obs is not None else network.obs  # type: ignore[arg-type]
-        self.replica = Replica(SERVER_NAME, schema, scoring)
-        self.replica.table.set_observability(self.obs, scope="server")
+        self._obs_ns = endpoint
+        self.replica = Replica(endpoint, schema, scoring)
+        self.replica.table.set_observability(self.obs, scope=self._obs_ns)
         self.trace: list[TraceRecord] = []
         self.oplog = OpLog(oplog_capacity)
         self._seq = 0
@@ -349,20 +373,24 @@ class BackendServer:
         self.on_complete = on_complete
         self.completed = False
         self.completion_time: float | None = None
-        self.central = CentralClient(
-            schema,
-            scoring,
-            template,
-            send=self._central_send,
-            on_unsatisfiable=on_unsatisfiable,  # type: ignore[arg-type]
-            clock=lambda: sim.now,
-            obs=self.obs,
-            table=self.replica.table,
-        )
-        self._completion = _CompletionTracker(
-            self.replica.table, lambda: self.central.template_rows
-        )
-        network.register(SERVER_NAME, self)
+        self.central: CentralClient | None = None
+        self._completion: _CompletionTracker | None = None
+        if hosts_central:
+            self.central = CentralClient(
+                schema,
+                scoring,
+                template,
+                send=self._central_send,
+                on_unsatisfiable=on_unsatisfiable,  # type: ignore[arg-type]
+                clock=lambda: sim.now,
+                obs=self.obs,
+                table=self.replica.table,
+            )
+            central = self.central
+            self._completion = _CompletionTracker(
+                self.replica.table, lambda: central.template_rows
+            )
+        network.register(endpoint, self)
         self._started = False
         self._trace_listeners: list[Callable[[TraceRecord], None]] = []
         self._pending: deque[tuple[str, Message]] = deque()
@@ -378,12 +406,18 @@ class BackendServer:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Initialize the Central Client (populating the template rows)."""
+        """Initialize the Central Client (populating the template rows).
+
+        A server that does not host the Central Client (a secondary
+        shard) only flips its started flag: template rows arrive from
+        the primary shard via the exchange stream instead.
+        """
         if self._started:
             raise RuntimeError("backend server already started")
         self._started = True
-        self.central.initialize()
-        self._check_completion()
+        if self.central is not None:
+            self.central.initialize()
+            self._check_completion()
 
     def attach_client(self, name: str) -> BootstrapState:
         """Register a worker client for broadcast; returns its bootstrap.
@@ -468,23 +502,25 @@ class BackendServer:
             session.reset_epoch()
             session.resyncs_snapshot += 1
             if self.obs.enabled:
-                self.obs.inc("server.resyncs_snapshot")
-                self.obs.event("server.resync", client=name, kind="snapshot")
+                self.obs.inc(f"{self._obs_ns}.resyncs_snapshot")
+                self.obs.event(
+                    f"{self._obs_ns}.resync", client=name, kind="snapshot"
+                )
             return ResyncResult(
                 kind="snapshot", bootstrap=BootstrapState.capture(self.replica)
             )
         session.resyncs_incremental += 1
         if self.obs.enabled:
-            self.obs.inc("server.resyncs_incremental")
-            self.obs.inc("server.resync_replayed", len(replay))
+            self.obs.inc(f"{self._obs_ns}.resyncs_incremental")
+            self.obs.inc(f"{self._obs_ns}.resync_replayed", len(replay))
             self.obs.event(
-                "server.resync",
+                f"{self._obs_ns}.resync",
                 client=name,
                 kind="incremental",
                 replayed=len(replay),
             )
         for record in replay:
-            self.network.send(SERVER_NAME, name, record.message)
+            self.network.send(self.broadcast_source, name, record.message)
             session.record_send(record.seq, self.oplog.capacity)
         return ResyncResult(kind="incremental", replayed=len(replay))
 
@@ -605,8 +641,8 @@ class BackendServer:
                 error = exc.cause
             self.replica.messages_processed += applied
             if obs.enabled:
-                obs.inc("server.batches")
-                obs.observe("server.batch_size", applied)
+                obs.inc(f"{self._obs_ns}.batches")
+                obs.observe(f"{self._obs_ns}.batch_size", applied)
             for _ in range(applied):
                 source, message = popleft()
                 record = apply_and_trace(message, worker_id=source)
@@ -617,15 +653,16 @@ class BackendServer:
                 # where it raised out of the delivery event).
                 pending.popleft()
                 raise error
-            cc_ran = False
-            if table.probable_epoch != probable_before:
-                # The colocated Central Client reads the shared master
-                # table; it may emit repairs (broadcast via
-                # _central_send).
-                self.central.refresh()
-                cc_ran = True
-            if cc_ran or table.final_epoch != final_before:
-                self._check_completion()
+            if self.central is not None:
+                cc_ran = False
+                if table.probable_epoch != probable_before:
+                    # The colocated Central Client reads the shared
+                    # master table; it may emit repairs (broadcast via
+                    # _central_send).
+                    self.central.refresh()
+                    cc_ran = True
+                if cc_ran or table.final_epoch != final_before:
+                    self._check_completion()
 
     def _central_send(self, message: Message) -> None:
         """CC generated a message; it is already applied to the shared
@@ -648,7 +685,7 @@ class BackendServer:
         targets = [c for c in self._clients if c != exclude]
         if not targets:
             return
-        self.network.broadcast(SERVER_NAME, targets, record.message)
+        self.network.broadcast(self.broadcast_source, targets, record.message)
         seq = record.seq
         capacity = self.oplog.capacity
         for client in targets:
@@ -656,7 +693,7 @@ class BackendServer:
             if session is not None:
                 session.record_send(seq, capacity)
         if self.obs.enabled:
-            self.obs.inc("server.broadcasts", len(targets))
+            self.obs.inc(f"{self._obs_ns}.broadcasts", len(targets))
 
     def _apply_and_trace(self, message: Message, worker_id: str) -> TraceRecord:
         """Trace one applied message: build its record (the wire payload
@@ -666,7 +703,9 @@ class BackendServer:
         central messages) just before this call."""
         obs = self.obs
         span = (
-            obs.span("server.apply", worker_id=worker_id, seq=self._seq)
+            obs.span(
+                f"{self._obs_ns}.apply", worker_id=worker_id, seq=self._seq
+            )
             if obs.enabled
             else None
         )
@@ -683,7 +722,7 @@ class BackendServer:
             for listener in self._trace_listeners:
                 listener(record)
         if span is not None:
-            obs.inc("server.messages_applied")
+            obs.inc(f"{self._obs_ns}.messages_applied")
             span.set(kind=type(message).__name__)
             span.close()
         return record
@@ -703,18 +742,28 @@ class BackendServer:
         ]
 
     def current_template(self) -> Template:
-        """The possibly-reduced template CC is currently maintaining."""
+        """The possibly-reduced template CC is currently maintaining.
+
+        Raises:
+            RuntimeError: on a server that does not host the Central
+                Client (a secondary shard); ask the primary instead.
+        """
+        if self.central is None:
+            raise RuntimeError(
+                f"{self.endpoint!r} does not host the Central Client"
+            )
         return Template(self.central.template_rows)
 
     def _check_completion(self) -> None:
-        if self.completed:
+        if self.completed or self._completion is None:
             return
         if self._completion.satisfied():
             self.completed = True
             self.completion_time = self.sim.now
             if self.obs.enabled:
                 self.obs.event(
-                    "server.completed", final_rows=len(self.final_rows())
+                    f"{self._obs_ns}.completed",
+                    final_rows=len(self.final_rows()),
                 )
             if self.on_complete is not None:
                 self.on_complete()

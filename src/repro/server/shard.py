@@ -1,0 +1,831 @@
+"""Sharded multi-backend server with decentralised commit.
+
+This module scales the back-end past the paper's single sequencer: the
+candidate table is partitioned by key-group across N full-replica
+:class:`ShardServer`s (each a :class:`~repro.server.backend.BackendServer`
+subclass) behind a :class:`ShardRouter` that routes every client
+operation to the shard *owning* it.  There is no global sequencer and no
+coordinator round-trip on the commit path — commitment is decentralised
+in the style of Sutra & Shapiro's asynchronous commitment for
+optimistic semantic replication:
+
+- The owner shard *commits* an operation by assigning it a
+  :class:`ShardCommit` record ``(shard_id, lseq)`` — a slot in its own
+  dense local commit sequence — the moment it applies it.  Commit
+  decisions are unilateral and never revoked.
+- Committed operations propagate to every peer shard via *asymmetric
+  batched broadcasts*: at the end of each simulated instant the owner
+  flushes one delta-compressed :class:`ExchangeBatch` per peer over the
+  normal network (real latency, FIFO, sanitizer-checked); receivers
+  apply remote operations but never re-forward them, so each operation
+  crosses each link exactly once.
+- The *global* commit order is the merge of all shards' local logs by
+  ``(timestamp, shard_id, lseq)`` — but no replica ever needs to apply
+  that exact order.  Convergence holds for **any** linear extension of
+  the per-shard logs, because the operation model is commutative:
+
+  - votes are counters on value-vectors, and a replace reconstructs the
+    new row's counts from the histories, so vote/replace interleavings
+    commute (paper Lemma 3);
+  - replace/replace pairs commute because every
+    :class:`~repro.core.table.CandidateTable` tracks *superseded* row
+    ids: the deletion half of a replace always executes, and a creation
+    arriving after its row was already superseded is skipped instead of
+    resurrecting it.  Whichever order a replica applies a lineage's
+    replaces in, the same rows survive.
+
+  That commutativity is exactly the "semantic constraint analysis" a
+  Sutra/Shapiro commitment protocol performs up front: since no pair of
+  committed operations conflicts, every site may commit and apply
+  independently, and reconciliation needs no votes and no rollback.
+
+Clients stay shard-oblivious.  The router registers under
+:data:`~repro.server.backend.SERVER_NAME` as an in-process pass-through
+(the L7 ingress in front of the backend pool; the client→ingress hop is
+the network hop, ingress→shard dispatch is intra-datacenter and free),
+and every shard broadcasts to its attached clients *as* ``SERVER_NAME``
+— so a worker client keeps one FIFO stream per direction, the PR 2
+count-acknowledged session/op-log resync works unchanged against the
+client's home shard, and with ``shards=1`` the wire traffic is
+byte-identical to a plain :class:`BackendServer` (the equivalence gate
+in ``tests/test_shard_convergence.py``).
+
+Shard-partition fault windows (:class:`repro.net.faults.ShardPartitionWindow`)
+sever the shard-to-shard links while both sides keep serving their own
+clients.  Exchange recovery mirrors the client resync protocol: each
+shard retains its full commit log plus a per-peer sent high-water mark,
+each receiver tracks a per-peer applied prefix count, and at heal time
+(:meth:`ShardedBackend.resync_links`) the sender rolls its mark back to
+the receiver's acknowledged prefix and re-flushes the missing suffix.
+Per-link FIFO delivery makes the received stream a prefix of the sent
+stream, so the count alone identifies the loss — the same invariant the
+client op-log resync relies on.
+
+Only the primary shard (shard 0) hosts the Central Client and the
+completion tracker; its PRI repairs commit locally and propagate like
+any other operation, and since every shard's replica eventually applies
+every committed operation, the primary's replica/trace serve as the
+authoritative full view (compensation, completion, estimators).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.constraints.template import Template
+from repro.core.messages import (
+    DownvoteMessage,
+    InsertMessage,
+    Message,
+    ReplaceMessage,
+    TraceRecord,
+    UndoDownvoteMessage,
+    UndoUpvoteMessage,
+    UpvoteMessage,
+)
+from repro.core.row import RowValue
+from repro.core.schema import Schema
+from repro.core.scoring import ScoringFunction
+from repro.net import Network
+from repro.server.backend import (
+    SERVER_NAME,
+    BackendServer,
+    BootstrapState,
+    ClientSession,
+    ResyncResult,
+)
+from repro.sim import Simulator
+
+
+def shard_endpoint(shard_id: int) -> str:
+    """The network endpoint name of shard *shard_id*."""
+    return f"shard-{shard_id}"
+
+
+def stable_bucket(token: str) -> int:
+    """A process-independent hash bucket for routing decisions.
+
+    ``zlib.crc32`` rather than ``hash()``: routing must not depend on
+    ``PYTHONHASHSEED`` or the process, so one seed reproduces one
+    placement exactly (the determinism contract crowdlint enforces).
+    """
+    return zlib.crc32(token.encode("utf-8"))
+
+
+def route_token(message: Message, key_columns: tuple[str, ...]) -> str:
+    """The routing token of one client operation.
+
+    Key-complete operations route by their primary key, so each
+    key-group has one owning shard.  Operations whose key is still
+    incomplete route by a stable surrogate — the replaced row id for a
+    replace, the new row id for an insert, the canonical value-vector
+    for votes — which keeps the assignment deterministic without
+    requiring lineage history at the router.  Causal safety does not
+    depend on the choice: the superseded-id tombstones make replace
+    application order-independent, so any deterministic token works;
+    the key rule is the *placement* policy the partitioning asks for.
+    """
+    if isinstance(message, ReplaceMessage):
+        key = message.value.key(key_columns)
+        if key is not None:
+            return f"key:{key!r}"
+        return f"row:{message.old_id}"
+    if isinstance(message, InsertMessage):
+        return f"row:{message.row_id}"
+    if isinstance(
+        message,
+        (UpvoteMessage, DownvoteMessage, UndoUpvoteMessage, UndoDownvoteMessage),
+    ):
+        key = message.value.key(key_columns)
+        if key is not None:
+            return f"key:{key!r}"
+        items = tuple(sorted(message.value.items()))
+        return f"value:{items!r}"
+    raise TypeError(f"unroutable message type: {type(message).__name__}")
+
+
+@dataclass(frozen=True)
+class ShardCommit:
+    """One decentralised commit decision.
+
+    Attributes:
+        shard_id: the owning shard that committed the operation.
+        lseq: the slot in that shard's dense local commit sequence
+            (0-based, gap-free — the exchange resync protocol counts on
+            density).
+        worker_id: the originating worker (or the Central Client id).
+        timestamp: the owner's simulated apply time; the merge order of
+            the global committed trace sorts by
+            ``(timestamp, shard_id, lseq)``.
+    """
+
+    shard_id: int
+    lseq: int
+    worker_id: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class ExchangeBatch:
+    """A delta-compressed run of one shard's committed operations.
+
+    The wire format of the asymmetric shard-to-shard broadcast.  The
+    batch is *delta* in the protocol sense — it carries exactly the
+    suffix of the owner's commit log past the receiver's acknowledged
+    prefix, starting at ``first_lseq`` — and *compressed* in the
+    encoding sense: the distinct value-vectors and worker ids appearing
+    in the run are interned once into the ``values``/``workers``
+    dictionaries, and each operation tuple references them by index
+    (vote storms repeat the same vector dozens of times; encode-once is
+    the same trick PR 6's broadcast path plays on clients).
+
+    Everything is tuples of immutables, so the replica-aliasing
+    sanitizer can fingerprint and deep-freeze a batch like any other
+    payload, and decoding builds fresh message objects — a receiving
+    shard never aliases the sender's (or the frozen wire) state.
+    """
+
+    shard_id: int
+    first_lseq: int
+    values: tuple[tuple[tuple[str, Any], ...], ...]
+    workers: tuple[str, ...]
+    ops: tuple[tuple[Any, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def encode_exchange(
+    shard_id: int,
+    first_lseq: int,
+    entries: list[tuple[ShardCommit, Message]],
+) -> ExchangeBatch:
+    """Encode a contiguous commit-log run as an :class:`ExchangeBatch`."""
+    values: list[tuple[tuple[str, Any], ...]] = []
+    value_index: dict[tuple[tuple[str, Any], ...], int] = {}
+    workers: list[str] = []
+    worker_index: dict[str, int] = {}
+    ops: list[tuple[Any, ...]] = []
+
+    def vref(value: RowValue) -> int:
+        items = tuple(value.items())
+        ref = value_index.get(items)
+        if ref is None:
+            ref = len(values)
+            value_index[items] = ref
+            values.append(items)
+        return ref
+
+    def wref(worker_id: str) -> int:
+        ref = worker_index.get(worker_id)
+        if ref is None:
+            ref = len(workers)
+            worker_index[worker_id] = ref
+            workers.append(worker_id)
+        return ref
+
+    for commit, message in entries:
+        head = (wref(commit.worker_id), commit.timestamp)
+        if isinstance(message, ReplaceMessage):
+            ops.append(
+                (
+                    "replace",
+                    *head,
+                    message.old_id,
+                    message.new_id,
+                    vref(message.value),
+                    message.column,
+                    message.filled_value,
+                )
+            )
+        elif isinstance(message, InsertMessage):
+            ops.append(("insert", *head, message.row_id))
+        elif isinstance(message, UpvoteMessage):
+            ops.append(("upvote", *head, vref(message.value), message.auto))
+        elif isinstance(message, DownvoteMessage):
+            ops.append(("downvote", *head, vref(message.value)))
+        elif isinstance(message, UndoUpvoteMessage):
+            ops.append(("undo_upvote", *head, vref(message.value)))
+        elif isinstance(message, UndoDownvoteMessage):
+            ops.append(("undo_downvote", *head, vref(message.value)))
+        else:
+            raise TypeError(
+                f"unencodable message type: {type(message).__name__}"
+            )
+    return ExchangeBatch(
+        shard_id=shard_id,
+        first_lseq=first_lseq,
+        values=tuple(values),
+        workers=tuple(workers),
+        ops=tuple(ops),
+    )
+
+
+def decode_exchange(batch: ExchangeBatch) -> list[tuple[ShardCommit, Message]]:
+    """Decode a batch back into ``(commit, message)`` pairs.
+
+    Fresh :class:`RowValue`/message objects are built per entry — the
+    receiving shard applies private copies, never the wire objects.
+    """
+    entries: list[tuple[ShardCommit, Message]] = []
+    values = batch.values
+    workers = batch.workers
+    for offset, op in enumerate(batch.ops):
+        kind = op[0]
+        worker_id = workers[op[1]]
+        timestamp = op[2]
+        message: Message
+        if kind == "replace":
+            message = ReplaceMessage(
+                old_id=op[3],
+                new_id=op[4],
+                value=RowValue(dict(values[op[5]])),
+                column=op[6],
+                filled_value=op[7],
+            )
+        elif kind == "insert":
+            message = InsertMessage(row_id=op[3])
+        elif kind == "upvote":
+            message = UpvoteMessage(
+                value=RowValue(dict(values[op[3]])), auto=op[4]
+            )
+        elif kind == "downvote":
+            message = DownvoteMessage(value=RowValue(dict(values[op[3]])))
+        elif kind == "undo_upvote":
+            message = UndoUpvoteMessage(value=RowValue(dict(values[op[3]])))
+        elif kind == "undo_downvote":
+            message = UndoDownvoteMessage(value=RowValue(dict(values[op[3]])))
+        else:
+            raise ValueError(f"unknown exchange op kind: {kind!r}")
+        commit = ShardCommit(
+            shard_id=batch.shard_id,
+            lseq=batch.first_lseq + offset,
+            worker_id=worker_id,
+            timestamp=timestamp,
+        )
+        entries.append((commit, message))
+    return entries
+
+
+class _RemoteOrigin:
+    """Queue marker: a pending message that arrived via shard exchange.
+
+    Carries the origin worker id (for broadcast exclusion and the
+    trace) and the owner's commit record; applied remote operations are
+    *not* re-committed or re-exchanged by the receiving shard.
+    """
+
+    __slots__ = ("worker_id", "commit")
+
+    def __init__(self, worker_id: str, commit: ShardCommit) -> None:
+        self.worker_id = worker_id
+        self.commit = commit
+
+
+class ShardExchangeError(RuntimeError):
+    """A shard observed a gap in a peer's exchange stream.
+
+    Per-link FIFO plus the heal-time resync protocol guarantee the
+    received stream is a prefix of the sent stream; a gap means the
+    protocol was violated (a bug), not that data was merely delayed.
+    """
+
+
+class ShardServer(BackendServer):
+    """One shard: a full-replica backend that owns a slice of the keys.
+
+    Everything a :class:`BackendServer` is — master-copy replica,
+    per-client sessions and op-log resync, batched drains, trace — plus
+    the decentralised commit/exchange machinery.  The shard registers
+    under :func:`shard_endpoint` for shard-to-shard traffic but serves
+    its clients as :data:`SERVER_NAME`; only the primary (shard 0)
+    hosts the Central Client and completion tracking.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        schema: Schema,
+        scoring: ScoringFunction,
+        template: Template,
+        shard_id: int,
+        n_shards: int,
+        on_complete: Callable[[], None] | None = None,
+        on_unsatisfiable: str = "drop",
+        oplog_capacity: int = 512,
+        max_batch: int = 64,
+        obs: object | None = None,
+    ) -> None:
+        if not 0 <= shard_id < n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range 0..{n_shards - 1}")
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        primary = shard_id == 0
+        super().__init__(
+            sim,
+            network,
+            schema,
+            scoring,
+            template,
+            on_complete=on_complete if primary else None,
+            on_unsatisfiable=on_unsatisfiable,
+            oplog_capacity=oplog_capacity,
+            max_batch=max_batch,
+            obs=obs,
+            endpoint=shard_endpoint(shard_id),
+            broadcast_source=SERVER_NAME,
+            hosts_central=primary,
+        )
+        self.peers: tuple[str, ...] = tuple(
+            shard_endpoint(j) for j in range(n_shards) if j != shard_id
+        )
+        #: Every operation this shard committed, in lseq order.
+        self.commit_log: list[tuple[ShardCommit, Message]] = []
+        # Exchange bookkeeping: per-peer sent high-water mark (an index
+        # into commit_log) and per-origin-shard applied prefix count.
+        self._sent_to: dict[str, int] = {peer: 0 for peer in self.peers}
+        self._received_from: dict[int, int] = {}
+        self._flush_needed = False
+        # Plain counters (obs-independent, for tests and reports).
+        self.exchange_batches_sent = 0
+        self.exchange_ops_sent = 0
+        self.exchange_batches_received = 0
+        self.exchange_ops_applied = 0
+        self.exchange_dup_ops = 0
+        self.exchange_resyncs = 0
+
+    @property
+    def is_primary(self) -> bool:
+        return self.shard_id == 0
+
+    def sent_watermark(self, peer: str) -> int:
+        """How much of the commit log has been pushed toward *peer*."""
+        return self._sent_to[peer]
+
+    def received_from(self, shard_id: int) -> int:
+        """Applied prefix length of *shard_id*'s commit stream."""
+        return self._received_from.get(shard_id, 0)
+
+    # -- message plumbing ---------------------------------------------------
+
+    def on_message(self, source: str, payload: Any) -> None:
+        if isinstance(payload, ExchangeBatch):
+            self._receive_exchange(payload)
+            return
+        super().on_message(source, payload)
+
+    def _apply_and_trace(self, message: Message, worker_id: Any) -> TraceRecord:
+        if isinstance(worker_id, _RemoteOrigin):
+            # A peer-committed operation: trace it under its origin
+            # worker (compensation and echo-exclusion need the real
+            # author), but do not commit or re-exchange it.
+            record = super()._apply_and_trace(message, worker_id.worker_id)
+            self.exchange_ops_applied += 1
+            return record
+        record = super()._apply_and_trace(message, worker_id)
+        commit = ShardCommit(
+            shard_id=self.shard_id,
+            lseq=len(self.commit_log),
+            worker_id=record.worker_id,
+            timestamp=record.timestamp,
+        )
+        self.commit_log.append((commit, message))
+        if self.peers:
+            self._flush_needed = True
+        return record
+
+    def _broadcast_record(self, record: TraceRecord, exclude: Any) -> None:
+        if isinstance(exclude, _RemoteOrigin):
+            exclude = exclude.worker_id
+        super()._broadcast_record(record, exclude)
+
+    def _drain(self) -> None:
+        try:
+            super()._drain()
+        finally:
+            if self._flush_needed:
+                self._flush_exchange()
+
+    def start(self) -> None:
+        super().start()
+        # The primary's Central Client seeds the template rows during
+        # start(), outside any drain — flush those commits to the peers
+        # right away.
+        if self._flush_needed:
+            self._flush_exchange()
+
+    # -- exchange -----------------------------------------------------------
+
+    def _receive_exchange(self, batch: ExchangeBatch) -> None:
+        obs = self.obs
+        span = (
+            obs.span(
+                f"{self._obs_ns}.exchange_apply",
+                origin=batch.shard_id,
+                ops=len(batch),
+            )
+            if obs.enabled
+            else None
+        )
+        self.exchange_batches_received += 1
+        received = self._received_from.get(batch.shard_id, 0)
+        if batch.first_lseq > received:
+            raise ShardExchangeError(
+                f"{self.endpoint}: gap in exchange stream from shard "
+                f"{batch.shard_id}: batch starts at lseq {batch.first_lseq} "
+                f"but only {received} ops were applied"
+            )
+        fresh = 0
+        for commit, message in decode_exchange(batch):
+            if commit.lseq < received:
+                # Overlap from a conservative resync; applying once is
+                # exactly-once, so duplicates are skipped by count.
+                self.exchange_dup_ops += 1
+                continue
+            received += 1
+            fresh += 1
+            self._pending.append(
+                (_RemoteOrigin(commit.worker_id, commit), message)
+            )
+        self._received_from[batch.shard_id] = received
+        if obs.enabled:
+            obs.inc(f"{self._obs_ns}.exchange_batches_received")
+            obs.inc(f"{self._obs_ns}.exchange_ops_received", fresh)
+        if span is not None:
+            span.set(fresh=fresh)
+            span.close()
+        if fresh:
+            self._schedule_drain()
+
+    def _flush_exchange(self) -> None:
+        """Push the unsent commit-log suffix to every peer (one batch
+        per peer per flush — the asymmetric broadcast)."""
+        self._flush_needed = False
+        for peer in self.peers:
+            if self._sent_to[peer] < len(self.commit_log):
+                self._send_to_peer(peer)
+
+    def _send_to_peer(self, peer: str) -> None:
+        start = self._sent_to[peer]
+        entries = self.commit_log[start:]
+        batch = encode_exchange(self.shard_id, start, entries)
+        self._sent_to[peer] = len(self.commit_log)
+        self.exchange_batches_sent += 1
+        self.exchange_ops_sent += len(entries)
+        if self.obs.enabled:
+            self.obs.inc(f"{self._obs_ns}.exchange_batches_sent")
+            self.obs.inc(f"{self._obs_ns}.exchange_ops_sent", len(entries))
+        self.network.send(self.endpoint, peer, batch)
+
+    def resync_peer(self, peer: str, acknowledged: int) -> int:
+        """Roll the sent mark for *peer* back to its acknowledged prefix
+        and re-flush the missing suffix (heal-time recovery).
+
+        Mirrors :meth:`BackendServer.reattach_client`: everything past
+        the acknowledged prefix is dead (the partition purged the link
+        and sends during it were dropped), so the suffix is re-sent as
+        fresh batches.  Returns the number of re-offered operations.
+        """
+        if peer not in self._sent_to:
+            raise ValueError(f"{peer!r} is not a peer of {self.endpoint!r}")
+        if acknowledged < 0 or acknowledged > len(self.commit_log):
+            raise ValueError(
+                f"peer {peer!r} acknowledged {acknowledged} ops but "
+                f"{self.endpoint!r} committed only {len(self.commit_log)}"
+            )
+        self._sent_to[peer] = acknowledged
+        backlog = len(self.commit_log) - acknowledged
+        self.exchange_resyncs += 1
+        if self.obs.enabled:
+            self.obs.inc(f"{self._obs_ns}.exchange_resyncs")
+            self.obs.event(
+                f"{self._obs_ns}.exchange_resync",
+                peer=peer,
+                acknowledged=acknowledged,
+                backlog=backlog,
+            )
+        if backlog:
+            self._send_to_peer(peer)
+        return backlog
+
+
+class ShardRouter:
+    """The shard-oblivious ingress: routes client ops to owning shards.
+
+    Registered under :data:`SERVER_NAME`, so worker clients address
+    "the server" exactly as before.  Routing is an in-process
+    pass-through — the client→ingress link is the network hop; ingress→
+    shard dispatch models the intra-datacenter fan-out and adds no
+    simulated latency and, crucially, no extra network channels (lazy
+    channel creation draws per-channel RNG seeds in creation order, so
+    an extra hop would perturb the determinism contract and break the
+    shards=1 byte-equivalence with the plain server).
+    """
+
+    def __init__(
+        self, network: Network, schema: Schema, shards: list[ShardServer]
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.schema = schema
+        self.shards = list(shards)
+        self._key_columns = schema.key_columns
+        network.register(SERVER_NAME, self)
+
+    def shard_for(self, message: Message) -> ShardServer:
+        """The shard owning *message* (deterministic, key-group based)."""
+        token = route_token(message, self._key_columns)
+        return self.shards[stable_bucket(token) % len(self.shards)]
+
+    def on_message(self, source: str, payload: Message) -> None:
+        self.shard_for(payload).on_message(source, payload)
+
+
+class ShardedBackend:
+    """Facade: N shards + router, duck-typed as one ``BackendServer``.
+
+    Construction wires the full rig: shard servers (primary first, so
+    shard 0 hosts the Central Client), the router under
+    :data:`SERVER_NAME`, and the exchange mesh.  The facade exposes the
+    :class:`BackendServer` surface the rest of the repository consumes
+    — ``attach_client``/``reattach_client`` resolve the worker's *home
+    shard* (stable assignment by worker id), and the read-side
+    (``replica``, ``trace``, ``completed``, ``final_rows`` …) delegates
+    to the primary shard, whose replica applies every committed
+    operation.
+
+    Args mirror :class:`BackendServer` plus ``shards`` (the shard
+    count; ``shards=1`` degenerates to a single primary with no peers
+    and byte-identical wire behavior to the plain server).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        schema: Schema,
+        scoring: ScoringFunction,
+        template: Template,
+        shards: int = 2,
+        on_complete: Callable[[], None] | None = None,
+        on_unsatisfiable: str = "drop",
+        oplog_capacity: int = 512,
+        max_batch: int = 64,
+        obs: object | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1: {shards}")
+        self.sim = sim
+        self.network = network
+        self.schema = schema
+        self.scoring = scoring
+        self.shards: list[ShardServer] = [
+            ShardServer(
+                sim,
+                network,
+                schema,
+                scoring,
+                template,
+                shard_id=k,
+                n_shards=shards,
+                on_complete=on_complete,
+                on_unsatisfiable=on_unsatisfiable,
+                oplog_capacity=oplog_capacity,
+                max_batch=max_batch,
+                obs=obs,
+            )
+            for k in range(shards)
+        ]
+        self.router = ShardRouter(network, schema, self.shards)
+        self.primary = self.shards[0]
+        self._home: dict[str, ShardServer] = {}
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every shard (the primary initializes the Central Client)."""
+        if self._started:
+            raise RuntimeError("sharded backend already started")
+        self._started = True
+        for shard in self.shards:
+            shard.start()
+
+    def home_shard(self, name: str) -> ShardServer:
+        """The shard a client attaches to (stable in the worker id)."""
+        shard = self._home.get(name)
+        if shard is None:
+            shard = self.shards[
+                stable_bucket(f"client:{name}") % len(self.shards)
+            ]
+            self._home[name] = shard
+        return shard
+
+    def attach_client(self, name: str) -> BootstrapState:
+        return self.home_shard(name).attach_client(name)
+
+    def detach_client(self, name: str) -> None:
+        self.home_shard(name).detach_client(name)
+
+    def reattach_client(self, name: str, received_count: int) -> ResyncResult:
+        return self.home_shard(name).reattach_client(name, received_count)
+
+    def session(self, name: str) -> ClientSession | None:
+        return self.home_shard(name).session(name)
+
+    @property
+    def clients(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for shard in self.shards:
+            names.extend(shard.clients)
+        return tuple(names)
+
+    def add_trace_listener(
+        self, listener: Callable[[TraceRecord], None]
+    ) -> None:
+        """Observe worker trace records in primary-apply order (the
+        primary's trace covers every committed operation)."""
+        self.primary.add_trace_listener(listener)
+
+    # -- message plumbing ---------------------------------------------------
+
+    def on_message(self, source: str, payload: Message) -> None:
+        self.router.on_message(source, payload)
+
+    def ingest(
+        self, source: str, messages: Iterator[Message] | list[Message]
+    ) -> None:
+        """Bulk entry: partition the run by owning shard, then hand each
+        shard its slice through the PR 6 bulk path (per-shard order is
+        the stream order; cross-shard order is the exchange's job)."""
+        grouped: dict[int, list[Message]] = {}
+        order: list[int] = []
+        for message in messages:
+            shard = self.router.shard_for(message)
+            bucket = grouped.get(shard.shard_id)
+            if bucket is None:
+                grouped[shard.shard_id] = bucket = []
+                order.append(shard.shard_id)
+            bucket.append(message)
+        for shard_id in order:
+            self.shards[shard_id].ingest(source, grouped[shard_id])
+
+    # -- read side (primary's full view) ------------------------------------
+
+    @property
+    def replica(self):
+        return self.primary.replica
+
+    @property
+    def central(self):
+        return self.primary.central
+
+    @property
+    def trace(self) -> list[TraceRecord]:
+        return self.primary.trace
+
+    @property
+    def oplog(self):
+        return self.primary.oplog
+
+    @property
+    def completed(self) -> bool:
+        return self.primary.completed
+
+    @property
+    def completion_time(self) -> float | None:
+        return self.primary.completion_time
+
+    @property
+    def obs(self):
+        return self.primary.obs
+
+    def final_rows(self):
+        return self.primary.final_rows()
+
+    def worker_trace(self) -> list[TraceRecord]:
+        return self.primary.worker_trace()
+
+    def current_template(self) -> Template:
+        return self.primary.current_template()
+
+    # -- decentralised commit ----------------------------------------------
+
+    def committed_trace(self) -> list[tuple[ShardCommit, Message]]:
+        """The global committed trace: all shards' local logs merged by
+        ``(timestamp, shard_id, lseq)``.
+
+        This is the decentralised counterpart of the single server's
+        ``trace`` — a deterministic total order every replica's applied
+        sequence is equivalent to (by commutativity), used by the
+        convergence suite as the single-backend oracle input.
+        """
+        merged: list[tuple[ShardCommit, Message]] = []
+        for shard in self.shards:
+            merged.extend(shard.commit_log)
+        merged.sort(key=lambda entry: (
+            entry[0].timestamp, entry[0].shard_id, entry[0].lseq
+        ))
+        return merged
+
+    def exchange_backlog(self) -> int:
+        """Committed ops not yet offered to some peer (0 at quiescence)."""
+        backlog = 0
+        for shard in self.shards:
+            for peer in shard.peers:
+                backlog += len(shard.commit_log) - shard.sent_watermark(peer)
+        return backlog
+
+    def fully_exchanged(self) -> bool:
+        """Has every shard applied every other shard's full commit log?"""
+        for shard in self.shards:
+            for other in self.shards:
+                if other is shard:
+                    continue
+                if shard.received_from(other.shard_id) != len(other.commit_log):
+                    return False
+        return True
+
+    # -- fault choreography -------------------------------------------------
+
+    def bind_faults(self, injector) -> None:
+        """Wire shard-exchange recovery into a fault injector.
+
+        Shard endpoints only carry exchange traffic (clients talk to
+        the in-process router and are broadcast to as ``SERVER_NAME``),
+        so both a shard endpoint outage and a
+        :class:`~repro.net.faults.ShardPartitionWindow` reduce to the
+        same thing: severed exchange links, resynced at heal time.
+        """
+        injector.on_link_heal(self.resync_links)
+        for shard in self.shards:
+            injector.bind(
+                shard.endpoint,
+                on_reconnect=lambda s=shard: self._resync_endpoint(s),
+            )
+
+    def _resync_endpoint(self, shard: ShardServer) -> None:
+        links = [(shard.endpoint, peer) for peer in shard.peers]
+        links.extend((peer, shard.endpoint) for peer in shard.peers)
+        self.resync_links(links)
+
+    def resync_links(self, links: list[tuple[str, str]]) -> None:
+        """Heal-time exchange recovery for the given directed links.
+
+        For each healed shard-to-shard link, the sender rolls its sent
+        mark back to the receiver's applied prefix and re-flushes the
+        suffix.  Links that do not join two shards of this backend are
+        ignored (the injector reports every healed link).
+        """
+        by_endpoint = {shard.endpoint: shard for shard in self.shards}
+        for source, destination in sorted(set(links)):
+            sender = by_endpoint.get(source)
+            receiver = by_endpoint.get(destination)
+            if sender is None or receiver is None:
+                continue
+            sender.resync_peer(
+                destination, receiver.received_from(sender.shard_id)
+            )

@@ -106,6 +106,13 @@ class CollectionSession:
             network (``None`` defers to ``REPRO_NET_SANITIZE``).
         oplog_capacity / on_unsatisfiable / on_complete: forwarded to
             the back-end server.
+        shards: ``None`` (default) builds the classic single
+            :class:`~repro.server.backend.BackendServer`; an integer
+            ``N >= 1`` builds a
+            :class:`~repro.server.shard.ShardedBackend` partitioning
+            the key space across N shards with decentralised commit
+            (``shards=1`` is the degenerate sharded config, wire-
+            identical to the plain server — the equivalence gate).
         snapshot_interval: sim-seconds between periodic observability
             snapshots (only taken when *obs* is enabled).
     """
@@ -126,6 +133,7 @@ class CollectionSession:
         on_complete: Callable[[], None] | None = None,
         snapshot_interval: float = 60.0,
         db_name: str = "crowdfill",
+        shards: int | None = None,
     ) -> None:
         self.seed = seed
         self.streams = RngStreams(seed)
@@ -167,18 +175,34 @@ class CollectionSession:
                     "schema without constraints: pass template= or"
                     " target_rows=..."
                 )
-            from repro.server.backend import BackendServer
+            if shards is None:
+                from repro.server.backend import BackendServer
 
-            self.backend = BackendServer(
-                self.sim,
-                self.network,
-                schema,
-                scoring,
-                template,
-                on_complete=on_complete,
-                on_unsatisfiable=on_unsatisfiable,
-                oplog_capacity=oplog_capacity,
-            )
+                self.backend = BackendServer(
+                    self.sim,
+                    self.network,
+                    schema,
+                    scoring,
+                    template,
+                    on_complete=on_complete,
+                    on_unsatisfiable=on_unsatisfiable,
+                    oplog_capacity=oplog_capacity,
+                )
+            else:
+                from repro.server.shard import ShardedBackend
+
+                self.backend = ShardedBackend(
+                    self.sim,
+                    self.network,
+                    schema,
+                    scoring,
+                    template,
+                    shards=shards,
+                    on_complete=on_complete,
+                    on_unsatisfiable=on_unsatisfiable,
+                    oplog_capacity=oplog_capacity,
+                )
+        self.shards = shards
 
     # -- lazy application-level components ----------------------------
 

@@ -39,6 +39,7 @@ from repro.core.scoring import ThresholdScoring
 from repro.net import FaultInjector, FaultPlan, Network, PartitionWindow
 from repro.net import UniformLatency
 from repro.server.backend import BackendServer
+from repro.server.shard import ShardedBackend, shard_endpoint
 from repro.server.tracelog import replay_trace, trace_to_dicts
 from repro.sim import RngStreams, Simulator
 from repro.sim.rng import RngStreams
@@ -85,22 +86,39 @@ def _run_faulty_schedule(
     latency_seed: int,
     oplog_capacity: int = 512,
     plan: FaultPlan | None = None,
+    shards: int | None = None,
 ):
-    """One full run: build the rig, overlay faults, drive ops, heal, drain."""
+    """One full run: build the rig, overlay faults, drive ops, heal, drain.
+
+    With ``shards=N`` the rig runs the sharded multi-backend instead of
+    the plain server — the same properties must hold (the facade's
+    primary shard plays the master's role in the assertions).
+    """
     sim = Simulator()
     network = Network(
         sim,
         default_latency=UniformLatency(0.01, 1.5),
         streams=RngStreams(latency_seed),
     )
-    backend = BackendServer(
-        sim,
-        network,
-        SCHEMA,
-        SCORING,
-        Template.cardinality(2),
-        oplog_capacity=oplog_capacity,
-    )
+    if shards is None:
+        backend = BackendServer(
+            sim,
+            network,
+            SCHEMA,
+            SCORING,
+            Template.cardinality(2),
+            oplog_capacity=oplog_capacity,
+        )
+    else:
+        backend = ShardedBackend(
+            sim,
+            network,
+            SCHEMA,
+            SCORING,
+            Template.cardinality(2),
+            shards=shards,
+            oplog_capacity=oplog_capacity,
+        )
     names = [f"c{i}" for i in range(num_clients)]
     clients: dict[str, WorkerClient] = {}
     rng_streams = RngStreams(latency_seed)
@@ -121,8 +139,15 @@ def _run_faulty_schedule(
             outage_prob=0.6,
             min_outage=0.5,
             max_outage=6.0,
+            shard_groups=(
+                tuple((shard_endpoint(k),) for k in range(shards))
+                if shards is not None and shards > 1
+                else None
+            ),
         )
     injector = FaultInjector(sim, network, plan)
+    if shards is not None:
+        backend.bind_faults(injector)
     for name in plan.faulted_endpoints():
         client = clients[name]
         injector.bind(
@@ -250,6 +275,29 @@ def test_convergence_under_server_side_partition(
     )
     assert [e.kind for e in injector.events[:2]] == ["disconnect", "disconnect"]
     _assert_converged_and_views_consistent(backend, clients)
+
+
+@pytest.mark.slow
+@settings(max_examples=30, deadline=None)
+@given(
+    schedule=st.lists(operation, min_size=1, max_size=30),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+    latency_seed=st.integers(min_value=0, max_value=500),
+)
+def test_convergence_core_properties_hold_sharded(
+    schedule, fault_seed, latency_seed
+):
+    """The suite's core convergence properties are not single-server
+    artifacts: the same rig run against the sharded multi-backend
+    (client churn plus randomly drawn shard-partition windows) upholds
+    every one of them, with the primary shard as the master."""
+    backend, clients, injector = _run_faulty_schedule(
+        4, sorted(schedule), fault_seed, latency_seed, shards=2
+    )
+    assert backend.fully_exchanged()
+    _assert_converged_and_views_consistent(backend, clients)
+    for shard in backend.shards:
+        assert shard.replica.snapshot() == backend.replica.snapshot()
 
 
 # -- deterministic replay -----------------------------------------------------
