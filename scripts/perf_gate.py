@@ -21,8 +21,10 @@ Modes:
                                runners, where absolute throughput is
                                meaningless run to run)
     REPRO_PERF_GATE=off        skip entirely
-A missing or unreadable baseline skips the gate (exit 0) so the first
-run on a fresh branch cannot fail.
+A missing or malformed baseline skips the gate with a clear one-line
+message (exit 0, whatever the mode) so the first run on a fresh
+branch — or a corrupted artifact — cannot fail the build or dump a
+traceback.
 
 Usage: PYTHONPATH=src python scripts/perf_gate.py
 """
@@ -52,6 +54,39 @@ THRESHOLD = 0.50
 P6_THRESHOLD = 0.50
 
 SCHEMA = soccer_player_schema()
+
+
+def load_baseline(path, describe):
+    """Parse a committed baseline JSON; ``(data, None)`` on success,
+    ``(None, reason)`` with a human-readable reason otherwise.
+
+    Every failure mode of a committed artifact — missing file,
+    unreadable file, invalid JSON, wrong top-level shape — maps to a
+    reason string instead of an exception, so the gate can skip with a
+    clear message rather than a traceback.
+    """
+    if not os.path.exists(path):
+        return None, (
+            f"{describe} baseline {os.path.basename(path)} not found "
+            "(first run on a fresh branch?)"
+        )
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        return None, f"{describe} baseline unreadable: {exc}"
+    except ValueError as exc:
+        return None, (
+            f"{describe} baseline {os.path.basename(path)} is not valid "
+            f"JSON ({exc}); re-generate it with the benchmark suite"
+        )
+    if not isinstance(data, dict):
+        return None, (
+            f"{describe} baseline {os.path.basename(path)} is malformed "
+            f"(expected a JSON object, got {type(data).__name__}); "
+            "re-generate it with the benchmark suite"
+        )
+    return data, None
 
 
 def _row_value(i):
@@ -109,25 +144,32 @@ def measure():
     for _ in range(REPS):
         backend = _warmed_server(N_ROWS)
         gc.collect()
-        start = time.perf_counter()
+        # Wall-clock by design: the gate measures real throughput.
+        start = time.perf_counter()  # crowdlint: disable=DET001
         backend.ingest("w1", stream)
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.perf_counter() - start)  # crowdlint: disable=DET001
     return MESSAGES / best
 
 
-def probe_p6():
+def probe_p6(baseline_path=None):
     """Advisory re-measure of the P6 ``gate`` config (never fails the
     build): the sharded fan-out rig from the P6 bench, compared on
     delivered messages/second."""
+    baseline, problem = load_baseline(baseline_path or P6_BASELINE, "P6")
+    if baseline is None:
+        print(f"perf-gate[P6]: {problem}; skipping the P6 probe")
+        return
     try:
-        with open(P6_BASELINE) as handle:
-            baseline = json.load(handle)
         gate = baseline["configs"]["gate"]
         expected = float(gate["deliveries_per_sec"])
         workers = int(gate["workers"])
         actors = int(gate["actors"])
-    except (OSError, KeyError, TypeError, ValueError) as exc:
-        print(f"perf-gate[P6]: no usable baseline ({exc!r}), skipping")
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            "perf-gate[P6]: baseline is missing the gate config "
+            f"({exc!r}); re-generate it with the benchmark suite; "
+            "skipping the P6 probe"
+        )
         return
     sys.path.insert(0, REPO_ROOT)
     from benchmarks.test_bench_p6_sharded_scale import (
@@ -148,18 +190,24 @@ def probe_p6():
     )
 
 
-def main():
+def main(baseline_path=None, p6_baseline_path=None):
     mode = os.environ.get("REPRO_PERF_GATE", "strict").lower()
     if mode == "off":
         print("perf-gate: REPRO_PERF_GATE=off, skipping")
         return 0
-    probe_p6()
+    probe_p6(p6_baseline_path)
+    baseline, problem = load_baseline(baseline_path or BASELINE, "P5")
+    if baseline is None:
+        print(f"perf-gate: {problem}; skipping the gate")
+        return 0
     try:
-        with open(BASELINE) as handle:
-            baseline = json.load(handle)
         expected = float(baseline["msgs_per_sec"][str(N_ROWS)])
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"perf-gate: no usable baseline ({exc!r}), skipping")
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            f"perf-gate: baseline has no msgs_per_sec entry for "
+            f"n={N_ROWS} ({exc!r}); re-generate it with the benchmark "
+            "suite; skipping the gate"
+        )
         return 0
     rate = measure()
     floor = THRESHOLD * expected

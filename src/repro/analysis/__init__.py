@@ -1,47 +1,83 @@
 """crowdlint — repo-specific static analysis for the CrowdFill repro.
 
-The reproduction's value rests on two guarantees the paper proves but
-code can silently break: deterministic, seedable interleavings (the
-DES substitution for Socket.IO) and convergence of independently
-evolving replicas (§2.4).  Both fail in ways pytest rarely catches —
-an unseeded ``random`` call, a set iteration feeding a trace log, a
-message object aliased between replicas.  This package makes that
-failure class loud and permanent:
+The reproduction's value rests on guarantees the paper proves but code
+can silently break: deterministic, seedable interleavings (the DES
+substitution for Socket.IO), convergence of independently evolving
+replicas (§2.4), and — since the sharded decentralised commit (PR 7) —
+pairwise-commutative committed operations and a complete exchange wire
+codec.  This package makes that failure class loud and permanent.
 
-- :mod:`repro.analysis.rules` — per-file AST rules DET001 (ambient
-  entropy), DET002 (unsorted set/dict-view iteration into
-  order-sensitive sinks), DET003 (``id()`` in sort keys/hashes),
-  MUT001 (mutable defaults / module-level mutable state in the
-  replicated subsystems);
-- :mod:`repro.analysis.exhaustiveness` — EXH001, the project-level
-  check that every registered message type is handled end to end
-  (table apply loop, trace decode, server and client entry points);
-- :mod:`repro.analysis.linter` / :mod:`repro.analysis.report` — the
-  driver and the text/JSON reporters;
-- ``python -m repro.analysis`` — the CLI CI runs (exit 1 on any
-  violation; ``--warn-only`` for advisory passes).
+crowdlint 2.0 is built on a project-wide core
+(:mod:`repro.analysis.project` — module/symbol table, import graph,
+lightweight call graph, type + deep-immutability engine;
+:mod:`repro.analysis.dataflow` — per-function def-use/mutation/escape
+summaries) with two rule layers:
 
-Suppress a finding with a line-scoped ``# crowdlint: disable=RULE``
-comment.  The runtime complement to this static pass is the
-replica-aliasing sanitizer in :mod:`repro.net.sanitizer`.
+- per-file rules (:mod:`repro.analysis.rules`,
+  :mod:`repro.analysis.obsguard`): DET001 ambient entropy, DET002
+  unsorted set/dict-view iteration into order-sensitive sinks, DET003
+  ``id()`` in sort keys/hashes, MUT001 mutable defaults / module-level
+  mutable state, OBS001 observability work outside the ``enabled``
+  guard;
+- project-wide passes: COMM001/COMM002 commit-path commutativity
+  hazards (:mod:`repro.analysis.commutativity`), WIRE001/WIRE002
+  wire-codec completeness (:mod:`repro.analysis.codec`), ESC001
+  aliasing escapes at network send sites — with a report of sites
+  *proven* alias-free (:mod:`repro.analysis.escapes`), and EXH001
+  message-type exhaustiveness across the replicated stack including
+  the shard layer (:mod:`repro.analysis.exhaustiveness`).
+
+Infrastructure: a committed-baseline suppression file
+(:mod:`repro.analysis.baseline` — new findings fail, legacy findings
+are tracked and burned down), a file-hash result cache
+(:mod:`repro.analysis.cache`), and SARIF 2.1.0 output
+(:mod:`repro.analysis.sarif`) alongside the text/JSON reports.
+
+Suppress a finding with a line-scoped ``# crowdlint: disable=<rule>``
+comment (unknown rule names in a pragma warn as ``PRAGMA``).  The
+runtime complement to this static pass is the replica-aliasing
+sanitizer in :mod:`repro.net.sanitizer`.  CLI: ``python -m
+repro.analysis`` (``--rules`` prints the rule reference).
 """
 
+from repro.analysis.baseline import Baseline, BaselineResult
+from repro.analysis.cache import ResultCache
 from repro.analysis.diagnostics import Diagnostic, disabled_rules
+from repro.analysis.escapes import SendSite, analyze_escapes
 from repro.analysis.exhaustiveness import (
     ExhaustivenessConfig,
     check_exhaustiveness,
 )
-from repro.analysis.linter import ALL_RULES, lint_file, lint_paths
+from repro.analysis.linter import (
+    ALL_RULES,
+    escape_report,
+    lint_file,
+    lint_paths,
+    project_passes,
+    rule_docs,
+)
+from repro.analysis.project import Project
 from repro.analysis.report import render_json, render_text
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "ALL_RULES",
+    "Baseline",
+    "BaselineResult",
     "Diagnostic",
     "ExhaustivenessConfig",
+    "Project",
+    "ResultCache",
+    "SendSite",
+    "analyze_escapes",
     "check_exhaustiveness",
     "disabled_rules",
+    "escape_report",
     "lint_file",
     "lint_paths",
+    "project_passes",
     "render_json",
+    "render_sarif",
     "render_text",
+    "rule_docs",
 ]

@@ -2,24 +2,55 @@
 
 Usage::
 
-    python -m repro.analysis [paths ...] [--format text|json]
-                             [--select RULE[,RULE]] [--warn-only]
-                             [--no-exhaustiveness]
+    python -m repro.analysis [paths ...]
+        [--format text|json] [--select RULE[,RULE]]
+        [--strict | --warn-only] [--no-exhaustiveness]
+        [--baseline PATH | --no-baseline] [--write-baseline]
+        [--sarif [PATH]] [--cache PATH] [--verify-cache]
+        [--escape-report] [--rules]
 
 With no paths, lints ``src/repro`` when it exists (repo root), else the
-current directory.  Exits 1 when violations are found, unless
-``--warn-only`` (the mode CI uses for ``tests/``).
+current directory.
+
+Gating: findings **not covered by the committed baseline**
+(``crowdlint-baseline.json``, applied automatically when present) exit
+1; ``--warn-only`` reports without failing, ``--strict`` is the
+explicit CI gate (and also surfaces stale baseline entries as
+burn-down notes).  ``--write-baseline`` accepts the current findings
+as legacy debt.  ``--verify-cache`` re-analyzes from scratch and exits
+2 if the warm cached run disagrees — a stale-cache bug can never
+launder findings.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import textwrap
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.linter import ALL_RULES, iter_python_files, lint_paths
+from repro.analysis.baseline import BASELINE_NAME, Baseline
+from repro.analysis.cache import ResultCache
+from repro.analysis.linter import (
+    ALL_RULES,
+    escape_report,
+    iter_python_files,
+    lint_paths,
+    rule_docs,
+)
 from repro.analysis.report import render_json, render_text
+from repro.analysis.sarif import render_sarif
+
+
+def _print_rules() -> None:
+    docs = rule_docs()
+    print("crowdlint rule reference")
+    print("========================")
+    for rule_id in sorted(docs):
+        print(f"\n{rule_id}")
+        print("-" * len(rule_id))
+        print(textwrap.fill(" ".join(docs[rule_id].split()), width=72))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -44,33 +75,169 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="report violations but exit 0 (advisory pass)",
     )
     parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on any non-baseline finding and report stale baseline "
+             "entries (the CI gate; failing is also the default)",
+    )
+    parser.add_argument(
         "--no-exhaustiveness", action="store_true",
         help="skip the project-level EXH001 message-coverage check",
     )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help=f"baseline file (default: ./{BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--sarif", nargs="?", type=Path, const=Path("crowdlint.sarif"),
+        default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 report (default path: "
+             "crowdlint.sarif)",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="PATH",
+        help="file-hash result cache to read/update",
+    )
+    parser.add_argument(
+        "--verify-cache", action="store_true",
+        help="after the cached run, re-analyze fresh and exit 2 on any "
+             "disagreement (requires --cache)",
+    )
+    parser.add_argument(
+        "--escape-report", action="store_true",
+        help="print the ESC001 send-site classification (proven / "
+             "unknown / flagged) and exit",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule reference generated from rule docstrings "
+             "and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_rules()
+        return 0
+    if args.warn_only and args.strict:
+        parser.error("--warn-only and --strict are mutually exclusive")
+    if args.verify_cache and args.cache is None:
+        parser.error("--verify-cache requires --cache")
 
     paths = args.paths
     if not paths:
         default = Path("src/repro")
         paths = [default if default.is_dir() else Path(".")]
 
+    if args.escape_report:
+        sites = escape_report(paths)
+        for site in sites:
+            print(site.format())
+        proven = sum(1 for s in sites if s.status == "proven")
+        flagged = sum(1 for s in sites if s.status == "flagged")
+        print(
+            f"crowdlint[escapes]: {len(sites)} send sites — "
+            f"{proven} proven alias-free, {flagged} flagged, "
+            f"{len(sites) - proven - flagged} unknown"
+        )
+        return 1 if flagged else 0
+
     select = None
     if args.select:
         select = frozenset(
             rule.strip() for rule in args.select.split(",") if rule.strip()
         )
-        unknown = select - set(ALL_RULES)
+        unknown = select - set(ALL_RULES) - {"PRAGMA", "PARSE"}
         if unknown:
             parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
 
+    cache = ResultCache(args.cache) if args.cache is not None else None
     diagnostics = lint_paths(
-        paths, select=select, exhaustiveness=not args.no_exhaustiveness
+        paths, select=select, exhaustiveness=not args.no_exhaustiveness,
+        cache=cache,
     )
+    if cache is not None:
+        cache.save()
+
+    if args.verify_cache:
+        fresh = lint_paths(
+            paths, select=select, exhaustiveness=not args.no_exhaustiveness
+        )
+        if fresh != diagnostics:
+            cached_set = {d.format() for d in diagnostics}
+            fresh_set = {d.format() for d in fresh}
+            for line in sorted(fresh_set - cached_set):
+                print(f"crowdlint[cache]: missing from cached run: {line}")
+            for line in sorted(cached_set - fresh_set):
+                print(f"crowdlint[cache]: stale in cached run: {line}")
+            print(
+                "crowdlint: cache inconsistency — cached and fresh runs "
+                "disagree; delete the cache file"
+            )
+            return 2
+        print("crowdlint: cache verified (fresh re-analysis agrees)")
+
+    # Baseline handling.
+    root = Path.cwd()
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = root / BASELINE_NAME
+        baseline_path = candidate if candidate.is_file() else None
+
+    if args.write_baseline:
+        target = args.baseline or (root / BASELINE_NAME)
+        Baseline.from_diagnostics(diagnostics, root=root).save(target)
+        print(
+            f"crowdlint: wrote baseline with {len(diagnostics)} "
+            f"finding{'s' if len(diagnostics) != 1 else ''} to {target}"
+        )
+        return 0
+
+    suppressed = []
+    stale = []
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            result = Baseline.load(baseline_path).apply(diagnostics, root=root)
+        except ValueError as exc:
+            print(f"crowdlint: {exc}")
+            return 2
+        diagnostics, suppressed, stale = (
+            result.new, result.suppressed, result.stale
+        )
+
     files_checked = len(iter_python_files(paths))
     if args.format == "json":
         print(render_json(diagnostics, files_checked))
     else:
         print(render_text(diagnostics, files_checked))
+        if suppressed:
+            print(
+                f"crowdlint: {len(suppressed)} baselined finding"
+                f"{'s' if len(suppressed) != 1 else ''} suppressed "
+                f"(burn-down: {baseline_path})"
+            )
+        if stale and args.strict:
+            for rule, path, message in stale:
+                print(
+                    f"crowdlint[stale-baseline]: {rule} {path}: {message} "
+                    "— no longer observed; remove from the baseline"
+                )
+
+    if args.sarif is not None:
+        args.sarif.write_text(
+            render_sarif(
+                diagnostics, rule_docs(), root=root, suppressed=suppressed
+            ),
+            encoding="utf-8",
+        )
+        print(f"crowdlint: SARIF report written to {args.sarif}")
+
     if diagnostics and not args.warn_only:
         return 1
     return 0

@@ -1,0 +1,125 @@
+"""Committed-baseline suppression for crowdlint.
+
+A baseline file records the *accepted legacy findings* of a tree:
+strict runs fail only on findings **not** in the baseline, so a new
+rule family can land with its historical debt tracked (and burned
+down) instead of blocking the merge, while any *new* violation of the
+same rule still fails CI.
+
+Entries are keyed by ``(rule, path, message)`` with an occurrence
+count — deliberately **not** by line number, so unrelated edits that
+shift a legacy finding up or down the file do not resurrect it, while
+a genuinely new instance of the same finding (count exceeded) still
+fails.  Paths are stored repo-relative with ``/`` separators so the
+file is stable across checkouts.
+
+The file format is sorted, indented JSON — reviewable in diffs, and a
+burned-down finding shows up as a deleted line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Default baseline location, repo-root relative.
+BASELINE_NAME = "crowdlint-baseline.json"
+_VERSION = 1
+
+
+def _norm_path(path: str, root: Path | None) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _key(diagnostic: Diagnostic, root: Path | None) -> tuple[str, str, str]:
+    return (
+        diagnostic.rule,
+        _norm_path(diagnostic.path, root),
+        diagnostic.message,
+    )
+
+
+@dataclass
+class BaselineResult:
+    """The three-way split of one run against a baseline."""
+
+    new: list[Diagnostic]
+    suppressed: list[Diagnostic]
+    #: Baseline entries no longer observed (burn-down candidates).
+    stale: list[tuple[str, str, str]]
+
+
+class Baseline:
+    """An accepted-findings ledger, loadable/saveable as JSON."""
+
+    def __init__(self, counts: Counter | None = None) -> None:
+        self.counts: Counter = counts if counts is not None else Counter()
+
+    @classmethod
+    def from_diagnostics(
+        cls, diagnostics: list[Diagnostic], root: Path | None = None
+    ) -> "Baseline":
+        return cls(Counter(_key(d, root) for d in diagnostics))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load *path*; raises ValueError on a malformed file (a broken
+        baseline must fail loudly, not silently accept everything)."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(
+                f"malformed baseline {path}: expected a findings object"
+            )
+        counts: Counter = Counter()
+        for entry in data["findings"]:
+            try:
+                key = (entry["rule"], entry["path"], entry["message"])
+                counts[key] = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise ValueError(
+                    f"malformed baseline entry in {path}: {entry!r}"
+                ) from exc
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        findings = [
+            {"rule": rule, "path": file, "message": message, "count": count}
+            for (rule, file, message), count in sorted(self.counts.items())
+            if count > 0
+        ]
+        payload = {"version": _VERSION, "findings": findings}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, diagnostics: list[Diagnostic], root: Path | None = None
+    ) -> BaselineResult:
+        """Split *diagnostics* into new vs. suppressed, and report
+        baseline entries that no longer match anything (stale)."""
+        budget = Counter(self.counts)
+        new: list[Diagnostic] = []
+        suppressed: list[Diagnostic] = []
+        for diagnostic in diagnostics:
+            key = _key(diagnostic, root)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed.append(diagnostic)
+            else:
+                new.append(diagnostic)
+        stale = sorted(key for key, count in budget.items() if count > 0)
+        return BaselineResult(new=new, suppressed=suppressed, stale=stale)

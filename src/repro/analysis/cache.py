@@ -1,0 +1,137 @@
+"""A file-hash result cache for crowdlint runs.
+
+The project-wide passes parse every module and chase references across
+files, which is fast but not free; CI runs the strict analysis on
+every push.  The cache keys results on content hashes so an unchanged
+tree re-lints in O(hash):
+
+- per-file diagnostics are keyed on that file's SHA-256;
+- project-pass diagnostics (COMM/WIRE/ESC/EXH, which read *across*
+  files) are keyed on the combined hash of **every** file in the run —
+  any edit anywhere invalidates them, which is exactly their
+  dependency footprint.
+
+Cached entries store diagnostics *after* pragma filtering but *before*
+baseline application, so baseline edits never require re-analysis.
+
+``verify(...)`` recomputes everything fresh and compares against a
+warm read — the CI job runs warm-then-verify and fails on any drift,
+so a stale-cache bug can never silently launder findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+_VERSION = 2
+
+
+def file_sha(path: Path) -> str | None:
+    try:
+        return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+def combined_sha(shas: dict[str, str]) -> str:
+    digest = hashlib.sha256()
+    for path, sha in sorted(shas.items()):
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(sha.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _pack(diagnostics: list[Diagnostic]) -> list[dict]:
+    return [d.to_dict() for d in diagnostics]
+
+
+def _unpack(entries: list[dict]) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            rule=e["rule"], path=e["path"], line=int(e["line"]),
+            col=int(e["col"]), message=e["message"],
+        )
+        for e in entries
+    ]
+
+
+class ResultCache:
+    """Content-hash-keyed diagnostics, persisted as JSON."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._files: dict[str, dict] = {}
+        self._project: dict | None = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = data.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        payload = {
+            "version": _VERSION,
+            "files": self._files,
+            "project": self._project,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- per-file entries -----------------------------------------------------
+
+    def get_file(self, path: Path, sha: str) -> list[Diagnostic] | None:
+        entry = self._files.get(Path(path).as_posix())
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _unpack(entry.get("diags", []))
+
+    def put_file(
+        self, path: Path, sha: str, diagnostics: list[Diagnostic]
+    ) -> None:
+        self._files[Path(path).as_posix()] = {
+            "sha": sha,
+            "diags": _pack(diagnostics),
+        }
+
+    # -- project-pass entry ---------------------------------------------------
+
+    def get_project(self, sha: str) -> list[Diagnostic] | None:
+        if self._project is None or self._project.get("sha") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _unpack(self._project.get("diags", []))
+
+    def put_project(self, sha: str, diagnostics: list[Diagnostic]) -> None:
+        self._project = {"sha": sha, "diags": _pack(diagnostics)}
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer part of the run."""
+        self._files = {
+            path: entry
+            for path, entry in self._files.items()
+            if path in live_paths
+        }

@@ -1,0 +1,332 @@
+"""WIRE001/WIRE002 — wire-codec completeness.
+
+Adding a field to a message dataclass without threading it through the
+codecs silently drops data: cross-shard for the :class:`ExchangeBatch`
+exchange codec (``encode_exchange``/``decode_exchange``), and across
+trace persistence for the ``to_dict``/``message_from_dict`` pair.
+These passes make that a CI failure instead:
+
+- ``WIRE001`` — exchange-codec completeness.  In the module defining
+  ``encode_exchange``/``decode_exchange``: every ``ExchangeBatch``
+  field must be passed explicitly where ``encode_exchange`` constructs
+  the batch; every field of each ``Message`` union member must be read
+  (``message.<field>``) inside that member's encode branch; the decode
+  side must construct each union member and ``ShardCommit`` with every
+  field covered.
+- ``WIRE002`` — dict-codec completeness.  Each union member's
+  ``to_dict`` must emit a key for, and read, every dataclass field,
+  and the matching ``message_from_dict`` branch must pass every field
+  to the constructor.
+
+Both passes key off dataclass *field annotations*, so a field with a
+default still counts: a default hides the drop at construction time
+but the decoded replica would still differ from the sender's.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.commutativity import find_message_union
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import ModuleInfo, Project
+
+RULE_EXCHANGE = "WIRE001"
+RULE_DICT = "WIRE002"
+
+DOCS = {
+    RULE_EXCHANGE: (
+        "Exchange-codec completeness: every dataclass field of each "
+        "Message union member and of ShardCommit/ExchangeBatch must be "
+        "written by encode_exchange and reconstructed by decode_exchange. "
+        "A field missed by the codec crosses the shard boundary as its "
+        "default and silently drops data."
+    ),
+    RULE_DICT: (
+        "Dict-codec completeness: each Message member's to_dict must emit "
+        "and read every dataclass field, and message_from_dict must pass "
+        "every field to the constructor — otherwise persisted traces "
+        "replay differently than they were recorded."
+    ),
+}
+
+#: Wire dataclasses of the exchange codec checked field-for-field.
+EXCHANGE_CLASSES = ("ExchangeBatch", "ShardCommit")
+
+
+def _diag(rule: str, module: ModuleInfo, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule=rule,
+        path=str(module.path),
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+    )
+
+
+def dataclass_fields(cls: ast.ClassDef) -> list[str]:
+    """Annotated field names of a dataclass body, in declaration order."""
+    return [
+        item.target.id
+        for item in cls.body
+        if isinstance(item, ast.AnnAssign)
+        and isinstance(item.target, ast.Name)
+        and not item.target.id.startswith("_")
+    ]
+
+
+def find_codec_module(project: Project) -> ModuleInfo | None:
+    """The module defining both halves of the exchange codec."""
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        if (
+            "encode_exchange" in module.functions
+            and "decode_exchange" in module.functions
+        ):
+            return module
+    return None
+
+
+def _constructor_calls(func: ast.FunctionDef, class_name: str) -> list[ast.Call]:
+    return [
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == class_name
+    ]
+
+
+def _covered_fields(call: ast.Call, fields: list[str]) -> set[str]:
+    """Fields a constructor call populates: a positional prefix plus
+    explicit keywords (a ``**kwargs`` splat conservatively covers all)."""
+    covered = set(fields[: len(call.args)])
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            return set(fields)
+        covered.add(keyword.arg)
+    return covered
+
+
+def _isinstance_branches(
+    func: ast.FunctionDef,
+) -> list[tuple[str, list[str], ast.If]]:
+    """``(class_name, [subject attribute reads], node)`` per
+    ``isinstance(subject, Cls)`` branch of the if/elif chains in *func*.
+    A tuple second argument yields one entry per named class."""
+    branches: list[tuple[str, list[str], ast.If]] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (
+            isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Name)
+            and test.func.id == "isinstance"
+            and len(test.args) == 2
+            and isinstance(test.args[0], ast.Name)
+        ):
+            continue
+        subject = test.args[0].id
+        names: list[str] = []
+        target = test.args[1]
+        if isinstance(target, ast.Name):
+            names = [target.id]
+        elif isinstance(target, ast.Tuple):
+            names = [e.id for e in target.elts if isinstance(e, ast.Name)]
+        reads = [
+            sub.attr
+            for stmt in node.body
+            for sub in ast.walk(stmt)
+            if isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == subject
+        ]
+        for name in names:
+            branches.append((name, reads, node))
+    return branches
+
+
+def check_codecs(project: Project) -> list[Diagnostic]:
+    """Run WIRE001/WIRE002 over *project*."""
+    located = find_message_union(project)
+    if located is None:
+        return []
+    messages_module, members = located
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_dict_codec(messages_module, members))
+    codec_module = find_codec_module(project)
+    if codec_module is not None:
+        diagnostics.extend(
+            _check_exchange_codec(
+                project, codec_module, messages_module, members
+            )
+        )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+# -- WIRE001: the exchange codec --------------------------------------------
+
+
+def _check_exchange_codec(
+    project: Project,
+    codec: ModuleInfo,
+    messages_module: ModuleInfo,
+    members: list[str],
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    encode = codec.functions["encode_exchange"]
+    decode = codec.functions["decode_exchange"]
+
+    member_fields = {
+        name: dataclass_fields(messages_module.classes[name])
+        for name in members
+        if name in messages_module.classes
+    }
+
+    # Encode side: the batch constructor covers every batch field...
+    for class_name in EXCHANGE_CLASSES:
+        cls = codec.classes.get(class_name)
+        if cls is None:
+            continue
+        fields = dataclass_fields(cls)
+        host, role = (
+            (encode, "encode_exchange")
+            if class_name == "ExchangeBatch"
+            else (decode, "decode_exchange")
+        )
+        calls = _constructor_calls(host, class_name)
+        if not calls:
+            out.append(
+                _diag(
+                    RULE_EXCHANGE, codec, host,
+                    f"{role} never constructs {class_name}: the exchange "
+                    "codec does not round-trip the wire format",
+                )
+            )
+            continue
+        for call in calls:
+            missing = sorted(set(fields) - _covered_fields(call, fields))
+            for field in missing:
+                out.append(
+                    _diag(
+                        RULE_EXCHANGE, codec, call,
+                        f"{role} builds {class_name} without field "
+                        f"`{field}`: the field would cross the wire as its "
+                        "default and silently drop data",
+                    )
+                )
+
+    # ...and each member's encode branch reads every payload field.
+    branch_reads: dict[str, list[str]] = {}
+    for name, reads, _node in _isinstance_branches(encode):
+        branch_reads.setdefault(name, []).extend(reads)
+    for member, fields in sorted(member_fields.items()):
+        reads = branch_reads.get(member)
+        if reads is None:
+            # Dispatch coverage itself is EXH001's job (shard extension);
+            # field completeness only applies to branches that exist.
+            continue
+        for field in fields:
+            if field not in reads:
+                out.append(
+                    _diag(
+                        RULE_EXCHANGE, codec, encode,
+                        f"encode_exchange's {member} branch never reads "
+                        f"`.{field}`: the field is dropped from the "
+                        "exchange wire format",
+                    )
+                )
+
+    # Decode side: every member reconstructed with all fields covered.
+    for member, fields in sorted(member_fields.items()):
+        calls = _constructor_calls(decode, member)
+        if not calls:
+            out.append(
+                _diag(
+                    RULE_EXCHANGE, codec, decode,
+                    f"decode_exchange never reconstructs {member}: a "
+                    "received batch op of that kind cannot be applied",
+                )
+            )
+            continue
+        covered: set[str] = set()
+        for call in calls:
+            covered |= _covered_fields(call, fields)
+        for field in sorted(set(fields) - covered):
+            out.append(
+                _diag(
+                    RULE_EXCHANGE, codec, calls[0],
+                    f"decode_exchange reconstructs {member} without field "
+                    f"`{field}`: receivers fall back to the default and "
+                    "diverge from the sender",
+                )
+            )
+    return out
+
+
+# -- WIRE002: the to_dict / message_from_dict codec -------------------------
+
+
+def _check_dict_codec(
+    messages_module: ModuleInfo, members: list[str]
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    from_dict = messages_module.functions.get("message_from_dict")
+    for member in members:
+        cls = messages_module.classes.get(member)
+        if cls is None:
+            continue
+        fields = dataclass_fields(cls)
+        to_dict = messages_module.class_methods(member).get("to_dict")
+        if to_dict is not None:
+            keys = {
+                key.value
+                for node in ast.walk(to_dict)
+                if isinstance(node, ast.Dict)
+                for key in node.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            self_reads = {
+                node.attr
+                for node in ast.walk(to_dict)
+                if isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            }
+            for field in fields:
+                if field not in keys:
+                    out.append(
+                        _diag(
+                            RULE_DICT, messages_module, to_dict,
+                            f"{member}.to_dict() emits no `{field}` key: "
+                            "the field is dropped from trace persistence",
+                        )
+                    )
+                elif field not in self_reads:
+                    out.append(
+                        _diag(
+                            RULE_DICT, messages_module, to_dict,
+                            f"{member}.to_dict() never reads self.{field}: "
+                            f"the `{field}` key does not carry the field",
+                        )
+                    )
+        if from_dict is not None:
+            calls = _constructor_calls(from_dict, member)
+            if not calls:
+                # EXH001 reports the missing decode branch by type tag.
+                continue
+            covered: set[str] = set()
+            for call in calls:
+                covered |= _covered_fields(call, fields)
+            for field in sorted(set(fields) - covered):
+                out.append(
+                    _diag(
+                        RULE_DICT, messages_module, calls[0],
+                        f"message_from_dict reconstructs {member} without "
+                        f"field `{field}`: replayed traces fall back to "
+                        "the default",
+                    )
+                )
+    return out

@@ -17,7 +17,13 @@ that decomposes into checks a forgotten registration would break:
    otherwise the server would broadcast objects clients never agreed
    to handle;
 5. both network entry points — ``BackendServer.on_message`` and the
-   client replica's ``WorkerClient.on_message`` — exist.
+   client replica's ``WorkerClient.on_message`` — exist;
+6. (shard layer, when present) every wire dataclass a shard sends to a
+   peer — e.g. :class:`ExchangeBatch` — has an ``isinstance`` dispatch
+   branch in a shard ``on_message``, and the exchange encoder's
+   ``isinstance`` chain covers every ``Message`` union member, so a
+   newly registered op kind cannot be silently unroutable or
+   unencodable cross-shard.
 
 The checker is purely syntactic (stdlib ``ast``), so it runs in CI
 without importing the package under analysis.
@@ -41,6 +47,7 @@ class ExhaustivenessConfig:
     messages: Path
     table: Path
     handlers: tuple[tuple[Path, str], ...]
+    shard: Path | None = None
 
     @classmethod
     def locate(cls, root: Path) -> "ExhaustivenessConfig | None":
@@ -50,6 +57,7 @@ class ExhaustivenessConfig:
         for base in (root, root / "repro", root / "src" / "repro"):
             messages = base / "core" / "messages.py"
             if messages.is_file():
+                shard = base / "server" / "shard.py"
                 return cls(
                     messages=messages,
                     table=base / "core" / "table.py",
@@ -57,6 +65,7 @@ class ExhaustivenessConfig:
                         (base / "server" / "backend.py", "BackendServer"),
                         (base / "client" / "worker_client.py", "WorkerClient"),
                     ),
+                    shard=shard if shard.is_file() else None,
                 )
         return None
 
@@ -247,4 +256,148 @@ def check_exhaustiveness(config: ExhaustivenessConfig) -> list[Diagnostic]:
                 "replicated apply loop has no network entry point",
             )
 
+    if config.shard is not None:
+        shard_tree = _parse(config.shard)
+        if shard_tree is not None:
+            _check_shard_layer(report, config.shard, shard_tree, union)
+
     return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# The shard layer (decentralised commit wire format)
+# ---------------------------------------------------------------------------
+
+
+def _isinstance_class_names(func: ast.FunctionDef) -> set[str]:
+    """Class names tested by ``isinstance(x, Cls)`` anywhere in *func*
+    (tuple second arguments contribute every named class)."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            target = node.args[1]
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(
+                    e.id for e in target.elts if isinstance(e, ast.Name)
+                )
+    return names
+
+
+def _shard_wire_classes(
+    tree: ast.Module, classes: dict[str, ast.ClassDef]
+) -> dict[str, ast.AST]:
+    """Module-local classes sent as shard-to-shard payloads.
+
+    A wire class is one whose instance reaches a ``network.send(...)``
+    payload slot (third argument) in this module — either constructed
+    inline, or bound to a local name whose value comes from a
+    module-level function returning that class (``encode_exchange``).
+    """
+    wire: dict[str, ast.AST] = {}
+    returns_class = {
+        name: node.returns.id
+        for name, node in (
+            (n.name, n) for n in tree.body if isinstance(n, ast.FunctionDef)
+        )
+        if isinstance(node.returns, ast.Name) and node.returns.id in classes
+    }
+
+    def payload_class(func: ast.FunctionDef, payload: ast.expr) -> str | None:
+        if isinstance(payload, ast.Call) and isinstance(payload.func, ast.Name):
+            if payload.func.id in classes:
+                return payload.func.id
+            return returns_class.get(payload.func.id)
+        if isinstance(payload, ast.Name):
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == payload.id
+                        for t in node.targets
+                    )
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                ):
+                    callee = node.value.func.id
+                    if callee in classes:
+                        return callee
+                    if callee in returns_class:
+                        return returns_class[callee]
+        return None
+
+    functions: list[ast.FunctionDef] = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            functions.append(node)
+        elif isinstance(node, ast.ClassDef):
+            functions.extend(
+                item for item in node.body if isinstance(item, ast.FunctionDef)
+            )
+    for func in functions:
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+                and len(node.args) >= 3
+            ):
+                continue
+            receiver = node.func.value
+            receiver_tail = (
+                receiver.attr if isinstance(receiver, ast.Attribute)
+                else receiver.id if isinstance(receiver, ast.Name) else ""
+            )
+            if "network" not in receiver_tail and "net" != receiver_tail:
+                continue
+            name = payload_class(func, node.args[2])
+            if name is not None:
+                wire.setdefault(name, node)
+    return wire
+
+
+def _check_shard_layer(
+    report, shard_path: Path, shard_tree: ast.Module, union: list[str]
+) -> None:
+    classes = _class_defs(shard_tree)
+
+    # 6a. every shard wire class has an on_message isinstance dispatch.
+    dispatched: set[str] = set()
+    for cls in classes.values():
+        handler = _methods(cls).get("on_message")
+        if handler is not None:
+            dispatched.update(_isinstance_class_names(handler))
+    for name, send_node in sorted(_shard_wire_classes(shard_tree, classes).items()):
+        if name not in dispatched:
+            report(
+                shard_path, send_node,
+                f"shard wire class {name} is sent to peers but no shard "
+                "on_message dispatches it with isinstance — receivers "
+                "would apply it as a client op",
+            )
+
+    # 6b. the exchange encoder's isinstance chain covers the union.
+    encode = next(
+        (
+            node for node in shard_tree.body
+            if isinstance(node, ast.FunctionDef)
+            and node.name == "encode_exchange"
+        ),
+        None,
+    )
+    if encode is not None:
+        encoded = _isinstance_class_names(encode)
+        for member in union:
+            if member not in encoded:
+                report(
+                    shard_path, encode,
+                    f"encode_exchange has no isinstance branch for Message "
+                    f"union member {member} — committing one would raise "
+                    "at the first shard exchange",
+                )

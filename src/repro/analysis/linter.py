@@ -1,4 +1,26 @@
-"""The crowdlint driver: walk files, run rules, filter pragmas."""
+"""The crowdlint driver: per-file rules, project-wide passes, pragmas.
+
+crowdlint 2.0 runs in two layers:
+
+1. **Per-file rules** (``FILE_RULES`` + :class:`ObsGuardRule`) parse
+   one module at a time — determinism (DET), mutable state (MUT), and
+   observability-guard (OBS) checks, plus validation of the
+   ``# crowdlint: disable=`` pragmas themselves (rule ``PRAGMA``).
+2. **Project-wide passes** build a :class:`~repro.analysis.project.
+   Project` over every file in the run and chase references across
+   modules: commit-path commutativity (COMM), wire-codec completeness
+   (WIRE), aliasing escapes at send sites (ESC), and the replicated-
+   stack exhaustiveness check (EXH).
+
+Both layers respect line-scoped pragmas; project-pass diagnostics are
+filtered against the *flagged file's* source lines exactly like
+per-file ones.  Results are stably ordered by
+``(path, line, col, rule)``.  An optional
+:class:`~repro.analysis.cache.ResultCache` keyed on content hashes
+skips re-analysis of unchanged trees (per-file results on the file's
+own hash, project-pass results on the combined hash of every file in
+the run).
+"""
 
 from __future__ import annotations
 
@@ -6,16 +28,73 @@ import ast
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis.diagnostics import Diagnostic, is_suppressed
+from repro.analysis.cache import ResultCache, combined_sha, file_sha
+from repro.analysis.commutativity import (
+    RULE_ORDER as COMM_ORDER_RULE,
+    RULE_SHARED as COMM_SHARED_RULE,
+    check_commutativity,
+)
+from repro.analysis.codec import (
+    RULE_DICT as WIRE_DICT_RULE,
+    RULE_EXCHANGE as WIRE_EXCHANGE_RULE,
+    check_codecs,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    disabled_rules,
+    is_suppressed,
+)
+from repro.analysis.escapes import RULE as ESC_RULE, SendSite, analyze_escapes
 from repro.analysis.exhaustiveness import (
     ExhaustivenessConfig,
     check_exhaustiveness,
 )
 from repro.analysis.exhaustiveness import RULE as EXH_RULE
+from repro.analysis.obsguard import ObsGuardRule
+from repro.analysis.project import Project
 from repro.analysis.rules import FILE_RULES, LintContext
 
-#: Every rule id crowdlint can emit.
-ALL_RULES = tuple(rule.rule for rule in FILE_RULES) + (EXH_RULE,)
+#: Per-file rules, in reporting order (the 1.x set plus OBS001).
+ALL_FILE_RULES = tuple(FILE_RULES) + (ObsGuardRule(),)
+
+#: Project-wide rule ids (need the cross-module Project).
+PROJECT_RULES = (
+    COMM_SHARED_RULE,
+    COMM_ORDER_RULE,
+    WIRE_EXCHANGE_RULE,
+    WIRE_DICT_RULE,
+    ESC_RULE,
+    EXH_RULE,
+)
+
+#: Every selectable rule id crowdlint can emit.
+ALL_RULES = tuple(rule.rule for rule in ALL_FILE_RULES) + PROJECT_RULES
+
+#: Meta diagnostics that are not selectable rules.
+PRAGMA_RULE = "PRAGMA"
+_KNOWN_PRAGMA_TARGETS = frozenset(ALL_RULES) | {PRAGMA_RULE, "PARSE"}
+
+
+def rule_docs() -> dict[str, str]:
+    """Rule id -> rationale, drawn from the rule docstrings (the source
+    of ``--rules`` and of the SARIF rule metadata)."""
+    from repro.analysis import codec, commutativity, escapes
+
+    docs: dict[str, str] = {}
+    for rule in ALL_FILE_RULES:
+        docs[rule.rule] = (type(rule).__doc__ or rule.rule).strip()
+    docs.update(commutativity.DOCS)
+    docs.update(codec.DOCS)
+    docs.update(escapes.DOCS)
+    docs[EXH_RULE] = (
+        "Message-type exhaustiveness across the replicated stack: every "
+        "Message union member must define apply/to_dict, dispatch to an "
+        "existing CandidateTable.apply_* method, have a decode branch in "
+        "message_from_dict, and be covered by the shard layer's exchange "
+        "encoder and on_message dispatch — so a newly registered op kind "
+        "cannot be silently unprocessable anywhere a replica lives."
+    )
+    return docs
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
@@ -27,6 +106,30 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
         elif path.suffix == ".py" and path.is_file():
             found.add(path)
     return sorted(found)
+
+
+def _validate_pragmas(path: Path, lines: list[str]) -> list[Diagnostic]:
+    """``PRAGMA`` warnings for pragmas naming unknown rules — a typo'd
+    pragma suppresses nothing and should say so, not stay silent."""
+    out: list[Diagnostic] = []
+    for lineno, line in enumerate(lines, start=1):
+        rules = disabled_rules(line)
+        if not rules:  # no pragma, or a bare disable-all
+            continue
+        for name in sorted(rules - _KNOWN_PRAGMA_TARGETS):
+            out.append(
+                Diagnostic(
+                    rule=PRAGMA_RULE,
+                    path=str(path),
+                    line=lineno,
+                    col=line.find("crowdlint") + 1 or 1,
+                    message=(
+                        f"pragma disables unknown rule `{name}` "
+                        "(known: " + ", ".join(sorted(ALL_RULES)) + ")"
+                    ),
+                )
+            )
+    return out
 
 
 def lint_file(
@@ -50,45 +153,122 @@ def lint_file(
             )
         ]
     ctx = LintContext(path=path, tree=tree)
-    for rule in FILE_RULES:
+    for rule in ALL_FILE_RULES:
         if select is None or rule.rule in select:
             rule.check(ctx)
     lines = source.splitlines()
-    return [
+    diagnostics = [
         diagnostic
         for diagnostic in ctx.diagnostics
         if not is_suppressed(diagnostic, lines)
     ]
+    if select is None or PRAGMA_RULE in select:
+        diagnostics.extend(_validate_pragmas(path, lines))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def _filter_pragmas(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Apply line-scoped pragmas to diagnostics pointing anywhere."""
+    lines_by_path: dict[str, list[str]] = {}
+    out: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        lines = lines_by_path.get(diagnostic.path)
+        if lines is None:
+            target = Path(diagnostic.path)
+            lines = (
+                target.read_text(encoding="utf-8").splitlines()
+                if target.is_file()
+                else []
+            )
+            lines_by_path[diagnostic.path] = lines
+        if not is_suppressed(diagnostic, lines):
+            out.append(diagnostic)
+    return out
+
+
+def project_passes(
+    files: Sequence[Path],
+    roots: Sequence[Path],
+    select: frozenset[str] | None = None,
+    exhaustiveness: bool = True,
+) -> list[Diagnostic]:
+    """Run every project-wide pass over *files* (pragma-filtered)."""
+    wanted = (
+        frozenset(PROJECT_RULES) if select is None
+        else select & frozenset(PROJECT_RULES)
+    )
+    if not wanted:
+        return []
+    diagnostics: list[Diagnostic] = []
+    project: Project | None = None
+    if wanted & {COMM_SHARED_RULE, COMM_ORDER_RULE, WIRE_EXCHANGE_RULE,
+                 WIRE_DICT_RULE, ESC_RULE}:
+        project = Project.load(files)
+    if project is not None:
+        if wanted & {COMM_SHARED_RULE, COMM_ORDER_RULE}:
+            diagnostics.extend(check_commutativity(project))
+        if wanted & {WIRE_EXCHANGE_RULE, WIRE_DICT_RULE}:
+            diagnostics.extend(check_codecs(project))
+        if ESC_RULE in wanted:
+            diagnostics.extend(analyze_escapes(project)[0])
+    if exhaustiveness and EXH_RULE in wanted:
+        seen: set[Path] = set()
+        for root in roots:
+            config = ExhaustivenessConfig.locate(Path(root))
+            if config is not None and config.messages not in seen:
+                seen.add(config.messages)
+                diagnostics.extend(check_exhaustiveness(config))
+    diagnostics = [
+        d for d in diagnostics if select is None or d.rule in select
+    ]
+    return _filter_pragmas(diagnostics)
+
+
+def escape_report(paths: Sequence[Path]) -> list[SendSite]:
+    """The ESC001 send-site classification for every file under
+    *paths* — including the sites *proven* alias-free."""
+    project = Project.load(iter_python_files(paths))
+    return analyze_escapes(project)[1]
 
 
 def lint_paths(
     paths: Sequence[Path],
     select: frozenset[str] | None = None,
     exhaustiveness: bool = True,
+    cache: ResultCache | None = None,
 ) -> list[Diagnostic]:
-    """Lint every Python file under *paths*, plus the project-level
-    exhaustiveness check when the replicated stack is found there."""
+    """Lint every Python file under *paths*: per-file rules plus the
+    project-wide passes.  With a *cache*, unchanged files (and an
+    unchanged tree, for the project passes) reuse stored results."""
+    files = iter_python_files(paths)
     diagnostics: list[Diagnostic] = []
-    for path in iter_python_files(paths):
-        diagnostics.extend(lint_file(path, select))
-    if exhaustiveness and (select is None or EXH_RULE in select):
-        seen: set[Path] = set()
-        for path in paths:
-            config = ExhaustivenessConfig.locate(Path(path))
-            if config is not None and config.messages not in seen:
-                seen.add(config.messages)
-                exh = check_exhaustiveness(config)
-                source_lines: dict[str, list[str]] = {}
-                for diagnostic in exh:
-                    lines = source_lines.setdefault(
-                        diagnostic.path,
-                        Path(diagnostic.path).read_text(
-                            encoding="utf-8"
-                        ).splitlines()
-                        if Path(diagnostic.path).is_file()
-                        else [],
-                    )
-                    if not is_suppressed(diagnostic, lines):
-                        diagnostics.append(diagnostic)
+    shas: dict[str, str] = {}
+    for path in files:
+        sha = file_sha(path) if cache is not None else None
+        if sha is not None:
+            shas[path.as_posix()] = sha
+            cached = cache.get_file(path, sha)
+            if cached is not None:
+                diagnostics.extend(cached)
+                continue
+        result = lint_file(path, select)
+        diagnostics.extend(result)
+        if cache is not None and sha is not None:
+            cache.put_file(path, sha, result)
+
+    if cache is not None:
+        tree_sha = combined_sha(shas) + (
+            "" if select is None else ":" + ",".join(sorted(select))
+        ) + ("" if exhaustiveness else ":noexh")
+        cached_project = cache.get_project(tree_sha)
+        if cached_project is None:
+            cached_project = project_passes(files, paths, select, exhaustiveness)
+            cache.put_project(tree_sha, cached_project)
+        diagnostics.extend(cached_project)
+        cache.prune(set(shas))
+    else:
+        diagnostics.extend(project_passes(files, paths, select, exhaustiveness))
+
     diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return diagnostics

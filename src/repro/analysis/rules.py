@@ -137,6 +137,11 @@ def _contains_call_to(tree: ast.AST, name: str) -> ast.AST | None:
 
 
 class UnseededEntropyRule:
+    """Ambient entropy: module-level ``random`` draws, wall clocks,
+    OS entropy, or ``random.Random`` seeded from builtin ``hash()``.
+    Components must draw from an injected ``repro.sim.rng`` stream or
+    the simulator clock so one seed reproduces one run exactly."""
+
     rule = "DET001"
 
     def check(self, ctx: LintContext) -> None:
@@ -228,6 +233,12 @@ class UnseededEntropyRule:
 
 
 class UnsortedSetIterationRule:
+    """Unsorted ``set``/dict-view iteration feeding an order-sensitive
+    sink (list building, message construction, sends, trace logging,
+    RNG draws): iteration order follows the process hash seed, so the
+    same run produces different traces; wrap the iterable in
+    ``sorted(...)``."""
+
     rule = "DET002"
 
     def check(self, ctx: LintContext) -> None:
@@ -426,6 +437,10 @@ class UnsortedSetIterationRule:
 
 
 class IdentityOrderRule:
+    """``id()`` in sort keys or hashes: CPython object addresses vary
+    per run, so any ordering or fingerprint derived from them is
+    unreproducible; key on stable identifiers instead."""
+
     rule = "DET003"
 
     def check(self, ctx: LintContext) -> None:
@@ -470,6 +485,11 @@ class IdentityOrderRule:
 
 
 class MutableStateRule:
+    """Mutable default arguments anywhere, plus module-level mutable
+    containers in the replicated subsystems (``core``/``server``/
+    ``client``): shared mutable state silently couples replicas the
+    model requires to evolve independently."""
+
     rule = "MUT001"
 
     def check(self, ctx: LintContext) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Union
 
-from repro.core.row import RowValue
+from repro.core.row import CellValue, RowValue
 from repro.core.table import CandidateTable
 
 
@@ -50,7 +50,7 @@ class ReplaceMessage:
     new_id: str
     value: RowValue
     column: str
-    filled_value: Any
+    filled_value: CellValue
 
     def apply(self, table: CandidateTable) -> None:
         table.apply_replace(self.old_id, self.new_id, self.value)

@@ -20,6 +20,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, ItemsView, Iterator, Mapping
 
+#: A single cell's value on the wire: plain scalars only.  Everything a
+#: fill can put in a cell (and everything the exchange/trace codecs
+#: carry per cell) is one of these, which is what makes messages and
+#: exchange batches *provably* deeply immutable — the static aliasing
+#: pass (crowdlint ESC001) proves send payloads alias-free from this
+#: alias, and the runtime sanitizer's deep-freeze relies on it too.
+CellValue = str | int | float | bool | None
+
 
 class RowValue(Mapping[str, Any]):
     """An immutable partial assignment of column names to values.

@@ -85,7 +85,7 @@ from repro.core.messages import (
     UndoUpvoteMessage,
     UpvoteMessage,
 )
-from repro.core.row import RowValue
+from repro.core.row import CellValue, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
 from repro.net import Network
@@ -189,9 +189,9 @@ class ExchangeBatch:
 
     shard_id: int
     first_lseq: int
-    values: tuple[tuple[tuple[str, Any], ...], ...]
+    values: tuple[tuple[tuple[str, CellValue], ...], ...]
     workers: tuple[str, ...]
-    ops: tuple[tuple[Any, ...], ...]
+    ops: tuple[tuple[CellValue, ...], ...]
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -203,11 +203,11 @@ def encode_exchange(
     entries: list[tuple[ShardCommit, Message]],
 ) -> ExchangeBatch:
     """Encode a contiguous commit-log run as an :class:`ExchangeBatch`."""
-    values: list[tuple[tuple[str, Any], ...]] = []
-    value_index: dict[tuple[tuple[str, Any], ...], int] = {}
+    values: list[tuple[tuple[str, CellValue], ...]] = []
+    value_index: dict[tuple[tuple[str, CellValue], ...], int] = {}
     workers: list[str] = []
     worker_index: dict[str, int] = {}
-    ops: list[tuple[Any, ...]] = []
+    ops: list[tuple[CellValue, ...]] = []
 
     def vref(value: RowValue) -> int:
         items = tuple(value.items())

@@ -1,0 +1,384 @@
+"""crowdlint 2.0 infrastructure: the committed-baseline ledger, the
+file-hash result cache (including the CI ``--verify-cache`` gate),
+SARIF rendering, pragma validation, and the new CLI surface."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Diagnostic,
+    ResultCache,
+    lint_file,
+    lint_paths,
+    render_sarif,
+    rule_docs,
+)
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def diag(rule="MUT001", path="src/mod.py", line=3, col=1, message="boom"):
+    return Diagnostic(rule=rule, path=path, line=line, col=col, message=message)
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+#: A snippet with exactly one finding (MUT001 mutable default).
+BAD = "def f(acc=[]):\n    return acc\n"
+CLEAN = "def f(rng):\n    return rng.random()\n"
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        baseline = Baseline.from_diagnostics([diag(), diag(), diag(line=9)])
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        # Same (rule, path, message) keys fold into one counted entry.
+        assert loaded.counts == {("MUT001", "src/mod.py", "boom"): 3}
+
+    def test_apply_splits_new_suppressed_stale(self):
+        baseline = Baseline.from_diagnostics([diag()])
+        result = baseline.apply([diag(), diag(line=50)])
+        # One occurrence budgeted: the first is suppressed, the second
+        # (a genuinely new instance of the same finding) is new.
+        assert len(result.suppressed) == 1 and len(result.new) == 1
+        assert result.stale == []
+
+    def test_line_drift_does_not_resurrect_findings(self):
+        baseline = Baseline.from_diagnostics([diag(line=3)])
+        result = baseline.apply([diag(line=120)])  # shifted by edits
+        assert result.new == [] and len(result.suppressed) == 1
+
+    def test_stale_entries_reported_for_burn_down(self):
+        baseline = Baseline.from_diagnostics([diag(), diag(rule="DET001")])
+        result = baseline.apply([diag()])
+        assert result.stale == [("DET001", "src/mod.py", "boom")]
+
+    def test_paths_stored_repo_relative(self, tmp_path):
+        found = diag(path=str(tmp_path / "pkg" / "mod.py"))
+        baseline = Baseline.from_diagnostics([found], root=tmp_path)
+        assert ("MUT001", "pkg/mod.py", "boom") in baseline.counts
+        assert baseline.apply([found], root=tmp_path).new == []
+
+    @pytest.mark.parametrize("content", [
+        "{not json",
+        "[1, 2]",
+        '{"no_findings": true}',
+        '{"findings": [{"rule": "X"}]}',  # entry missing path/message
+    ])
+    def test_malformed_baseline_fails_loudly(self, tmp_path, content):
+        target = tmp_path / "baseline.json"
+        target.write_text(content)
+        with pytest.raises(ValueError, match="malformed baseline"):
+            Baseline.load(target)
+
+    def test_cli_write_then_strict_is_clean(self, tmp_path, capsys):
+        write(tmp_path, "bad.py", BAD)
+        baseline = tmp_path / "b.json"
+        assert main([
+            str(tmp_path), "--write-baseline", "--baseline", str(baseline),
+        ]) == 0
+        assert baseline.is_file()
+        # Strict now passes: the finding is accepted legacy debt...
+        assert main([
+            str(tmp_path), "--strict", "--baseline", str(baseline),
+        ]) == 0
+        assert "suppressed" in capsys.readouterr().out
+        # ...but a NEW finding still fails strict.
+        write(tmp_path, "worse.py", BAD)
+        assert main([
+            str(tmp_path), "--strict", "--baseline", str(baseline),
+        ]) == 1
+
+    def test_cli_strict_reports_stale_entries(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", BAD)
+        baseline = tmp_path / "b.json"
+        main([str(tmp_path), "--write-baseline", "--baseline", str(baseline)])
+        bad.write_text(CLEAN)  # the legacy finding is fixed
+        assert main([
+            str(tmp_path), "--strict", "--baseline", str(baseline),
+        ]) == 0
+        assert "stale-baseline" in capsys.readouterr().out
+
+    def test_cli_malformed_baseline_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "ok.py", CLEAN)
+        baseline = tmp_path / "b.json"
+        baseline.write_text("{broken")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 2
+        assert "malformed baseline" in capsys.readouterr().out
+
+
+# -- result cache -------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_second_run_hits_and_agrees(self, tmp_path):
+        write(tmp_path, "bad.py", BAD)
+        cache_path = tmp_path / "cache.json"
+        first_cache = ResultCache(cache_path)
+        first = lint_paths([tmp_path], cache=first_cache)
+        first_cache.save()
+
+        warm = ResultCache(cache_path)
+        second = lint_paths([tmp_path], cache=warm)
+        assert second == first
+        assert warm.hits >= 2  # the file entry and the project entry
+        assert warm.misses == 0
+
+    def test_edit_invalidates_file_and_project_entries(self, tmp_path):
+        bad = write(tmp_path, "bad.py", BAD)
+        cache_path = tmp_path / "cache.json"
+        cache = ResultCache(cache_path)
+        lint_paths([tmp_path], cache=cache)
+        cache.save()
+
+        bad.write_text(CLEAN)
+        warm = ResultCache(cache_path)
+        diags = lint_paths([tmp_path], cache=warm)
+        assert diags == []
+        assert warm.misses >= 2  # content hash changed everywhere
+
+    def test_prune_drops_deleted_files(self, tmp_path):
+        bad = write(tmp_path, "bad.py", BAD)
+        write(tmp_path, "ok.py", CLEAN)
+        cache = ResultCache(tmp_path / "cache.json")
+        lint_paths([tmp_path], cache=cache)
+        bad.unlink()
+        lint_paths([tmp_path], cache=cache)
+        cache.save()
+        stored = json.loads((tmp_path / "cache.json").read_text())
+        assert [Path(p).name for p in stored["files"]] == ["ok.py"]
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{definitely not json")
+        write(tmp_path, "bad.py", BAD)
+        diags = lint_paths([tmp_path], cache=ResultCache(cache_path))
+        assert [d.rule for d in diags] == ["MUT001"]
+
+    def test_cli_verify_cache_passes_on_honest_cache(self, tmp_path, capsys):
+        write(tmp_path, "ok.py", CLEAN)
+        cache = tmp_path / "cache.json"
+        args = [str(tmp_path), "--no-baseline", "--cache", str(cache)]
+        assert main(args) == 0
+        assert main(args + ["--verify-cache"]) == 0
+        assert "cache verified" in capsys.readouterr().out
+
+    def test_cli_verify_cache_detects_poisoned_cache(self, tmp_path, capsys):
+        write(tmp_path, "bad.py", BAD)
+        cache_path = tmp_path / "cache.json"
+        args = [str(tmp_path), "--no-baseline", "--cache", str(cache_path)]
+        main(args)
+        # Poison the cache: same hash, laundered (empty) diagnostics.
+        stored = json.loads(cache_path.read_text())
+        for entry in stored["files"].values():
+            entry["diags"] = []
+        cache_path.write_text(json.dumps(stored))
+        assert main(args + ["--verify-cache"]) == 2
+        out = capsys.readouterr().out
+        assert "missing from cached run" in out
+        assert "cache inconsistency" in out
+
+    def test_cli_verify_cache_requires_cache(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path), "--verify-cache"])
+
+
+# -- SARIF --------------------------------------------------------------------
+
+
+class TestSarif:
+    def render(self, diagnostics, suppressed=None, root=None):
+        return json.loads(
+            render_sarif(diagnostics, rule_docs(), root=root,
+                         suppressed=suppressed)
+        )
+
+    def test_shape_and_rule_metadata(self):
+        log = self.render([diag()])
+        assert log["version"] == "2.1.0"
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "crowdlint"
+        ids = {rule["id"] for rule in driver["rules"]}
+        assert {"DET001", "MUT001", "COMM001", "WIRE001", "ESC001",
+                "OBS001", "EXH001"} <= ids
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == "MUT001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 3, "startColumn": 1}
+        assert driver["rules"][result["ruleIndex"]]["id"] == "MUT001"
+
+    def test_repo_relative_uris(self, tmp_path):
+        found = diag(path=str(tmp_path / "pkg" / "mod.py"))
+        log = self.render([found], root=tmp_path)
+        location = log["runs"][0]["results"][0]["locations"][0]
+        assert location["physicalLocation"]["artifactLocation"]["uri"] == (
+            "pkg/mod.py"
+        )
+
+    def test_suppressed_results_marked_not_dropped(self):
+        log = self.render([diag(line=9)], suppressed=[diag(line=3)])
+        results = log["runs"][0]["results"]
+        assert len(results) == 2
+        suppressions = [r.get("suppressions") for r in results]
+        # Sorted by line: the suppressed one (line 3) comes first.
+        assert suppressions[0] == [
+            {"kind": "external", "justification": "committed baseline"}
+        ]
+        assert suppressions[1] is None
+
+    def test_stable_ordering(self):
+        unordered = [
+            diag(path="b.py", line=1),
+            diag(path="a.py", line=9),
+            diag(path="a.py", line=2, rule="DET001"),
+            diag(path="a.py", line=2, rule="COMM001"),
+        ]
+        log = self.render(unordered)
+        keys = [
+            (
+                r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+                r["locations"][0]["physicalLocation"]["region"]["startLine"],
+                r["ruleId"],
+            )
+            for r in log["runs"][0]["results"]
+        ]
+        assert keys == sorted(keys)
+
+    def test_cli_writes_sarif(self, tmp_path, capsys):
+        write(tmp_path, "bad.py", BAD)
+        target = tmp_path / "report.sarif"
+        assert main([
+            str(tmp_path), "--no-baseline", "--sarif", str(target),
+        ]) == 1
+        log = json.loads(target.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "MUT001"
+        assert "SARIF report written" in capsys.readouterr().out
+
+
+# -- pragmas ------------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_multi_rule_pragma_suppresses_both(self, tmp_path):
+        path = write(tmp_path, "snippet.py", """\
+            import random
+
+            def f(acc=[], r=random.random()):  # crowdlint: disable=MUT001,DET001
+                return acc
+        """)
+        assert lint_file(path) == []
+
+    def test_unknown_rule_name_warns(self, tmp_path):
+        # Composed so this test file's own physical lines never carry
+        # the bogus pragma (crowdlint lints its own test suite).
+        bogus = "NOPE" + "999"
+        path = write(tmp_path, "snippet.py", f"""\
+            def f(acc=[]):  # crowdlint: disable=MUT001,{bogus}
+                return acc
+        """)
+        diags = lint_file(path)
+        assert [d.rule for d in diags] == ["PRAGMA"]
+        assert f"unknown rule `{bogus}`" in diags[0].message
+
+    def test_pragma_on_decorated_def(self, tmp_path):
+        decorated = """\
+            import functools
+
+            @functools.lru_cache
+            def f(acc=()):{pragma}
+                return {default}
+        """
+        flagged = write(tmp_path, "flagged.py", decorated.format(
+            pragma="", default="list(acc) + [1]"
+        ).replace("acc=()", "acc=[]"))
+        assert [d.rule for d in lint_file(flagged)] == ["MUT001"]
+        suppressed = write(tmp_path, "ok.py", decorated.format(
+            pragma="  # crowdlint: disable=MUT001", default="list(acc) + [1]"
+        ).replace("acc=()", "acc=[]"))
+        assert lint_file(suppressed) == []
+
+    def test_project_pass_diagnostics_respect_pragmas(self, tmp_path):
+        write(tmp_path, "messages.py", """\
+            class StickyMessage:
+                def apply(self, table):
+                    self.seen = True  # crowdlint: disable=COMM001
+
+            Message = StickyMessage | StickyMessage
+        """)
+        assert lint_paths([tmp_path]) == []
+
+    def test_json_output_is_stably_ordered(self, tmp_path, capsys):
+        write(tmp_path, "b.py", BAD)
+        write(tmp_path, "a.py", "import random\nr = random.random()\n" + BAD)
+        assert main([str(tmp_path), "--no-baseline", "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        keys = [
+            (d["path"], d["line"], d["col"], d["rule"])
+            for d in report["diagnostics"]
+        ]
+        assert keys == sorted(keys)
+        assert report["violations"] == 3
+
+
+# -- CLI surface --------------------------------------------------------------
+
+
+class TestCli:
+    def test_rules_reference(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "MUT001", "EXH001",
+                        "COMM001", "COMM002", "WIRE001", "WIRE002",
+                        "ESC001", "OBS001"):
+            assert rule_id in out
+
+    def test_warn_only_and_strict_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path), "--warn-only", "--strict"])
+
+    def test_escape_report_clean_tree(self, tmp_path, capsys):
+        write(tmp_path, "replica.py", """\
+            class Replica:
+                def send_note(self, note: str):
+                    self.network.send("me", "peer", note)
+        """)
+        assert main([str(tmp_path), "--escape-report"]) == 0
+        out = capsys.readouterr().out
+        assert "[proven]" in out
+        assert "1 proven alias-free, 0 flagged" in out
+
+    def test_escape_report_flagged_tree_exits_one(self, tmp_path, capsys):
+        write(tmp_path, "replica.py", """\
+            class Replica:
+                def __init__(self):
+                    self.rows: list = []
+
+                def leak(self):
+                    self.network.send("me", "peer", self.rows)
+        """)
+        assert main([str(tmp_path), "--escape-report"]) == 1
+        assert "[flagged]" in capsys.readouterr().out
+
+    def test_select_accepts_new_rules(self, tmp_path):
+        write(tmp_path, "ok.py", CLEAN)
+        assert main([
+            str(tmp_path), "--no-baseline",
+            "--select", "COMM001,WIRE001,ESC001,OBS001",
+        ]) == 0

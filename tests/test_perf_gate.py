@@ -1,0 +1,114 @@
+"""scripts/perf_gate.py must degrade gracefully on baseline problems.
+
+The gate's contract: a missing or malformed committed baseline skips
+the measurement with a clear one-line message and exit 0 — never a
+traceback, never a build failure — whatever REPRO_PERF_GATE says.
+These tests exercise every failure shape through ``load_baseline`` and
+through ``main`` itself (with both baselines pointed at bad paths so
+the expensive probes never run).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GATE_PATH = REPO_ROOT / "scripts" / "perf_gate.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("perf_gate", GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLoadBaseline:
+    def test_missing_file(self, gate, tmp_path):
+        data, problem = gate.load_baseline(str(tmp_path / "nope.json"), "P5")
+        assert data is None
+        assert "not found" in problem and "nope.json" in problem
+
+    def test_invalid_json(self, gate, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        data, problem = gate.load_baseline(str(path), "P5")
+        assert data is None
+        assert "not valid JSON" in problem
+        assert "re-generate" in problem
+
+    def test_wrong_top_level_shape(self, gate, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        data, problem = gate.load_baseline(str(path), "P6")
+        assert data is None
+        assert "malformed" in problem and "list" in problem
+
+    def test_valid_baseline_round_trips(self, gate, tmp_path):
+        path = tmp_path / "ok.json"
+        payload = {"msgs_per_sec": {"500": 1000.0}}
+        path.write_text(json.dumps(payload))
+        data, problem = gate.load_baseline(str(path), "P5")
+        assert problem is None
+        assert data == payload
+
+
+class TestMainBaselineHandling:
+    """main() with bad baselines: exit 0 + clear message, no traceback.
+
+    Both baseline paths point into tmp_path so neither the real P5
+    measurement nor the P6 probe runs (they are seconds-slow).
+    """
+
+    def _run(self, gate, capsys, p5, p6):
+        code = gate.main(baseline_path=str(p5), p6_baseline_path=str(p6))
+        return code, capsys.readouterr().out
+
+    def test_missing_baselines_skip_cleanly(self, gate, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_GATE", "strict")
+        code, out = self._run(
+            gate, capsys, tmp_path / "p5.json", tmp_path / "p6.json"
+        )
+        assert code == 0
+        assert "perf-gate: P5 baseline p5.json not found" in out
+        assert "perf-gate[P6]: P6 baseline p6.json not found" in out
+        assert "Traceback" not in out
+
+    def test_malformed_json_skips_cleanly(self, gate, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_GATE", "advisory")
+        p5 = tmp_path / "p5.json"
+        p5.write_text("{truncated")
+        p6 = tmp_path / "p6.json"
+        p6.write_text("null")
+        code, out = self._run(gate, capsys, p5, p6)
+        assert code == 0
+        assert "not valid JSON" in out
+        assert "malformed" in out  # P6: null is not an object
+
+    def test_wrong_structure_skips_cleanly(self, gate, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_GATE", "strict")
+        p5 = tmp_path / "p5.json"
+        p5.write_text(json.dumps({"msgs_per_sec": {}}))  # no n=500 entry
+        p6 = tmp_path / "p6.json"
+        p6.write_text(json.dumps({"configs": {}}))  # no gate config
+        code, out = self._run(gate, capsys, p5, p6)
+        assert code == 0
+        assert "no msgs_per_sec entry" in out
+        assert "missing the gate config" in out
+
+    def test_off_mode_short_circuits(self, gate, tmp_path, capsys,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_GATE", "off")
+        code, out = self._run(
+            gate, capsys, tmp_path / "a.json", tmp_path / "b.json"
+        )
+        assert code == 0
+        assert "REPRO_PERF_GATE=off" in out
