@@ -1,0 +1,227 @@
+"""P7 — CDC bootstrap under load: splicing a replica into a live run.
+
+The CDC subscription API exists so a fresh :class:`ShardServer`
+replica can be bootstrapped *while collection continues*: chunked
+snapshot reads interleave with live committed operations (DBLog-style
+virtual cuts), the certified merge reconciles the two, and promotion
+splices the replica into the exchange mesh with zero ingest pause.
+
+This bench warms a sharded backend with thousands of committed
+entries, then measures the full wall time of that splice — chunk
+reads, live ingest batches landing between the chunks, certified
+merge, promotion, and the exchange drain — ending in the byte-compare
+against the quiesced primary that the property suite uses as its
+oracle.  Reported metrics:
+
+- ``entries_per_sec`` — warm snapshot entries transferred per second
+  of bootstrap wall time (chunk read + merge throughput);
+- ``live_ops`` — operations committed *during* the bootstrap window,
+  the witness that ingest never paused.
+
+Two configurations feed ``BENCH_P7.json``: the ``scale`` row is the
+headline; the cheap ``gate`` row is re-measured by
+``scripts/perf_gate.py`` as an advisory regression probe on CI.
+"""
+
+import gc
+import json
+import os
+import platform
+import subprocess
+import time
+
+import pytest
+
+from repro.cdc.view import canonical_state
+from repro.constraints import Template
+from repro.core import RowValue, ThresholdScoring
+from repro.core.messages import InsertMessage, ReplaceMessage, UpvoteMessage
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.obs import dump_json
+from repro.server import ShardedBackend
+from repro.server.backend import BootstrapState
+from repro.sim import RngStreams, Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCORING = ThresholdScoring(2)
+N_SHARDS = 2
+CHUNK_ENTRIES = 64
+
+#: (config name, warm rows, live ingest batches during bootstrap)
+CONFIGS = (("gate", 400, 40), ("scale", 4000, 400))
+_results: dict[str, dict] = {}
+
+
+def _row_value(i):
+    return RowValue({
+        "name": f"Player {i}",
+        "nationality": f"Country {i % 20}",
+        "position": ["GK", "DF", "MF", "FW"][i % 4],
+        "caps": 80 + i % 20,
+        "goals": i % 40,
+    })
+
+
+class _Sink:
+    """A wire-faithful but replica-free client endpoint (the cost under
+    measurement is the bootstrap, not client-side replays)."""
+
+    __slots__ = ("received",)
+
+    def __init__(self):
+        self.received = 0
+
+    def on_message(self, source, payload):
+        self.received += 1
+
+
+def build_warm_backend(warm_rows):
+    """A 2-shard backend with *warm_rows* completed, upvoted rows —
+    the history the bootstrap has to transfer in chunks."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.05),
+                      streams=RngStreams(0))
+    backend = ShardedBackend(
+        sim, network, soccer_player_schema(), SCORING,
+        Template.cardinality(4), shards=N_SHARDS,
+    )
+    for name in [f"w{i}" for i in range(8)] + [f"live{i}" for i in range(4)]:
+        network.register(name, _Sink())
+        backend.attach_client(name)
+    backend.start()
+    for i in range(warm_rows):
+        source = f"w{i % 8}"
+        backend.ingest(source, [
+            InsertMessage(row_id=f"{source}#warm{i}"),
+            ReplaceMessage(
+                old_id=f"{source}#warm{i}", new_id=f"r{i}",
+                value=_row_value(i), column="name",
+                filled_value=f"Player {i}",
+            ),
+            UpvoteMessage(value=_row_value(i)),
+        ])
+    sim.run()
+    assert network.quiescent()
+    return sim, network, backend
+
+
+def live_batches(count, offset):
+    """Ingest batches to land *between* bootstrap chunk reads."""
+    batches = []
+    for i in range(count):
+        j = offset + i
+        source = f"live{i % 4}"
+        batches.append((source, [
+            InsertMessage(row_id=f"{source}#live{j}"),
+            ReplaceMessage(
+                old_id=f"{source}#live{j}", new_id=f"r{j}",
+                value=_row_value(j), column="name",
+                filled_value=f"Player {j}",
+            ),
+        ]))
+    return batches
+
+
+def drive_bootstrap(sim, network, backend, batches):
+    """Bootstrap and promote a follower while ingest keeps landing;
+    returns (wall seconds, chunk steps, live ops committed)."""
+    gc.collect()
+    pending = list(batches)
+    # Wall-clock by design: this measures real elapsed time, not
+    # simulated time.
+    start = time.perf_counter()  # crowdlint: disable=DET001
+    opening = backend.changes.position
+    driver = backend.bootstrap_follower("bench", chunk_entries=CHUNK_ENTRIES)
+    steps = 0
+    while not driver.live:
+        more = driver.step()
+        steps += 1
+        if pending:
+            source, messages = pending.pop()
+            backend.ingest(source, messages)
+            sim.run()
+        if not more:
+            break
+    for source, messages in pending:
+        backend.ingest(source, messages)
+    sim.run()
+    driver.promote()
+    sim.run()
+    elapsed = time.perf_counter() - start  # crowdlint: disable=DET001
+    live_ops = backend.changes.position - opening
+    assert network.quiescent()
+    assert backend.fully_exchanged()
+    follower = driver.promoted
+    assert dump_json(
+        canonical_state(BootstrapState.capture(follower.replica))
+    ) == dump_json(
+        canonical_state(BootstrapState.capture(backend.primary.replica))
+    )
+    return elapsed, steps, live_ops
+
+
+def _git_sha():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _record(name, payload):
+    """Flush BENCH_P7.json once every config has reported."""
+    _results[name] = payload
+    if any(cfg_name not in _results for cfg_name, _, _ in CONFIGS):
+        return
+    document = {
+        "benchmark": "test_bench_p7_cdc_bootstrap",
+        "shards": N_SHARDS,
+        "configs": _results,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "git_sha": _git_sha(),
+    }
+    path = os.path.join(REPO_ROOT, "BENCH_P7.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.parametrize("name,warm_rows,batches", CONFIGS)
+def test_bench_p7_cdc_bootstrap(benchmark, name, warm_rows, batches):
+    rigs = []
+
+    def setup():
+        sim, network, backend = build_warm_backend(warm_rows)
+        rigs.append((sim, network, backend))
+        return (sim, network, backend,
+                live_batches(batches, offset=warm_rows)), {}
+
+    elapsed, steps, live_ops = benchmark.pedantic(
+        drive_bootstrap, setup=setup, rounds=1
+    )
+    sim, network, backend = rigs[-1]
+    payload = {
+        "warm_rows": warm_rows,
+        "live_batches": batches,
+        "shards": N_SHARDS,
+        "chunk_entries": CHUNK_ENTRIES,
+        "chunk_steps": steps,
+        "live_ops": live_ops,
+        "seconds": round(elapsed, 3),
+        "entries_per_sec": round(warm_rows / elapsed, 1),
+    }
+    benchmark.extra_info.update(payload)
+    _record(name, payload)
+    print(
+        f"\nP7 {name}: {warm_rows} warm rows / {batches} live batches / "
+        f"{N_SHARDS} shards: {steps} chunk steps, {live_ops} live ops "
+        f"in {elapsed:.2f}s -> {warm_rows / elapsed:,.0f} entries/sec"
+    )
+    assert live_ops > 0  # ingest really continued during the bootstrap

@@ -16,6 +16,12 @@ advisory* — a breach is reported but never fails the build, whatever
 the mode — because the fan-out workload is far more sensitive to
 runner contention than the single-process batched loop.
 
+The P7 CDC-bootstrap baseline (``BENCH_P7.json``, see
+``benchmarks/test_bench_p7_cdc_bootstrap.py``) gets the same advisory
+treatment: the ``gate`` configuration (400 warm rows, 2 shards) is
+re-measured and compared on snapshot entries transferred per second
+of bootstrap wall time.
+
 Modes:
     REPRO_PERF_GATE=advisory   warn on breach but exit 0 (shared CI
                                runners, where absolute throughput is
@@ -47,11 +53,13 @@ from repro.sim import RngStreams, Simulator
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE = os.path.join(REPO_ROOT, "BENCH_P5.json")
 P6_BASELINE = os.path.join(REPO_ROOT, "BENCH_P6.json")
+P7_BASELINE = os.path.join(REPO_ROOT, "BENCH_P7.json")
 N_ROWS = 500
 MESSAGES = 900
 REPS = 3
 THRESHOLD = 0.50
 P6_THRESHOLD = 0.50
+P7_THRESHOLD = 0.50
 
 SCHEMA = soccer_player_schema()
 
@@ -190,12 +198,54 @@ def probe_p6(baseline_path=None):
     )
 
 
-def main(baseline_path=None, p6_baseline_path=None):
+def probe_p7(baseline_path=None):
+    """Advisory re-measure of the P7 ``gate`` config (never fails the
+    build): the CDC follower bootstrap from the P7 bench, compared on
+    snapshot entries transferred per second of bootstrap wall time."""
+    baseline, problem = load_baseline(baseline_path or P7_BASELINE, "P7")
+    if baseline is None:
+        print(f"perf-gate[P7]: {problem}; skipping the P7 probe")
+        return
+    try:
+        gate = baseline["configs"]["gate"]
+        expected = float(gate["entries_per_sec"])
+        warm_rows = int(gate["warm_rows"])
+        batches = int(gate["live_batches"])
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            "perf-gate[P7]: baseline is missing the gate config "
+            f"({exc!r}); re-generate it with the benchmark suite; "
+            "skipping the P7 probe"
+        )
+        return
+    sys.path.insert(0, REPO_ROOT)
+    from benchmarks.test_bench_p7_cdc_bootstrap import (
+        build_warm_backend,
+        drive_bootstrap,
+        live_batches,
+    )
+
+    sim, network, backend = build_warm_backend(warm_rows)
+    elapsed, _steps, _live_ops = drive_bootstrap(
+        sim, network, backend, live_batches(batches, offset=warm_rows)
+    )
+    rate = warm_rows / elapsed
+    floor = P7_THRESHOLD * expected
+    verdict = "ok" if rate >= floor else "BREACH (advisory only)"
+    print(
+        f"perf-gate[P7]: {warm_rows} warm rows / 2 shards bootstrap "
+        f"{rate:,.0f} entries/sec "
+        f"(baseline {expected:,.0f}, floor {floor:,.0f}) -> {verdict}"
+    )
+
+
+def main(baseline_path=None, p6_baseline_path=None, p7_baseline_path=None):
     mode = os.environ.get("REPRO_PERF_GATE", "strict").lower()
     if mode == "off":
         print("perf-gate: REPRO_PERF_GATE=off, skipping")
         return 0
     probe_p6(p6_baseline_path)
+    probe_p7(p7_baseline_path)
     baseline, problem = load_baseline(baseline_path or BASELINE, "P5")
     if baseline is None:
         print(f"perf-gate: {problem}; skipping the gate")

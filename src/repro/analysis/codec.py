@@ -16,7 +16,10 @@ These passes make that a CI failure instead:
 - ``WIRE002`` — dict-codec completeness.  Each union member's
   ``to_dict`` must emit a key for, and read, every dataclass field,
   and the matching ``message_from_dict`` branch must pass every field
-  to the constructor.
+  to the constructor.  The same pass covers the CDC wire module
+  (``repro.cdc.events``): ``ChangeEvent``/``Cut``/``SnapshotChunk``
+  against their ``*_from_dict`` decoders — a field dropped there
+  corrupts ``--cdc-out`` exports and snapshot-chunk bootstraps.
 
 Both passes key off dataclass *field annotations*, so a field with a
 default still counts: a default hides the drop at construction time
@@ -53,6 +56,13 @@ DOCS = {
 #: Wire dataclasses of the exchange codec checked field-for-field.
 EXCHANGE_CLASSES = ("ExchangeBatch", "ShardCommit")
 
+#: CDC wire dataclasses and their module-level decoder functions.
+CDC_CLASSES = (
+    ("ChangeEvent", "change_event_from_dict"),
+    ("Cut", "cut_from_dict"),
+    ("SnapshotChunk", "chunk_from_dict"),
+)
+
 
 def _diag(rule: str, module: ModuleInfo, node: ast.AST, message: str) -> Diagnostic:
     return Diagnostic(
@@ -83,6 +93,16 @@ def find_codec_module(project: Project) -> ModuleInfo | None:
             "encode_exchange" in module.functions
             and "decode_exchange" in module.functions
         ):
+            return module
+    return None
+
+
+def find_cdc_module(project: Project) -> ModuleInfo | None:
+    """The CDC wire module: defines every ``*_from_dict`` decoder."""
+    wanted = {decoder for _cls, decoder in CDC_CLASSES}
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        if wanted <= set(module.functions):
             return module
     return None
 
@@ -162,6 +182,9 @@ def check_codecs(project: Project) -> list[Diagnostic]:
                 project, codec_module, messages_module, members
             )
         )
+    cdc_module = find_cdc_module(project)
+    if cdc_module is not None:
+        diagnostics.extend(_check_cdc_codec(cdc_module))
     diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return diagnostics
 
@@ -329,4 +352,107 @@ def _check_dict_codec(
                         "the default",
                     )
                 )
+    return out
+
+
+# -- WIRE002 over the CDC wire module ---------------------------------------
+
+
+def _check_cdc_codec(cdc: ModuleInfo) -> list[Diagnostic]:
+    """Field-for-field completeness of the CDC dict codecs.
+
+    Same contract as the message dict codec, applied to the CDC wire
+    triple: each class's ``to_dict`` must emit a key for, and read,
+    every dataclass field; the paired ``*_from_dict`` decoder must pass
+    every field to the constructor.  A field missed here silently
+    corrupts ``--cdc-out`` round-trips and chunked-snapshot bootstraps.
+    """
+    out: list[Diagnostic] = []
+    for class_name, decoder_name in CDC_CLASSES:
+        cls = cdc.classes.get(class_name)
+        if cls is None:
+            out.append(
+                _diag(
+                    RULE_DICT, cdc, cdc.tree,
+                    f"CDC wire module defines no {class_name}: the "
+                    f"{decoder_name} decoder has nothing to rebuild",
+                )
+            )
+            continue
+        fields = dataclass_fields(cls)
+        to_dict = cdc.class_methods(class_name).get("to_dict")
+        if to_dict is None:
+            out.append(
+                _diag(
+                    RULE_DICT, cdc, cls,
+                    f"{class_name} defines no to_dict(): the CDC wire "
+                    "format cannot carry it",
+                )
+            )
+        else:
+            keys = {
+                key.value
+                for node in ast.walk(to_dict)
+                if isinstance(node, ast.Dict)
+                for key in node.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            self_reads = {
+                node.attr
+                for node in ast.walk(to_dict)
+                if isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            }
+            for field in fields:
+                if field not in keys:
+                    out.append(
+                        _diag(
+                            RULE_DICT, cdc, to_dict,
+                            f"{class_name}.to_dict() emits no `{field}` "
+                            "key: the field is dropped from the CDC wire "
+                            "format",
+                        )
+                    )
+                elif field not in self_reads:
+                    out.append(
+                        _diag(
+                            RULE_DICT, cdc, to_dict,
+                            f"{class_name}.to_dict() never reads "
+                            f"self.{field}: the `{field}` key does not "
+                            "carry the field",
+                        )
+                    )
+        decoder = cdc.functions.get(decoder_name)
+        if decoder is None:
+            out.append(
+                _diag(
+                    RULE_DICT, cdc, cls,
+                    f"CDC wire module defines no {decoder_name}: "
+                    f"{class_name} cannot be rebuilt from its dict form",
+                )
+            )
+            continue
+        calls = _constructor_calls(decoder, class_name)
+        if not calls:
+            out.append(
+                _diag(
+                    RULE_DICT, cdc, decoder,
+                    f"{decoder_name} never constructs {class_name}: the "
+                    "CDC codec does not round-trip",
+                )
+            )
+            continue
+        covered: set[str] = set()
+        for call in calls:
+            covered |= _covered_fields(call, fields)
+        for field in sorted(set(fields) - covered):
+            out.append(
+                _diag(
+                    RULE_DICT, cdc, calls[0],
+                    f"{decoder_name} reconstructs {class_name} without "
+                    f"field `{field}`: decoded events fall back to the "
+                    "default and diverge from the producer",
+                )
+            )
     return out

@@ -23,7 +23,13 @@ that decomposes into checks a forgotten registration would break:
    branch in a shard ``on_message``, and the exchange encoder's
    ``isinstance`` chain covers every ``Message`` union member, so a
    newly registered op kind cannot be silently unroutable or
-   unencodable cross-shard.
+   unencodable cross-shard;
+7. (CDC layer, when present) the change-stream wire codec delegates to
+   the union codec rather than forking it: ``ChangeEvent.to_dict`` must
+   call ``self.message.to_dict()`` and ``change_event_from_dict`` must
+   call ``message_from_dict`` — an inline per-type re-encoding would
+   silently miss the next registered message kind, where delegation
+   covers it by construction.
 
 The checker is purely syntactic (stdlib ``ast``), so it runs in CI
 without importing the package under analysis.
@@ -48,6 +54,7 @@ class ExhaustivenessConfig:
     table: Path
     handlers: tuple[tuple[Path, str], ...]
     shard: Path | None = None
+    cdc: Path | None = None
 
     @classmethod
     def locate(cls, root: Path) -> "ExhaustivenessConfig | None":
@@ -58,6 +65,7 @@ class ExhaustivenessConfig:
             messages = base / "core" / "messages.py"
             if messages.is_file():
                 shard = base / "server" / "shard.py"
+                cdc = base / "cdc" / "events.py"
                 return cls(
                     messages=messages,
                     table=base / "core" / "table.py",
@@ -66,6 +74,7 @@ class ExhaustivenessConfig:
                         (base / "client" / "worker_client.py", "WorkerClient"),
                     ),
                     shard=shard if shard.is_file() else None,
+                    cdc=cdc if cdc.is_file() else None,
                 )
         return None
 
@@ -261,6 +270,11 @@ def check_exhaustiveness(config: ExhaustivenessConfig) -> list[Diagnostic]:
         if shard_tree is not None:
             _check_shard_layer(report, config.shard, shard_tree, union)
 
+    if config.cdc is not None:
+        cdc_tree = _parse(config.cdc)
+        if cdc_tree is not None:
+            _check_cdc_layer(report, config.cdc, cdc_tree)
+
     return diagnostics
 
 
@@ -401,3 +415,90 @@ def _check_shard_layer(
                     f"union member {member} — committing one would raise "
                     "at the first shard exchange",
                 )
+
+
+# ---------------------------------------------------------------------------
+# The CDC layer (change-stream wire format)
+# ---------------------------------------------------------------------------
+
+
+def _calls_attribute(func: ast.FunctionDef, chain: tuple[str, ...]) -> bool:
+    """Does *func* call the attribute *chain* rooted at a name?  E.g.
+    ``("self", "message", "to_dict")`` matches ``self.message.to_dict()``."""
+    head, *attrs = chain
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        expr: ast.expr = node.func
+        parts: list[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if (
+            isinstance(expr, ast.Name)
+            and expr.id == head
+            and list(reversed(parts)) == attrs
+        ):
+            return True
+    return False
+
+
+def _calls_function(func: ast.FunctionDef, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == name
+        for node in ast.walk(func)
+    )
+
+
+def _check_cdc_layer(report, cdc_path: Path, cdc_tree: ast.Module) -> None:
+    """7. the CDC codec delegates to the message union codec.
+
+    ``ChangeEvent`` wraps a ``Message`` payload; if either direction of
+    its codec re-encodes the payload inline (a per-type if/elif fork)
+    instead of delegating, the next registered message kind round-trips
+    through traces but silently breaks ``--cdc-out`` replay.  Checked
+    syntactically: the encode half must call ``self.message.to_dict()``,
+    the decode half must call ``message_from_dict``.
+    """
+    classes = _class_defs(cdc_tree)
+    event_cls = classes.get("ChangeEvent")
+    if event_cls is None:
+        report(
+            cdc_path, None,
+            "CDC module defines no ChangeEvent — the change stream has "
+            "no wire type",
+        )
+    else:
+        to_dict = _methods(event_cls).get("to_dict")
+        if to_dict is None or not _calls_attribute(
+            to_dict, ("self", "message", "to_dict")
+        ):
+            report(
+                cdc_path, to_dict or event_cls,
+                "ChangeEvent.to_dict must delegate the payload to "
+                "self.message.to_dict() — an inline re-encoding misses "
+                "the next registered message kind",
+            )
+    from_dict = next(
+        (
+            node for node in cdc_tree.body
+            if isinstance(node, ast.FunctionDef)
+            and node.name == "change_event_from_dict"
+        ),
+        None,
+    )
+    if from_dict is None:
+        report(
+            cdc_path, None,
+            "CDC module defines no change_event_from_dict — exported "
+            "change streams cannot be replayed",
+        )
+    elif not _calls_function(from_dict, "message_from_dict"):
+        report(
+            cdc_path, from_dict,
+            "change_event_from_dict must decode the payload via "
+            "message_from_dict — a forked per-type decode misses the "
+            "next registered message kind",
+        )

@@ -50,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", default=None, metavar="FILE",
                      help="enable observability and write the span-trace "
                           "export (JSON) to FILE")
+    run.add_argument("--cdc-out", default=None, metavar="FILE",
+                     help="record the canonical change stream and write "
+                          "it to FILE as JSON lines (one ChangeEvent per "
+                          "committed operation, sorted keys)")
 
     add("effectiveness", "E1: overall effectiveness")
 
@@ -125,6 +129,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             target_rows=args.rows,
             budget=args.budget,
             use_recommender=args.recommender,
+            capture_cdc=bool(args.cdc_out),
         )
         want_obs = bool(args.metrics_out or args.trace_out)
         result = CrowdFillExperiment(config, obs=want_obs).run()
@@ -144,6 +149,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.trace_out:
             result.obs.write_trace(args.trace_out)
             print(f"wrote trace to {args.trace_out}")
+        if args.cdc_out:
+            import json
+
+            with open(args.cdc_out, "w", encoding="utf-8") as handle:
+                for event in result.cdc_events:
+                    handle.write(
+                        json.dumps(
+                            event.to_dict(),
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
+                    )
+                    handle.write("\n")
+            print(
+                f"wrote {len(result.cdc_events)} change events to "
+                f"{args.cdc_out}"
+            )
         return 0
 
     if args.command == "effectiveness":

@@ -132,6 +132,10 @@ class ExperimentConfig:
     shards: int | None = None
     """``None`` runs the classic single back-end; ``N >= 1`` runs the
     sharded multi-backend (:mod:`repro.server.shard`) with N shards."""
+    capture_cdc: bool = False
+    """Record the run's canonical change stream (one
+    :class:`~repro.cdc.events.ChangeEvent` per committed operation) on
+    the result's ``cdc_events`` — the ``--cdc-out`` export."""
 
     def resolved_profiles(self) -> list[WorkerProfile]:
         """The crew's profiles, defaulting to the representative five."""
@@ -195,6 +199,12 @@ class ExperimentResult:
     obs: Any = None
     """The run's :class:`repro.obs.Observability` handle (the shared
     no-op when observability was not requested)."""
+    leaderboard: Any = None
+    """The final :class:`~repro.cdc.leaderboard.LeaderboardSnapshot` of
+    the run's live leaderboard consumer (the CDC-derived standings the
+    report's final-state sections render)."""
+    cdc_events: list = field(default_factory=list)
+    """The run's change stream (``capture_cdc=True`` only)."""
     _allocations: dict[AllocationScheme, AllocationResult] = field(
         default_factory=dict
     )
@@ -314,6 +324,13 @@ class CrowdFillExperiment:
             )
             for index in range(config.num_workers)
         ]
+        # CDC consumers attach before the run starts, so their streams
+        # cover the whole collection.  Neither perturbs the simulation:
+        # subscriptions are in-process (no network channels, no entropy).
+        board = session.leaderboard()
+        export = (
+            session.subscribe("cdc-export") if config.capture_cdc else None
+        )
         session.recruit(
             specs,
             mean_interarrival=config.mean_interarrival,
@@ -360,6 +377,8 @@ class CrowdFillExperiment:
             dropped_template_rows=len(backend.central.dropped_rows),
             messages_sent=session.network.stats.messages_sent,
             obs=session.obs,
+            leaderboard=board.snapshot(),
+            cdc_events=export.take() or [] if export is not None else [],
         )
 
     def _make_policy(

@@ -96,6 +96,35 @@ def format_observability(obs) -> str:
     return "\n".join(lines)
 
 
+def format_leaderboard(snapshot) -> str:
+    """Render the live leaderboard's final standings.
+
+    The numbers come from the run's CDC consumer
+    (:class:`repro.cdc.leaderboard.LeaderboardView`), maintained
+    incrementally as operations committed — not from an end-of-run scan
+    of the trace or the candidate table.  Stream totals first, then the
+    per-worker table in standings order.
+    """
+    lines = [
+        f"stream position: {snapshot.position}  "
+        f"(events: {snapshot.events - snapshot.central_events} worker + "
+        f"{snapshot.central_events} central)",
+        f"candidate rows: {snapshot.candidate_rows}   "
+        f"superseded: {snapshot.superseded_rows}   "
+        f"heavily downvoted: {snapshot.heavily_downvoted}",
+        "",
+        f"{'worker':<12} {'fills':>6} {'inserts':>8} {'upvotes':>8} "
+        f"{'downvotes':>10} {'undos':>6} {'total':>6}",
+    ]
+    for tally in snapshot.workers:
+        lines.append(
+            f"{tally.worker_id:<12} {tally.fills:>6} {tally.inserts:>8} "
+            f"{tally.upvotes:>8} {tally.downvotes:>10} {tally.undos:>6} "
+            f"{tally.total:>6}"
+        )
+    return "\n".join(lines)
+
+
 def generate_report(
     seed: int = 7,
     mape_seeds: Sequence[int] = (3, 7, 11, 19, 23),
@@ -133,6 +162,8 @@ def generate_report(
         accuracy_from_result(result).format_table())
     add("E6 / Figure 6 — earning-rate stability",
         earning_report_from_result(result).format_table())
+    add("Live leaderboard — final standings (repro.cdc)",
+        format_leaderboard(result.leaderboard))
     add("Observability — run telemetry (repro.obs)",
         format_observability(result.obs))
 

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Callable, Iterator, Literal
 
+from repro.cdc.events import Cut
+from repro.cdc.subscription import ChangeStream, StreamCursor, Subscription
 from repro.constraints.central import CENTRAL_CLIENT_ID, CentralClient
 from repro.constraints.matching import IncrementalMatching
 from repro.constraints.template import Template, TemplateRow
@@ -156,36 +158,29 @@ class OpLog:
 class ClientSession:
     """Server-side per-client broadcast bookkeeping for resync.
 
-    ``sent_count`` counts every message sent to the client since the
-    session's last *sync epoch* (attach or snapshot resync); the seqs of
-    the most recent ones are retained in ``sent_seqs`` (bounded).  While
-    detached, ``detach_seq`` pins the last server seq applied before the
-    client went away.
+    The count/replay-ref bookkeeping is a
+    :class:`~repro.cdc.subscription.StreamCursor` — the one FIFO-resync
+    protocol core, shared with the shard exchange marks and the CDC
+    subscription buffers; here its window is the op-log capacity and its
+    refs are op-log seqs.  The session adds attach state and resync
+    counters on top.  While detached, ``detach_seq`` pins the last
+    server seq applied before the client went away.
     """
 
     name: str
+    cursor: StreamCursor
     attached: bool = True
-    sent_count: int = 0
-    sent_seqs: deque[int] = field(default_factory=deque)
     detach_seq: int | None = None
     resyncs_incremental: int = 0
     resyncs_snapshot: int = 0
 
-    def record_send(self, seq: int, capacity: int) -> None:
-        self.sent_count += 1
-        self.sent_seqs.append(seq)
-        while len(self.sent_seqs) > capacity:
-            self.sent_seqs.popleft()
-
     @property
-    def dropped_prefix(self) -> int:
-        """Sent messages whose seqs have been forgotten (acked-or-bust)."""
-        return self.sent_count - len(self.sent_seqs)
+    def sent_count(self) -> int:
+        """Messages sent to the client in the current sync epoch."""
+        return self.cursor.sent_count
 
-    def reset_epoch(self) -> None:
-        """A snapshot resync starts a fresh count epoch on both sides."""
-        self.sent_count = 0
-        self.sent_seqs.clear()
+    def record_send(self, seq: int) -> None:
+        self.cursor.record_send(seq)
 
 
 @dataclass(frozen=True)
@@ -368,6 +363,7 @@ class BackendServer:
         self.trace: list[TraceRecord] = []
         self.oplog = OpLog(oplog_capacity)
         self._seq = 0
+        self.changes = ChangeStream(self, retention=oplog_capacity)
         self._clients: list[str] = []
         self._sessions: dict[str, ClientSession] = {}
         self.on_complete = on_complete
@@ -430,7 +426,9 @@ class BackendServer:
         if name in self._clients:
             raise ValueError(f"client already attached: {name!r}")
         self._clients.append(name)
-        self._sessions[name] = ClientSession(name)
+        self._sessions[name] = ClientSession(
+            name, StreamCursor(window=self.oplog.capacity)
+        )
         return BootstrapState.capture(self.replica)
 
     def detach_client(self, name: str) -> None:
@@ -491,15 +489,12 @@ class BackendServer:
         # second outage interrupting the replay would leave stale
         # positions behind and the next resync would replay (and the
         # client double-apply) the same seqs again.
-        dead = session.sent_count - received_count
-        for _ in range(min(dead, len(session.sent_seqs))):
-            session.sent_seqs.pop()
-        session.sent_count = received_count
+        session.cursor.rollback(received_count)
         session.attached = True
         session.detach_seq = None
         self._clients.append(name)
         if replay is None:
-            session.reset_epoch()
+            session.cursor.reset()
             session.resyncs_snapshot += 1
             if self.obs.enabled:
                 self.obs.inc(f"{self._obs_ns}.resyncs_snapshot")
@@ -521,7 +516,7 @@ class BackendServer:
             )
         for record in replay:
             self.network.send(self.broadcast_source, name, record.message)
-            session.record_send(record.seq, self.oplog.capacity)
+            session.record_send(record.seq)
         return ResyncResult(kind="incremental", replayed=len(replay))
 
     def _incremental_replay(
@@ -529,11 +524,9 @@ class BackendServer:
     ) -> list[TraceRecord] | None:
         """The records to replay for an incremental resync, or None when
         the op-log has been truncated past the gap (snapshot needed)."""
-        if received_count < session.dropped_prefix:
+        unacked = session.cursor.unacked(received_count)
+        if unacked is None:
             return None  # the unacked suffix starts before retained seqs
-        unacked = list(session.sent_seqs)[
-            received_count - session.dropped_prefix:
-        ]
         replay: list[TraceRecord] = []
         for seq in unacked:
             record = self.oplog.get(seq)
@@ -687,11 +680,10 @@ class BackendServer:
             return
         self.network.broadcast(self.broadcast_source, targets, record.message)
         seq = record.seq
-        capacity = self.oplog.capacity
         for client in targets:
             session = self._sessions.get(client)
             if session is not None:
-                session.record_send(seq, capacity)
+                session.record_send(seq)
         if self.obs.enabled:
             self.obs.inc(f"{self._obs_ns}.broadcasts", len(targets))
 
@@ -718,6 +710,7 @@ class BackendServer:
         self.trace.append(record)
         self.oplog.append(record)
         self._seq += 1
+        self._note_change(record)
         if worker_id != CENTRAL_CLIENT_ID:
             for listener in self._trace_listeners:
                 listener(record)
@@ -726,6 +719,34 @@ class BackendServer:
             span.set(kind=type(message).__name__)
             span.close()
         return record
+
+    def _note_change(self, record: TraceRecord) -> None:
+        """Feed one applied record to the change stream.  On a plain
+        backend the origin coordinate is ``(0, seq)`` — the whole log is
+        one dense commit sequence; :class:`~repro.server.shard.ShardServer`
+        overrides this with the real origin commit coordinate."""
+        self.changes.note(0, record.seq, record)
+
+    # -- change-data-capture -------------------------------------------------
+
+    def subscribe(
+        self,
+        name: str = "consumer",
+        *,
+        from_cut: Cut | None = None,
+        capacity: int | None = None,
+    ) -> Subscription:
+        """Attach a CDC consumer to this server's change stream (see
+        :meth:`repro.cdc.subscription.ChangeStream.subscribe`)."""
+        return self.changes.subscribe(name, from_cut=from_cut, capacity=capacity)
+
+    def snapshot_cut(self) -> tuple[BootstrapState, Cut]:
+        """An atomic ``(state, cut)`` pair: the master state and the
+        change-stream position it corresponds to.  Atomic because the
+        simulator is single-threaded and this method applies nothing —
+        it is *the* primitive behind the subscription snapshot fallback
+        and mid-run replica bootstrap."""
+        return BootstrapState.capture(self.replica), self.changes.cut()
 
     # -- results ------------------------------------------------------------------
 

@@ -74,6 +74,9 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from repro.cdc.events import Cut
+from repro.cdc.subscription import StreamCursor, Subscription
+from repro.cdc.view import CdcView
 from repro.constraints.template import Template
 from repro.core.messages import (
     DownvoteMessage,
@@ -363,6 +366,10 @@ class ShardServer(BackendServer):
             raise ValueError(f"shard_id {shard_id} out of range 0..{n_shards - 1}")
         self.shard_id = shard_id
         self.n_shards = n_shards
+        # Origin coordinate of the operation currently being traced,
+        # stashed for the _note_change hook (the base class calls it
+        # inside _apply_and_trace, before the commit-log append).
+        self._change_coords: tuple[int, int] = (shard_id, 0)
         primary = shard_id == 0
         super().__init__(
             sim,
@@ -384,9 +391,12 @@ class ShardServer(BackendServer):
         )
         #: Every operation this shard committed, in lseq order.
         self.commit_log: list[tuple[ShardCommit, Message]] = []
-        # Exchange bookkeeping: per-peer sent high-water mark (an index
-        # into commit_log) and per-origin-shard applied prefix count.
-        self._sent_to: dict[str, int] = {peer: 0 for peer in self.peers}
+        # Exchange bookkeeping: a per-peer StreamCursor (window 0 — the
+        # commit log is dense, so the sent count alone locates the
+        # replay suffix) and a per-origin-shard applied prefix count.
+        self._peer_cursors: dict[str, StreamCursor] = {
+            peer: StreamCursor(window=0) for peer in self.peers
+        }
         self._received_from: dict[int, int] = {}
         self._flush_needed = False
         # Plain counters (obs-independent, for tests and reports).
@@ -403,7 +413,7 @@ class ShardServer(BackendServer):
 
     def sent_watermark(self, peer: str) -> int:
         """How much of the commit log has been pushed toward *peer*."""
-        return self._sent_to[peer]
+        return self._peer_cursors[peer].sent_count
 
     def received_from(self, shard_id: int) -> int:
         """Applied prefix length of *shard_id*'s commit stream."""
@@ -422,9 +432,14 @@ class ShardServer(BackendServer):
             # A peer-committed operation: trace it under its origin
             # worker (compensation and echo-exclusion need the real
             # author), but do not commit or re-exchange it.
+            commit = worker_id.commit
+            self._change_coords = (commit.shard_id, commit.lseq)
             record = super()._apply_and_trace(message, worker_id.worker_id)
             self.exchange_ops_applied += 1
             return record
+        # The commit-log append happens after the super() call, so the
+        # slot this operation is about to take is the current length.
+        self._change_coords = (self.shard_id, len(self.commit_log))
         record = super()._apply_and_trace(message, worker_id)
         commit = ShardCommit(
             shard_id=self.shard_id,
@@ -436,6 +451,14 @@ class ShardServer(BackendServer):
         if self.peers:
             self._flush_needed = True
         return record
+
+    def _note_change(self, record: TraceRecord) -> None:
+        """Feed the change stream the *origin* commit coordinate — the
+        shard's own next lseq for local commits, the owner's commit
+        slot for exchanged operations — so any consumer's cut is a
+        per-origin-shard prefix vector, comparable across replicas."""
+        shard_id, lseq = self._change_coords
+        self.changes.note(shard_id, lseq, record)
 
     def _broadcast_record(self, record: TraceRecord, exclude: Any) -> None:
         if isinstance(exclude, _RemoteOrigin):
@@ -505,14 +528,15 @@ class ShardServer(BackendServer):
         per peer per flush — the asymmetric broadcast)."""
         self._flush_needed = False
         for peer in self.peers:
-            if self._sent_to[peer] < len(self.commit_log):
+            if self._peer_cursors[peer].sent_count < len(self.commit_log):
                 self._send_to_peer(peer)
 
     def _send_to_peer(self, peer: str) -> None:
-        start = self._sent_to[peer]
+        cursor = self._peer_cursors[peer]
+        start = cursor.sent_count
         entries = self.commit_log[start:]
         batch = encode_exchange(self.shard_id, start, entries)
-        self._sent_to[peer] = len(self.commit_log)
+        cursor.record_bulk(len(entries))
         self.exchange_batches_sent += 1
         self.exchange_ops_sent += len(entries)
         if self.obs.enabled:
@@ -529,14 +553,14 @@ class ShardServer(BackendServer):
         and sends during it were dropped), so the suffix is re-sent as
         fresh batches.  Returns the number of re-offered operations.
         """
-        if peer not in self._sent_to:
+        if peer not in self._peer_cursors:
             raise ValueError(f"{peer!r} is not a peer of {self.endpoint!r}")
         if acknowledged < 0 or acknowledged > len(self.commit_log):
             raise ValueError(
                 f"peer {peer!r} acknowledged {acknowledged} ops but "
                 f"{self.endpoint!r} committed only {len(self.commit_log)}"
             )
-        self._sent_to[peer] = acknowledged
+        self._peer_cursors[peer].rollback(acknowledged)
         backlog = len(self.commit_log) - acknowledged
         self.exchange_resyncs += 1
         if self.obs.enabled:
@@ -550,6 +574,58 @@ class ShardServer(BackendServer):
         if backlog:
             self._send_to_peer(peer)
         return backlog
+
+    # -- follower bootstrap --------------------------------------------------
+
+    def adopt_peer(self, endpoint: str, acknowledged: int = 0) -> None:
+        """Splice a post-construction replica into this shard's exchange
+        fan-out, with *acknowledged* commits already applied over there
+        (a follower bootstrapped from a snapshot cut).  The unsent
+        suffix — everything committed past the cut — is flushed to the
+        new peer immediately; later commits flow with the normal
+        end-of-instant flushes.
+        """
+        if endpoint == self.endpoint:
+            raise ValueError(f"{self.endpoint!r} cannot adopt itself")
+        if endpoint in self._peer_cursors:
+            raise ValueError(
+                f"{endpoint!r} is already a peer of {self.endpoint!r}"
+            )
+        if acknowledged < 0 or acknowledged > len(self.commit_log):
+            raise ValueError(
+                f"adopted peer {endpoint!r} acknowledged {acknowledged} ops "
+                f"but {self.endpoint!r} committed only {len(self.commit_log)}"
+            )
+        self.peers = self.peers + (endpoint,)
+        cursor = StreamCursor(window=0)
+        cursor.record_bulk(acknowledged)
+        self._peer_cursors[endpoint] = cursor
+        if self.obs.enabled:
+            self.obs.event(
+                f"{self._obs_ns}.adopt_peer",
+                peer=endpoint,
+                acknowledged=acknowledged,
+            )
+        if len(self.commit_log) > acknowledged:
+            self._send_to_peer(endpoint)
+
+    def seed_from_snapshot(self, state: BootstrapState, cut: Cut) -> None:
+        """Load a snapshot-equivalent state captured at *cut* into this
+        fresh, clientless shard and align its exchange and change-stream
+        coordinates with it: exchange batches from origin shard ``k``
+        resume at lseq ``cut[k]`` (anything earlier is a dup, skipped by
+        count), and the local stream describes the seeded history so its
+        own cuts stay comparable.
+        """
+        if self.commit_log or self.trace or self._clients:
+            raise RuntimeError(
+                f"{self.endpoint!r} is not a fresh replica; refusing to seed"
+            )
+        state.restore_into(self.replica)
+        for shard_id, count in cut.counts:
+            if count:
+                self._received_from[shard_id] = count
+        self.changes.seed(cut)
 
 
 class ShardRouter:
@@ -622,6 +698,15 @@ class ShardedBackend:
         self.network = network
         self.schema = schema
         self.scoring = scoring
+        self.template = template
+        # Follower construction reuses the fleet's shard parameters.
+        self._shard_options = {
+            "on_unsatisfiable": on_unsatisfiable,
+            "oplog_capacity": oplog_capacity,
+            "max_batch": max_batch,
+            "obs": obs,
+        }
+        self.followers: list[ShardServer] = []
         self.shards: list[ShardServer] = [
             ShardServer(
                 sim,
@@ -752,6 +837,79 @@ class ShardedBackend:
     def current_template(self) -> Template:
         return self.primary.current_template()
 
+    # -- change-data-capture -------------------------------------------------
+
+    @property
+    def changes(self):
+        """The primary's change stream — the only stream that carries
+        every committed operation (its replica applies them all)."""
+        return self.primary.changes
+
+    def subscribe(
+        self,
+        name: str = "consumer",
+        *,
+        from_cut: Cut | None = None,
+        capacity: int | None = None,
+    ) -> Subscription:
+        return self.primary.subscribe(name, from_cut=from_cut, capacity=capacity)
+
+    def snapshot_cut(self) -> tuple[BootstrapState, Cut]:
+        return self.primary.snapshot_cut()
+
+    def bootstrap_follower(
+        self,
+        name: str = "follower",
+        *,
+        capacity: int | None = None,
+        chunk_entries: int = 64,
+    ) -> "FollowerBootstrap":
+        """Begin bootstrapping a fresh replica shard mid-run.
+
+        Returns a :class:`FollowerBootstrap` driver; call its ``step()``
+        across simulated instants (collection keeps running — the
+        stream is never paused) and ``promote()`` once done to splice
+        the converged replica into the exchange mesh as a live
+        follower.
+        """
+        return FollowerBootstrap(
+            self, name, capacity=capacity, chunk_entries=chunk_entries
+        )
+
+    def _admit_follower(self, state: BootstrapState, cut: Cut) -> ShardServer:
+        """The atomic promote instant: construct the follower at *cut*,
+        seed it, and splice it into every owner shard's fan-out.  Runs
+        within one simulated instant, so the cut is still current when
+        the owners mark it acknowledged — the live tail past the cut
+        reaches the follower exactly once (anything in flight toward
+        the primary is past the cut and flushes from its owner's log)."""
+        shard_id = len(self.shards) + len(self.followers)
+        follower = ShardServer(
+            self.sim,
+            self.network,
+            self.schema,
+            self.scoring,
+            self.template,
+            shard_id=shard_id,
+            n_shards=shard_id + 1,
+            **self._shard_options,
+        )
+        # The follower exchanges with the owner shards only (other
+        # followers commit nothing; the constructor's range-based peer
+        # list would include them).
+        follower.peers = tuple(shard.endpoint for shard in self.shards)
+        follower._peer_cursors = {
+            peer: StreamCursor(window=0) for peer in follower.peers
+        }
+        follower.start()
+        follower.seed_from_snapshot(state, cut)
+        for shard in self.shards:
+            shard.adopt_peer(
+                follower.endpoint, acknowledged=cut.count_for(shard.shard_id)
+            )
+        self.followers.append(follower)
+        return follower
+
     # -- decentralised commit ----------------------------------------------
 
     def committed_trace(self) -> list[tuple[ShardCommit, Message]]:
@@ -774,14 +932,15 @@ class ShardedBackend:
     def exchange_backlog(self) -> int:
         """Committed ops not yet offered to some peer (0 at quiescence)."""
         backlog = 0
-        for shard in self.shards:
+        for shard in self.shards + self.followers:
             for peer in shard.peers:
                 backlog += len(shard.commit_log) - shard.sent_watermark(peer)
         return backlog
 
     def fully_exchanged(self) -> bool:
-        """Has every shard applied every other shard's full commit log?"""
-        for shard in self.shards:
+        """Has every replica — shard or follower — applied every
+        shard's full commit log?"""
+        for shard in self.shards + self.followers:
             for other in self.shards:
                 if other is shard:
                     continue
@@ -820,7 +979,9 @@ class ShardedBackend:
         suffix.  Links that do not join two shards of this backend are
         ignored (the injector reports every healed link).
         """
-        by_endpoint = {shard.endpoint: shard for shard in self.shards}
+        by_endpoint = {
+            shard.endpoint: shard for shard in self.shards + self.followers
+        }
         for source, destination in sorted(set(links)):
             sender = by_endpoint.get(source)
             receiver = by_endpoint.get(destination)
@@ -829,3 +990,71 @@ class ShardedBackend:
             sender.resync_peer(
                 destination, receiver.received_from(sender.shard_id)
             )
+
+
+class FollowerBootstrap:
+    """Mid-run bootstrap of a fresh replica shard — ingest never pauses.
+
+    The driver subscribes a :class:`~repro.cdc.view.CdcView` to the
+    primary's change stream and reads DBLog-style snapshot chunks, one
+    per :meth:`step`, at whatever simulated cadence the caller chooses;
+    operations keep committing between steps and accumulate in the
+    subscription buffer.  :meth:`promote` is the atomic hand-over: the
+    buffered tail is certified-merged, the converged view materializes
+    as a :class:`~repro.server.backend.BootstrapState` at a known
+    :class:`~repro.cdc.events.Cut`, and a new :class:`ShardServer` is
+    constructed from that pair and spliced into every owner shard's
+    exchange fan-out — commits past the cut reach it exactly once,
+    through the same dup-skip-by-count protocol heal-time resync uses.
+
+    A bounded subscription that overflows mid-bootstrap degrades to the
+    snapshot fallback (one atomic state capture) and still promotes
+    correctly — the cut moves forward, nothing is lost.
+    """
+
+    def __init__(
+        self,
+        backend: ShardedBackend,
+        name: str = "follower",
+        *,
+        capacity: int | None = None,
+        chunk_entries: int = 64,
+    ) -> None:
+        self.backend = backend
+        self.name = name
+        self.chunk_entries = chunk_entries
+        self.subscription = backend.subscribe(
+            f"bootstrap:{name}", capacity=capacity
+        )
+        self.view = CdcView(self.subscription, label=name)
+        self.promoted: ShardServer | None = None
+
+    @property
+    def live(self) -> bool:
+        """Has the chunked bootstrap converged (promote is cheap)?"""
+        return self.view.live
+
+    def step(self) -> bool:
+        """Read one snapshot chunk; ``True`` while more remain."""
+        if self.promoted is not None:
+            raise RuntimeError(f"follower {self.name!r} already promoted")
+        return self.view.step(self.chunk_entries)
+
+    def promote(self) -> ShardServer:
+        """Finish the bootstrap and splice the follower into the mesh.
+
+        Remaining chunks (if the caller promotes early) are read now,
+        within one simulated instant; the returned replica is live —
+        byte-equivalent to the quiesced primary once the in-flight
+        exchange tail drains.
+        """
+        if self.promoted is not None:
+            raise RuntimeError(f"follower {self.name!r} already promoted")
+        view = self.view
+        while not view.live:
+            view.step(self.chunk_entries)
+        view.refresh()
+        follower = self.backend._admit_follower(view.state(), view.cut)
+        self.subscription.close()
+        self.promoted = follower
+        return follower

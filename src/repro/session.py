@@ -44,9 +44,12 @@ from repro.workers import ActionLatencies, SimulatedWorker, WorkerProfile
 from repro.workers.policy import WorkerPolicy
 
 if TYPE_CHECKING:
+    from repro.cdc.events import Cut
+    from repro.cdc.leaderboard import LeaderboardView
+    from repro.cdc.subscription import Subscription
     from repro.docstore import Database
     from repro.pay import AllocationScheme, CompensationEstimator
-    from repro.server.backend import BackendServer
+    from repro.server.backend import BackendServer, BootstrapState
     from repro.server.frontend import FrontendServer
 
 PolicyFactory = Callable[[str], WorkerPolicy]
@@ -157,6 +160,7 @@ class CollectionSession:
         self.workers: dict[str, SimulatedWorker] = {}
         self.estimator: "CompensationEstimator | None" = None
         self.backend: "BackendServer | None" = None
+        self._leaderboard: "LeaderboardView | None" = None
         self._db_name = db_name
         self._database: "Database | None" = None
         self._frontend: "FrontendServer | None" = None
@@ -252,6 +256,46 @@ class CollectionSession:
             lambda record: estimator.on_record(record, backend.replica.table)
         )
         return estimator
+
+    # -- change-data-capture ------------------------------------------
+
+    def subscribe(
+        self,
+        name: str = "consumer",
+        *,
+        from_cut: "Cut | None" = None,
+        capacity: int | None = None,
+    ) -> "Subscription":
+        """Attach a CDC consumer to the server's change stream — the
+        public way to observe collection as it happens (see
+        :mod:`repro.cdc`).  On a sharded session this is the primary's
+        stream, which carries every committed operation."""
+        backend = self._require_backend("subscribe")
+        return backend.subscribe(name, from_cut=from_cut, capacity=capacity)
+
+    def snapshot_cut(self) -> "tuple[BootstrapState, Cut]":
+        """An atomic ``(state, cut)`` capture of the master replica and
+        the change-stream position it corresponds to."""
+        backend = self._require_backend("snapshot_cut")
+        return backend.snapshot_cut()
+
+    def leaderboard(self, downvote_threshold: int = 2) -> "LeaderboardView":
+        """The live contribution leaderboard (one per session, created
+        on first call).  Attach before :meth:`run` to cover the whole
+        run; a mid-run attach snapshot-loads row state and tallies the
+        tail only."""
+        if self._leaderboard is None:
+            from repro.cdc.leaderboard import LeaderboardView
+
+            self._require_backend("leaderboard")
+            self._leaderboard = LeaderboardView(
+                self.subscribe("leaderboard"),
+                downvote_threshold=downvote_threshold,
+            )
+            if self._sampler is not None:
+                board = self._leaderboard
+                self._sampler.add_source("leaderboard", board.sample)
+        return self._leaderboard
 
     # -- workers ------------------------------------------------------
 
@@ -381,6 +425,8 @@ class CollectionSession:
                 self.estimator.estimated_totals() if self.estimator else {}
             ),
         )
+        if self._leaderboard is not None:
+            sampler.add_source("leaderboard", self._leaderboard.sample)
         return sampler
 
     def _require_backend(self, what: str) -> "BackendServer":

@@ -337,6 +337,130 @@ def test_wire002_real_messages_module_is_clean():
     assert [d for d in check_codecs(project) if d.rule == "WIRE002"] == []
 
 
+# -- WIRE002 over the CDC wire module -----------------------------------------
+
+
+CDC_WIRE = """\
+    from dataclasses import dataclass
+    from messages import message_from_dict
+
+    @dataclass(frozen=True)
+    class Cut:
+        position: int
+        counts: tuple
+
+        def to_dict(self):
+            return {"position": self.position, "counts": list(self.counts)}
+
+    @dataclass(frozen=True)
+    class ChangeEvent:
+        position: int
+        shard_id: int
+        message: object
+
+        def to_dict(self):
+            return {
+                "position": self.position,
+                "shard_id": self.shard_id,
+                "message": self.message.to_dict(),
+            }
+
+    @dataclass(frozen=True)
+    class SnapshotChunk:
+        namespace: str
+        entries: tuple
+        low: Cut
+        high: Cut
+
+        def to_dict(self):
+            return {
+                "namespace": self.namespace,
+                "entries": list(self.entries),
+                "low": self.low.to_dict(),
+                "high": self.high.to_dict(),
+            }
+
+    def change_event_from_dict(data):
+        return ChangeEvent(
+            position=data["position"],
+            shard_id=data["shard_id"],
+            message=message_from_dict(data["message"]),
+        )
+
+    def cut_from_dict(data):
+        return Cut(position=data["position"], counts=tuple(data["counts"]))
+
+    def chunk_from_dict(data):
+        return SnapshotChunk(
+            namespace=data["namespace"],
+            entries=tuple(data["entries"]),
+            low=cut_from_dict(data["low"]),
+            high=cut_from_dict(data["high"]),
+        )
+"""
+
+
+def test_wire002_clean_cdc_module_passes(tmp_path):
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "cdcevents.py": CDC_WIRE,
+    })
+    assert check_codecs(project) == []
+
+
+def test_wire002_flags_cdc_to_dict_dropping_a_field(tmp_path):
+    broken = CDC_WIRE.replace('"shard_id": self.shard_id,\n', "")
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "cdcevents.py": broken,
+    })
+    diags = check_codecs(project)
+    assert any(
+        d.rule == "WIRE002"
+        and "ChangeEvent.to_dict() emits no `shard_id` key" in d.message
+        for d in diags
+    )
+
+
+def test_wire002_flags_cdc_key_without_read(tmp_path):
+    broken = CDC_WIRE.replace(
+        '"position": self.position, "counts": list(self.counts)',
+        '"position": self.position, "counts": []',
+    )
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "cdcevents.py": broken,
+    })
+    diags = check_codecs(project)
+    assert any(
+        d.rule == "WIRE002"
+        and "Cut.to_dict() never reads self.counts" in d.message
+        for d in diags
+    )
+
+
+def test_wire002_flags_cdc_decoder_dropping_a_field(tmp_path):
+    broken = CDC_WIRE.replace('high=cut_from_dict(data["high"]),\n', "")
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "cdcevents.py": broken,
+    })
+    diags = check_codecs(project)
+    assert any(
+        d.rule == "WIRE002"
+        and "chunk_from_dict reconstructs SnapshotChunk without field "
+        "`high`" in d.message
+        for d in diags
+    )
+
+
+def test_wire002_real_cdc_module_is_clean():
+    files = list((REPO_ROOT / "src" / "repro" / "core").glob("*.py"))
+    files += list((REPO_ROOT / "src" / "repro" / "cdc").glob("*.py"))
+    project = Project.load(files)
+    assert [d for d in check_codecs(project) if d.rule == "WIRE002"] == []
+
+
 # -- ESC001: aliasing escapes at send sites -----------------------------------
 
 
@@ -552,4 +676,67 @@ def test_exh001_stack_without_shard_skips_shard_checks(tmp_path):
     (tmp_path / "server" / "shard.py").unlink()
     config = ExhaustivenessConfig.locate(tmp_path)
     assert config is not None and config.shard is None
+    assert check_exhaustiveness(config) == []
+
+
+# -- EXH001, CDC layer --------------------------------------------------------
+
+
+GOOD_CDC_EVENTS = """\
+    from core.messages import message_from_dict
+
+
+    class ChangeEvent:
+        def to_dict(self):
+            return {"position": self.position, "message": self.message.to_dict()}
+
+
+    def change_event_from_dict(data):
+        return ChangeEvent(message=message_from_dict(data["message"]))
+"""
+
+
+def make_cdc_stack(tmp_path, cdc_src=GOOD_CDC_EVENTS):
+    make_sharded_stack(tmp_path)
+    path = tmp_path / "cdc" / "events.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(cdc_src), encoding="utf-8")
+    config = ExhaustivenessConfig.locate(tmp_path)
+    assert config is not None and config.cdc is not None
+    return config
+
+
+def test_exh001_cdc_stack_clean(tmp_path):
+    assert check_exhaustiveness(make_cdc_stack(tmp_path)) == []
+
+
+def test_exh001_flags_cdc_to_dict_not_delegating(tmp_path):
+    broken = GOOD_CDC_EVENTS.replace(
+        "self.message.to_dict()", '{"type": "insert", "row_id": self.row_id}'
+    )
+    diags = check_exhaustiveness(make_cdc_stack(tmp_path, broken))
+    assert any(
+        "ChangeEvent.to_dict must delegate the payload to "
+        "self.message.to_dict()" in d.message
+        for d in diags
+    )
+
+
+def test_exh001_flags_cdc_decode_fork(tmp_path):
+    broken = GOOD_CDC_EVENTS.replace(
+        'message_from_dict(data["message"])', 'dict(data["message"])'
+    )
+    diags = check_exhaustiveness(make_cdc_stack(tmp_path, broken))
+    assert any(
+        "change_event_from_dict must decode the payload via "
+        "message_from_dict" in d.message
+        for d in diags
+    )
+
+
+def test_exh001_stack_without_cdc_skips_cdc_checks(tmp_path):
+    make_cdc_stack(tmp_path)
+    (tmp_path / "cdc" / "events.py").unlink()
+    config = ExhaustivenessConfig.locate(tmp_path)
+    assert config is not None and config.cdc is None
     assert check_exhaustiveness(config) == []

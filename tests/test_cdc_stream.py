@@ -1,0 +1,511 @@
+"""Unit tests for the CDC subsystem (repro.cdc).
+
+Covers the pieces in isolation — :class:`StreamCursor` window
+semantics, the wire codecs, :class:`ChangeStream` emission and
+``from_cut`` replay, :class:`Subscription` overflow → snapshot
+fallback, the chunked :class:`CdcView` bootstrap against a live
+backend, the leaderboard consumer, the session facade, and a
+quiet-stream follower bootstrap.  The mid-run, fault-overlaid
+convergence properties live in ``tests/test_cdc_properties.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cdc import (
+    ChangeEvent,
+    CdcView,
+    Cut,
+    LeaderboardView,
+    SnapshotChunk,
+    StreamCursor,
+    change_event_from_dict,
+    chunk_from_dict,
+    cut_from_dict,
+)
+from repro.cdc.view import canonical_state
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core import ThresholdScoring
+from repro.core.messages import (
+    InsertMessage,
+    ReplaceMessage,
+    UpvoteMessage,
+)
+from repro.core.schema import soccer_player_schema
+from repro.net import ConstantLatency, Network
+from repro.obs import dump_json
+from repro.server import BackendServer, ShardedBackend
+from repro.server.backend import BootstrapState
+from repro.sim import RngStreams, Simulator
+
+SCORING = ThresholdScoring(2)
+
+
+def make_backend(num_clients=3, template_rows=2, **kwargs):
+    """A plain backend rig, *not yet started* — so tests can subscribe
+    before the Central Client's template inserts become history."""
+    sim = Simulator()
+    network = Network(
+        sim, default_latency=ConstantLatency(0.05), streams=RngStreams(0)
+    )
+    schema = soccer_player_schema()
+    template = Template.cardinality(template_rows)
+    backend = BackendServer(sim, network, schema, SCORING, template, **kwargs)
+    clients = []
+    for i in range(num_clients):
+        client = WorkerClient(
+            f"w{i}", schema, SCORING, network, streams=RngStreams(i)
+        )
+        client.bootstrap(backend.attach_client(client.worker_id))
+        clients.append(client)
+    return sim, backend, clients
+
+
+def fill_row(client, row_id, values=None):
+    values = values or {
+        "name": "Messi", "nationality": "Argentina",
+        "position": "FW", "caps": 83, "goals": 37,
+    }
+    for column, value in values.items():
+        row_id = client.fill(row_id, column, value)
+    return row_id
+
+
+def drive_some_ops(sim, backend, clients):
+    """A small deterministic burst: one full row (w0, with its
+    completion auto-upvote), an upvote (w1), a partial fill (w1), and a
+    downvote (w2) — every namespace of the replica gets populated, and
+    each client keeps legal moves in reserve for the tests' tails."""
+    backend.start()
+    sim.run()
+    fill_row(clients[0], clients[0].replica.table.row_ids()[0])
+    sim.run()
+    target = [
+        r.row_id
+        for r in clients[1].replica.table.rows()
+        if r.value.is_complete(clients[1].schema.column_names)
+    ][0]
+    clients[1].upvote(target)
+    sim.run()
+    other = [r for r in clients[1].replica.table.row_ids() if r != target][0]
+    clients[1].fill(other, "name", "Xavi")
+    sim.run()
+    clients[2].downvote(target)
+    sim.run()
+    return target
+
+
+def extra_fill(sim, client, value="Spain"):
+    """One more guaranteed-legal committed op: fill the partial row's
+    empty ``nationality`` cell."""
+    row = next(
+        r for r in client.replica.table.rows()
+        if dict(r.value.items()).get("name") == "Xavi"
+    )
+    client.fill(row.row_id, "nationality", value)
+    sim.run()
+
+
+def capture_doc(backend) -> str:
+    return dump_json(canonical_state(BootstrapState.capture(backend.replica)))
+
+
+# -- StreamCursor -------------------------------------------------------------
+
+
+def test_cursor_unbounded_window_retains_everything():
+    cursor = StreamCursor(window=None)
+    for ref in range(5):
+        cursor.record_send(ref)
+    assert cursor.sent_count == 5
+    assert cursor.dropped_prefix == 0
+    assert cursor.unacked(0) == [0, 1, 2, 3, 4]
+    assert cursor.unacked(3) == [3, 4]
+    assert cursor.unacked(5) == []
+
+
+def test_cursor_zero_window_counts_only():
+    cursor = StreamCursor(window=0)
+    cursor.record_send("ignored")
+    cursor.record_bulk(3)
+    assert cursor.sent_count == 4
+    assert cursor.dropped_prefix == 4
+    # No refs retained: any suffix starting before the count is lost...
+    assert cursor.unacked(2) is None
+    # ...but the full prefix acknowledges cleanly.
+    assert cursor.unacked(4) == []
+
+
+def test_cursor_bounded_window_overflow_rollback_reset():
+    cursor = StreamCursor(window=3)
+    for ref in range(5):
+        cursor.record_send(ref)
+    assert cursor.dropped_prefix == 2
+    assert cursor.unacked(1) is None  # ref 1 fell off the window
+    assert cursor.unacked(2) == [2, 3, 4]
+    assert cursor.unacked(4) == [4]
+    cursor.rollback(3)
+    assert cursor.sent_count == 3
+    assert cursor.unacked(2) == [2]
+    cursor.reset()
+    assert cursor.sent_count == 0
+    assert cursor.unacked(0) == []
+
+
+def test_cursor_rejects_negative_window():
+    with pytest.raises(ValueError, match="window"):
+        StreamCursor(window=-1)
+
+
+# -- wire codecs --------------------------------------------------------------
+
+
+def _json_round_trip(data: dict) -> dict:
+    return json.loads(json.dumps(data, sort_keys=True))
+
+
+def test_change_event_round_trips_through_json():
+    event = ChangeEvent(
+        position=7,
+        shard_id=2,
+        lseq=4,
+        timestamp=12.5,
+        worker_id="w1",
+        message=InsertMessage(row_id="w1#3"),
+    )
+    data = _json_round_trip(event.to_dict())
+    assert data["schema_version"] == 1
+    rebuilt = change_event_from_dict(data)
+    assert rebuilt == event
+    assert rebuilt.to_dict() == event.to_dict()
+
+
+def test_cut_round_trip_and_coverage_semantics():
+    cut = Cut(position=9, counts=((0, 5), (2, 4)))
+    rebuilt = cut_from_dict(_json_round_trip(cut.to_dict()))
+    assert rebuilt == cut
+    assert cut.count_for(0) == 5
+    assert cut.count_for(1) == 0  # absent shard: empty prefix
+    assert cut.covers(0, 4) and not cut.covers(0, 5)
+    assert not cut.covers(1, 0)
+
+
+def test_snapshot_chunk_round_trip_restores_tuples():
+    low = Cut(position=3, counts=((0, 3),))
+    chunk = SnapshotChunk(
+        namespace="upvotes",
+        entries=(((("caps", 83), ("name", "Messi")), 2),),
+        superseded=(),
+        boundary=(("caps", "int", "83"),),
+        low=low,
+        high=low,
+    )
+    rebuilt = chunk_from_dict(_json_round_trip(chunk.to_dict()))
+    assert rebuilt == chunk
+    assert isinstance(rebuilt.entries[0][0], tuple)
+    assert isinstance(rebuilt.boundary[0], tuple)
+
+
+# -- ChangeStream emission ----------------------------------------------------
+
+
+def test_stream_positions_dense_and_cut_matches_trace():
+    sim, backend, clients = make_backend()
+    sub = backend.subscribe("test")
+    drive_some_ops(sim, backend, clients)
+    events = sub.take()
+    assert events is not None and events
+    assert [e.position for e in events] == list(range(len(events)))
+    assert len(events) == len(backend.trace)
+    assert all(e.shard_id == 0 for e in events)
+    assert [e.lseq for e in events] == [r.seq for r in backend.trace]
+    cut = backend.changes.cut()
+    assert cut.position == len(backend.trace)
+    assert cut.counts == ((0, len(backend.trace)),)
+
+
+def test_stream_without_subscribers_only_counts():
+    sim, backend, clients = make_backend()
+    drive_some_ops(sim, backend, clients)
+    stream = backend.changes
+    assert not stream.active
+    assert len(stream._recent) == 0  # no event objects were built
+    assert stream.position == len(backend.trace)
+
+
+def test_events_carry_worker_attribution():
+    sim, backend, clients = make_backend()
+    sub = backend.subscribe("test")
+    drive_some_ops(sim, backend, clients)
+    events = sub.take()
+    authors = {e.worker_id for e in events}
+    assert "w0" in authors and "w1" in authors and "__central__" in authors
+    for event, record in zip(events, backend.trace):
+        assert event.worker_id == record.worker_id
+        assert event.message is record.message
+        assert event.timestamp == record.timestamp
+
+
+# -- Subscription: ack, overflow, resync --------------------------------------
+
+
+def test_ack_outside_epoch_bounds_raises():
+    sim, backend, clients = make_backend()
+    sub = backend.subscribe("test")
+    drive_some_ops(sim, backend, clients)
+    sent = sub.cursor.sent_count
+    with pytest.raises(ValueError, match="acked"):
+        sub.ack(sent + 1)
+    sub.ack(sent)
+    with pytest.raises(ValueError, match="acked"):
+        sub.ack(sent - 1)  # cumulative count cannot move backwards
+
+
+def test_overflow_marks_lost_and_resync_recovers():
+    sim, backend, clients = make_backend()
+    sub = backend.subscribe("small", capacity=2)
+    drive_some_ops(sim, backend, clients)
+    assert sub.lost
+    assert sub.overflows == 1
+    assert sub.poll() is None
+    state, cut = sub.resync()
+    assert dump_json(canonical_state(state)) == capture_doc(backend)
+    assert cut.position == backend.changes.position
+    assert not sub.lost
+    # The new epoch flows events again.
+    extra_fill(sim, clients[0])
+    tail = sub.take()
+    assert tail is not None and len(tail) >= 1
+
+
+def test_closed_subscription_receives_nothing_more():
+    sim, backend, clients = make_backend()
+    sub = backend.subscribe("test")
+    drive_some_ops(sim, backend, clients)
+    seen = sub.cursor.sent_count
+    sub.close()
+    extra_fill(sim, clients[0])
+    assert sub.cursor.sent_count == seen
+    assert sub not in backend.changes.subscriptions
+
+
+# -- from_cut resume ----------------------------------------------------------
+
+
+def test_subscribe_from_covered_cut_replays_exact_suffix():
+    sim, backend, clients = make_backend()
+    witness = backend.subscribe("witness")
+    backend.start()
+    sim.run()
+    mid_cut = backend.changes.cut()
+    fill_row(clients[0], clients[0].replica.table.row_ids()[0])
+    sim.run()
+    resumed = backend.subscribe("resumed", from_cut=mid_cut)
+    expected = [
+        e for e in witness.take() if e.position >= mid_cut.position
+    ]
+    assert expected  # the second batch really added events
+    assert resumed.take() == expected
+
+
+def test_subscribe_from_stale_cut_is_lost_then_resyncs():
+    sim, backend, clients = make_backend(oplog_capacity=4)
+    backend.subscribe("activator")  # makes the stream build events
+    drive_some_ops(sim, backend, clients)
+    assert backend.changes.position > 4  # beyond the 4-event retention
+    stale = backend.subscribe("stale", from_cut=Cut(0, ()))
+    assert stale.lost
+    assert stale.poll() is None
+    state, _cut = stale.resync()
+    assert dump_json(canonical_state(state)) == capture_doc(backend)
+
+
+def test_subscribe_from_future_cut_raises():
+    sim, backend, clients = make_backend()
+    with pytest.raises(ValueError, match="position"):
+        backend.subscribe("future", from_cut=Cut(99, ((0, 99),)))
+
+
+# -- CdcView: chunked bootstrap and live tail ---------------------------------
+
+
+def test_view_subscribed_at_birth_is_live_immediately():
+    sim, backend, clients = make_backend()
+    view = CdcView(backend.subscribe("birth"))
+    assert view.live
+    drive_some_ops(sim, backend, clients)
+    view.refresh()
+    assert dump_json(canonical_state(view.state())) == capture_doc(backend)
+    assert view.cut.position == backend.changes.position
+
+
+def test_midrun_chunked_bootstrap_converges_to_capture():
+    sim, backend, clients = make_backend()
+    drive_some_ops(sim, backend, clients)
+    view = CdcView(backend.subscribe("late"), label="late")
+    assert not view.live  # history predates the subscription
+    view.bootstrap(max_entries=2)
+    assert view.live
+    assert view.sub.chunks_read >= 3  # every namespace was walked
+    assert dump_json(canonical_state(view.state())) == capture_doc(backend)
+    # The live tail keeps tracking.
+    extra_fill(sim, clients[2])
+    assert view.refresh() >= 1
+    assert dump_json(canonical_state(view.state())) == capture_doc(backend)
+
+
+def test_bootstrap_interleaved_with_live_commits():
+    """Events that land between chunk reads are certified against the
+    chunk windows: replayed iff their window's cut predates them."""
+    sim, backend, clients = make_backend()
+    drive_some_ops(sim, backend, clients)
+    view = CdcView(backend.subscribe("interleaved"))
+    assert view.step(max_entries=1)  # first rows chunk only
+    # The producer keeps committing mid-bootstrap.
+    extra_fill(sim, clients[0])
+    view.bootstrap(max_entries=1)
+    assert dump_json(canonical_state(view.state())) == capture_doc(backend)
+
+
+def test_view_overflow_during_tail_falls_back_to_snapshot():
+    sim, backend, clients = make_backend()
+    view = CdcView(backend.subscribe("tiny", capacity=2))
+    drive_some_ops(sim, backend, clients)
+    assert view.sub.lost
+    view.refresh()  # overflow path: snapshot fallback, then live again
+    assert view.sub.snapshot_fallbacks == 1
+    assert dump_json(canonical_state(view.state())) == capture_doc(backend)
+
+
+def test_refresh_before_bootstrap_raises():
+    sim, backend, clients = make_backend()
+    drive_some_ops(sim, backend, clients)
+    view = CdcView(backend.subscribe("early"))
+    with pytest.raises(RuntimeError, match="bootstrapping"):
+        view.refresh()
+
+
+# -- the leaderboard consumer -------------------------------------------------
+
+
+def _trace_tallies(backend):
+    counts: dict[str, dict[str, int]] = {}
+    for record in backend.worker_trace():
+        tally = counts.setdefault(
+            record.worker_id,
+            {"fills": 0, "inserts": 0, "upvotes": 0, "downvotes": 0,
+             "undos": 0},
+        )
+        message = record.message
+        if isinstance(message, ReplaceMessage):
+            tally["fills"] += 1
+        elif isinstance(message, InsertMessage):
+            tally["inserts"] += 1
+        elif isinstance(message, UpvoteMessage):
+            tally["upvotes"] += 1
+        elif type(message).__name__ == "DownvoteMessage":
+            tally["downvotes"] += 1
+        else:
+            tally["undos"] += 1
+    return counts
+
+
+def test_leaderboard_at_birth_matches_trace():
+    sim, backend, clients = make_backend()
+    board = LeaderboardView(backend.subscribe("board"))
+    drive_some_ops(sim, backend, clients)
+    snapshot = board.snapshot()
+    assert snapshot.position == backend.changes.position
+    assert snapshot.events == len(backend.trace)
+    assert snapshot.events - snapshot.central_events == len(
+        backend.worker_trace()
+    )
+    assert snapshot.candidate_rows == len(backend.replica.table)
+    expected = _trace_tallies(backend)
+    assert {t.worker_id for t in snapshot.workers} == set(expected)
+    for tally in snapshot.workers:
+        for kind, count in expected[tally.worker_id].items():
+            assert getattr(tally, kind) == count
+    # Standings order: busiest first, ties by id.
+    totals = [t.total for t in snapshot.workers]
+    assert totals == sorted(totals, reverse=True)
+    assert snapshot.to_dict()["workers"][0]["total"] == totals[0]
+
+
+def test_leaderboard_midrun_attach_tallies_tail_only():
+    sim, backend, clients = make_backend()
+    drive_some_ops(sim, backend, clients)
+    board = LeaderboardView(backend.subscribe("late-board"))
+    assert board.snapshot().events == 0  # history is not re-attributed
+    assert board.snapshot().candidate_rows == len(backend.replica.table)
+    extra_fill(sim, clients[1])
+    snapshot = board.snapshot()
+    assert snapshot.events == 1
+    assert snapshot.workers[0].worker_id == "w1"
+    assert snapshot.workers[0].fills == 1
+
+
+# -- the session facade -------------------------------------------------------
+
+
+def test_session_facade_exposes_cdc():
+    from repro.session import CollectionSession
+
+    session = CollectionSession(
+        seed=3, schema=soccer_player_schema(), scoring=SCORING,
+        target_rows=2,
+    )
+    board = session.leaderboard()
+    assert session.leaderboard() is board  # one per session, cached
+    sub = session.subscribe("probe")
+    assert sub.stream is session.backend.changes
+    state, cut = session.snapshot_cut()
+    assert cut.position == session.backend.changes.position
+    assert dump_json(canonical_state(state)) == capture_doc(session.backend)
+
+
+# -- follower bootstrap (quiet stream) ----------------------------------------
+
+
+def test_follower_bootstrap_on_quiet_stream_and_tail_exchange():
+    from tests.test_shard_convergence import (
+        _PINNED_SCHEDULE,
+        _run_sharded_schedule,
+    )
+
+    backend, clients, injector, network = _run_sharded_schedule(
+        2, 3, _PINNED_SCHEDULE, fault_seed=4, latency_seed=9
+    )
+    bootstrap = backend.bootstrap_follower("replica-a", chunk_entries=4)
+    while not bootstrap.live:
+        bootstrap.step()
+    follower = bootstrap.promote()
+    assert follower in backend.followers
+    assert follower.shard_id == 2
+    assert follower.replica.snapshot() == backend.primary.replica.snapshot()
+    assert (
+        follower.replica.table.history_snapshot()
+        == backend.primary.replica.table.history_snapshot()
+    )
+    # Fresh commits after promotion reach the follower via exchange —
+    # a just-attached client has a legal downvote on any row.
+    sim = backend.primary.sim
+    from tests.test_shard_convergence import SCHEMA as MINI_SCHEMA
+
+    late = WorkerClient(
+        "late", MINI_SCHEMA, SCORING, network, streams=RngStreams(99)
+    )
+    late.bootstrap(backend.attach_client("late"))
+    sim.run()
+    late.downvote(late.replica.table.row_ids()[0])
+    sim.run()
+    assert backend.exchange_backlog() == 0
+    assert backend.fully_exchanged()
+    assert follower.replica.snapshot() == backend.primary.replica.snapshot()
+    # Promotion is one-shot.
+    with pytest.raises(RuntimeError):
+        bootstrap.promote()

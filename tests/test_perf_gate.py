@@ -61,23 +61,29 @@ class TestLoadBaseline:
 class TestMainBaselineHandling:
     """main() with bad baselines: exit 0 + clear message, no traceback.
 
-    Both baseline paths point into tmp_path so neither the real P5
-    measurement nor the P6 probe runs (they are seconds-slow).
+    All baseline paths point into tmp_path so neither the real P5
+    measurement nor the P6/P7 probes run (they are seconds-slow).
     """
 
-    def _run(self, gate, capsys, p5, p6):
-        code = gate.main(baseline_path=str(p5), p6_baseline_path=str(p6))
+    def _run(self, gate, capsys, p5, p6, p7):
+        code = gate.main(
+            baseline_path=str(p5),
+            p6_baseline_path=str(p6),
+            p7_baseline_path=str(p7),
+        )
         return code, capsys.readouterr().out
 
     def test_missing_baselines_skip_cleanly(self, gate, tmp_path, capsys,
                                             monkeypatch):
         monkeypatch.setenv("REPRO_PERF_GATE", "strict")
         code, out = self._run(
-            gate, capsys, tmp_path / "p5.json", tmp_path / "p6.json"
+            gate, capsys,
+            tmp_path / "p5.json", tmp_path / "p6.json", tmp_path / "p7.json",
         )
         assert code == 0
         assert "perf-gate: P5 baseline p5.json not found" in out
         assert "perf-gate[P6]: P6 baseline p6.json not found" in out
+        assert "perf-gate[P7]: P7 baseline p7.json not found" in out
         assert "Traceback" not in out
 
     def test_malformed_json_skips_cleanly(self, gate, tmp_path, capsys,
@@ -87,10 +93,12 @@ class TestMainBaselineHandling:
         p5.write_text("{truncated")
         p6 = tmp_path / "p6.json"
         p6.write_text("null")
-        code, out = self._run(gate, capsys, p5, p6)
+        p7 = tmp_path / "p7.json"
+        p7.write_text("[]")
+        code, out = self._run(gate, capsys, p5, p6, p7)
         assert code == 0
         assert "not valid JSON" in out
-        assert "malformed" in out  # P6: null is not an object
+        assert "malformed" in out  # P6: null / P7: [] are not objects
 
     def test_wrong_structure_skips_cleanly(self, gate, tmp_path, capsys,
                                            monkeypatch):
@@ -99,16 +107,20 @@ class TestMainBaselineHandling:
         p5.write_text(json.dumps({"msgs_per_sec": {}}))  # no n=500 entry
         p6 = tmp_path / "p6.json"
         p6.write_text(json.dumps({"configs": {}}))  # no gate config
-        code, out = self._run(gate, capsys, p5, p6)
+        p7 = tmp_path / "p7.json"
+        p7.write_text(json.dumps({"configs": {"gate": {}}}))  # empty gate
+        code, out = self._run(gate, capsys, p5, p6, p7)
         assert code == 0
         assert "no msgs_per_sec entry" in out
-        assert "missing the gate config" in out
+        assert "perf-gate[P6]: baseline is missing the gate config" in out
+        assert "perf-gate[P7]: baseline is missing the gate config" in out
 
     def test_off_mode_short_circuits(self, gate, tmp_path, capsys,
                                      monkeypatch):
         monkeypatch.setenv("REPRO_PERF_GATE", "off")
         code, out = self._run(
-            gate, capsys, tmp_path / "a.json", tmp_path / "b.json"
+            gate, capsys,
+            tmp_path / "a.json", tmp_path / "b.json", tmp_path / "c.json",
         )
         assert code == 0
         assert "REPRO_PERF_GATE=off" in out
