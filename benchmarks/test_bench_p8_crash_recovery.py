@@ -1,0 +1,241 @@
+"""P8 — crash recovery under load: WAL replay + rejoin wall time.
+
+The durability subsystem exists so a shard crash destroys no committed
+state: the shard restarts from its latest cut-addressed checkpoint,
+replays the WAL suffix, re-adopts commits that survived only in a
+peer's WAL, and resyncs the exchange mesh — all while the surviving
+shards keep committing.
+
+This bench warms a 2-shard backend with thousands of WAL-logged
+commits, crashes shard 1 under continued ingest, and measures:
+
+- ``recovery_ms`` — wall time of the restart choreography (checkpoint
+  load, WAL-suffix replay, recommit of lost slots, link resync, CC
+  resume, ingress-backlog drain);
+- ``ops_per_sec`` — operations committed per second of wall time
+  across the whole faulted phase (crash + rebuild + drain), the
+  throughput the system sustains while recovering;
+- ``live_ops`` — operations committed during the faulted phase, the
+  witness that ingest never paused.
+
+Two configurations feed ``BENCH_P8.json``: the ``scale`` row is the
+headline; the cheap ``gate`` row is re-measured by
+``scripts/perf_gate.py`` as an advisory regression probe on CI.
+"""
+
+import gc
+import json
+import os
+import platform
+import subprocess
+import time
+
+import pytest
+
+from repro.cdc.view import canonical_state
+from repro.constraints import Template
+from repro.core import RowValue, ThresholdScoring
+from repro.core.messages import InsertMessage, ReplaceMessage, UpvoteMessage
+from repro.core.schema import soccer_player_schema
+from repro.durability import DurabilityConfig
+from repro.net import ConstantLatency, FaultInjector, FaultPlan, Network, ShardCrashWindow
+from repro.obs import dump_json
+from repro.server import ShardedBackend
+from repro.server.backend import BootstrapState
+from repro.server.shard import shard_endpoint
+from repro.sim import RngStreams, Simulator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCORING = ThresholdScoring(2)
+N_SHARDS = 2
+CHECKPOINT_INTERVAL = 128
+
+#: (config name, warm rows before the crash, live batches during it)
+CONFIGS = (("gate", 400, 60), ("scale", 4000, 400))
+_results: dict[str, dict] = {}
+
+
+def _row_value(i):
+    return RowValue({
+        "name": f"Player {i}",
+        "nationality": f"Country {i % 20}",
+        "position": ["GK", "DF", "MF", "FW"][i % 4],
+        "caps": 80 + i % 20,
+        "goals": i % 40,
+    })
+
+
+class _Sink:
+    """A wire-faithful but replica-free client endpoint (the cost under
+    measurement is the recovery, not client-side replays)."""
+
+    __slots__ = ("received",)
+
+    def __init__(self):
+        self.received = 0
+
+    def on_message(self, source, payload):
+        self.received += 1
+
+
+def build_warm_backend(warm_rows):
+    """A 2-shard durable backend with *warm_rows* completed, upvoted
+    rows — the WAL history the crashed shard has to replay."""
+    sim = Simulator()
+    network = Network(sim, default_latency=ConstantLatency(0.05),
+                      streams=RngStreams(0))
+    backend = ShardedBackend(
+        sim, network, soccer_player_schema(), SCORING,
+        Template.cardinality(4), shards=N_SHARDS,
+        durability=DurabilityConfig(checkpoint_interval=CHECKPOINT_INTERVAL),
+    )
+    for name in [f"w{i}" for i in range(8)] + [f"live{i}" for i in range(4)]:
+        network.register(name, _Sink())
+        backend.attach_client(name)
+    backend.start()
+    for i in range(warm_rows):
+        source = f"w{i % 8}"
+        backend.ingest(source, [
+            InsertMessage(row_id=f"{source}#warm{i}"),
+            ReplaceMessage(
+                old_id=f"{source}#warm{i}", new_id=f"r{i}",
+                value=_row_value(i), column="name",
+                filled_value=f"Player {i}",
+            ),
+            UpvoteMessage(value=_row_value(i)),
+        ])
+    sim.run()
+    assert network.quiescent()
+    return sim, network, backend
+
+
+def live_batches(count, offset):
+    """Ingest batches landing while shard 1 is down and recovering."""
+    batches = []
+    for i in range(count):
+        j = offset + i
+        source = f"live{i % 4}"
+        batches.append((source, [
+            InsertMessage(row_id=f"{source}#live{j}"),
+            ReplaceMessage(
+                old_id=f"{source}#live{j}", new_id=f"r{j}",
+                value=_row_value(j), column="name",
+                filled_value=f"Player {j}",
+            ),
+        ]))
+    return batches
+
+
+def drive_crash_recovery(sim, network, backend, batches):
+    """Crash shard 1 under continued ingest, let it restart from the
+    WAL, and drain to a converged mesh; returns (wall seconds, restart
+    choreography seconds, WAL records replayed, live ops committed)."""
+    victim = backend.shards[1]
+    start_at = sim.now + 1.0
+    plan = FaultPlan(crashes=(
+        ShardCrashWindow(victim.endpoint, start_at, start_at + 2.0),
+    ))
+    injector = FaultInjector(sim, network, plan)
+    backend.bind_faults(injector)
+    timings = {}
+    choreography = backend._on_shard_restart
+
+    def timed_restart(shard):
+        t0 = time.perf_counter()  # crowdlint: disable=DET001
+        choreography(shard)
+        timings["restart"] = time.perf_counter() - t0  # crowdlint: disable=DET001
+
+    backend._on_shard_restart = timed_restart
+    injector.install()
+    # Spread the live batches across the crash window and the rebuild.
+    for i, (source, messages) in enumerate(batches):
+        at = start_at + 0.01 + (3.0 * i) / max(1, len(batches))
+        sim.schedule_at(
+            at, lambda s=source, m=messages: backend.ingest(s, m)
+        )
+    gc.collect()
+    opening = backend.changes.position
+    # Wall-clock by design: this measures real elapsed time, not
+    # simulated time.
+    wall0 = time.perf_counter()  # crowdlint: disable=DET001
+    sim.run()
+    elapsed = time.perf_counter() - wall0  # crowdlint: disable=DET001
+    live_ops = backend.changes.position - opening
+    assert network.quiescent()
+    assert backend.fully_exchanged()
+    assert victim.durable.recoveries == 1
+    replayed = len(victim.trace)
+    assert dump_json(
+        canonical_state(BootstrapState.capture(victim.replica))
+    ) == dump_json(
+        canonical_state(BootstrapState.capture(backend.primary.replica))
+    )
+    return elapsed, timings["restart"], replayed, live_ops
+
+
+def _git_sha():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _record(name, payload):
+    """Flush BENCH_P8.json once every config has reported."""
+    _results[name] = payload
+    if any(cfg_name not in _results for cfg_name, _, _ in CONFIGS):
+        return
+    document = {
+        "benchmark": "test_bench_p8_crash_recovery",
+        "shards": N_SHARDS,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "configs": _results,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "git_sha": _git_sha(),
+    }
+    path = os.path.join(REPO_ROOT, "BENCH_P8.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.parametrize("name,warm_rows,batches", CONFIGS)
+def test_bench_p8_crash_recovery(benchmark, name, warm_rows, batches):
+    rigs = []
+
+    def setup():
+        sim, network, backend = build_warm_backend(warm_rows)
+        rigs.append((sim, network, backend))
+        return (sim, network, backend,
+                live_batches(batches, offset=warm_rows)), {}
+
+    elapsed, restart_s, replayed, live_ops = benchmark.pedantic(
+        drive_crash_recovery, setup=setup, rounds=1
+    )
+    payload = {
+        "warm_rows": warm_rows,
+        "live_batches": batches,
+        "shards": N_SHARDS,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "wal_records_replayed": replayed,
+        "live_ops": live_ops,
+        "recovery_ms": round(restart_s * 1000, 2),
+        "seconds": round(elapsed, 3),
+        "ops_per_sec": round(live_ops / elapsed, 1),
+    }
+    benchmark.extra_info.update(payload)
+    _record(name, payload)
+    print(
+        f"\nP8 {name}: {warm_rows} warm rows / {batches} live batches / "
+        f"{N_SHARDS} shards: {replayed} records replayed, restart "
+        f"{restart_s * 1000:.1f}ms, {live_ops} live ops in {elapsed:.2f}s "
+        f"-> {live_ops / elapsed:,.0f} ops/sec"
+    )
+    assert live_ops > 0  # ingest really continued through the crash

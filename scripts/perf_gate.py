@@ -22,6 +22,12 @@ treatment: the ``gate`` configuration (400 warm rows, 2 shards) is
 re-measured and compared on snapshot entries transferred per second
 of bootstrap wall time.
 
+The P8 crash-recovery baseline (``BENCH_P8.json``, see
+``benchmarks/test_bench_p8_crash_recovery.py``) is also advisory: the
+``gate`` configuration (400 warm WAL-logged rows, 2 shards, one crash
+window under live ingest) is re-measured and compared on operations
+committed per second of wall time across the faulted phase.
+
 Modes:
     REPRO_PERF_GATE=advisory   warn on breach but exit 0 (shared CI
                                runners, where absolute throughput is
@@ -54,12 +60,14 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE = os.path.join(REPO_ROOT, "BENCH_P5.json")
 P6_BASELINE = os.path.join(REPO_ROOT, "BENCH_P6.json")
 P7_BASELINE = os.path.join(REPO_ROOT, "BENCH_P7.json")
+P8_BASELINE = os.path.join(REPO_ROOT, "BENCH_P8.json")
 N_ROWS = 500
 MESSAGES = 900
 REPS = 3
 THRESHOLD = 0.50
 P6_THRESHOLD = 0.50
 P7_THRESHOLD = 0.50
+P8_THRESHOLD = 0.50
 
 SCHEMA = soccer_player_schema()
 
@@ -239,13 +247,57 @@ def probe_p7(baseline_path=None):
     )
 
 
-def main(baseline_path=None, p6_baseline_path=None, p7_baseline_path=None):
+def probe_p8(baseline_path=None):
+    """Advisory re-measure of the P8 ``gate`` config (never fails the
+    build): the crash-recovery-under-load rig from the P8 bench,
+    compared on operations committed per second of wall time across
+    the faulted phase."""
+    baseline, problem = load_baseline(baseline_path or P8_BASELINE, "P8")
+    if baseline is None:
+        print(f"perf-gate[P8]: {problem}; skipping the P8 probe")
+        return
+    try:
+        gate = baseline["configs"]["gate"]
+        expected = float(gate["ops_per_sec"])
+        warm_rows = int(gate["warm_rows"])
+        batches = int(gate["live_batches"])
+    except (KeyError, TypeError, ValueError) as exc:
+        print(
+            "perf-gate[P8]: baseline is missing the gate config "
+            f"({exc!r}); re-generate it with the benchmark suite; "
+            "skipping the P8 probe"
+        )
+        return
+    sys.path.insert(0, REPO_ROOT)
+    from benchmarks.test_bench_p8_crash_recovery import (
+        build_warm_backend,
+        drive_crash_recovery,
+        live_batches,
+    )
+
+    sim, network, backend = build_warm_backend(warm_rows)
+    elapsed, restart_s, _replayed, live_ops = drive_crash_recovery(
+        sim, network, backend, live_batches(batches, offset=warm_rows)
+    )
+    rate = live_ops / elapsed
+    floor = P8_THRESHOLD * expected
+    verdict = "ok" if rate >= floor else "BREACH (advisory only)"
+    print(
+        f"perf-gate[P8]: {warm_rows} warm rows / 2 shards crash-recovery "
+        f"{rate:,.0f} ops/sec, restart {restart_s * 1000:.0f}ms "
+        f"(baseline {expected:,.0f}, floor {floor:,.0f}) -> {verdict}"
+    )
+
+
+def main(baseline_path=None, p6_baseline_path=None, p7_baseline_path=None,
+         p8_baseline_path=None):
     mode = os.environ.get("REPRO_PERF_GATE", "strict").lower()
     if mode == "off":
         print("perf-gate: REPRO_PERF_GATE=off, skipping")
         return 0
     probe_p6(p6_baseline_path)
     probe_p7(p7_baseline_path)
+    probe_p8(p8_baseline_path)
     baseline, problem = load_baseline(baseline_path or BASELINE, "P5")
     if baseline is None:
         print(f"perf-gate: {problem}; skipping the gate")

@@ -19,7 +19,10 @@ These passes make that a CI failure instead:
   to the constructor.  The same pass covers the CDC wire module
   (``repro.cdc.events``): ``ChangeEvent``/``Cut``/``SnapshotChunk``
   against their ``*_from_dict`` decoders — a field dropped there
-  corrupts ``--cdc-out`` exports and snapshot-chunk bootstraps.
+  corrupts ``--cdc-out`` exports and snapshot-chunk bootstraps — and
+  the WAL record codec (``repro.durability.wal``): ``WalRecord``
+  against ``wal_record_from_dict`` — a field dropped there makes
+  crash recovery rebuild a replica that diverges from the one lost.
 
 Both passes key off dataclass *field annotations*, so a field with a
 default still counts: a default hides the drop at construction time
@@ -63,6 +66,11 @@ CDC_CLASSES = (
     ("SnapshotChunk", "chunk_from_dict"),
 )
 
+#: WAL wire dataclasses and their module-level decoder functions.
+WAL_CLASSES = (
+    ("WalRecord", "wal_record_from_dict"),
+)
+
 
 def _diag(rule: str, module: ModuleInfo, node: ast.AST, message: str) -> Diagnostic:
     return Diagnostic(
@@ -99,7 +107,18 @@ def find_codec_module(project: Project) -> ModuleInfo | None:
 
 def find_cdc_module(project: Project) -> ModuleInfo | None:
     """The CDC wire module: defines every ``*_from_dict`` decoder."""
-    wanted = {decoder for _cls, decoder in CDC_CLASSES}
+    return _find_wire_module(project, CDC_CLASSES)
+
+
+def find_wal_module(project: Project) -> ModuleInfo | None:
+    """The WAL record module: defines ``wal_record_from_dict``."""
+    return _find_wire_module(project, WAL_CLASSES)
+
+
+def _find_wire_module(
+    project: Project, classes: tuple[tuple[str, str], ...]
+) -> ModuleInfo | None:
+    wanted = {decoder for _cls, decoder in classes}
     for name in sorted(project.modules):
         module = project.modules[name]
         if wanted <= set(module.functions):
@@ -184,7 +203,14 @@ def check_codecs(project: Project) -> list[Diagnostic]:
         )
     cdc_module = find_cdc_module(project)
     if cdc_module is not None:
-        diagnostics.extend(_check_cdc_codec(cdc_module))
+        diagnostics.extend(
+            _check_wire_codec(cdc_module, CDC_CLASSES, "CDC")
+        )
+    wal_module = find_wal_module(project)
+    if wal_module is not None:
+        diagnostics.extend(
+            _check_wire_codec(wal_module, WAL_CLASSES, "WAL")
+        )
     diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return diagnostics
 
@@ -355,37 +381,43 @@ def _check_dict_codec(
     return out
 
 
-# -- WIRE002 over the CDC wire module ---------------------------------------
+# -- WIRE002 over auxiliary wire modules (CDC events, WAL records) ----------
 
 
-def _check_cdc_codec(cdc: ModuleInfo) -> list[Diagnostic]:
-    """Field-for-field completeness of the CDC dict codecs.
+def _check_wire_codec(
+    module: ModuleInfo,
+    classes: tuple[tuple[str, str], ...],
+    label: str,
+) -> list[Diagnostic]:
+    """Field-for-field completeness of an auxiliary dict codec.
 
-    Same contract as the message dict codec, applied to the CDC wire
-    triple: each class's ``to_dict`` must emit a key for, and read,
-    every dataclass field; the paired ``*_from_dict`` decoder must pass
-    every field to the constructor.  A field missed here silently
-    corrupts ``--cdc-out`` round-trips and chunked-snapshot bootstraps.
+    Same contract as the message dict codec, applied to a module's
+    ``(class, decoder)`` pairs: each class's ``to_dict`` must emit a
+    key for, and read, every dataclass field; the paired ``*_from_dict``
+    decoder must pass every field to the constructor.  For the CDC
+    triple a field missed here silently corrupts ``--cdc-out``
+    round-trips and chunked-snapshot bootstraps; for the WAL record it
+    makes a recovered shard diverge from the replica it lost.
     """
     out: list[Diagnostic] = []
-    for class_name, decoder_name in CDC_CLASSES:
-        cls = cdc.classes.get(class_name)
+    for class_name, decoder_name in classes:
+        cls = module.classes.get(class_name)
         if cls is None:
             out.append(
                 _diag(
-                    RULE_DICT, cdc, cdc.tree,
-                    f"CDC wire module defines no {class_name}: the "
+                    RULE_DICT, module, module.tree,
+                    f"{label} wire module defines no {class_name}: the "
                     f"{decoder_name} decoder has nothing to rebuild",
                 )
             )
             continue
         fields = dataclass_fields(cls)
-        to_dict = cdc.class_methods(class_name).get("to_dict")
+        to_dict = module.class_methods(class_name).get("to_dict")
         if to_dict is None:
             out.append(
                 _diag(
-                    RULE_DICT, cdc, cls,
-                    f"{class_name} defines no to_dict(): the CDC wire "
+                    RULE_DICT, module, cls,
+                    f"{class_name} defines no to_dict(): the {label} wire "
                     "format cannot carry it",
                 )
             )
@@ -408,27 +440,27 @@ def _check_cdc_codec(cdc: ModuleInfo) -> list[Diagnostic]:
                 if field not in keys:
                     out.append(
                         _diag(
-                            RULE_DICT, cdc, to_dict,
+                            RULE_DICT, module, to_dict,
                             f"{class_name}.to_dict() emits no `{field}` "
-                            "key: the field is dropped from the CDC wire "
-                            "format",
+                            f"key: the field is dropped from the {label} "
+                            "wire format",
                         )
                     )
                 elif field not in self_reads:
                     out.append(
                         _diag(
-                            RULE_DICT, cdc, to_dict,
+                            RULE_DICT, module, to_dict,
                             f"{class_name}.to_dict() never reads "
                             f"self.{field}: the `{field}` key does not "
                             "carry the field",
                         )
                     )
-        decoder = cdc.functions.get(decoder_name)
+        decoder = module.functions.get(decoder_name)
         if decoder is None:
             out.append(
                 _diag(
-                    RULE_DICT, cdc, cls,
-                    f"CDC wire module defines no {decoder_name}: "
+                    RULE_DICT, module, cls,
+                    f"{label} wire module defines no {decoder_name}: "
                     f"{class_name} cannot be rebuilt from its dict form",
                 )
             )
@@ -437,9 +469,9 @@ def _check_cdc_codec(cdc: ModuleInfo) -> list[Diagnostic]:
         if not calls:
             out.append(
                 _diag(
-                    RULE_DICT, cdc, decoder,
+                    RULE_DICT, module, decoder,
                     f"{decoder_name} never constructs {class_name}: the "
-                    "CDC codec does not round-trip",
+                    f"{label} codec does not round-trip",
                 )
             )
             continue
@@ -449,7 +481,7 @@ def _check_cdc_codec(cdc: ModuleInfo) -> list[Diagnostic]:
         for field in sorted(set(fields) - covered):
             out.append(
                 _diag(
-                    RULE_DICT, cdc, calls[0],
+                    RULE_DICT, module, calls[0],
                     f"{decoder_name} reconstructs {class_name} without "
                     f"field `{field}`: decoded events fall back to the "
                     "default and diverge from the producer",

@@ -355,6 +355,19 @@ class ChangeStream:
             shard_id: count for shard_id, count in cut.counts if count
         }
 
+    def amnesia(self) -> None:
+        """The owner crashed: forget the stream's entire history so
+        recovery can re-:meth:`seed` it at the rebuilt coordinates, and
+        mark every live subscription *lost* — its unacknowledged buffer
+        died with the process, so the consumer must snapshot-resync
+        against the recovered state (the same fallback an overflow
+        forces)."""
+        self.position = 0
+        self._counts = {}
+        self._recent.clear()
+        for sub in self._subs:
+            sub._lost = True
+
     @property
     def subscriptions(self) -> tuple[Subscription, ...]:
         return tuple(self._subs)

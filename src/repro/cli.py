@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro run            [--seed N] [--workers N] [--rows N]
+                                   [--shards N] [--fault-plan plan.json]
     python -m repro effectiveness  [--seed N]          # E1
     python -m repro compensation   [--seed N] [--scheme dual|column|uniform]
     python -m repro compare        [--seed N]          # E5
@@ -54,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the canonical change stream and write "
                           "it to FILE as JSON lines (one ChangeEvent per "
                           "committed operation, sorted keys)")
+    run.add_argument("--fault-plan", default=None, metavar="FILE",
+                     help="inject a serialized FaultPlan (JSON, see "
+                          "FaultPlan.to_dict): worker outages, latency "
+                          "spikes, shard partitions, and — with --shards "
+                          "— shard crash windows recovered from the WAL")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="run the sharded multi-backend with N shards "
+                          "(required for crash windows in --fault-plan)")
 
     add("effectiveness", "E1: overall effectiveness")
 
@@ -123,6 +132,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     if args.command == "run":
+        fault_plan = None
+        if args.fault_plan:
+            import json
+
+            from repro.net import fault_plan_from_dict
+
+            with open(args.fault_plan, "r", encoding="utf-8") as handle:
+                fault_plan = fault_plan_from_dict(json.load(handle))
         config = ExperimentConfig(
             seed=args.seed,
             num_workers=args.workers,
@@ -130,6 +147,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             budget=args.budget,
             use_recommender=args.recommender,
             capture_cdc=bool(args.cdc_out),
+            shards=args.shards,
+            fault_plan=fault_plan,
         )
         want_obs = bool(args.metrics_out or args.trace_out)
         result = CrowdFillExperiment(config, obs=want_obs).run()
@@ -139,6 +158,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             else "did NOT complete within the simulated-time cap"
         )
         print(f"{status}; accuracy {result.accuracy:.0%}")
+        if fault_plan is not None:
+            print(f"fault events injected: {result.fault_events}")
         for record in result.final_table_records():
             print(" ", record)
         payouts = result.allocation(AllocationScheme.DUAL_WEIGHTED).by_worker

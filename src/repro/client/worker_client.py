@@ -168,6 +168,33 @@ class WorkerClient:
             self._send(message)
         return result.kind
 
+    def rejoin(self, backend) -> None:
+        """Reattach to a backend that *lost this client's session* —
+        the server crashed and came back with amnesia.
+
+        :meth:`reconnect` resumes a retained session; after a server
+        crash there is nothing to resume, so the client attaches fresh
+        (``attach_client``), restores the recovered master's bootstrap
+        snapshot, and flushes its offline outbox through the normal
+        send path — the crash-recovery counterpart of the snapshot
+        resync.
+
+        Raises:
+            OperationError: the client believes it is still connected.
+        """
+        if self._connected:
+            raise OperationError(
+                f"client {self.worker_id!r} is already connected"
+            )
+        state = backend.attach_client(self.worker_id)
+        self.messages_received = 0
+        self._restore_from_snapshot(state)
+        self._connected = True
+        self.resync_kinds.append("rejoin")
+        outbox, self._outbox = self._outbox, []
+        for message in outbox:
+            self._send(message)
+
     def _restore_from_snapshot(self, state: BootstrapState) -> None:
         """Replace the local copy with the master's snapshot, then
         re-apply the offline outbox locally — the snapshot cannot

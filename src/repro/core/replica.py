@@ -72,6 +72,15 @@ class Replica:
         """
         self.table = CandidateTable(self.schema, self.scoring)
 
+    def advance_row_counter(self, floor: int) -> None:
+        """Ensure the next generated row-id index is strictly above
+        *floor*.  Crash recovery reconstructs a replica object from
+        durable state; ids it minted before the crash (recovered from
+        the WAL) must never be reissued.  Only sound on a replica that
+        has minted at most *floor* ids — recovery's case by
+        construction."""
+        self._row_counter = itertools.count(floor + 1)
+
     def _fresh_row_id(self) -> str:
         return f"{self.name}#{next(self._row_counter)}"
 

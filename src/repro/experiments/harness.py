@@ -136,6 +136,14 @@ class ExperimentConfig:
     """Record the run's canonical change stream (one
     :class:`~repro.cdc.events.ChangeEvent` per committed operation) on
     the result's ``cdc_events`` — the ``--cdc-out`` export."""
+    fault_plan: Any = None
+    """A :class:`~repro.net.FaultPlan` injected into the run (worker
+    outages, shard partitions, shard crash windows) — the
+    ``--fault-plan plan.json`` input.  Crash windows require a sharded
+    backend (``shards=N``); durability is enabled automatically."""
+    checkpoint_interval: int | None = None
+    """WAL records between checkpoints when durability is on; ``None``
+    uses the :class:`~repro.durability.DurabilityConfig` default."""
 
     def resolved_profiles(self) -> list[WorkerProfile]:
         """The crew's profiles, defaulting to the representative five."""
@@ -205,6 +213,8 @@ class ExperimentResult:
     report's final-state sections render)."""
     cdc_events: list = field(default_factory=list)
     """The run's change stream (``capture_cdc=True`` only)."""
+    fault_events: int = 0
+    """Injector actions taken (``fault_plan`` runs only)."""
     _allocations: dict[AllocationScheme, AllocationResult] = field(
         default_factory=dict
     )
@@ -278,6 +288,24 @@ class CrowdFillExperiment:
         else:
             template = Template.cardinality(config.target_rows)
 
+        plan = config.fault_plan
+        durability = None
+        if config.checkpoint_interval is not None or (
+            plan is not None and plan.crashes
+        ):
+            from repro.durability import DurabilityConfig
+
+            if config.checkpoint_interval is not None:
+                durability = DurabilityConfig(
+                    checkpoint_interval=config.checkpoint_interval
+                )
+            else:
+                durability = DurabilityConfig()
+        if plan is not None and plan.crashes and config.shards is None:
+            raise ValueError(
+                "crash windows need a sharded backend: set shards=N"
+            )
+
         session = CollectionSession(
             seed=config.seed,
             schema=schema,
@@ -286,6 +314,7 @@ class CrowdFillExperiment:
             latency=UniformLatency(config.latency_low, config.latency_high),
             obs=self.obs,
             shards=config.shards,
+            durability=durability,
         )
         self.session = session
         estimator = session.attach_estimator(
@@ -336,7 +365,29 @@ class CrowdFillExperiment:
             mean_interarrival=config.mean_interarrival,
             description="collect soccer players with 80-99 caps",
         )
+        injector = None
+        if plan is not None and not plan.is_empty:
+            from repro.net import FaultInjector
+
+            injector = FaultInjector(session.sim, session.network, plan)
+            for victim in plan.faulted_endpoints():
+                self._bind_worker_faults(injector, session, victim)
+            backend = session.backend
+            assert backend is not None
+            if hasattr(backend, "bind_faults"):
+                # Shard endpoints last: exchange-resync (and, with
+                # durability, crash/restart) choreography wins over any
+                # worker-style binding for the same endpoint.
+                backend.bind_faults(injector, clients=session.clients)
+            injector.install()
         session.run(until=config.max_sim_time)
+        if injector is not None:
+            # Close any still-open window, then give the recovery
+            # traffic a bounded settle window (an unbounded drain would
+            # never return on a run that misses its completion target:
+            # idle workers keep polling until the backend completes).
+            injector.force_reconnect_all()
+            session.run(until=session.sim.now + 60.0)
 
         backend = session.backend
         assert backend is not None
@@ -379,6 +430,47 @@ class CrowdFillExperiment:
             obs=session.obs,
             leaderboard=board.snapshot(),
             cdc_events=export.take() or [] if export is not None else [],
+            fault_events=len(injector.events) if injector is not None else 0,
+        )
+
+    def _bind_worker_faults(
+        self, injector: Any, session: CollectionSession, victim: str
+    ) -> None:
+        """Late-binding outage choreography for one worker endpoint.
+
+        Harness workers are built at marketplace-arrival time, so the
+        handlers look the client up when the window fires; a window
+        that opens before the victim has arrived is a no-op.
+        """
+        backend = session.backend
+        assert backend is not None
+
+        def on_disconnect() -> None:
+            client = session.clients.get(victim)
+            if client is None or not backend.disconnect_worker(client):
+                return
+            worker = session.workers.get(victim)
+            if worker is not None:
+                worker.note_disconnect()
+
+        def on_reconnect() -> None:
+            client = session.clients.get(victim)
+            if client is None or not backend.reconnect_worker(client):
+                return
+            worker = session.workers.get(victim)
+            if worker is not None:
+                worker.note_reconnect()
+
+        def on_requeue(messages: list) -> None:
+            client = session.clients.get(victim)
+            if client is not None:
+                client.requeue_unsent(messages)
+
+        injector.bind(
+            victim,
+            on_disconnect=on_disconnect,
+            on_reconnect=on_reconnect,
+            on_requeue=on_requeue,
         )
 
     def _make_policy(

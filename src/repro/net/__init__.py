@@ -25,7 +25,9 @@ from repro.net.faults import (
     FaultPlanError,
     LatencySpike,
     PartitionWindow,
+    ShardCrashWindow,
     ShardPartitionWindow,
+    fault_plan_from_dict,
 )
 from repro.net.latency import (
     ConstantLatency,
@@ -69,5 +71,7 @@ __all__ = [
     "Network",
     "NetworkStats",
     "PartitionWindow",
+    "ShardCrashWindow",
     "ShardPartitionWindow",
+    "fault_plan_from_dict",
 ]

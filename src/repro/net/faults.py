@@ -20,6 +20,14 @@ Fault model (connection-breaking):
 - A latency spike multiplies sampled link latencies during its window.
   It never reorders: the channel's monotone delivery-time clamp keeps
   each link FIFO no matter how the spike starts or ends.
+- A *crash window* (:class:`ShardCrashWindow`) is strictly worse than a
+  disconnect: besides breaking every connection, the endpoint's
+  volatile state is destroyed at window start (the bound ``on_crash``
+  handler performs the destruction — see
+  ``ShardedBackend.bind_faults``), and at window end the ``on_restart``
+  handler must rebuild it from durable state (WAL + checkpoint replay).
+  Crash windows therefore require a finite end and may not overlap on
+  one endpoint.
 
 Because drops only ever happen as part of connection breaking, any
 message stream actually *delivered* on a link is a prefix of the stream
@@ -138,6 +146,34 @@ class ShardPartitionWindow:
 
 
 @dataclass(frozen=True)
+class ShardCrashWindow:
+    """Shard *endpoint* crash-stops at *start* and restarts at *end*.
+
+    Unlike a :class:`DisconnectWindow`, a crash destroys the endpoint's
+    volatile state — table, sessions, exchange bookkeeping, in-flight
+    wire traffic — leaving only its durable store (WAL + checkpoints).
+    The end must be finite: recovery is the point of the exercise, and
+    a crash that never restarts is just a permanent
+    :class:`DisconnectWindow`.
+    """
+
+    endpoint: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if (
+            self.start < 0
+            or not self.end > self.start
+            or math.isinf(self.end)
+        ):
+            raise FaultPlanError(
+                f"bad crash window [{self.start}, {self.end}) "
+                f"for {self.endpoint!r} (end must be finite and > start)"
+            )
+
+
+@dataclass(frozen=True)
 class LatencySpike:
     """Multiply sampled latencies by *factor* during [start, end).
 
@@ -190,6 +226,25 @@ class FaultPlan:
     partitions: tuple[PartitionWindow, ...] = ()
     spikes: tuple[LatencySpike, ...] = ()
     shard_partitions: tuple[ShardPartitionWindow, ...] = ()
+    crashes: tuple[ShardCrashWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Crash windows are the one kind that may NOT overlap per
+        # endpoint: a crashed shard cannot crash again before it
+        # restarts, and unlike outages the union of two crash windows
+        # is not equivalent to either (each boundary destroys state).
+        by_endpoint: dict[str, list[ShardCrashWindow]] = {}
+        for window in self.crashes:
+            by_endpoint.setdefault(window.endpoint, []).append(window)
+        for endpoint, windows in sorted(by_endpoint.items()):
+            windows.sort(key=lambda w: w.start)
+            for prev, nxt in zip(windows, windows[1:]):
+                if nxt.start < prev.end:
+                    raise FaultPlanError(
+                        f"overlapping crash windows for {endpoint!r}: "
+                        f"[{prev.start}, {prev.end}) and "
+                        f"[{nxt.start}, {nxt.end})"
+                    )
 
     @property
     def is_empty(self) -> bool:
@@ -198,6 +253,7 @@ class FaultPlan:
             or self.partitions
             or self.spikes
             or self.shard_partitions
+            or self.crashes
         )
 
     def faulted_endpoints(self) -> list[str]:
@@ -206,6 +262,59 @@ class FaultPlan:
         for partition in self.partitions:
             names.update(partition.endpoints)
         return sorted(names)
+
+    def crashed_endpoints(self) -> list[str]:
+        """Endpoints with at least one crash window, sorted."""
+        return sorted({window.endpoint for window in self.crashes})
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``math.inf`` ends map to ``null``),
+        round-tripped by :func:`fault_plan_from_dict` — the codec
+        behind ``repro run --fault-plan plan.json``."""
+
+        def end_part(end: float) -> float | None:
+            return None if end == math.inf else end
+
+        return {
+            "disconnects": [
+                {
+                    "endpoint": w.endpoint,
+                    "start": w.start,
+                    "end": end_part(w.end),
+                }
+                for w in self.disconnects
+            ],
+            "partitions": [
+                {
+                    "endpoints": list(w.endpoints),
+                    "start": w.start,
+                    "end": end_part(w.end),
+                }
+                for w in self.partitions
+            ],
+            "spikes": [
+                {
+                    "start": s.start,
+                    "end": s.end,
+                    "factor": s.factor,
+                    "source": s.source,
+                    "destination": s.destination,
+                }
+                for s in self.spikes
+            ],
+            "shard_partitions": [
+                {
+                    "groups": [list(group) for group in w.groups],
+                    "start": w.start,
+                    "end": end_part(w.end),
+                }
+                for w in self.shard_partitions
+            ],
+            "crashes": [
+                {"endpoint": w.endpoint, "start": w.start, "end": w.end}
+                for w in self.crashes
+            ],
+        }
 
     def outage_windows(self, endpoint: str) -> list[tuple[float, float]]:
         """Merged, disjoint outage windows for *endpoint*."""
@@ -246,6 +355,11 @@ class FaultPlan:
         shard_groups: tuple[tuple[str, ...], ...] | None = None,
         shard_partition_prob: float = 0.5,
         max_shard_partitions: int = 2,
+        crash_endpoints: list[str] | None = None,
+        crash_prob: float = 0.5,
+        max_crashes_per_endpoint: int = 1,
+        min_crash_gap: float = 0.0,
+        max_concurrent_crashes: int = 1,
     ) -> "FaultPlan":
         """Draw a random plan over *endpoints* within [0, horizon).
 
@@ -258,9 +372,29 @@ class FaultPlan:
         the links between the groups (each drawn with probability
         *shard_partition_prob*, up to *max_shard_partitions* windows);
         these too always close before *horizon*.
+
+        When *crash_endpoints* names durable endpoints (shards), the
+        plan may contain :class:`ShardCrashWindow`s: each endpoint
+        draws up to *max_crashes_per_endpoint* windows with probability
+        *crash_prob* each, candidate windows closer than
+        *min_crash_gap* to an accepted window on the same endpoint are
+        skipped (a machine that just died does not die again
+        instantly), and a window is skipped whenever accepting it could
+        put more than *max_concurrent_crashes* endpoints down at once —
+        so ``max_concurrent_crashes < len(shards)`` guarantees a
+        surviving quorum whose WALs cover the crashed shard's lost
+        tail.  Crash windows always close before *horizon*.
         """
         if horizon <= 0:
             raise FaultPlanError(f"horizon must be positive: {horizon}")
+        if max_concurrent_crashes < 1:
+            raise FaultPlanError(
+                f"max_concurrent_crashes must be >= 1: {max_concurrent_crashes}"
+            )
+        if min_crash_gap < 0:
+            raise FaultPlanError(
+                f"min_crash_gap must be >= 0: {min_crash_gap}"
+            )
         max_outage = horizon if max_outage is None else max_outage
         disconnects: list[DisconnectWindow] = []
         spikes: list[LatencySpike] = []
@@ -297,11 +431,87 @@ class FaultPlan:
                 shard_partitions.append(
                     ShardPartitionWindow(shard_groups, start, end)
                 )
+        crashes: list[ShardCrashWindow] = []
+        for endpoint in crash_endpoints or []:
+            accepted: list[tuple[float, float]] = []
+            for _ in range(max_crashes_per_endpoint):
+                if rng.random() >= crash_prob:
+                    continue
+                start = rng.uniform(0.0, horizon * 0.8)
+                length = rng.uniform(
+                    min_outage, min(max_outage, horizon - start)
+                )
+                end = min(start + max(length, 1e-9), horizon)
+                if any(
+                    start < e + min_crash_gap and s - min_crash_gap < end
+                    for s, e in accepted
+                ):
+                    continue
+                # Conservative concurrency cap: a candidate overlapping
+                # k accepted windows could raise instantaneous crash
+                # concurrency to k + 1 somewhere inside it.
+                overlapping = sum(
+                    1 for w in crashes if w.start < end and start < w.end
+                )
+                if overlapping + 1 > max_concurrent_crashes:
+                    continue
+                accepted.append((start, end))
+                crashes.append(ShardCrashWindow(endpoint, start, end))
         return cls(
             disconnects=tuple(disconnects),
             spikes=tuple(spikes),
             shard_partitions=tuple(shard_partitions),
+            crashes=tuple(crashes),
         )
+
+
+def fault_plan_from_dict(data: dict) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from :meth:`FaultPlan.to_dict` output.
+
+    ``null`` window ends map back to ``math.inf``.  Malformed windows
+    raise :class:`FaultPlanError` through the dataclass validators, so
+    a hand-written ``plan.json`` fails loudly at load time.
+    """
+
+    def end_part(value: float | None) -> float:
+        return math.inf if value is None else float(value)
+
+    return FaultPlan(
+        disconnects=tuple(
+            DisconnectWindow(
+                w["endpoint"], float(w["start"]), end_part(w.get("end"))
+            )
+            for w in data.get("disconnects", ())
+        ),
+        partitions=tuple(
+            PartitionWindow(
+                tuple(w["endpoints"]), float(w["start"]), end_part(w.get("end"))
+            )
+            for w in data.get("partitions", ())
+        ),
+        spikes=tuple(
+            LatencySpike(
+                start=float(s["start"]),
+                end=float(s["end"]),
+                factor=float(s["factor"]),
+                source=s.get("source"),
+                destination=s.get("destination"),
+            )
+            for s in data.get("spikes", ())
+        ),
+        shard_partitions=tuple(
+            ShardPartitionWindow(
+                tuple(tuple(group) for group in w["groups"]),
+                float(w["start"]),
+                end_part(w.get("end")),
+            )
+            for w in data.get("shard_partitions", ())
+        ),
+        crashes=tuple(
+            ShardCrashWindow(w["endpoint"], float(w["start"]), float(w["end"]))
+            for w in data.get("crashes", ())
+        ),
+    )
 
 
 @dataclass
@@ -311,6 +521,8 @@ class _Handlers:
     on_disconnect: Callable[[], None] | None = None
     on_reconnect: Callable[[], None] | None = None
     on_requeue: Callable[[list], None] | None = None
+    on_crash: Callable[[], None] | None = None
+    on_restart: Callable[[], None] | None = None
 
 
 @dataclass
@@ -318,7 +530,9 @@ class FaultEvent:
     """One injector action, for forensics and deterministic-replay tests."""
 
     time: float
-    kind: str  # "disconnect" | "reconnect"
+    # "disconnect" | "reconnect" | "shard-partition" | "shard-heal"
+    # | "crash" | "restart"
+    kind: str
     endpoint: str
     purged: int = 0
 
@@ -342,6 +556,7 @@ class FaultInjector:
         self.network = network
         self.plan = plan
         self._down: set[str] = set()
+        self._crashed: set[str] = set()
         self._handlers: dict[str, _Handlers] = {}
         self.events: list[FaultEvent] = []
         self._installed = False
@@ -361,15 +576,20 @@ class FaultInjector:
         on_disconnect: Callable[[], None] | None = None,
         on_reconnect: Callable[[], None] | None = None,
         on_requeue: Callable[[list], None] | None = None,
+        on_crash: Callable[[], None] | None = None,
+        on_restart: Callable[[], None] | None = None,
     ) -> None:
         """Attach session-choreography callbacks for *endpoint*.
 
         ``on_requeue`` receives the payloads of purged messages *sent
         by* the endpoint (oldest first) — a client hands them back to
-        its outbox so nothing it performed is ever lost.
+        its outbox so nothing it performed is ever lost.  ``on_crash``
+        must destroy the endpoint's volatile state; ``on_restart`` must
+        rebuild it from durable state and rejoin (see
+        ``ShardedBackend.bind_faults``).
         """
         self._handlers[endpoint] = _Handlers(
-            on_disconnect, on_reconnect, on_requeue
+            on_disconnect, on_reconnect, on_requeue, on_crash, on_restart
         )
 
     def on_link_heal(
@@ -406,6 +626,13 @@ class FaultInjector:
                 self.sim.schedule_at(
                     window.end, lambda w=window: self._end_partition(w)
                 )
+        for window in self.plan.crashes:
+            self.sim.schedule_at(
+                window.start, lambda w=window: self._begin_crash(w.endpoint)
+            )
+            self.sim.schedule_at(
+                window.end, lambda w=window: self._end_crash(w.endpoint)
+            )
 
     # -- FaultFilter protocol ----------------------------------------------
 
@@ -413,6 +640,8 @@ class FaultInjector:
         return (
             source in self._down
             or destination in self._down
+            or source in self._crashed
+            or destination in self._crashed
             or (source, destination) in self._cut
         )
 
@@ -425,6 +654,10 @@ class FaultInjector:
         """Is *endpoint* currently inside an outage window?"""
         return endpoint in self._down
 
+    def is_crashed(self, endpoint: str) -> bool:
+        """Is *endpoint* currently inside a crash window?"""
+        return endpoint in self._crashed
+
     def is_cut(self, source: str, destination: str) -> bool:
         """Is the directed link currently severed by a shard partition?"""
         return (source, destination) in self._cut
@@ -434,16 +667,22 @@ class FaultInjector:
         return frozenset(self._down)
 
     @property
+    def crashed(self) -> frozenset[str]:
+        return frozenset(self._crashed)
+
+    @property
     def cut_links(self) -> frozenset[tuple[str, str]]:
         return frozenset(self._cut)
 
     def force_reconnect_all(self) -> None:
-        """Close every open outage and partition now (end-of-run
-        convergence checks)."""
+        """Close every open outage, partition and crash now
+        (end-of-run convergence checks)."""
         for endpoint in sorted(self._down):
             self._end_outage(endpoint)
         for window in list(self._active_partitions):
             self._end_partition(window)
+        for endpoint in sorted(self._crashed):
+            self._end_crash(endpoint)
 
     # -- window events ----------------------------------------------------
 
@@ -515,3 +754,28 @@ class FaultInjector:
         if healed:
             for callback in self._link_heal_callbacks:
                 callback(healed)
+
+    def _begin_crash(self, endpoint: str) -> None:
+        if endpoint in self._crashed:
+            return
+        self._crashed.add(endpoint)
+        # The wire to and from the endpoint dies with the process;
+        # nothing is requeued here — a crash loses exactly what a real
+        # crash loses, and recovery rebuilds it from the durable log
+        # and the surviving peers.
+        dropped = self.network.drop_in_flight(endpoint)
+        self.events.append(
+            FaultEvent(self.sim.now, "crash", endpoint, len(dropped))
+        )
+        handlers = self._handlers.get(endpoint)
+        if handlers is not None and handlers.on_crash is not None:
+            handlers.on_crash()
+
+    def _end_crash(self, endpoint: str) -> None:
+        if endpoint not in self._crashed:
+            return
+        self._crashed.discard(endpoint)
+        self.events.append(FaultEvent(self.sim.now, "restart", endpoint))
+        handlers = self._handlers.get(endpoint)
+        if handlers is not None and handlers.on_restart is not None:
+            handlers.on_restart()

@@ -43,6 +43,12 @@ from repro.core.row import Row, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
 from repro.core.table import BatchApplyError, CandidateTable
+from repro.durability.wal import (
+    DurabilityConfig,
+    DurableStore,
+    WalRecord,
+    encode_checkpoint,
+)
 from repro.net import Network
 from repro.sim import Simulator
 
@@ -336,6 +342,7 @@ class BackendServer:
         endpoint: str = SERVER_NAME,
         broadcast_source: str | None = None,
         hosts_central: bool = True,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         from repro.obs import resolve
 
@@ -344,7 +351,16 @@ class BackendServer:
         self.sim = sim
         self.network = network
         self.schema = schema
+        self.scoring = scoring
+        self.template = template
         self.max_batch = max_batch
+        self._on_unsatisfiable = on_unsatisfiable
+        #: Durable state (WAL + checkpoints), None when durability is
+        #: off.  Survives a :meth:`~repro.server.shard.ShardServer.crash`
+        #: — it models the disk, not process memory.
+        self.durable: DurableStore | None = (
+            DurableStore(durability) if durability is not None else None
+        )
         # Sharding hooks (repro.server.shard): a shard registers under
         # its own endpoint name but keeps broadcasting to its clients as
         # SERVER_NAME (clients are shard-oblivious), and only the
@@ -366,6 +382,13 @@ class BackendServer:
         self.changes = ChangeStream(self, retention=oplog_capacity)
         self._clients: list[str] = []
         self._sessions: dict[str, ClientSession] = {}
+        # When each client's local copy was last *rebased* on a full
+        # snapshot (initial attach, crash rejoin, or a snapshot resync
+        # the op-log could not cover).  Sharded broadcast uses this to
+        # decide whether echo-exclusion is sound: operations committed
+        # before the rebase are no longer held locally by their origin
+        # worker, so they must be broadcast back to it.
+        self._snapshot_epoch: dict[str, float] = {}
         self.on_complete = on_complete
         self.completed = False
         self.completion_time: float | None = None
@@ -429,6 +452,7 @@ class BackendServer:
         self._sessions[name] = ClientSession(
             name, StreamCursor(window=self.oplog.capacity)
         )
+        self._snapshot_epoch[name] = self.sim.now
         return BootstrapState.capture(self.replica)
 
     def detach_client(self, name: str) -> None:
@@ -501,6 +525,7 @@ class BackendServer:
                 self.obs.event(
                     f"{self._obs_ns}.resync", client=name, kind="snapshot"
                 )
+            self._snapshot_epoch[name] = self.sim.now
             return ResyncResult(
                 kind="snapshot", bootstrap=BootstrapState.capture(self.replica)
             )
@@ -545,6 +570,32 @@ class BackendServer:
                 if record.worker_id != session.name
             )
         return replay
+
+    def disconnect_worker(self, client: Any) -> bool:
+        """Outage-begin bookkeeping for a worker client: detach the
+        broadcast session and break the client's connection.
+
+        A no-op when the connection is already broken — on a sharded
+        backend a crash window may have disconnected the client before
+        its own outage window opened, and detaching through a crashed
+        home shard would touch wiped session state.
+        """
+        if not client.connected:
+            return False
+        self.detach_client(client.worker_id)
+        client.disconnect()
+        return True
+
+    def reconnect_worker(self, client: Any) -> bool:
+        """Outage-end reattach for a worker client.
+
+        A no-op when the client is already connected (a crash-restart
+        rejoin can beat the outage end to it on a sharded backend).
+        """
+        if client.connected:
+            return False
+        client.reconnect(self)
+        return True
 
     def session(self, name: str) -> ClientSession | None:
         """The retained session for *name*, if any (observability)."""
@@ -656,6 +707,8 @@ class BackendServer:
                     cc_ran = True
                 if cc_ran or table.final_epoch != final_before:
                     self._check_completion()
+        if self.durable is not None and self.durable.checkpoint_due:
+            self._take_checkpoint()
 
     def _central_send(self, message: Message) -> None:
         """CC generated a message; it is already applied to the shared
@@ -720,12 +773,60 @@ class BackendServer:
             span.close()
         return record
 
+    def _origin_coords(self, record: TraceRecord) -> tuple[int, int]:
+        """The origin commit coordinate of one applied record.  On a
+        plain backend the whole log is one dense commit sequence, so
+        the coordinate is ``(0, seq)``;
+        :class:`~repro.server.shard.ShardServer` overrides this with
+        the real origin (its own next lseq for local commits, the
+        owner's slot for exchanged operations)."""
+        return (0, record.seq)
+
     def _note_change(self, record: TraceRecord) -> None:
-        """Feed one applied record to the change stream.  On a plain
-        backend the origin coordinate is ``(0, seq)`` — the whole log is
-        one dense commit sequence; :class:`~repro.server.shard.ShardServer`
-        overrides this with the real origin commit coordinate."""
-        self.changes.note(0, record.seq, record)
+        """Write-ahead-log one applied record (when durability is on),
+        then feed it to the change stream.  The WAL append happens
+        before the record becomes visible to any consumer — before the
+        broadcast fan-out and before the end-of-drain exchange flush —
+        the invariant crash recovery counts on: anything a peer or
+        client ever saw is in the log."""
+        shard_id, lseq = self._origin_coords(record)
+        if self.durable is not None:
+            self.durable.append(
+                WalRecord(
+                    shard_id=shard_id,
+                    lseq=lseq,
+                    worker_id=record.worker_id,
+                    timestamp=record.timestamp,
+                    message=record.message,
+                )
+            )
+        self.changes.note(shard_id, lseq, record)
+
+    # -- durability ------------------------------------------------------------
+
+    def _take_checkpoint(self) -> None:
+        """Checkpoint at a drain boundary — the only instants at which
+        the table provably equals the traced prefix, so the captured
+        state corresponds exactly to the captured cut."""
+        assert self.durable is not None
+        state, cut = self.snapshot_cut()
+        self.durable.save_checkpoint(
+            encode_checkpoint(state, cut, self._central_section())
+        )
+        if self.obs.enabled:
+            self.obs.inc(f"{self._obs_ns}.checkpoints")
+            self.obs.event(f"{self._obs_ns}.checkpoint", position=cut.position)
+
+    def _central_section(self) -> dict[str, Any] | None:
+        """The Central Client's constraint state for the checkpoint:
+        the possibly-reduced current template plus the dropped rows
+        (recovery must not resurrect a dropped constraint)."""
+        if self.central is None:
+            return None
+        return {
+            "template": Template(self.central.template_rows).to_dict(),
+            "dropped": Template(self.central.dropped_rows).to_dict(),
+        }
 
     # -- change-data-capture -------------------------------------------------
 

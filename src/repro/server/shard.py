@@ -77,6 +77,7 @@ from typing import Any, Callable, Iterator
 from repro.cdc.events import Cut
 from repro.cdc.subscription import StreamCursor, Subscription
 from repro.cdc.view import CdcView
+from repro.constraints.central import CENTRAL_CLIENT_ID, CentralClient
 from repro.constraints.template import Template
 from repro.core.messages import (
     DownvoteMessage,
@@ -88,16 +89,26 @@ from repro.core.messages import (
     UndoUpvoteMessage,
     UpvoteMessage,
 )
+from repro.core.replica import Replica
 from repro.core.row import CellValue, RowValue
 from repro.core.schema import Schema
 from repro.core.scoring import ScoringFunction
+from repro.durability.wal import (
+    DurabilityConfig,
+    WalCorruptionError,
+    WalRecord,
+    decode_checkpoint,
+    encode_checkpoint,
+)
 from repro.net import Network
 from repro.server.backend import (
     SERVER_NAME,
     BackendServer,
     BootstrapState,
     ClientSession,
+    OpLog,
     ResyncResult,
+    _CompletionTracker,
 )
 from repro.sim import Simulator
 
@@ -361,6 +372,7 @@ class ShardServer(BackendServer):
         oplog_capacity: int = 512,
         max_batch: int = 64,
         obs: object | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         if not 0 <= shard_id < n_shards:
             raise ValueError(f"shard_id {shard_id} out of range 0..{n_shards - 1}")
@@ -385,6 +397,7 @@ class ShardServer(BackendServer):
             endpoint=shard_endpoint(shard_id),
             broadcast_source=SERVER_NAME,
             hosts_central=primary,
+            durability=durability,
         )
         self.peers: tuple[str, ...] = tuple(
             shard_endpoint(j) for j in range(n_shards) if j != shard_id
@@ -406,6 +419,11 @@ class ShardServer(BackendServer):
         self.exchange_ops_applied = 0
         self.exchange_dup_ops = 0
         self.exchange_resyncs = 0
+        #: Crash-fault state: a crashed shard has lost every piece of
+        #: volatile memory and drops anything delivered to it until
+        #: :meth:`recover` replays the durable log.
+        self.crashed = False
+        self.dropped_while_crashed = 0
 
     @property
     def is_primary(self) -> bool:
@@ -422,10 +440,26 @@ class ShardServer(BackendServer):
     # -- message plumbing ---------------------------------------------------
 
     def on_message(self, source: str, payload: Any) -> None:
+        if self.crashed:
+            # The process is down.  The fault injector severs the
+            # shard's links and the router backlogs client operations,
+            # so this path is a last-resort guard, not the normal
+            # crash-window behavior.
+            self.dropped_while_crashed += 1
+            return
         if isinstance(payload, ExchangeBatch):
             self._receive_exchange(payload)
             return
         super().on_message(source, payload)
+
+    def ingest(self, source: str, messages) -> None:
+        if self.crashed:
+            # Same last-resort guard as on_message: the bulk path must
+            # not feed a dead process (ShardedBackend.ingest backlogs
+            # crashed shards' slices before it gets here).
+            self.dropped_while_crashed += len(list(messages))
+            return
+        super().ingest(source, messages)
 
     def _apply_and_trace(self, message: Message, worker_id: Any) -> TraceRecord:
         if isinstance(worker_id, _RemoteOrigin):
@@ -452,17 +486,31 @@ class ShardServer(BackendServer):
             self._flush_needed = True
         return record
 
-    def _note_change(self, record: TraceRecord) -> None:
-        """Feed the change stream the *origin* commit coordinate — the
-        shard's own next lseq for local commits, the owner's commit
-        slot for exchanged operations — so any consumer's cut is a
-        per-origin-shard prefix vector, comparable across replicas."""
-        shard_id, lseq = self._change_coords
-        self.changes.note(shard_id, lseq, record)
+    def _origin_coords(self, record: TraceRecord) -> tuple[int, int]:
+        """The *origin* commit coordinate — the shard's own next lseq
+        for local commits, the owner's commit slot for exchanged
+        operations — so any consumer's cut is a per-origin-shard
+        prefix vector comparable across replicas, and so the WAL logs
+        where each operation was committed (recovery rebuilds the
+        applied-prefix vector from exactly these coordinates)."""
+        return self._change_coords
 
     def _broadcast_record(self, record: TraceRecord, exclude: Any) -> None:
         if isinstance(exclude, _RemoteOrigin):
-            exclude = exclude.worker_id
+            origin = exclude
+            exclude = origin.worker_id
+            # Echo-exclusion assumes the origin worker still holds the
+            # local apply it made when it performed this operation.
+            # That breaks when the worker's copy was since rebased on a
+            # snapshot (crash rejoin, or an outage resync the op-log
+            # could not cover): a commit older than the rebase is in
+            # neither the snapshot (this shard is only applying it now)
+            # nor the worker's outbox (it was committed, not pending),
+            # so this broadcast is the worker's only way to get its own
+            # operation back.
+            epoch = self._snapshot_epoch.get(exclude)
+            if epoch is not None and origin.commit.timestamp < epoch:
+                exclude = None
         super()._broadcast_record(record, exclude)
 
     def _drain(self) -> None:
@@ -626,6 +674,292 @@ class ShardServer(BackendServer):
             if count:
                 self._received_from[shard_id] = count
         self.changes.seed(cut)
+        if self.durable is not None:
+            # The follower's WAL holds no pre-seed history; persist the
+            # seed itself as the recovery baseline, or a later crash
+            # could not rebuild the seeded prefix.
+            self.durable.save_checkpoint(encode_checkpoint(state, cut, None))
+
+    # -- crash-fault durability ----------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop: destroy every piece of volatile state, in place.
+
+        Models a process crash on a machine with durable storage: the
+        table, the sessions, the trace, the exchange bookkeeping, the
+        in-progress batches — everything held in memory — is gone, and
+        only :attr:`durable` (the WAL and checkpoint, i.e. the disk)
+        survives.  The object identity is kept so the network
+        registration stays valid; while crashed the shard drops any
+        delivery (see :meth:`on_message`) until :meth:`recover`.
+        """
+        if self.durable is None:
+            raise RuntimeError(
+                f"{self.endpoint!r} has no durable store; a crash would "
+                "lose committed state unrecoverably"
+            )
+        if self.crashed:
+            raise RuntimeError(f"{self.endpoint!r} is already crashed")
+        self.crashed = True
+        self.replica = Replica(self.endpoint, self.schema, self.scoring)
+        self.replica.table.set_observability(self.obs, scope=self._obs_ns)
+        self.trace = []
+        self.oplog = OpLog(self.oplog.capacity)
+        self._seq = 0
+        self._clients = []
+        self._sessions = {}
+        self._snapshot_epoch = {}
+        self._pending.clear()
+        self.completed = False
+        self.completion_time = None
+        self.central = None
+        self._completion = None
+        self.commit_log = []
+        self._peer_cursors = {
+            peer: StreamCursor(window=0) for peer in self.peers
+        }
+        self._received_from = {}
+        self._flush_needed = False
+        self.changes.amnesia()
+        if self.obs.enabled:
+            self.obs.inc(f"{self._obs_ns}.crashes")
+            self.obs.event(f"{self._obs_ns}.crash")
+
+    def recover(self) -> int:
+        """Restart from durable state: checkpoint + WAL-suffix replay.
+
+        Rebuilds the table, the full trace/op-log, the local commit
+        log, and the per-origin applied-prefix vector; reconstructs the
+        Central Client (primary only) from the checkpointed constraint
+        state; and re-seeds the change stream at the recovered cut.  A
+        torn WAL tail — an unterminated final line — is discarded and
+        truncated, exactly like an fsync that never completed.  Replay
+        is silent: no broadcasts, no trace listeners, no exchange
+        flushes — everything replayed was already visible before the
+        crash.
+
+        Returns the number of WAL records replayed past the checkpoint.
+        Rejoining the exchange mesh and the client fan-out is the
+        restart choreography's job, not this method's — see
+        :meth:`ShardedBackend._on_shard_restart`.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"{self.endpoint!r} is not crashed")
+        assert self.durable is not None
+        records, torn = self.durable.log.replay()
+        if torn:
+            self.durable.log.truncate_tail(torn)
+        checkpoint = self.durable.load_checkpoint()
+        central_doc: dict[str, Any] | None = None
+        if checkpoint is not None:
+            state, cut, central_doc = decode_checkpoint(checkpoint)
+            state.restore_into(self.replica)
+        else:
+            cut = Cut(position=0, counts=())
+        table = self.replica.table
+        position = cut.position
+        counts: dict[int, int] = {
+            sid: count for sid, count in cut.counts if count
+        }
+        replayed = 0
+        for record in records:
+            if not cut.covers(record.shard_id, record.lseq):
+                # Past the checkpoint: re-apply to the table and
+                # advance the prefix vector.  Covered records are
+                # already inside the checkpoint state; they are
+                # replayed into the trace/commit log only.
+                record.message.apply(table)
+                self.replica.messages_processed += 1
+                position += 1
+                replayed += 1
+                counts[record.shard_id] = max(
+                    counts.get(record.shard_id, 0), record.lseq + 1
+                )
+            trace_record = TraceRecord(
+                seq=self._seq,
+                timestamp=record.timestamp,
+                worker_id=record.worker_id,
+                message=record.message,
+            )
+            self.trace.append(trace_record)
+            self.oplog.append(trace_record)
+            self._seq += 1
+            if record.shard_id == self.shard_id:
+                if record.lseq != len(self.commit_log):
+                    raise WalCorruptionError(
+                        f"{self.endpoint}: WAL lseq {record.lseq} does "
+                        f"not extend the recovered commit log (length "
+                        f"{len(self.commit_log)})"
+                    )
+                self.commit_log.append(
+                    (
+                        ShardCommit(
+                            shard_id=record.shard_id,
+                            lseq=record.lseq,
+                            worker_id=record.worker_id,
+                            timestamp=record.timestamp,
+                        ),
+                        record.message,
+                    )
+                )
+        self._received_from = {
+            sid: count
+            for sid, count in counts.items()
+            if sid != self.shard_id and count
+        }
+        self.changes.seed(
+            Cut(position=position, counts=tuple(sorted(counts.items())))
+        )
+        if self.hosts_central:
+            self._recover_central(central_doc, records)
+            central = self.central
+            assert central is not None
+            self._completion = _CompletionTracker(
+                table, lambda: central.template_rows
+            )
+        self.durable.recoveries += 1
+        self.crashed = False
+        if self.obs.enabled:
+            self.obs.inc(f"{self._obs_ns}.recoveries")
+            self.obs.event(
+                f"{self._obs_ns}.recover",
+                replayed=replayed,
+                torn_bytes=torn,
+                checkpointed=checkpoint is not None,
+            )
+        return replayed
+
+    def _recover_central(
+        self,
+        central_doc: dict[str, Any] | None,
+        records: list,
+    ) -> None:
+        """Reconstruct the Central Client over the recovered table.
+
+        The constraint state — the possibly-reduced current template
+        plus the dropped rows — comes from the checkpoint; without one
+        the original template stands in, and the first refresh
+        re-derives any reductions deterministically from the replayed
+        table.  The CC is *not* initialized (its template-seeding
+        inserts are in the replayed history already) and *not*
+        refreshed here: fresh CC commits must wait until
+        :meth:`recommit_lost` has filled every lost lseq slot — see
+        :meth:`complete_recovery`.
+        """
+        if central_doc is not None:
+            current = Template.from_dict(central_doc["template"])
+            dropped = Template.from_dict(central_doc["dropped"])
+        else:
+            current = self.template
+            dropped = Template([])
+        central = CentralClient(
+            self.schema,
+            self.scoring,
+            current,
+            send=self._central_send,
+            on_unsatisfiable=self._on_unsatisfiable,  # type: ignore[arg-type]
+            clock=lambda: self.sim.now,
+            obs=self.obs,
+            table=self.replica.table,
+        )
+        central.dropped_rows = list(dropped.rows)
+        central._initialized = True
+        # Advance the CC's row-id counter past every id it minted
+        # before the crash (recovered from the WAL) so recovery never
+        # re-issues an identifier.
+        floor = 0
+        for record in records:
+            message = record.message
+            for row_id in (
+                getattr(message, "row_id", None),
+                getattr(message, "new_id", None),
+            ):
+                if isinstance(row_id, str) and row_id.startswith("CC#"):
+                    floor = max(floor, int(row_id.split("#", 1)[1]))
+        if floor:
+            central.replica.advance_row_counter(floor)
+        self.central = central
+
+    def recommit_lost(self, records: list) -> int:
+        """Re-adopt own commits that survived only in a peer's WAL.
+
+        A commit can reach a peer (who logs it) and then be lost here
+        to a torn WAL tail.  Commit decisions are never revoked, so at
+        restart such commits are re-adopted into this shard's log at
+        their original slots: applied, traced, re-WAL-logged, and
+        re-noted on the change stream.  No broadcast happens — no
+        clients are attached during the restart choreography.
+
+        Args:
+            records: this shard's lost :class:`WalRecord` s, recovered
+                from the surviving peers' logs.  Entries below the
+                recovered commit-log length are skipped as duplicates;
+                a gap above it raises :class:`ShardExchangeError`.
+
+        Returns the number of re-adopted commits.
+        """
+        if self.crashed:
+            raise RuntimeError(f"{self.endpoint!r} is still crashed")
+        adopted = 0
+        for record in sorted(records, key=lambda rec: rec.lseq):
+            if record.shard_id != self.shard_id:
+                raise ValueError(
+                    f"record committed by shard {record.shard_id} is not "
+                    f"{self.endpoint!r}'s to recommit"
+                )
+            if record.lseq < len(self.commit_log):
+                continue
+            if record.lseq != len(self.commit_log):
+                raise ShardExchangeError(
+                    f"{self.endpoint}: recommit gap: lseq {record.lseq} "
+                    f"does not extend the commit log (length "
+                    f"{len(self.commit_log)})"
+                )
+            record.message.apply(self.replica.table)
+            self.replica.messages_processed += 1
+            trace_record = TraceRecord(
+                seq=self._seq,
+                timestamp=record.timestamp,
+                worker_id=record.worker_id,
+                message=record.message,
+            )
+            self.trace.append(trace_record)
+            self.oplog.append(trace_record)
+            self._seq += 1
+            self.commit_log.append(
+                (
+                    ShardCommit(
+                        shard_id=self.shard_id,
+                        lseq=record.lseq,
+                        worker_id=record.worker_id,
+                        timestamp=record.timestamp,
+                    ),
+                    record.message,
+                )
+            )
+            self._change_coords = (self.shard_id, record.lseq)
+            self._note_change(trace_record)
+            adopted += 1
+        return adopted
+
+    def complete_recovery(self) -> None:
+        """Resume constraint maintenance after the restart choreography.
+
+        The recovered CC's first ``refresh()`` rebuilds its matching
+        rights from a whole-probable-set diff (its fresh consumer token
+        reports a full delta) and may emit fresh repairs — which take
+        commit slots at the end of the log, so this must run only after
+        :meth:`recommit_lost` has filled every lost slot.
+        """
+        if self.crashed:
+            raise RuntimeError(f"{self.endpoint!r} is still crashed")
+        if self.central is not None:
+            self.central.refresh()
+        self._check_completion()
+        # Fresh repairs commit outside any drain (like start()'s
+        # template seeding); flush them to the peers right away.
+        if self._flush_needed:
+            self._flush_exchange()
 
 
 class ShardRouter:
@@ -649,6 +983,12 @@ class ShardRouter:
         self.schema = schema
         self.shards = list(shards)
         self._key_columns = schema.key_columns
+        # Client operations addressed to a crashed shard, buffered at
+        # the ingress and redelivered at restart.  Content-based
+        # routing means any client's operation can target any shard —
+        # including one whose owner is down while the client's own home
+        # shard keeps serving it.
+        self._backlog: list[tuple[ShardServer, str, Message]] = []
         network.register(SERVER_NAME, self)
 
     def shard_for(self, message: Message) -> ShardServer:
@@ -657,7 +997,28 @@ class ShardRouter:
         return self.shards[stable_bucket(token) % len(self.shards)]
 
     def on_message(self, source: str, payload: Message) -> None:
-        self.shard_for(payload).on_message(source, payload)
+        shard = self.shard_for(payload)
+        if shard.crashed:
+            self._backlog.append((shard, source, payload))
+            return
+        shard.on_message(source, payload)
+
+    def backlog(self, shard: ShardServer, source: str, payload: Message) -> None:
+        """Buffer one operation for redelivery at *shard*'s restart."""
+        self._backlog.append((shard, source, payload))
+
+    def take_backlog(self, shard: ShardServer) -> list[tuple[str, Message]]:
+        """Drain the operations buffered for *shard* while it was down
+        (in arrival order — per-source FIFO is preserved)."""
+        taken = [
+            (source, payload)
+            for target, source, payload in self._backlog
+            if target is shard
+        ]
+        self._backlog = [
+            entry for entry in self._backlog if entry[0] is not shard
+        ]
+        return taken
 
 
 class ShardedBackend:
@@ -691,6 +1052,7 @@ class ShardedBackend:
         oplog_capacity: int = 512,
         max_batch: int = 64,
         obs: object | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
@@ -699,12 +1061,14 @@ class ShardedBackend:
         self.schema = schema
         self.scoring = scoring
         self.template = template
+        self.durability = durability
         # Follower construction reuses the fleet's shard parameters.
         self._shard_options = {
             "on_unsatisfiable": on_unsatisfiable,
             "oplog_capacity": oplog_capacity,
             "max_batch": max_batch,
             "obs": obs,
+            "durability": durability,
         }
         self.followers: list[ShardServer] = []
         self.shards: list[ShardServer] = [
@@ -721,6 +1085,7 @@ class ShardedBackend:
                 oplog_capacity=oplog_capacity,
                 max_batch=max_batch,
                 obs=obs,
+                durability=durability,
             )
             for k in range(shards)
         ]
@@ -728,6 +1093,10 @@ class ShardedBackend:
         self.primary = self.shards[0]
         self._home: dict[str, ShardServer] = {}
         self._started = False
+        # Crash choreography state (populated by bind_faults).
+        self._fault_clients: dict[str, Any] = {}
+        self._fault_injector: Any = None
+        self._crash_homed: dict[str, list[str]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -740,12 +1109,31 @@ class ShardedBackend:
             shard.start()
 
     def home_shard(self, name: str) -> ShardServer:
-        """The shard a client attaches to (stable in the worker id)."""
+        """The shard a client attaches to (stable in the worker id).
+
+        A first-time client whose stable choice is crashed fails over
+        to the next live shard in ring order — deterministically, the
+        way a front-end load balancer routes around a dead backend —
+        and the failover home sticks.  Attaching to a crashed replica
+        would silently bootstrap from its wiped table.
+        """
         shard = self._home.get(name)
         if shard is None:
-            shard = self.shards[
-                stable_bucket(f"client:{name}") % len(self.shards)
-            ]
+            index = stable_bucket(f"client:{name}") % len(self.shards)
+            shard = self.shards[index]
+            if shard.crashed:
+                for offset in range(1, len(self.shards)):
+                    candidate = self.shards[
+                        (index + offset) % len(self.shards)
+                    ]
+                    if not candidate.crashed:
+                        shard = candidate
+                        break
+                else:
+                    raise RuntimeError(
+                        f"cannot home client {name!r}: every shard is "
+                        "crashed"
+                    )
             self._home[name] = shard
         return shard
 
@@ -760,6 +1148,48 @@ class ShardedBackend:
 
     def session(self, name: str) -> ClientSession | None:
         return self.home_shard(name).session(name)
+
+    def disconnect_worker(self, client: Any) -> bool:
+        """Outage-begin bookkeeping for a worker client (the facade
+        mirror of :meth:`BackendServer.disconnect_worker`).
+
+        A no-op when a crash window already disconnected the client —
+        its home shard's session state died with the process, so there
+        is nothing to detach.
+        """
+        if not client.connected:
+            return False
+        self.detach_client(client.worker_id)
+        client.disconnect()
+        return True
+
+    def reconnect_worker(self, client: Any) -> bool:
+        """Outage-end reattach, aware of crash windows on the home shard.
+
+        Composing an outage window with a crash window on the client's
+        home shard yields three cases on top of the ordinary reattach:
+
+        - already connected: the restart choreography rejoined the
+          client before its outage formally ended — nothing to do.
+        - home still crashed: stay disconnected.  The shard has neither
+          sessions nor table to attach to; the restart choreography
+          rejoins every disconnected homed client whose outage is over.
+        - home crashed and restarted while the client was detached: the
+          retained session died with the process, so the incremental
+          path is gone — rejoin fresh from a bootstrap snapshot, the
+          same amnesia-safe path a crash-disconnected client takes.
+        """
+        if client.connected:
+            return False
+        name = client.worker_id
+        home = self.home_shard(name)
+        if home.crashed:
+            return False
+        if home.session(name) is None:
+            client.rejoin(self)
+        else:
+            client.reconnect(self)
+        return True
 
     @property
     def clients(self) -> tuple[str, ...]:
@@ -785,7 +1215,9 @@ class ShardedBackend:
     ) -> None:
         """Bulk entry: partition the run by owning shard, then hand each
         shard its slice through the PR 6 bulk path (per-shard order is
-        the stream order; cross-shard order is the exchange's job)."""
+        the stream order; cross-shard order is the exchange's job).
+        Slices owned by a crashed shard are backlogged at the router
+        for redelivery at restart, exactly like routed operations."""
         grouped: dict[int, list[Message]] = {}
         order: list[int] = []
         for message in messages:
@@ -796,7 +1228,12 @@ class ShardedBackend:
                 order.append(shard.shard_id)
             bucket.append(message)
         for shard_id in order:
-            self.shards[shard_id].ingest(source, grouped[shard_id])
+            shard = self.shards[shard_id]
+            if shard.crashed:
+                for message in grouped[shard_id]:
+                    self.router.backlog(shard, source, message)
+            else:
+                shard.ingest(source, grouped[shard_id])
 
     # -- read side (primary's full view) ------------------------------------
 
@@ -950,21 +1387,163 @@ class ShardedBackend:
 
     # -- fault choreography -------------------------------------------------
 
-    def bind_faults(self, injector) -> None:
-        """Wire shard-exchange recovery into a fault injector.
+    def bind_faults(
+        self, injector, clients: dict[str, Any] | None = None
+    ) -> None:
+        """Wire shard-exchange recovery — and, when durability is on,
+        crash/restart choreography — into a fault injector.
 
         Shard endpoints only carry exchange traffic (clients talk to
         the in-process router and are broadcast to as ``SERVER_NAME``),
         so both a shard endpoint outage and a
         :class:`~repro.net.faults.ShardPartitionWindow` reduce to the
         same thing: severed exchange links, resynced at heal time.
+        Crash windows additionally destroy the shard's volatile state;
+        the restart protocol replays checkpoint + WAL and rejoins the
+        mesh without ever pausing ingest on the surviving shards.
+
+        Args:
+            injector: the :class:`~repro.net.faults.FaultInjector`.
+            clients: worker-name → ``WorkerClient`` registry.  Needed
+                for crash windows: the crash cleanly disconnects the
+                crashed shard's homed clients (requeueing their
+                in-flight operations) and the restart rejoins them.
+                Kept by reference, so a live registry that grows as
+                workers trickle in (``CollectionSession.clients``)
+                stays current.
         """
+        self._fault_clients = clients if clients is not None else {}
+        self._fault_injector = injector
         injector.on_link_heal(self.resync_links)
         for shard in self.shards:
             injector.bind(
                 shard.endpoint,
                 on_reconnect=lambda s=shard: self._resync_endpoint(s),
+                on_crash=lambda s=shard: self._on_shard_crash(s),
+                on_restart=lambda s=shard: self._on_shard_restart(s),
             )
+
+    def _on_shard_crash(self, shard: ShardServer) -> None:
+        """The crash instant: cleanly detach the shard's homed clients,
+        then destroy its volatile state.
+
+        Each homed client with a registered object is disconnected the
+        way a broken socket would look to it: its unsent in-flight
+        operations come back into its outbox (nothing a client did is
+        ever lost — only *acknowledged server state* is at stake in a
+        crash, and that is what the WAL protects), and in-flight
+        broadcasts toward it are purged (the rejoin snapshot supersedes
+        them).  Clients without a registered object keep their links —
+        we cannot requeue what we cannot reach.
+        """
+        homed = list(shard.clients)
+        self._crash_homed[shard.endpoint] = homed
+        # Client operations that reached the ingress but were still in
+        # the shard's volatile apply queue die with the process, and
+        # the wire protocol has no client ack/retry — so they must be
+        # redelivered.  A homed client (rejoining through a snapshot
+        # that will not contain them) takes them back into its outbox,
+        # where rejoin re-applies and re-sends them; any other client
+        # already holds them applied locally, so the router redelivers
+        # them at restart with the usual echo exclusion, exactly like
+        # operations that arrive while the shard is down.  Remote
+        # entries are dropped: exchange resync re-delivers anything
+        # the recovered prefix vector does not cover, and the CC
+        # re-derives its repairs.
+        pending_by_client: dict[str, list] = {}
+        for source, payload in shard._pending:
+            if not isinstance(source, str) or source == CENTRAL_CLIENT_ID:
+                continue
+            if source in homed and self._fault_clients.get(source) is not None:
+                pending_by_client.setdefault(source, []).append(payload)
+            else:
+                self.router.backlog(shard, source, payload)
+        for name in homed:
+            client = self._fault_clients.get(name)
+            if client is None:
+                continue
+            dropped = self.network.drop_in_flight_links(
+                [(SERVER_NAME, name), (name, SERVER_NAME)]
+            )
+            client.requeue_unsent(
+                [d.payload for d in dropped if d.source == name]
+            )
+            # Prepended last so the (older) pending operations precede
+            # the (newer) purged in-flight ones in the outbox.
+            pending = pending_by_client.get(name)
+            if pending:
+                client.requeue_unsent(pending)
+            client.disconnect()
+        shard.crash()
+
+    def _on_shard_restart(self, shard: ShardServer) -> None:
+        """The restart instant: recover from durable state and rejoin.
+
+        Order matters:
+
+        1. :meth:`ShardServer.recover` — checkpoint + WAL replay.
+        2. :meth:`ShardServer.recommit_lost` — commits that survived
+           only in a surviving peer's WAL (torn local tail) are
+           re-adopted at their original slots.
+        3. :meth:`resync_links` — the exchange mesh heals exactly like
+           a partition: every sender rolls back to the receiver's
+           recovered applied prefix and re-flushes the suffix.
+        4. :meth:`ShardServer.complete_recovery` — the CC resumes
+           (fresh repairs take slots *after* the recommitted ones).
+        5. Homed clients rejoin (fresh attach + bootstrap snapshot) —
+           every disconnected homed client except those inside an open
+           outage window of their own, which rejoin at outage end
+           instead (:meth:`reconnect_worker`).
+        6. The ingress backlog — operations this shard owns that
+           arrived while it was down — is redelivered.
+
+        Surviving shards never pause: they kept committing and serving
+        their clients throughout the window and only resync here.
+        """
+        shard.recover()
+        survivors = [
+            other
+            for other in self.shards + self.followers
+            if other is not shard and not other.crashed
+        ]
+        recovered = len(shard.commit_log)
+        lost: dict[int, Any] = {}
+        for peer in survivors:
+            if peer.durable is None:
+                continue
+            if peer.received_from(shard.shard_id) <= recovered:
+                continue
+            records, _ = peer.durable.log.replay()
+            for rec in records:
+                if rec.shard_id == shard.shard_id and rec.lseq >= recovered:
+                    lost.setdefault(rec.lseq, rec)
+        if lost:
+            shard.recommit_lost(list(lost.values()))
+        links: list[tuple[str, str]] = []
+        for peer in survivors:
+            if peer.endpoint in shard._peer_cursors:
+                links.append((shard.endpoint, peer.endpoint))
+            if shard.endpoint in peer._peer_cursors:
+                links.append((peer.endpoint, shard.endpoint))
+        self.resync_links(links)
+        shard.complete_recovery()
+        self._crash_homed.pop(shard.endpoint, None)
+        injector = self._fault_injector
+        for name in sorted(self._fault_clients):
+            if self._home.get(name) is not shard:
+                continue
+            client = self._fault_clients[name]
+            if client.connected:
+                continue
+            if injector is not None and injector.is_down(name):
+                # The client's own outage window is still open: its
+                # link drops everything, so a rejoin now would lose
+                # the bootstrap snapshot and the outbox resend.  The
+                # outage-end path picks it up (reconnect_worker).
+                continue
+            client.rejoin(self)
+        for source, payload in self.router.take_backlog(shard):
+            shard.on_message(source, payload)
 
     def _resync_endpoint(self, shard: ShardServer) -> None:
         links = [(shard.endpoint, peer) for peer in shard.peers]
@@ -986,6 +1565,13 @@ class ShardedBackend:
             sender = by_endpoint.get(source)
             receiver = by_endpoint.get(destination)
             if sender is None or receiver is None:
+                continue
+            if sender.crashed or receiver.crashed:
+                # A partition or outage can heal while one end is
+                # inside a crash window: its commit log is gone, so
+                # prefix arithmetic is meaningless.  The restart
+                # choreography resyncs every link of the recovered
+                # shard after WAL replay.
                 continue
             sender.resync_peer(
                 destination, receiver.received_from(sender.shard_id)

@@ -48,6 +48,7 @@ if TYPE_CHECKING:
     from repro.cdc.leaderboard import LeaderboardView
     from repro.cdc.subscription import Subscription
     from repro.docstore import Database
+    from repro.durability import DurabilityConfig
     from repro.pay import AllocationScheme, CompensationEstimator
     from repro.server.backend import BackendServer, BootstrapState
     from repro.server.frontend import FrontendServer
@@ -118,6 +119,11 @@ class CollectionSession:
             identical to the plain server — the equivalence gate).
         snapshot_interval: sim-seconds between periodic observability
             snapshots (only taken when *obs* is enabled).
+        durability: a :class:`~repro.durability.DurabilityConfig` to
+            give every backend (shard) a write-ahead log + checkpoint
+            store, the prerequisite for surviving
+            :class:`~repro.net.ShardCrashWindow` faults (``None`` —
+            the default — keeps state volatile, as before).
     """
 
     def __init__(
@@ -137,6 +143,7 @@ class CollectionSession:
         snapshot_interval: float = 60.0,
         db_name: str = "crowdfill",
         shards: int | None = None,
+        durability: "DurabilityConfig | None" = None,
     ) -> None:
         self.seed = seed
         self.streams = RngStreams(seed)
@@ -191,6 +198,7 @@ class CollectionSession:
                     on_complete=on_complete,
                     on_unsatisfiable=on_unsatisfiable,
                     oplog_capacity=oplog_capacity,
+                    durability=durability,
                 )
             else:
                 from repro.server.shard import ShardedBackend
@@ -205,8 +213,10 @@ class CollectionSession:
                     on_complete=on_complete,
                     on_unsatisfiable=on_unsatisfiable,
                     oplog_capacity=oplog_capacity,
+                    durability=durability,
                 )
         self.shards = shards
+        self.durability = durability
 
     # -- lazy application-level components ----------------------------
 

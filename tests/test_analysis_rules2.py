@@ -461,6 +461,106 @@ def test_wire002_real_cdc_module_is_clean():
     assert [d for d in check_codecs(project) if d.rule == "WIRE002"] == []
 
 
+# -- WIRE002 over the WAL record codec ----------------------------------------
+
+
+WAL_WIRE = """\
+    from dataclasses import dataclass
+    from messages import message_from_dict
+
+    @dataclass(frozen=True)
+    class WalRecord:
+        shard_id: int
+        lseq: int
+        worker_id: str
+        timestamp: float
+        message: object
+
+        def to_dict(self):
+            return {
+                "shard_id": self.shard_id,
+                "lseq": self.lseq,
+                "worker_id": self.worker_id,
+                "timestamp": self.timestamp,
+                "message": self.message.to_dict(),
+            }
+
+    def wal_record_from_dict(data):
+        return WalRecord(
+            shard_id=data["shard_id"],
+            lseq=data["lseq"],
+            worker_id=data["worker_id"],
+            timestamp=data["timestamp"],
+            message=message_from_dict(data["message"]),
+        )
+"""
+
+
+def test_wire002_clean_wal_module_passes(tmp_path):
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "walcodec.py": WAL_WIRE,
+    })
+    assert check_codecs(project) == []
+
+
+def test_wire002_flags_wal_to_dict_dropping_a_field(tmp_path):
+    """Acceptance fixture: a deliberately unencoded WalRecord field —
+    here the origin ``lseq`` coordinate, whose loss would corrupt the
+    recovered prefix vector — must be flagged."""
+    broken = WAL_WIRE.replace('"lseq": self.lseq,\n', "")
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "walcodec.py": broken,
+    })
+    diags = check_codecs(project)
+    assert any(
+        d.rule == "WIRE002"
+        and "WalRecord.to_dict() emits no `lseq` key" in d.message
+        and "dropped from the WAL wire format" in d.message
+        for d in diags
+    )
+
+
+def test_wire002_flags_wal_key_without_read(tmp_path):
+    broken = WAL_WIRE.replace(
+        '"worker_id": self.worker_id,', '"worker_id": "w",'
+    )
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "walcodec.py": broken,
+    })
+    diags = check_codecs(project)
+    assert any(
+        d.rule == "WIRE002"
+        and "WalRecord.to_dict() never reads self.worker_id" in d.message
+        for d in diags
+    )
+
+
+def test_wire002_flags_wal_decoder_dropping_a_field(tmp_path):
+    broken = WAL_WIRE.replace('timestamp=data["timestamp"],\n', "")
+    project = make_project(tmp_path, {
+        "messages.py": CLEAN_MESSAGES,
+        "walcodec.py": broken,
+    })
+    diags = check_codecs(project)
+    assert any(
+        d.rule == "WIRE002"
+        and "wal_record_from_dict reconstructs WalRecord without field "
+        "`timestamp`" in d.message
+        for d in diags
+    )
+
+
+def test_wire002_real_wal_module_is_clean():
+    files = list((REPO_ROOT / "src" / "repro" / "core").glob("*.py"))
+    files += list((REPO_ROOT / "src" / "repro" / "cdc").glob("*.py"))
+    files += list((REPO_ROOT / "src" / "repro" / "durability").glob("*.py"))
+    project = Project.load(files)
+    assert [d for d in check_codecs(project) if d.rule == "WIRE002"] == []
+
+
 # -- ESC001: aliasing escapes at send sites -----------------------------------
 
 

@@ -137,3 +137,45 @@ def test_domains_command(capsys):
 def test_cost_command(capsys):
     assert main(["cost", "--seed", "7", "--wage", "9"]) == 0
     assert "A11:" in capsys.readouterr().out
+
+
+def test_run_with_fault_plan_crash_windows(tmp_path, capsys):
+    """`repro run --shards N --fault-plan plan.json` loads a serialized
+    plan (the `to_dict` wire form round-trips through the CLI) and
+    reports the injected fault events."""
+    import json
+
+    from repro.net import FaultPlan, ShardCrashWindow
+    from repro.server.shard import shard_endpoint
+
+    plan = FaultPlan(
+        crashes=(ShardCrashWindow(shard_endpoint(1), 1.0, 3.0),)
+    )
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(json.dumps(plan.to_dict()))
+    code = main(["run", "--seed", "3", "--workers", "3", "--rows", "4",
+                 "--shards", "2", "--fault-plan", str(plan_file)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault events injected:" in out
+    events = int(out.split("fault events injected:")[1].split()[0])
+    assert events >= 2  # the crash and its restart both fired
+    assert out.count("'name'") == 4  # the run still converged
+
+
+def test_run_fault_plan_crashes_require_shards(tmp_path):
+    """Crash windows without --shards are rejected: only the sharded
+    backend has a WAL to recover from."""
+    import json
+
+    from repro.net import FaultPlan, ShardCrashWindow
+    from repro.server.shard import shard_endpoint
+
+    plan = FaultPlan(
+        crashes=(ShardCrashWindow(shard_endpoint(0), 1.0, 2.0),)
+    )
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(json.dumps(plan.to_dict()))
+    with pytest.raises(ValueError, match="crash windows need a sharded"):
+        main(["run", "--seed", "3", "--workers", "3", "--rows", "4",
+              "--fault-plan", str(plan_file)])

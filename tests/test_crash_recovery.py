@@ -1,0 +1,510 @@
+"""Crash-recovery property suite: WAL + checkpoint durability under
+random crash schedules.
+
+A :class:`~repro.net.faults.ShardCrashWindow` destroys a shard's entire
+volatile state — table, sessions, commit log, exchange bookkeeping,
+in-flight wire traffic — leaving only its durable store (the WAL and
+the latest cut-addressed checkpoint).  These tests drive the full
+sharded assembly with crash windows overlaid (optionally composed with
+worker outages and shard partitions) and assert that once every window
+closes and the network quiesces:
+
+- every shard replica and every client replica is **byte-identical**
+  (``dump_json(canonical_state(BootstrapState.capture(...)))`` — the
+  PR 9 oracle encoding) to the quiesced primary, which hosts the
+  Central Client;
+- the merged committed trace, replayed from scratch on a fresh table
+  that never crashed — the no-crash oracle — reproduces the primary
+  byte-for-byte, with the same final rows;
+- the CC's probable-row invariant holds, and every replica's
+  incremental probable view equals its from-scratch oracle;
+- per-link network conservation balances, crash purges included.
+
+The torn-tail legs tear the last WAL record mid-write (an fsync that
+never completed) *after* the exchange propagated it, and recovery must
+re-adopt the lost commits from a surviving peer's WAL at their original
+slots.  The ingest-never-paused witness checks the survivors kept
+committing while a peer was down, as in the PR 9 follower-bootstrap
+suite.  The CI sanitizer leg re-runs this file under
+``REPRO_NET_SANITIZE=1`` (recovered replicas must not alias logged
+payloads — the WAL codec rebuilds every object from bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdc.view import canonical_state
+from repro.client import WorkerClient
+from repro.constraints import Template
+from repro.core.messages import TraceRecord
+from repro.durability import DurabilityConfig
+from repro.net import (
+    FaultInjector,
+    FaultPlan,
+    Network,
+    ShardCrashWindow,
+    UniformLatency,
+)
+from repro.obs import dump_json
+from repro.server import ShardedBackend
+from repro.server.backend import BootstrapState
+from repro.server.shard import shard_endpoint
+from repro.server.tracelog import replay_trace
+from repro.sim import RngStreams, Simulator
+
+from tests.test_shard_convergence import (
+    HORIZON,
+    SCHEMA,
+    SCORING,
+    _perform,
+    _shard_groups,
+    operation,
+)
+
+
+def canonical_doc(replica) -> str:
+    return dump_json(canonical_state(BootstrapState.capture(replica)))
+
+
+def _crash_plan(
+    crash_seed: int,
+    n_shards: int,
+    names: list[str],
+    *,
+    outages: bool = False,
+    partitions: bool = False,
+) -> FaultPlan:
+    """A seeded plan that always contains at least one crash window."""
+    return FaultPlan.generate(
+        random.Random(crash_seed),
+        names if outages else [],
+        horizon=HORIZON,
+        outage_prob=0.5,
+        min_outage=0.5,
+        max_outage=6.0,
+        shard_groups=(
+            _shard_groups(n_shards) if partitions and n_shards > 1 else None
+        ),
+        shard_partition_prob=0.6,
+        crash_endpoints=[shard_endpoint(k) for k in range(n_shards)],
+        crash_prob=1.0,
+        min_crash_gap=0.5,
+    )
+
+
+def _build_crash_rig(
+    n_shards,
+    num_clients,
+    latency_seed,
+    plan,
+    checkpoint_interval=8,
+    sanitize=None,
+):
+    """The sharded assembly with durability on and crash choreography
+    bound; ops not scheduled yet."""
+    sim = Simulator()
+    network = Network(
+        sim,
+        default_latency=UniformLatency(0.01, 1.5),
+        streams=RngStreams(latency_seed),
+        sanitize=sanitize,
+    )
+    backend = ShardedBackend(
+        sim,
+        network,
+        SCHEMA,
+        SCORING,
+        Template.cardinality(2),
+        shards=n_shards,
+        durability=DurabilityConfig(checkpoint_interval=checkpoint_interval),
+    )
+    names = [f"c{i}" for i in range(num_clients)]
+    clients: dict[str, WorkerClient] = {}
+    rng_streams = RngStreams(latency_seed)
+    for name in names:
+        client = WorkerClient(
+            name, SCHEMA, SCORING, network, streams=rng_streams
+        )
+        client.bootstrap(backend.attach_client(name))
+        clients[name] = client
+    injector = FaultInjector(sim, network, plan)
+    backend.bind_faults(injector, clients=clients)
+    for name in plan.faulted_endpoints():
+        client = clients.get(name)
+        if client is None:
+            continue  # shard endpoints resync via bind_faults
+        injector.bind(
+            name,
+            on_disconnect=lambda c=client: backend.disconnect_worker(c),
+            on_reconnect=lambda c=client: backend.reconnect_worker(c),
+            on_requeue=client.requeue_unsent,
+        )
+    injector.install()
+    backend.start()
+    return sim, network, backend, clients, injector, names
+
+
+def _schedule_ops(sim, clients, names, schedule):
+    for at, client_pick, op_kind, row_pick, column_pick, value_pick in schedule:
+        client = clients[names[client_pick % len(names)]]
+        sim.schedule_at(
+            at,
+            lambda c=client, k=op_kind, r=row_pick, col=column_pick,
+            v=value_pick: _perform(c, k, r, col, v),
+        )
+
+
+def _finish(sim, network, injector):
+    sim.run()
+    injector.force_reconnect_all()
+    sim.run()
+    assert network.quiescent()
+
+
+def _assert_crash_convergence(backend, clients, network):
+    assert backend.exchange_backlog() == 0
+    assert backend.fully_exchanged()
+    for shard in backend.shards:
+        assert not shard.crashed
+
+    # Byte-identical per-shard and per-client snapshots vs the quiesced
+    # primary (the CC's host): the same canonical-state byte-compare
+    # the CDC acceptance suite uses.
+    reference = backend.primary.replica
+    reference_doc = canonical_doc(reference)
+    replicas = [shard.replica for shard in backend.shards] + [
+        client.replica for client in clients.values()
+    ]
+    for replica in replicas:
+        assert canonical_doc(replica) == reference_doc
+        replica.table.check_vote_invariants()
+
+    # The no-crash oracle: every committed operation replayed from
+    # scratch on a fresh table that never crashed.  Byte-identical
+    # state means recovery was snapshot-equivalent — no committed
+    # operation was lost, duplicated, or reordered incompatibly.
+    committed = backend.committed_trace()
+    records = [
+        TraceRecord(
+            seq=index,
+            timestamp=commit.timestamp,
+            worker_id=commit.worker_id,
+            message=message,
+        )
+        for index, (commit, message) in enumerate(committed)
+    ]
+    oracle = replay_trace(SCHEMA, SCORING, records)
+    oracle_doc = dump_json(
+        canonical_state(BootstrapState.capture(SimpleNamespace(table=oracle)))
+    )
+    assert oracle_doc == reference_doc
+    assert sorted(r.row_id for r in oracle.final_rows()) == sorted(
+        r.row_id for r in reference.table.final_rows()
+    )
+
+    # CC invariants at the primary.
+    assert backend.central.pri_holds()
+    from repro.constraints.probable import (
+        probable_rows,
+        probable_rows_from_scratch,
+    )
+
+    for replica in replicas:
+        incremental = sorted(row.row_id for row in probable_rows(replica.table))
+        scratch = sorted(
+            row.row_id for row in probable_rows_from_scratch(replica.table)
+        )
+        assert incremental == scratch
+
+    network.check_accounting()
+
+
+# -- random crash schedules ---------------------------------------------------
+
+
+@pytest.mark.slow
+@settings(max_examples=90, deadline=None)
+@given(
+    schedule=st.lists(operation, min_size=1, max_size=25),
+    n_shards=st.sampled_from([1, 2, 4]),
+    crash_seed=st.integers(min_value=0, max_value=10_000),
+    latency_seed=st.integers(min_value=0, max_value=1_000),
+    checkpoint_interval=st.sampled_from([2, 8, 256]),
+)
+def test_crash_recovery_converges_under_random_crash_schedules(
+    schedule, n_shards, crash_seed, latency_seed, checkpoint_interval
+):
+    """Random crash schedules over N ∈ {1, 2, 4} shards: every crashed
+    shard recovers from checkpoint + WAL suffix and the whole assembly
+    converges byte-identically to the no-crash oracle — at every
+    checkpoint cadence, including one (256) that never checkpoints
+    within these runs (pure WAL replay) and one (2) that checkpoints
+    nearly every drain."""
+    plan = _crash_plan(crash_seed, n_shards, [])
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        n_shards, 4, latency_seed, plan,
+        checkpoint_interval=checkpoint_interval,
+    )
+    _schedule_ops(sim, clients, names, sorted(schedule))
+    _finish(sim, network, injector)
+    if plan.crashes:
+        assert any(e.kind == "crash" for e in injector.events)
+        assert any(e.kind == "restart" for e in injector.events)
+        for endpoint in plan.crashed_endpoints():
+            shard = backend.shards[int(endpoint.split("-")[1])]
+            assert shard.durable is not None and shard.durable.recoveries >= 1
+    _assert_crash_convergence(backend, clients, network)
+
+
+@pytest.mark.slow
+@settings(max_examples=40, deadline=None)
+@given(
+    schedule=st.lists(operation, min_size=3, max_size=25),
+    n_shards=st.sampled_from([2, 4]),
+    crash_seed=st.integers(min_value=0, max_value=10_000),
+    latency_seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_crashes_compose_with_outages_and_partitions(
+    schedule, n_shards, crash_seed, latency_seed
+):
+    """Crash windows overlaid with worker outage windows and shard
+    partitions — all three fault kinds in one run — still converge to
+    the no-crash oracle."""
+    plan = _crash_plan(
+        crash_seed, n_shards, [f"c{i}" for i in range(4)],
+        outages=True, partitions=True,
+    )
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        n_shards, 4, latency_seed, plan
+    )
+    _schedule_ops(sim, clients, names, sorted(schedule))
+    _finish(sim, network, injector)
+    _assert_crash_convergence(backend, clients, network)
+
+
+# -- torn-tail WAL legs -------------------------------------------------------
+
+
+_TORN_SCHEDULE = sorted(
+    (round(0.31 * i % 3.4, 3), i,
+     ["fill", "fill", "upvote", "downvote"][i % 4], i * 3, i, i * 7)
+    for i in range(20)
+)
+
+
+def _run_torn_tail(tear_fraction: float, latency_seed: int = 5):
+    """Quiesce (everything exchanged), crash shard 1, tear part of its
+    last WAL record mid-window, restart.  The torn commits survive only
+    in the peers' WALs — `recommit_lost` must re-adopt them."""
+    plan = FaultPlan(crashes=(ShardCrashWindow(shard_endpoint(1), 6.0, 8.0),))
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        2, 3, latency_seed, plan, checkpoint_interval=256
+    )
+    _schedule_ops(sim, clients, names, _TORN_SCHEDULE)
+
+    torn = {}
+
+    def tear():
+        shard = backend.shards[1]
+        assert shard.crashed
+        log = shard.durable.log
+        records, _ = log.replay()
+        if not records:
+            return
+        last_line_bytes = len(
+            json.dumps(
+                records[-1].to_dict(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        ) + 1
+        nbytes = max(1, int(last_line_bytes * tear_fraction))
+        log.truncate_tail(min(nbytes, log.size_bytes))
+        torn["bytes"] = nbytes
+        # The WAL holds every *applied* record, exchanged peer commits
+        # included; only shard 1's own commits repopulate commit_log.
+        torn["own_before"] = sum(1 for r in records if r.shard_id == 1)
+
+    # All ops land by ~4.5 and the exchange drains before the crash at
+    # 6.0, so every commit in the torn tail is covered by a peer's WAL.
+    sim.schedule_at(7.0, tear)
+    _finish(sim, network, injector)
+    return backend, clients, network, torn
+
+
+def test_torn_tail_recovery_readopts_lost_commits_from_peer_wal():
+    backend, clients, network, torn = _run_torn_tail(tear_fraction=0.5)
+    assert torn["bytes"] > 0  # the tear really happened
+    shard = backend.shards[1]
+    assert shard.durable.recoveries == 1
+    # The re-adopted commits are back at their original slots: the
+    # recovered commit log is as long as the pre-tear one.
+    assert len(shard.commit_log) >= torn["own_before"] - 1
+    _assert_crash_convergence(backend, clients, network)
+
+
+@pytest.mark.slow
+@settings(max_examples=25, deadline=None)
+@given(
+    tear_fraction=st.floats(
+        min_value=0.01, max_value=0.99, allow_nan=False
+    ),
+    latency_seed=st.integers(min_value=0, max_value=200),
+)
+def test_torn_tail_recovery_at_any_tear_point(tear_fraction, latency_seed):
+    """Tearing any proper fraction of the last WAL record — from one
+    byte to all-but-one — recovers to the same converged state."""
+    backend, clients, network, torn = _run_torn_tail(
+        tear_fraction, latency_seed
+    )
+    _assert_crash_convergence(backend, clients, network)
+
+
+# -- ingest-never-paused witness ---------------------------------------------
+
+
+_PINNED_SCHEDULE = sorted(
+    (round(0.29 * i % 7.7, 3), i,
+     ["fill", "fill", "upvote", "downvote"][i % 4], i * 5, i, i * 3)
+    for i in range(40)
+)
+
+
+def _fill_toward_survivor(client) -> bool:
+    """One fill guaranteed to land at shard 0: fill ``k="x"`` (probed:
+    the "x" key group hashes to shard 0 under two shards), or extend a
+    row whose key already is "x"."""
+    from repro.core.replica import OperationError
+    from repro.core.schema import SchemaError
+
+    table = client.replica.table
+    for row_id in table.row_ids():
+        row = table.get(row_id)
+        if row is None:
+            continue
+        filled = row.value.filled_columns()
+        try:
+            if "k" not in filled:
+                client.fill(row_id, "k", "x")
+                return True
+            if row.value.get("k") == "x" and "a" not in filled:
+                client.fill(row_id, "a", 1)
+                return True
+        except (OperationError, SchemaError):
+            continue
+    return False
+
+
+def test_survivors_never_pause_during_peer_recovery():
+    """The witness for "ingest never pauses": while shard 1 is down,
+    shard 0 keeps committing operations and its change-stream position
+    strictly advances — the crash is invisible to the survivors' own
+    clients until heal-time resync.
+
+    The pinned schedule alone cannot witness this: clients c0–c3 all
+    home on shard 1 and are force-disconnected at its crash, so the rig
+    uses 8 clients (c4–c7 home on shard 0, probed) and drives fills
+    routed to shard 0 from a surviving client inside the window.
+    """
+    plan = FaultPlan(crashes=(ShardCrashWindow(shard_endpoint(1), 3.0, 7.0),))
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        2, 8, 5, plan
+    )
+    survivor_client = next(
+        clients[name] for name in names
+        if backend.home_shard(name) is backend.shards[0]
+    )
+    _schedule_ops(sim, clients, names, _PINNED_SCHEDULE)
+    probes: list[tuple[float, int, int]] = []
+    hits: list[bool] = []
+
+    def probe():
+        survivor = backend.shards[0]
+        assert not survivor.crashed
+        probes.append(
+            (sim.now, survivor.changes.position, len(survivor.commit_log))
+        )
+
+    sim.schedule_at(3.1, probe)
+    for when in (3.5, 4.5, 5.5):
+        sim.schedule_at(
+            when, lambda: hits.append(_fill_toward_survivor(survivor_client))
+        )
+    sim.schedule_at(6.9, probe)
+    _finish(sim, network, injector)
+    assert [e.kind for e in injector.events] == ["crash", "restart"]
+    assert any(hits)  # at least one survivor-routed fill was performed
+    (t0, pos0, commits0), (t1, pos1, commits1) = probes
+    assert t1 > t0
+    assert pos1 > pos0          # the survivor's stream kept moving
+    assert commits1 > commits0  # ...because it kept *committing*
+    _assert_crash_convergence(backend, clients, network)
+
+
+# -- deterministic replay and checkpoints ------------------------------------
+
+
+def _fingerprint(crash_seed: int):
+    plan = _crash_plan(crash_seed, 2, [])
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        2, 4, 5, plan, checkpoint_interval=4
+    )
+    _schedule_ops(sim, clients, names, _PINNED_SCHEDULE)
+    _finish(sim, network, injector)
+    _assert_crash_convergence(backend, clients, network)
+    committed_json = json.dumps(
+        [
+            (c.shard_id, c.lseq, c.worker_id, c.timestamp, m.to_dict())
+            for c, m in backend.committed_trace()
+        ],
+        sort_keys=True,
+    )
+    events = [(e.time, e.kind, e.endpoint, e.purged) for e in injector.events]
+    return committed_json, canonical_doc(backend.primary.replica), events
+
+
+def test_pinned_seed_crash_run_is_deterministically_replayable():
+    """Fault plan × crash choreography × recovery replays byte-
+    identically for one seed; a different crash seed changes the run."""
+    first = _fingerprint(crash_seed=11)
+    second = _fingerprint(crash_seed=11)
+    assert first == second
+    third = _fingerprint(crash_seed=13)
+    assert first[2] != third[2]
+
+
+def test_checkpoint_plus_wal_suffix_recovery():
+    """With a tiny checkpoint interval the crashed shard provably
+    recovered through the checkpoint path (not pure WAL replay), and
+    the WAL itself was never truncated by checkpointing."""
+    plan = FaultPlan(crashes=(ShardCrashWindow(shard_endpoint(1), 5.0, 7.0),))
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        2, 4, 5, plan, checkpoint_interval=2
+    )
+    _schedule_ops(sim, clients, names, _PINNED_SCHEDULE)
+    _finish(sim, network, injector)
+    shard = backend.shards[1]
+    assert shard.durable.checkpoints_taken > 0
+    assert shard.durable.recoveries == 1
+    assert shard.durable.log.records_appended >= len(shard.commit_log)
+    _assert_crash_convergence(backend, clients, network)
+
+
+def test_crash_recovery_under_sanitizer():
+    """The aliasing sanitizer leg: recovered replicas are rebuilt from
+    logged bytes, so no recovered object may alias a payload another
+    replica holds.  (CI re-runs the whole file with
+    ``REPRO_NET_SANITIZE=1``; this pinned leg keeps the property in the
+    default run too.)"""
+    plan = _crash_plan(7, 2, [])
+    sim, network, backend, clients, injector, names = _build_crash_rig(
+        2, 3, 5, plan, sanitize=True
+    )
+    _schedule_ops(sim, clients, names, _PINNED_SCHEDULE)
+    _finish(sim, network, injector)
+    _assert_crash_convergence(backend, clients, network)

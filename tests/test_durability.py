@@ -1,0 +1,215 @@
+"""Unit tests for repro.durability: the WAL record codec, the
+newline-framed durable log (including torn tails and mid-log
+corruption), and cut-addressed checkpoints."""
+
+import json
+
+import pytest
+
+from repro.cdc.events import Cut
+from repro.core.messages import (
+    InsertMessage,
+    ReplaceMessage,
+    UpvoteMessage,
+)
+from repro.core.row import RowValue
+from repro.durability import (
+    DurabilityConfig,
+    DurableLog,
+    DurableStore,
+    WalCorruptionError,
+    WalRecord,
+    decode_checkpoint,
+    encode_checkpoint,
+    wal_record_from_dict,
+)
+from repro.server.backend import BootstrapState
+
+
+def make_record(lseq=0, shard_id=0, worker="w0", timestamp=1.5):
+    return WalRecord(
+        shard_id=shard_id,
+        lseq=lseq,
+        worker_id=worker,
+        timestamp=timestamp,
+        message=ReplaceMessage(
+            old_id=f"r{lseq}",
+            new_id=f"r{lseq + 1}",
+            value=RowValue({"name": "Xavi", "team": "Barcelona"}),
+            column="team",
+            filled_value="Barcelona",
+        ),
+    )
+
+
+# -- WalRecord codec ---------------------------------------------------------
+
+
+def test_wal_record_round_trips_and_builds_fresh_objects():
+    record = make_record()
+    document = json.loads(json.dumps(record.to_dict()))
+    rebuilt = wal_record_from_dict(document)
+    assert rebuilt == record
+    assert rebuilt.message is not record.message
+
+
+def test_wal_record_round_trips_every_message_kind():
+    messages = [
+        InsertMessage(row_id="r1"),
+        UpvoteMessage(value=RowValue({"name": "Xavi"}), auto=True),
+    ]
+    for message in messages:
+        record = WalRecord(
+            shard_id=2, lseq=7, worker_id="w3", timestamp=9.25,
+            message=message,
+        )
+        assert wal_record_from_dict(record.to_dict()) == record
+
+
+# -- DurableLog --------------------------------------------------------------
+
+
+def test_log_replay_returns_records_in_append_order():
+    log = DurableLog()
+    records = [make_record(lseq=i) for i in range(5)]
+    for record in records:
+        log.append(record)
+    replayed, torn = log.replay()
+    assert replayed == records
+    assert torn == 0
+    assert log.records_appended == 5
+
+
+def test_log_discards_torn_tail_silently():
+    log = DurableLog()
+    log.append(make_record(lseq=0))
+    size_one = log.size_bytes
+    log.append(make_record(lseq=1))
+    # Tear the second record mid-write: everything after its first byte.
+    log.truncate_tail(log.size_bytes - size_one - 1)
+    replayed, torn = log.replay()
+    assert [r.lseq for r in replayed] == [0]
+    assert torn > 0
+
+
+def test_log_tearing_the_whole_last_record_is_a_clean_log():
+    log = DurableLog()
+    log.append(make_record(lseq=0))
+    size_one = log.size_bytes
+    log.append(make_record(lseq=1))
+    log.truncate_tail(log.size_bytes - size_one)  # exactly at the frame
+    replayed, torn = log.replay()
+    assert [r.lseq for r in replayed] == [0]
+    assert torn == 0
+
+
+def test_truncate_tail_validates_bounds():
+    log = DurableLog()
+    log.append(make_record())
+    with pytest.raises(ValueError):
+        log.truncate_tail(-1)
+    with pytest.raises(ValueError):
+        log.truncate_tail(log.size_bytes + 1)
+    log.truncate_tail(0)  # no-op tear is fine
+    assert log.replay()[0] != []
+
+
+def test_mid_log_corruption_raises():
+    log = DurableLog()
+    log.append(make_record(lseq=0))
+    log.append(make_record(lseq=1))
+    # Flip bytes inside the *terminated* first record: this is damage,
+    # not a torn write, and recovery must refuse to guess.
+    log._buf[5:9] = b"\xff\xff\xff\xff"
+    with pytest.raises(WalCorruptionError):
+        log.replay()
+
+
+def test_empty_log_replays_to_nothing():
+    assert DurableLog().replay() == ([], 0)
+
+
+# -- DurabilityConfig / DurableStore -----------------------------------------
+
+
+def test_config_validates_interval():
+    with pytest.raises(ValueError):
+        DurabilityConfig(checkpoint_interval=0)
+    assert DurabilityConfig().checkpoint_interval == 256
+
+
+def test_store_checkpoint_cadence():
+    store = DurableStore(DurabilityConfig(checkpoint_interval=3))
+    assert not store.checkpoint_due
+    for i in range(3):
+        store.append(make_record(lseq=i))
+    assert store.checkpoint_due
+    store.save_checkpoint({"version": 1, "marker": "a"})
+    assert not store.checkpoint_due
+    assert store.checkpoints_taken == 1
+    assert store.records_since_checkpoint == 0
+    # The log itself is never truncated by a checkpoint.
+    assert store.log.records_appended == 3
+
+
+def test_store_load_checkpoint_builds_fresh_document():
+    store = DurableStore()
+    assert store.load_checkpoint() is None
+    assert not store.has_checkpoint
+    document = {"version": 1, "state": {"rows": [["r1", {"a": 1}, 2, 0]]}}
+    store.save_checkpoint(document)
+    loaded = store.load_checkpoint()
+    assert loaded == document
+    assert loaded is not document
+    assert store.load_checkpoint() is not loaded
+
+
+# -- Checkpoint codec --------------------------------------------------------
+
+
+def make_state():
+    return BootstrapState(
+        rows=[
+            ("r1", {"name": "Xavi", "team": "Barcelona"}, 2, 0),
+            ("r2", {"name": "Iniesta"}, 1, 1),
+        ],
+        upvote_history=[({"name": "Xavi", "team": "Barcelona"}, 2)],
+        downvote_history=[({"name": "Iniesta"}, 1)],
+        superseded=["r0"],
+    )
+
+
+def test_checkpoint_round_trip():
+    cut = Cut(position=3, counts=((0, 2), (1, 1)))
+    central = {"current": [["r1", 0]], "dropped": []}
+    document = json.loads(
+        json.dumps(encode_checkpoint(make_state(), cut, central))
+    )
+    state, decoded_cut, decoded_central = decode_checkpoint(document)
+    assert state == make_state()
+    assert decoded_cut == cut
+    assert decoded_central == central
+
+
+def test_checkpoint_without_central_round_trips():
+    cut = Cut(position=0, counts=())
+    state, decoded_cut, central = decode_checkpoint(
+        encode_checkpoint(make_state(), cut)
+    )
+    assert state == make_state()
+    assert decoded_cut == cut
+    assert central is None
+
+
+def test_checkpoint_rejects_unknown_version():
+    document = encode_checkpoint(make_state(), Cut(position=0, counts=()))
+    document["version"] = 99
+    with pytest.raises(WalCorruptionError):
+        decode_checkpoint(document)
+
+
+def test_checkpoint_rejects_missing_keys():
+    document = encode_checkpoint(make_state(), Cut(position=0, counts=()))
+    del document["state"]
+    with pytest.raises(WalCorruptionError):
+        decode_checkpoint(document)

@@ -14,6 +14,9 @@ from repro.net import (
     LatencySpike,
     Network,
     PartitionWindow,
+    ShardCrashWindow,
+    ShardPartitionWindow,
+    fault_plan_from_dict,
 )
 from repro.sim import RngStreams, Simulator
 
@@ -193,3 +196,273 @@ def test_injector_install_twice_rejected():
     injector.install()
     with pytest.raises(RuntimeError):
         injector.install()
+
+
+# -- Crash windows (plan layer) ----------------------------------------------
+
+
+def test_crash_window_requires_finite_end():
+    with pytest.raises(FaultPlanError):
+        ShardCrashWindow("shard-0", start=1.0, end=math.inf)
+    with pytest.raises(FaultPlanError):
+        ShardCrashWindow("shard-0", start=2.0, end=2.0)
+    with pytest.raises(FaultPlanError):
+        ShardCrashWindow("shard-0", start=-1.0, end=2.0)
+
+
+def test_crash_windows_may_not_overlap_per_endpoint():
+    with pytest.raises(FaultPlanError, match="overlapping crash windows"):
+        FaultPlan(crashes=(
+            ShardCrashWindow("shard-0", 1.0, 5.0),
+            ShardCrashWindow("shard-0", 4.0, 8.0),
+        ))
+    # Different endpoints may overlap; same endpoint back-to-back is fine.
+    plan = FaultPlan(crashes=(
+        ShardCrashWindow("shard-0", 1.0, 5.0),
+        ShardCrashWindow("shard-1", 4.0, 8.0),
+        ShardCrashWindow("shard-0", 5.0, 6.0),
+    ))
+    assert plan.crashed_endpoints() == ["shard-0", "shard-1"]
+    assert not plan.is_empty
+
+
+def test_generate_crash_windows_deterministic_and_closed():
+    shards = ["shard-0", "shard-1", "shard-2"]
+    plan_a = FaultPlan.generate(
+        random.Random(11), [], horizon=100.0,
+        crash_endpoints=shards, crash_prob=1.0,
+    )
+    plan_b = FaultPlan.generate(
+        random.Random(11), [], horizon=100.0,
+        crash_endpoints=shards, crash_prob=1.0,
+    )
+    assert plan_a == plan_b
+    assert plan_a.crashes
+    for window in plan_a.crashes:
+        assert 0.0 <= window.start < window.end <= 100.0
+
+
+def test_generate_respects_max_crashes_and_gap():
+    for seed in range(20):
+        plan = FaultPlan.generate(
+            random.Random(seed), [], horizon=200.0,
+            crash_endpoints=["s0"], crash_prob=1.0,
+            max_crashes_per_endpoint=4, min_crash_gap=10.0,
+        )
+        windows = sorted(
+            (w.start, w.end) for w in plan.crashes if w.endpoint == "s0"
+        )
+        assert len(windows) <= 4
+        for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+            assert next_start - prev_end >= 10.0
+
+
+def test_generate_caps_concurrent_crashes():
+    for seed in range(20):
+        plan = FaultPlan.generate(
+            random.Random(seed), [], horizon=100.0,
+            crash_endpoints=[f"s{i}" for i in range(5)], crash_prob=1.0,
+        )
+        # max_concurrent_crashes defaults to 1: no two crash windows
+        # anywhere in the plan may overlap.
+        windows = sorted((w.start, w.end) for w in plan.crashes)
+        for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+            assert next_start >= prev_end
+
+
+def test_generate_validates_crash_parameters():
+    with pytest.raises(FaultPlanError, match="max_concurrent_crashes"):
+        FaultPlan.generate(
+            random.Random(0), [], horizon=10.0,
+            crash_endpoints=["s0"], max_concurrent_crashes=0,
+        )
+    with pytest.raises(FaultPlanError, match="min_crash_gap"):
+        FaultPlan.generate(
+            random.Random(0), [], horizon=10.0,
+            crash_endpoints=["s0"], min_crash_gap=-1.0,
+        )
+
+
+def test_fault_plan_dict_round_trip():
+    plan = FaultPlan(
+        disconnects=(
+            DisconnectWindow("a", 1.0, 3.0),
+            DisconnectWindow("b", 2.0),  # permanent: inf end -> null
+        ),
+        partitions=(PartitionWindow(("a", "c"), 4.0, 6.0),),
+        spikes=(LatencySpike(start=0.5, end=2.5, factor=4.0, source="a"),),
+        shard_partitions=(
+            ShardPartitionWindow((("s0",), ("s1", "s2")), 1.0, 9.0),
+        ),
+        crashes=(ShardCrashWindow("s1", 3.0, 7.0),),
+    )
+    document = plan.to_dict()
+    assert document["disconnects"][1]["end"] is None
+    assert fault_plan_from_dict(document) == plan
+    # JSON-safe: survives an actual dumps/loads cycle.
+    import json
+
+    assert fault_plan_from_dict(json.loads(json.dumps(document))) == plan
+
+
+def test_fault_plan_from_dict_rejects_malformed_windows():
+    with pytest.raises(FaultPlanError):
+        fault_plan_from_dict(
+            {"crashes": [{"endpoint": "s0", "start": 5.0, "end": 2.0}]}
+        )
+
+
+# -- Crash windows (injector layer) ------------------------------------------
+
+
+def test_injector_crash_drops_traffic_and_fires_handlers():
+    sim, net = make_net(latency=ConstantLatency(1.0))
+    net.register("a", Sink())
+    sink = Sink()
+    net.register("s0", sink)
+    events = []
+    plan = FaultPlan(crashes=(ShardCrashWindow("s0", 1.0, 4.0),))
+    injector = FaultInjector(sim, net, plan)
+    injector.bind(
+        "s0",
+        on_crash=lambda: events.append(("crash", sim.now)),
+        on_restart=lambda: events.append(("restart", sim.now)),
+    )
+    injector.install()
+
+    net.send("a", "s0", "in-flight")                       # purged at 1.0
+    sim.schedule_at(2.0, lambda: net.send("a", "s0", "dropped"))
+    sim.schedule_at(5.0, lambda: net.send("a", "s0", "after"))
+    sim.schedule_at(1.5, lambda: events.append(
+        ("crashed?", injector.is_crashed("s0"))))
+    sim.run()
+    assert events == [
+        ("crash", 1.0), ("crashed?", True), ("restart", 4.0),
+    ]
+    assert [p for _, p in sink.got] == ["after"]
+    assert [e.kind for e in injector.events] == ["crash", "restart"]
+    assert injector.events[0].purged == 1
+    assert injector.crashed == frozenset()
+    assert net.quiescent()
+
+
+def test_injector_restart_handler_can_send_traffic():
+    """_end_crash clears the crashed set *before* firing on_restart, so
+    recovery resync traffic sent from inside the handler flows."""
+    sim, net = make_net()
+    sink = Sink()
+    net.register("peer", sink)
+    net.register("s0", Sink())
+    plan = FaultPlan(crashes=(ShardCrashWindow("s0", 1.0, 2.0),))
+    injector = FaultInjector(sim, net, plan)
+    injector.bind("s0", on_restart=lambda: net.send("s0", "peer", "resync"))
+    injector.install()
+    sim.run()
+    assert [p for _, p in sink.got] == ["resync"]
+
+
+def test_force_reconnect_all_ends_crashes():
+    sim, net = make_net()
+    net.register("s0", Sink())
+    restarted = []
+    plan = FaultPlan(crashes=(ShardCrashWindow("s0", 1.0, 50.0),))
+    injector = FaultInjector(sim, net, plan)
+    injector.bind("s0", on_restart=lambda: restarted.append(sim.now))
+    injector.install()
+    sim.run(until=10.0)
+    assert injector.is_crashed("s0")
+    injector.force_reconnect_all()
+    assert not injector.is_crashed("s0")
+    assert restarted == [10.0]
+    # The originally scheduled window end is now a no-op.
+    sim.run()
+    assert restarted == [10.0]
+    assert [e.kind for e in injector.events] == ["crash", "restart"]
+
+
+# -- Shard-partition heal interplay ------------------------------------------
+
+
+def test_overlapping_partitions_heal_links_only_at_last_window_end():
+    """Two overlapping shard partitions cut the same links; the link
+    refcount must keep the link severed — and must NOT fire the heal
+    callback — until the *last* covering window ends."""
+    sim, net = make_net()
+    for name in ("s0", "s1"):
+        net.register(name, Sink())
+    healed = []
+    plan = FaultPlan(shard_partitions=(
+        ShardPartitionWindow((("s0",), ("s1",)), 1.0, 5.0),
+        ShardPartitionWindow((("s0",), ("s1",)), 3.0, 8.0),
+    ))
+    injector = FaultInjector(sim, net, plan)
+    injector.on_link_heal(lambda links: healed.append((sim.now, links)))
+    injector.install()
+
+    sim.run(until=6.0)
+    # First window ended at 5.0 while the second still covers the link.
+    assert healed == []
+    assert injector.is_cut("s0", "s1")
+    sim.run()
+    assert healed == [(8.0, [("s0", "s1"), ("s1", "s0")])]
+    assert not injector.is_cut("s0", "s1")
+
+
+def test_force_reconnect_all_heals_open_partition_and_fires_callback():
+    """Satellite: force_reconnect_all() during an open shard-partition
+    window must fire on_link_heal exactly once per healed link, and the
+    window's scheduled end must then be a no-op (no second heal)."""
+    sim, net = make_net()
+    for name in ("s0", "s1"):
+        net.register(name, Sink())
+    healed = []
+    plan = FaultPlan(shard_partitions=(
+        ShardPartitionWindow((("s0",), ("s1",)), 1.0, 50.0),
+    ))
+    injector = FaultInjector(sim, net, plan)
+    injector.on_link_heal(lambda links: healed.append((sim.now, list(links))))
+    injector.install()
+    sim.run(until=10.0)
+    assert injector.is_cut("s0", "s1")
+
+    injector.force_reconnect_all()
+    assert healed == [(10.0, [("s0", "s1"), ("s1", "s0")])]
+    assert not injector.is_cut("s0", "s1")
+    sim.run()  # the scheduled end at 50.0 fires into a closed window
+    assert healed == [(10.0, [("s0", "s1"), ("s1", "s0")])]
+    assert [e.kind for e in injector.events] == [
+        "shard-partition", "shard-heal",
+    ]
+
+
+def test_force_reconnect_all_closes_everything_at_once():
+    """Outage + open shard partition + crash, all forced closed in one
+    call: each fires its own end-side choreography exactly once."""
+    sim, net = make_net()
+    for name in ("w0", "s0", "s1"):
+        net.register(name, Sink())
+    calls = []
+    plan = FaultPlan(
+        disconnects=(DisconnectWindow("w0", 1.0),),
+        shard_partitions=(
+            ShardPartitionWindow((("s0",), ("s1",)), 1.0, 90.0),
+        ),
+        crashes=(ShardCrashWindow("s0", 2.0, 80.0),),
+    )
+    injector = FaultInjector(sim, net, plan)
+    injector.bind("w0", on_reconnect=lambda: calls.append("reconnect"))
+    injector.bind("s0", on_restart=lambda: calls.append("restart"))
+    injector.on_link_heal(lambda links: calls.append("heal"))
+    injector.install()
+    sim.run(until=10.0)
+    assert injector.is_down("w0")
+    assert injector.is_crashed("s0")
+    assert injector.is_cut("s0", "s1")
+
+    injector.force_reconnect_all()
+    assert calls == ["reconnect", "heal", "restart"]
+    assert not injector.is_down("w0")
+    assert not injector.is_crashed("s0")
+    assert injector.cut_links == frozenset()
+    sim.run()
+    assert calls == ["reconnect", "heal", "restart"]
